@@ -1,0 +1,82 @@
+"""Measurement helpers shared by the benchmark suite."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import ReplicaConfig
+from repro.core.service import AReplicaService
+from repro.simcloud.cloud import build_default_cloud
+from repro.simcloud.objectstore import Blob
+
+MB = 1024 * 1024
+GB = 1024 * MB
+
+
+def build_service(src_key: str, dst_key: str, seed: int = 0, slo: float = 0.0,
+                  scheduling: str = "pool", **cfg):
+    """One cloud + service + rule, profiled and ready."""
+    cloud = build_default_cloud(seed=seed)
+    cfg.setdefault("profile_samples", 8)
+    cfg.setdefault("mc_samples", 1000)
+    config = ReplicaConfig(slo_seconds=slo, **cfg)
+    service = AReplicaService(cloud, config)
+    src = cloud.bucket(src_key, "src")
+    dst = cloud.bucket(dst_key, "dst")
+    rule = service.add_rule(src, dst, scheduling=scheduling)
+    return cloud, service, src, dst, rule
+
+
+def measure_areplica(cloud, service, src, size: int, key: str,
+                     trials: int = 1) -> tuple[float, float]:
+    """Replicate ``trials`` fresh objects; mean (delay_s, cost_usd)."""
+    delays, costs = [], []
+    for i in range(trials):
+        before = cloud.ledger.snapshot()
+        n_records = len(service.records)
+        src.put_object(f"{key}-{i}", Blob.fresh(size), cloud.now)
+        cloud.run()
+        new = service.records[n_records:]
+        delays.append(max(r.delay for r in new))
+        costs.append(before.delta(cloud.ledger.snapshot()).total)
+    return sum(delays) / len(delays), sum(costs) / len(costs)
+
+
+def measure_skyplane(src_key: str, dst_key: str, size: int, seed: int = 0,
+                     vm_pairs: int = 1, trials: int = 1) -> tuple[float, float]:
+    """Cold Skyplane transfers; mean (delay_s, cost_usd)."""
+    from repro.baselines.skyplane import SkyplaneReplicator
+
+    delays, costs = [], []
+    for i in range(trials):
+        cloud = build_default_cloud(seed=seed + i)
+        src = cloud.bucket(src_key, "src")
+        dst = cloud.bucket(dst_key, "dst")
+        sky = SkyplaneReplicator(cloud, src, dst, vm_pairs=vm_pairs)
+        src.put_object("obj", Blob.fresh(size), cloud.now, notify=False)
+        before = cloud.ledger.snapshot()
+        record = sky.replicate_once("obj")
+        delays.append(record.delay)
+        costs.append(before.delta(cloud.ledger.snapshot()).total)
+    return sum(delays) / len(delays), sum(costs) / len(costs)
+
+
+def measure_proprietary(kind: str, src_key: str, dst_key: str, size: int,
+                        seed: int = 0, trials: int = 1) -> tuple[float, float]:
+    """S3 RTC ('s3rtc') or Azure object replication ('azrep')."""
+    from repro.baselines.azrep import AzureObjectReplicator
+    from repro.baselines.s3rtc import S3RTCReplicator
+
+    cls = {"s3rtc": S3RTCReplicator, "azrep": AzureObjectReplicator}[kind]
+    delays, costs = [], []
+    for i in range(trials):
+        cloud = build_default_cloud(seed=seed + i)
+        src = cloud.bucket(src_key, "src", versioning=True)
+        dst = cloud.bucket(dst_key, "dst", versioning=True)
+        rep = cls(cloud, src, dst)
+        src.put_object("obj", Blob.fresh(size), cloud.now, notify=False)
+        before = cloud.ledger.snapshot()
+        record = rep.replicate_once("obj")
+        delays.append(record.delay)
+        costs.append(before.delta(cloud.ledger.snapshot()).total)
+    return sum(delays) / len(delays), sum(costs) / len(costs)

@@ -1,0 +1,73 @@
+"""Ablation: Gumbel (extreme-value) tail approximation vs Monte-Carlo
+resampling for the distributed-transfer maximum.
+
+§5.3: "for large n, resampling will be too time-consuming. Instead,
+based on the extreme value theory, we can use Gumbel distribution to
+represent the maximum of n i.i.d. random variables, which is
+significantly faster than Monte Carlo methods."  This benchmark
+verifies both halves of that claim: percentile agreement within a few
+percent, and a large planning-time speedup at high parallelism.
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.core.model import LocParams, NormalParam, PathParams, PerformanceModel
+
+MB = 1024 * 1024
+GB = 1024 * MB
+LOC = "aws:us-east-1"
+PATH = (LOC, "aws:us-east-1", "azure:eastus")
+PARALLELISMS = [32, 64, 128, 256, 512]
+PERCENTILES = [0.9, 0.99]
+
+
+def _model(gumbel_threshold, mc_samples=50_000):
+    model = PerformanceModel(chunk_size=8 * MB, mc_samples=mc_samples,
+                             gumbel_threshold=gumbel_threshold, seed=0)
+    model.set_loc_params(LOC, LocParams(
+        NormalParam(0.02, 0.005), NormalParam(0.35, 0.08), NormalParam.zero()))
+    model.set_path_params(PATH, PathParams(
+        NormalParam(0.25, 0.05), NormalParam(0.20, 0.04),
+        NormalParam(0.24, 0.06)))
+    return model
+
+
+def test_ablation_gumbel_vs_monte_carlo(benchmark, save_result):
+    def run():
+        mc_model = _model(gumbel_threshold=10**9)      # always resample
+        ev_model = _model(gumbel_threshold=1)          # always Gumbel
+        rows = []
+        size = 100 * GB
+        for n in PARALLELISMS:
+            for p in PERCENTILES:
+                t0 = time.perf_counter()
+                mc = mc_model.t_transfer_parallel_percentile(PATH, size, n, p)
+                mc_model._mc_cache.clear()
+                mc_time = time.perf_counter() - t0
+                t0 = time.perf_counter()
+                ev = ev_model.t_transfer_parallel_percentile(PATH, size, n, p)
+                ev_time = time.perf_counter() - t0
+                rows.append((n, p, mc, ev, mc_time, ev_time))
+        return rows
+
+    rows = run_once(benchmark, run)
+
+    lines = ["Ablation: Gumbel (EVT) vs Monte-Carlo tail estimation "
+             "(100 GB transfer)", ""]
+    lines.append(f"{'n':>5} {'pctl':>6} {'MC':>9} {'Gumbel':>9} {'err':>7} "
+                 f"{'speedup':>8}")
+    for n, p, mc, ev, mc_t, ev_t in rows:
+        err = abs(ev - mc) / mc
+        lines.append(f"{n:>5} {p:>6} {mc:>8.2f}s {ev:>8.2f}s "
+                     f"{err * 100:>6.1f}% {mc_t / max(ev_t, 1e-9):>7.0f}x")
+    save_result("abl_gumbel", "\n".join(lines))
+
+    for n, p, mc, ev, mc_t, ev_t in rows:
+        assert abs(ev - mc) / mc < 0.10, (n, p)      # few-percent agreement
+    # Aggregate speedup is large (per-call timers are noisy; compare sums).
+    total_mc = sum(r[4] for r in rows)
+    total_ev = sum(r[5] for r in rows)
+    assert total_mc / total_ev > 20

@@ -1,0 +1,70 @@
+"""Ablation: data part size sweep around the paper's 8 MB choice.
+
+§5.1: "larger parts are more efficient by avoiding extra API calls but
+limit scheduling flexibility ... a part size of 8 MB strikes an
+effective balance, as we observe only marginal overhead reduction
+beyond this size."  This sweep replicates a 1 GB object with 32
+functions on a variable link across part sizes and reports end-to-end
+time and the per-part overhead share.
+"""
+
+import numpy as np
+
+from benchmarks._helpers import GB, MB, build_service
+from benchmarks.conftest import run_once, scaled
+from repro.simcloud.objectstore import Blob
+
+SRC, DST = "azure:eastus", "gcp:asia-northeast1"
+PART_SIZES = [1 * MB, 2 * MB, 4 * MB, 8 * MB, 16 * MB, 32 * MB, 64 * MB]
+N = 32
+
+
+def _run(part_size, trials, seed):
+    cloud, service, src, dst, rule = build_service(SRC, DST, seed=seed,
+                                                   part_size=part_size)
+    rule.engine.forced_plan = (N, SRC)
+    times = []
+    for i in range(trials):
+        src.put_object(f"o{i}", Blob.fresh(GB), cloud.now)
+        cloud.run()
+        times.append(service.records[-1].replication_seconds)
+    kv_writes = rule.engine._state_table(SRC).op_counts["write"]
+    return float(np.mean(times)), kv_writes
+
+
+def test_ablation_part_size_sweep(benchmark, save_result):
+    trials = scaled(4)
+
+    def run():
+        return {ps: _run(ps, trials, seed=30) for ps in PART_SIZES}
+
+    out = run_once(benchmark, run)
+
+    lines = [f"Ablation: part size sweep (1 GB, {SRC} -> {DST}, n={N})", ""]
+    lines.append(f"{'part size':>10} {'parts':>6} {'mean repl time':>15} "
+                 f"{'KV writes':>10}")
+    for ps in PART_SIZES:
+        t, kv = out[ps]
+        lines.append(f"{ps // MB:>8}MB {GB // ps:>6} {t:>14.1f}s {kv:>10}")
+    best = min(out, key=lambda ps: out[ps][0])
+    lines.append("")
+    lines.append(f"best part size in this sweep: {best // MB} MB "
+                 "(paper: 8 MB balances overhead vs scheduling flexibility)")
+    save_result("abl_partsize", "\n".join(lines))
+
+    t8 = out[8 * MB][0]
+    # 8 MB sits on the flat plateau of the curve (the paper's "only
+    # marginal overhead reduction beyond this size"): close to the best
+    # point, and indistinguishable from its 4-16 MB neighbours relative
+    # to the jump at coarse granularities.
+    plateau = np.mean([out[s][0] for s in (4 * MB, 8 * MB, 16 * MB)])
+    coarse = np.mean([out[s][0] for s in (32 * MB, 64 * MB)])
+    assert t8 <= out[best][0] * 1.45
+    assert abs(t8 - plateau) / plateau < 0.35
+    # Very large parts lose straggler flexibility — a slow instance
+    # stuck on a 32/64 MB part drags the whole task.
+    assert coarse > plateau * 1.5
+    # Tiny parts multiply the per-part coordination cost (2 KV ops per
+    # part), the other side of the trade-off.
+    assert out[1 * MB][1] > 6 * out[8 * MB][1]
+    assert out[1 * MB][1] > out[8 * MB][1] > out[64 * MB][1]

@@ -1,0 +1,57 @@
+"""Figure 2: PUT request size distribution in the (synthetic) IBM COS
+traces — request count vs capacity share per size decade.
+
+Paper reference: ~80 % of PUT requests are at or below 1 MB, and the
+capacity histogram is shifted far to the right of the count histogram
+(rare large objects hold most of the bytes).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once, scaled
+from repro.analysis.stats import SIZE_BUCKET_LABELS, fraction_at_or_below, size_histogram
+from repro.traces.ibm_cos import MB, GB, SizeModel
+
+
+def test_fig02_put_size_distribution(benchmark, save_result):
+    samples = scaled(300_000)
+
+    def run():
+        sizes = SizeModel(np.random.default_rng(0)).sample(samples)
+        return sizes
+
+    sizes = run_once(benchmark, run)
+    hist = size_histogram(sizes)
+    at_or_below_1mb = fraction_at_or_below(sizes, MB)
+    below_1gb = fraction_at_or_below(sizes, GB)
+
+    lines = ["Figure 2: PUT request size distribution", ""]
+    lines.append(f"{'bucket':>8} {'count %':>10} {'capacity %':>12}")
+    for label in SIZE_BUCKET_LABELS:
+        row = hist[label]
+        if row["count"] == 0 and row["capacity"] == 0:
+            continue
+        lines.append(f"{label:>8} {row['count'] * 100:>9.2f}% "
+                     f"{row['capacity'] * 100:>11.2f}%")
+    lines.append("")
+    from repro.analysis.textchart import bar_chart
+
+    present = [l for l in SIZE_BUCKET_LABELS
+               if hist[l]["count"] > 0 or hist[l]["capacity"] > 0]
+    lines.append(bar_chart(present, [hist[l]["count"] * 100 for l in present],
+                           width=36, unit="%", title="request count share"))
+    lines.append("")
+    lines.append(bar_chart(present,
+                           [round(hist[l]["capacity"] * 100, 2) for l in present],
+                           width=36, unit="%", title="capacity share"))
+    lines.append("")
+    lines.append(f"PUTs <= 1MB: {at_or_below_1mb * 100:.1f}%   (paper: ~80%)")
+    lines.append(f"PUTs <  1GB: {below_1gb * 100:.2f}%  (paper: >99.99%)")
+    save_result("fig02_put_sizes", "\n".join(lines))
+
+    # Shape assertions from the paper's characterization.
+    assert 0.72 <= at_or_below_1mb <= 0.88
+    assert below_1gb > 0.999
+    count_peak = max(hist, key=lambda l: hist[l]["count"])
+    capacity_peak = max(hist, key=lambda l: hist[l]["capacity"])
+    assert SIZE_BUCKET_LABELS.index(capacity_peak) > SIZE_BUCKET_LABELS.index(count_peak)

@@ -1,0 +1,123 @@
+"""Figure 6: download/upload bandwidth of a single cloud function vs its
+compute configuration, on each platform.
+
+Paper reference: all three clouds provide a few hundred Mbps between
+regions; bandwidth scales with memory (AWS, Azure) or vCPUs (GCP) up to
+a sweet spot beyond which a more expensive configuration buys nothing;
+links to geographically close regions are generally faster.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once, scaled
+from repro.simcloud.cloud import build_default_cloud
+from repro.simcloud.network import FunctionConfig
+from repro.simcloud.objectstore import Blob
+
+MB = 1024 * 1024
+CHUNK = 32 * MB
+
+AWS_MEMORIES = [128, 256, 512, 1024, 2048, 4096, 8192]
+AZURE_MEMORIES = [2048, 4096]
+GCP_CPUS = [1, 2, 4, 8]
+
+PEERS = {
+    "aws:us-east-1": ["aws:us-east-1", "aws:ca-central-1", "azure:eastus",
+                      "gcp:us-east1"],
+    "azure:eastus": ["azure:eastus", "aws:us-east-1", "azure:uksouth",
+                     "gcp:us-east1"],
+    "gcp:us-east1": ["gcp:us-east1", "aws:us-east-1", "azure:eastus",
+                     "gcp:us-west1"],
+}
+
+
+def _measure_mbps(cloud, exec_region_key, peer_key, config, upload, trials):
+    """Empirical single-function bandwidth: time real chunk transfers."""
+    faas = cloud.faas(exec_region_key)
+    local = cloud.bucket(exec_region_key, "local")
+    peer = cloud.bucket(peer_key, "peer")
+    peer.put_object("probe", Blob.fresh(CHUNK), cloud.now, notify=False)
+    local.put_object("probe", Blob.fresh(CHUNK), cloud.now, notify=False)
+    samples = []
+
+    def handler(ctx, payload):
+        yield from ctx.get_object(local, "probe", 0, 1)  # pay S up front
+        start = ctx.now
+        if payload["upload"]:
+            blob, _ = yield from ctx.get_object(local, "probe")
+            yield from ctx.put_object(peer, "out", blob)
+            # subtract the (fast) local read from the timing
+        else:
+            yield from ctx.get_object(peer, "probe")
+        return ctx.now - start
+
+    base = f"probe-{exec_region_key}-{peer_key}-{config.memory_mb}-{config.vcpus}-{upload}"
+
+    def driver():
+        for i in range(trials):
+            # One deployment per trial forces a fresh (cold) instance,
+            # so the mean averages over instance speed factors instead
+            # of measuring one warm instance repeatedly.
+            name = f"{base}-{i}"
+            faas.deploy(name, handler, config=config)
+            accepted, inv = faas.invoke(name, {"upload": upload})
+            yield accepted
+            seconds = yield inv
+            samples.append(CHUNK * 8 / (seconds * 1e6))
+
+    cloud.sim.run_process(driver())
+    return float(np.mean(samples))
+
+
+def test_fig06_bandwidth_vs_configuration(benchmark, save_result):
+    trials = scaled(5)
+
+    def run():
+        cloud = build_default_cloud(seed=6)
+        rows = {}
+        for mem in AWS_MEMORIES:
+            cfg = FunctionConfig(memory_mb=mem, vcpus=mem / 1769)
+            for peer in PEERS["aws:us-east-1"]:
+                rows[("aws", mem, peer, "down")] = _measure_mbps(
+                    cloud, "aws:us-east-1", peer, cfg, False, trials)
+        for mem in AZURE_MEMORIES:
+            cfg = FunctionConfig(memory_mb=mem, vcpus=1.0)
+            for peer in PEERS["azure:eastus"]:
+                rows[("azure", mem, peer, "down")] = _measure_mbps(
+                    cloud, "azure:eastus", peer, cfg, False, trials)
+        for cpus in GCP_CPUS:
+            cfg = FunctionConfig(memory_mb=1024, vcpus=cpus)
+            for peer in PEERS["gcp:us-east1"]:
+                rows[("gcp", cpus, peer, "down")] = _measure_mbps(
+                    cloud, "gcp:us-east1", peer, cfg, False, trials)
+        return rows
+
+    rows = run_once(benchmark, run)
+
+    lines = ["Figure 6: single-function bandwidth vs configuration (Mbps)", ""]
+    for platform, configs, exec_key in (
+        ("aws", AWS_MEMORIES, "aws:us-east-1"),
+        ("azure", AZURE_MEMORIES, "azure:eastus"),
+        ("gcp", GCP_CPUS, "gcp:us-east1"),
+    ):
+        unit = "vCPU" if platform == "gcp" else "MB"
+        lines.append(f"-- functions at {exec_key} (x axis: {unit}) --")
+        header = f"{'peer':<22}" + "".join(f"{c:>8}" for c in configs)
+        lines.append(header)
+        for peer in PEERS[exec_key]:
+            vals = "".join(f"{rows[(platform, c, peer, 'down')]:>8.0f}"
+                           for c in configs)
+            lines.append(f"{peer:<22}{vals}")
+        lines.append("")
+    save_result("fig06_bandwidth_config", "\n".join(lines))
+
+    # Shape: hundreds of Mbps cross-region; memory scaling saturates
+    # (the sweet spot); nearby faster than far.
+    aws_cross = rows[("aws", 1024, "aws:ca-central-1", "down")]
+    assert 100 < aws_cross < 1000
+    assert rows[("aws", 128, "aws:ca-central-1", "down")] < aws_cross
+    big = rows[("aws", 8192, "aws:ca-central-1", "down")]
+    assert abs(big - rows[("aws", 2048, "aws:ca-central-1", "down")]) / big < 0.3
+    assert rows[("gcp", 1, "aws:us-east-1", "down")] < \
+        rows[("gcp", 2, "aws:us-east-1", "down")] * 1.05
+    assert rows[("aws", 1024, "aws:us-east-1", "down")] > aws_cross

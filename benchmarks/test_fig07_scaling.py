@@ -1,0 +1,85 @@
+"""Figure 7: aggregate bandwidth vs the number of parallel functions.
+
+Paper reference: aggregate bandwidth increases near-linearly with the
+number of functions on all three platforms, exceeding a few Gbps with
+64 or fewer functions even on slow links.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.simcloud.cloud import build_default_cloud
+from repro.simcloud.objectstore import Blob
+
+MB = 1024 * 1024
+CHUNK = 64 * MB
+FUNCTION_COUNTS = [1, 2, 4, 8, 16, 32, 64]
+
+LINKS = {
+    "AWS down (us-east-1 <- eu-west-1)": ("aws:us-east-1", "aws:eu-west-1"),
+    "Azure down (eastus <- uksouth)": ("azure:eastus", "azure:uksouth"),
+    "GCP down (us-east1 <- europe-west6)": ("gcp:us-east1", "gcp:europe-west6"),
+    "AWS up slow (us-east-1 -> ap-northeast-1)": ("aws:us-east-1",
+                                                  "aws:ap-northeast-1"),
+}
+
+
+def _aggregate_mbps(cloud, exec_key, peer_key, n):
+    """n functions download one chunk each, concurrently; sum their rates."""
+    faas = cloud.faas(exec_key)
+    peer = cloud.bucket(peer_key, f"peer-{peer_key}")
+    if "probe" not in peer:
+        peer.put_object("probe", Blob.fresh(CHUNK), cloud.now, notify=False)
+    finished = []
+
+    def handler(ctx, payload):
+        start = ctx.now
+        yield from ctx.get_object(peer, "probe", concurrency=payload["n"])
+        finished.append(ctx.now - start)
+
+    name = f"scale-{exec_key}-{peer_key}-{n}"
+    faas.deploy(name, handler)
+
+    def driver():
+        invocations = []
+        for _ in range(n):
+            accepted, inv = faas.invoke(name, {"n": n})
+            yield accepted
+            invocations.append(inv)
+        yield cloud.sim.all_of(invocations)
+
+    cloud.sim.run_process(driver())
+    return sum(CHUNK * 8 / (t * 1e6) for t in finished[-n:])
+
+
+def test_fig07_aggregate_bandwidth_scaling(benchmark, save_result):
+    def run():
+        cloud = build_default_cloud(seed=7)
+        return {
+            label: [
+                _aggregate_mbps(cloud, exec_key, peer_key, n)
+                for n in FUNCTION_COUNTS
+            ]
+            for label, (exec_key, peer_key) in LINKS.items()
+        }
+
+    series = run_once(benchmark, run)
+
+    lines = ["Figure 7: aggregate bandwidth vs # of functions (Mbps)", ""]
+    header = f"{'link':<44}" + "".join(f"{n:>8}" for n in FUNCTION_COUNTS)
+    lines.append(header)
+    for label, values in series.items():
+        lines.append(f"{label:<44}" + "".join(f"{v:>8.0f}" for v in values))
+    lines.append("")
+    for label, values in series.items():
+        efficiency = values[-1] / (values[0] * FUNCTION_COUNTS[-1])
+        lines.append(f"{label}: 64-function scaling efficiency "
+                     f"{efficiency * 100:.0f}% of perfect linear")
+    lines.append("paper: near-linear scaling; a few Gbps with <= 64 functions")
+    save_result("fig07_scaling", "\n".join(lines))
+
+    for label, values in series.items():
+        # Monotone growth and near-linearity.
+        assert values[-1] > values[0] * 25, label
+        # Even slow links exceed a few Gbps aggregate at n=64.
+        assert values[-1] > 2000, label

@@ -1,0 +1,48 @@
+"""Table 2: replication delay and cost from Azure eastus to nine
+regions, vs Skyplane and Azure object replication (AZ Rep).
+
+Paper reference: delay reduced 67 %-99 %; AZ Rep consistently exhibits
+>60 s delay; Skyplane is slower on Azure because Azure VMs provision
+slowly; AReplica is *more expensive* than AZ Rep on Azure-to-Azure
+paths (positive cost Δ) because AZ Rep's data path is free of service
+charges, but AReplica is several times faster.
+"""
+
+from benchmarks._tables import SIZES, check_headline_claims, run_table
+from benchmarks.conftest import run_once
+from repro.analysis.tables import format_comparison_table
+
+SRC = "azure:eastus"
+DESTINATIONS = [
+    "aws:us-east-1", "aws:eu-west-1", "aws:ap-northeast-1",
+    "azure:westus2", "azure:uksouth", "azure:southeastasia",
+    "gcp:us-east1", "gcp:europe-west6", "gcp:asia-northeast1",
+]
+PROPRIETARY = {d: "azrep" for d in DESTINATIONS if d.startswith("azure:")}
+SYSTEMS = ["AReplica", "Skyplane", "AZRep"]
+
+
+def test_table2_delay_and_cost_from_azure(benchmark, save_result):
+    cells = run_once(benchmark, lambda: run_table(SRC, DESTINATIONS,
+                                                  PROPRIETARY, seed=2))
+    table = format_comparison_table(
+        "Table 2: replication from Azure eastus",
+        [d.split(":", 1)[1] for d in DESTINATIONS],
+        [label for label, _ in SIZES], cells, SYSTEMS)
+    claims = check_headline_claims(cells, DESTINATIONS, SYSTEMS)
+    save_result("tab2_from_azure", table + "\n\n" + "\n".join(claims))
+
+    # AZ Rep consistently > 60 s.
+    for dst in ("westus2", "uksouth", "southeastasia"):
+        for size_label, _ in SIZES:
+            assert cells[(size_label, dst, "AZRep")].delay_s > 55.0
+    # Skyplane from Azure is slower than Skyplane from AWS (Table 1
+    # showed >= ~65 s; Azure provisioning pushes past 100 s).
+    assert cells[("1MB", "westus2", "Skyplane")].delay_s > 90.0
+    # AReplica costs MORE than free-data-path AZ Rep on Azure-to-Azure
+    # (the paper's positive Δ) while being much faster.
+    for size_label, _ in SIZES:
+        ours = cells[(size_label, "westus2", "AReplica")]
+        azrep = cells[(size_label, "westus2", "AZRep")]
+        assert ours.cost_usd > azrep.cost_usd * 0.9
+        assert ours.delay_s < azrep.delay_s / 3

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Disaster recovery: fan-out replication across three clouds.
+
+The paper's §1 motivation: region-wide outages happen, sometimes across
+multiple regions of one provider, so organizations replicate object
+data to *other vendors*.  This example keeps a primary bucket on AWS
+replicated to Azure and GCP simultaneously, streams a workload into it,
+then simulates a source-region outage and shows that every object
+survives — byte-identical — on both other clouds.
+
+Run:  python examples/disaster_recovery.py
+"""
+
+import numpy as np
+
+from repro.core.config import ReplicaConfig
+from repro.core.service import AReplicaService
+from repro.simcloud.cloud import build_default_cloud
+from repro.simcloud.objectstore import Blob
+from repro.traces.ibm_cos import IbmCosTraceGenerator
+from repro.traces.replay import TraceReplayer
+
+MB = 1024 * 1024
+
+
+def main() -> None:
+    cloud = build_default_cloud(seed=7)
+    # A 60-second SLO (p99) with batching on: the DR posture most
+    # deployments want — bounded staleness at minimal cost.
+    service = AReplicaService(cloud, ReplicaConfig(slo_seconds=60.0,
+                                                   percentile=0.99))
+
+    primary = cloud.bucket("aws:us-east-1", "prod-data")
+    replicas = {
+        "azure": cloud.bucket("azure:eastus", "prod-data-dr-azure"),
+        "gcp": cloud.bucket("gcp:us-east1", "prod-data-dr-gcp"),
+    }
+    for bucket in replicas.values():
+        service.add_rule(primary, bucket)
+    print(f"2 DR rules configured (profiling: {cloud.now:.0f} sim-seconds)\n")
+
+    # Stream ten minutes of a realistic object-storage workload.
+    trace = IbmCosTraceGenerator(seed=3, mean_rps=2.0).generate(600.0)
+    stats = TraceReplayer(cloud, primary).replay_all(trace)
+    print(f"workload: {stats.puts} PUTs, {stats.deletes} DELETEs, "
+          f"{stats.bytes_written / 1e9:.2f} GB written")
+
+    delays = np.array(service.delays())
+    print(f"replication delay: p50={np.quantile(delays, 0.5):.1f}s "
+          f"p99={np.quantile(delays, 0.99):.1f}s "
+          f"max={delays.max():.1f}s (SLO: 60s)\n")
+
+    # --- the outage ------------------------------------------------------
+    print("simulating loss of aws:us-east-1 ...")
+    surviving_keys = primary.keys()
+    lost_bytes = primary.total_bytes()
+    for name, bucket in replicas.items():
+        matches = sum(
+            1 for key in surviving_keys
+            if key in bucket and bucket.head(key).etag == primary.head(key).etag
+        )
+        print(f"  {name:>5}: {matches}/{len(surviving_keys)} objects intact "
+              f"({bucket.total_bytes() / 1e9:.2f} GB)")
+        assert matches == len(surviving_keys), f"data loss on {name}!"
+    print(f"\nrecovered 100% of {lost_bytes / 1e9:.2f} GB from either vendor; "
+          f"total replication cost ${cloud.ledger.total():.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Cost-optimized replication of a hot, derived-object pipeline.
+
+Combines the two §5.4 cost optimizations on a workload shaped like a
+log-structured storage engine that uses object storage as its backend
+(the paper's RocksDB/Snowflake motivation):
+
+* a hot manifest object is overwritten once per second — **SLO-bounded
+  batching** collapses those updates into ~one replication per SLO
+  window;
+* segment objects are *compacted* by concatenating existing segments —
+  **changelog propagation** rebuilds them at the destination from data
+  already there, moving (almost) no bytes across clouds.
+
+Run:  python examples/hot_object_pipeline.py
+"""
+
+from repro.core.config import ReplicaConfig
+from repro.core.service import AReplicaService
+from repro.simcloud.cloud import build_default_cloud
+from repro.simcloud.cost import CostCategory
+from repro.simcloud.objectstore import Blob
+
+MB = 1024 * 1024
+
+
+def main() -> None:
+    cloud = build_default_cloud(seed=11)
+    service = AReplicaService(cloud, ReplicaConfig(slo_seconds=30.0))
+    src = cloud.bucket("aws:us-east-1", "engine-data")
+    dst = cloud.bucket("gcp:us-east1", "engine-data-replica")
+    rule = service.add_rule(src, dst)
+
+    # --- phase 1: write and replicate base segments -----------------------
+    segments = {}
+    for i in range(4):
+        blob = Blob.fresh(64 * MB)
+        segments[f"seg/{i:04}"] = blob
+        src.put_object(f"seg/{i:04}", blob, cloud.now)
+    cloud.run()
+    print(f"4 x 64 MB segments replicated "
+          f"(egress so far ${cloud.ledger.total(CostCategory.EGRESS):.4f})\n")
+
+    # --- phase 2: hot manifest, 1 update/second for 2 minutes --------------
+    def manifest_writer():
+        for _ in range(120):
+            src.put_object("MANIFEST", Blob.fresh(2 * MB), cloud.now)
+            yield cloud.sim.sleep(1.0)
+
+    before = cloud.ledger.snapshot()
+    cloud.sim.run_process(manifest_writer())
+    cloud.run()
+    manifest_records = [r for r in service.records if r.key == "MANIFEST"]
+    flushes = rule.batcher.stats["flushes"]
+    delta = before.delta(cloud.ledger.snapshot())
+    print(f"hot manifest: 120 updates -> {flushes} actual replications "
+          f"(SLO-bounded batching)")
+    print(f"  every update met its 30 s SLO: "
+          f"{all(r.delay <= 30.5 for r in manifest_records)}")
+    print(f"  phase egress cost ${delta.totals.get(CostCategory.EGRESS, 0):.4f} "
+          f"instead of ~${0.12 * 120 * 2 * MB / 1e9:.4f} unbatched\n")
+
+    # --- phase 3: compaction via changelog propagation ----------------------
+    before = cloud.ledger.snapshot()
+
+    def compactor():
+        merged = Blob.concat([segments["seg/0000"], segments["seg/0001"]])
+        yield from rule.changelog.record_concat(
+            [("seg/0000", segments["seg/0000"].etag),
+             ("seg/0001", segments["seg/0001"].etag)],
+            "seg/merged-0", merged.etag,
+        )
+        src.put_object("seg/merged-0", merged, cloud.now)
+
+    cloud.sim.run_process(compactor())
+    cloud.run()
+    delta = before.delta(cloud.ledger.snapshot())
+    assert dst.head("seg/merged-0").etag == src.head("seg/merged-0").etag
+    print("compaction: 128 MB merged segment replicated via CONCAT changelog")
+    print(f"  applied at destination: "
+          f"{rule.engine.stats['changelog_applied'] == 1}")
+    print(f"  cross-cloud egress for the merge: "
+          f"${delta.totals.get(CostCategory.EGRESS, 0):.4f} (vs ~$0.0154 for a full copy)")
+
+
+if __name__ == "__main__":
+    main()

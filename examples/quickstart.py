@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Quickstart: replicate objects from AWS to Azure with AReplica.
+
+Builds a simulated multi-cloud (AWS + Azure + GCP), configures one
+replication rule, writes a few objects of different sizes into the
+source bucket, and prints the replication delay, the plan AReplica
+chose, and the metered cost for each.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core.config import ReplicaConfig
+from repro.core.service import AReplicaService
+from repro.simcloud.cloud import build_default_cloud
+from repro.simcloud.objectstore import Blob
+
+MB = 1024 * 1024
+
+
+def main() -> None:
+    # 1. One simulated multi-cloud, deterministic under a seed.
+    cloud = build_default_cloud(seed=42)
+
+    # 2. The AReplica service.  SLO 0 = "always pick the fastest plan".
+    service = AReplicaService(cloud, ReplicaConfig(slo_seconds=0.0))
+
+    # 3. Source and destination buckets on different providers.
+    src = cloud.bucket("aws:us-east-1", "my-data")
+    dst = cloud.bucket("azure:eastus", "my-data-replica")
+
+    # 4. One replication rule.  This runs the offline profiler once to
+    #    fit the performance model for both execution locations.
+    service.add_rule(src, dst)
+    print(f"rule configured, profiling took {cloud.now:.1f} simulated seconds\n")
+
+    # 5. Write objects; notifications drive replication automatically.
+    print(f"{'object':<12} {'size':>8} {'delay (s)':>10} {'functions':>10} "
+          f"{'executed at':>16} {'cost ($)':>10}")
+    for name, size in [("tiny", 64 * 1024), ("small", 1 * MB),
+                       ("medium", 128 * MB), ("large", 1024 * MB)]:
+        before = cloud.ledger.snapshot()
+        src.put_object(name, Blob.fresh(size), cloud.now)
+        cloud.run()  # drain the simulation until replication completes
+        record = service.records[-1]
+        cost = before.delta(cloud.ledger.snapshot()).total
+        assert dst.head(name).etag == src.head(name).etag, "content mismatch!"
+        print(f"{name:<12} {size // 1024:>6}KB {record.delay:>10.2f} "
+              f"{record.plan_n:>10} {record.loc_key:>16} {cost:>10.6f}")
+
+    print("\nAll objects verified byte-identical at the destination (ETag match).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setuptools shim: enables `python setup.py develop` in offline
+environments where pip's editable install needs the `wheel` package.
+Configuration lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

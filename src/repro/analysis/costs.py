@@ -1,0 +1,155 @@
+"""Analytic replication cost estimators.
+
+The simulator *meters* cost as a side effect of execution; this module
+*predicts* it analytically, which is what a deployment-planning tool
+needs ("what would replicating this workload cost per month on each
+system?").  The estimators mirror the billing rules in
+:mod:`repro.simcloud.pricing` and the systems' workflows, and the test
+suite checks them against the metered ledger.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.simcloud.pricing import GB, PriceBook
+from repro.simcloud.regions import get_region
+
+__all__ = ["CostEstimate", "ReplicationCostModel"]
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Predicted cost of replicating one object (USD)."""
+
+    egress: float = 0.0
+    compute: float = 0.0
+    requests: float = 0.0
+    kv: float = 0.0
+    service_fee: float = 0.0
+    storage: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return (self.egress + self.compute + self.requests + self.kv
+                + self.service_fee + self.storage)
+
+    def plus(self, other: "CostEstimate") -> "CostEstimate":
+        return CostEstimate(
+            self.egress + other.egress, self.compute + other.compute,
+            self.requests + other.requests, self.kv + other.kv,
+            self.service_fee + other.service_fee,
+            self.storage + other.storage,
+        )
+
+    def scaled(self, k: float) -> "CostEstimate":
+        return CostEstimate(self.egress * k, self.compute * k,
+                            self.requests * k, self.kv * k,
+                            self.service_fee * k, self.storage * k)
+
+
+class ReplicationCostModel:
+    """Per-object and per-workload cost prediction for each system."""
+
+    def __init__(self, prices: Optional[PriceBook] = None,
+                 part_size: int = 8 * 1024 * 1024):
+        self.prices = prices or PriceBook()
+        self.part_size = part_size
+
+    # -- AReplica ---------------------------------------------------------
+
+    def areplica(self, src_key: str, dst_key: str, size: int, n: int,
+                 loc_key: str, transfer_seconds: float,
+                 memory_mb: int = 1024, vcpus: float = 1.0) -> CostEstimate:
+        """Cost of one AReplica task with ``n`` functions at ``loc_key``
+        whose aggregate wall time is ``transfer_seconds`` per function."""
+        src, dst = get_region(src_key), get_region(dst_key)
+        loc = get_region(loc_key)
+        prices = self.prices
+        egress = prices.egress_cost(src, loc, size) + \
+            prices.egress_cost(loc, dst, size)
+        compute = n * prices.faas_compute_cost(loc.provider, memory_mb, vcpus,
+                                               transfer_seconds)
+        parts = max(1, math.ceil(size / self.part_size))
+        store_src = prices.store[src.provider]
+        store_dst = prices.store[dst.provider]
+        if parts == 1:
+            requests = store_src.get + store_dst.put
+            kv_ops = 5  # lock, done marker, changelog lookup, unlock
+        else:
+            # Per-part GET/PUT plus the multipart completion PUT.
+            requests = parts * (store_src.get + store_dst.put) + store_dst.put
+            kv_ops = 2 * parts + 8  # Algorithm 1's two per part + control
+        kv = kv_ops * prices.kv[loc.provider].write
+        faas_reqs = (n + 1) * prices.faas[loc.provider].per_request
+        return CostEstimate(egress=egress, compute=compute,
+                            requests=requests + faas_reqs, kv=kv)
+
+    # -- baselines -----------------------------------------------------------
+
+    def skyplane(self, src_key: str, dst_key: str, size: int,
+                 vm_pairs: int = 1, cold: bool = True,
+                 wan_mbps: float = 1300.0) -> CostEstimate:
+        """Cold Skyplane transfer: VM lifetime dominates."""
+        src, dst = get_region(src_key), get_region(dst_key)
+        prices = self.prices
+        transfer_s = size * 8 / (wan_mbps * 1e6 * vm_pairs)
+        lifetime = transfer_s + (20.0 if cold else 2.0)  # session + finalize
+        compute = vm_pairs * (prices.vm_cost(src.provider, lifetime)
+                              + prices.vm_cost(dst.provider, lifetime))
+        egress = prices.egress_cost(src, dst, size)
+        requests = (prices.store[src.provider].get
+                    + prices.store[dst.provider].put)
+        return CostEstimate(egress=egress, compute=compute, requests=requests)
+
+    def s3rtc(self, src_key: str, dst_key: str, size: int) -> CostEstimate:
+        src, dst = get_region(src_key), get_region(dst_key)
+        if src.provider != "aws" or dst.provider != "aws":
+            raise ValueError("S3 RTC is AWS-to-AWS only")
+        prices = self.prices
+        store = prices.store["aws"]
+        return CostEstimate(
+            egress=prices.egress_cost(src, dst, size),
+            requests=store.get + store.put,
+            service_fee=store.rtc_fee_per_gb * size / GB,
+            storage=size / GB * 2 * store.gb_month / 30.0,
+        )
+
+    def azrep(self, src_key: str, dst_key: str, size: int) -> CostEstimate:
+        src, dst = get_region(src_key), get_region(dst_key)
+        if src.provider != "azure" or dst.provider != "azure":
+            raise ValueError("Azure object replication is Azure-to-Azure only")
+        prices = self.prices
+        store = prices.store["azure"]
+        return CostEstimate(
+            egress=prices.egress_cost(src, dst, size),
+            requests=store.get + store.put,
+            storage=size / GB * 2 * store.gb_month / 30.0,
+        )
+
+    # -- workload projection -----------------------------------------------------
+
+    def workload_monthly(self, src_key: str, dst_key: str,
+                         sizes: Iterable[int], system: str = "areplica",
+                         days_observed: float = 1.0, **kwargs) -> CostEstimate:
+        """Extrapolate an observed batch of object sizes to a 30-day
+        month on the chosen system."""
+        total = CostEstimate()
+        for size in sizes:
+            if system == "areplica":
+                n = max(1, min(64, math.ceil(size / (8 * self.part_size))))
+                transfer = max(0.5, size * 8 / (300e6 * n))
+                est = self.areplica(src_key, dst_key, size, n, src_key,
+                                    transfer, **kwargs)
+            elif system == "skyplane":
+                est = self.skyplane(src_key, dst_key, size, **kwargs)
+            elif system == "s3rtc":
+                est = self.s3rtc(src_key, dst_key, size)
+            elif system == "azrep":
+                est = self.azrep(src_key, dst_key, size)
+            else:
+                raise ValueError(f"unknown system {system!r}")
+            total = total.plus(est)
+        return total.scaled(30.0 / days_observed)

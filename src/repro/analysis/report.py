@@ -1,0 +1,53 @@
+"""Experiment result records and markdown rendering.
+
+Benchmarks emit :class:`ExperimentResult` rows; ``render_markdown``
+turns a list of them into the per-experiment sections recorded in
+EXPERIMENTS.md (paper value vs measured value, with notes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+__all__ = ["ExperimentResult", "render_markdown"]
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """One measured quantity from one experiment."""
+
+    experiment: str            # e.g. "Table 1", "Fig 16"
+    metric: str                # e.g. "AReplica delay 1MB -> eu-west-1 (s)"
+    measured: float
+    paper: Optional[float] = None
+    unit: str = ""
+    note: str = ""
+
+    @property
+    def ratio(self) -> Optional[float]:
+        if self.paper in (None, 0):
+            return None
+        return self.measured / self.paper
+
+
+def render_markdown(results: Sequence[ExperimentResult]) -> str:
+    """Group results by experiment and render a markdown report."""
+    by_experiment: dict[str, list[ExperimentResult]] = {}
+    for r in results:
+        by_experiment.setdefault(r.experiment, []).append(r)
+    lines: list[str] = []
+    for experiment in sorted(by_experiment):
+        lines.append(f"### {experiment}")
+        lines.append("")
+        lines.append("| metric | paper | measured | ratio | note |")
+        lines.append("|---|---|---|---|---|")
+        for r in by_experiment[experiment]:
+            paper = f"{r.paper:g} {r.unit}" if r.paper is not None else "—"
+            ratio = f"{r.ratio:.2f}x" if r.ratio is not None else "—"
+            lines.append(
+                f"| {r.metric} | {paper} | {r.measured:g} {r.unit} "
+                f"| {ratio} | {r.note} |"
+            )
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,87 @@
+"""Formatting for the paper's comparison tables (Tables 1-3).
+
+Each cell of those tables reports replication delay (seconds) and cost
+(10^-4 $) per (system, destination region, object size), plus the delta
+of AReplica against the best-performing baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["DelayCostCell", "delta_percent", "format_comparison_table"]
+
+
+@dataclass(frozen=True)
+class DelayCostCell:
+    """One system's measurement for one (destination, size) cell."""
+
+    system: str
+    delay_s: float
+    cost_usd: float
+
+    @property
+    def cost_1e4(self) -> float:
+        """Cost in units of 10^-4 dollars, as the paper reports."""
+        return self.cost_usd * 1e4
+
+
+def delta_percent(ours: float, best_baseline: float) -> float:
+    """The paper's Δ row: (ours - baseline) / baseline, in percent."""
+    if best_baseline == 0:
+        return float("inf") if ours > 0 else 0.0
+    return (ours - best_baseline) / best_baseline * 100.0
+
+
+def format_comparison_table(
+    title: str,
+    destinations: Sequence[str],
+    sizes: Sequence[str],
+    cells: dict[tuple[str, str, str], DelayCostCell],
+    systems: Sequence[str],
+    ours: str = "AReplica",
+) -> str:
+    """Render a Table 1/2/3-style text table.
+
+    ``cells`` maps (size label, destination, system) to a cell; missing
+    combinations render as N/A (e.g. S3 RTC outside AWS).
+    """
+    lines = [title, "=" * len(title)]
+    col = max(14, max(len(d) for d in destinations) + 2)
+    header = f"{'size':>8} {'metric':>14} {'system':>10} |" + "".join(
+        f"{d:>{col}}" for d in destinations
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for size in sizes:
+        for metric in ("delay(s)", "cost(1e-4$)"):
+            for system in systems:
+                row = f"{size:>8} {metric:>14} {system:>10} |"
+                for dst in destinations:
+                    cell = cells.get((size, dst, system))
+                    if cell is None:
+                        row += f"{'N/A':>{col}}"
+                    else:
+                        value = cell.delay_s if metric == "delay(s)" else cell.cost_1e4
+                        row += f"{value:>{col}.1f}"
+                lines.append(row)
+            # Δ of ours vs the best baseline present in this cell.
+            row = f"{size:>8} {metric:>14} {'Δ':>10} |"
+            for dst in destinations:
+                our_cell = cells.get((size, dst, ours))
+                baselines = [cells[(size, dst, s)] for s in systems
+                             if s != ours and (size, dst, s) in cells]
+                if our_cell is None or not baselines:
+                    row += f"{'N/A':>{col}}"
+                    continue
+                if metric == "delay(s)":
+                    best = min(b.delay_s for b in baselines)
+                    d = delta_percent(our_cell.delay_s, best)
+                else:
+                    best = min(b.cost_usd for b in baselines)
+                    d = delta_percent(our_cell.cost_usd, best)
+                row += f"{d:>{col - 1}.1f}%"
+            lines.append(row)
+        lines.append("-" * len(header))
+    return "\n".join(lines)

@@ -1,0 +1,156 @@
+"""Plain-text chart rendering for benchmark outputs.
+
+The benchmark suite regenerates the paper's *figures*, and a row of
+numbers is a poor stand-in for a plot.  This module renders horizontal
+bar charts, grouped bars, time-series strips, and histograms as
+alignment-stable ASCII, so the ``results/*.txt`` artifacts read like
+the figures they reproduce — with no plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+__all__ = ["bar_chart", "grouped_bar_chart", "series_strip", "histogram"]
+
+_FULL = "█"
+_PARTIALS = " ▏▎▍▌▋▊▉"
+
+
+def _bar(value: float, vmax: float, width: int) -> str:
+    """A left-aligned bar of ``value``/``vmax`` scaled to ``width`` cells."""
+    if vmax <= 0 or value <= 0:
+        return ""
+    cells = value / vmax * width
+    full = int(cells)
+    frac = cells - full
+    partial = _PARTIALS[round(frac * (len(_PARTIALS) - 1))].strip()
+    return _FULL * full + partial
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    unit: str = "",
+    title: Optional[str] = None,
+) -> str:
+    """Horizontal bar chart, one row per (label, value)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        return title or ""
+    vmax = max(values) or 1.0
+    label_w = max(len(l) for l in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        lines.append(f"{label:>{label_w}} | "
+                     f"{_bar(value, vmax, width):<{width}} "
+                     f"{value:g}{unit}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Sequence[str],
+    series: dict[str, Sequence[float]],
+    width: int = 40,
+    unit: str = "",
+    title: Optional[str] = None,
+) -> str:
+    """Bars for several series per group (e.g. one bar per system)."""
+    for name, values in series.items():
+        if len(values) != len(groups):
+            raise ValueError(f"series {name!r} length != number of groups")
+    vmax = max((max(v) for v in series.values() if len(v)), default=1.0) or 1.0
+    label_w = max([len(g) for g in groups]
+                  + [len(n) + 2 for n in series], default=1)
+    lines = [title] if title else []
+    for i, group in enumerate(groups):
+        lines.append(f"{group}:")
+        for name, values in series.items():
+            lines.append(f"{('  ' + name):>{label_w}} | "
+                         f"{_bar(values[i], vmax, width):<{width}} "
+                         f"{values[i]:g}{unit}")
+    return "\n".join(lines)
+
+
+_STRIP_LEVELS = " ▁▂▃▄▅▆▇█"
+
+
+def series_strip(
+    values: Sequence[float],
+    width: Optional[int] = None,
+    vmax: Optional[float] = None,
+    title: Optional[str] = None,
+) -> str:
+    """A one-line sparkline strip of a time series.
+
+    NaNs render as ``·``.  When ``width`` is smaller than the series,
+    values are bucketed by max (peaks must stay visible).
+    """
+    xs = list(values)
+    if not xs:
+        return title or ""
+    if width is not None and len(xs) > width:
+        bucket = math.ceil(len(xs) / width)
+        xs = [
+            max((x for x in xs[i:i + bucket] if not math.isnan(x)),
+                default=float("nan"))
+            for i in range(0, len(xs), bucket)
+        ]
+    finite = [x for x in xs if not math.isnan(x)]
+    top = vmax if vmax is not None else (max(finite) if finite else 1.0)
+    top = top or 1.0
+    cells = []
+    for x in xs:
+        if math.isnan(x):
+            cells.append("·")
+        else:
+            level = min(len(_STRIP_LEVELS) - 1,
+                        max(0, round(x / top * (len(_STRIP_LEVELS) - 1))))
+            cells.append(_STRIP_LEVELS[level])
+    strip = "".join(cells)
+    prefix = f"{title} " if title else ""
+    return f"{prefix}[{strip}] max={max(finite):g}" if finite else f"{prefix}[{strip}]"
+
+
+def histogram(
+    values: Sequence[float],
+    bins: int = 12,
+    width: int = 40,
+    title: Optional[str] = None,
+    log_x: bool = False,
+) -> str:
+    """Counts-per-bin bar chart of a sample (optionally log-spaced bins)."""
+    xs = [float(v) for v in values]
+    if not xs:
+        return title or ""
+    lo, hi = min(xs), max(xs)
+    if log_x:
+        if lo <= 0:
+            raise ValueError("log_x requires positive values")
+        lo_t, hi_t = math.log10(lo), math.log10(hi)
+    else:
+        lo_t, hi_t = lo, hi
+    if hi_t == lo_t:
+        hi_t = lo_t + 1.0
+    counts = [0] * bins
+    edges = [lo_t + (hi_t - lo_t) * i / bins for i in range(bins + 1)]
+    for x in xs:
+        t = math.log10(x) if log_x else x
+        idx = min(bins - 1, int((t - lo_t) / (hi_t - lo_t) * bins))
+        counts[idx] += 1
+    labels = []
+    for i in range(bins):
+        edge = 10 ** edges[i] if log_x else edges[i]
+        labels.append(f"{_si(edge)}")
+    return bar_chart(labels, counts, width=width, title=title)
+
+
+def _si(value: float) -> str:
+    """Short SI-ish rendering for bin edges (1.2K, 3.4M, …)."""
+    for threshold, suffix in ((1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "K")):
+        if abs(value) >= threshold:
+            return f"{value / threshold:.1f}{suffix}"
+    return f"{value:.1f}"

@@ -1,0 +1,46 @@
+"""AReplica core: the paper's primary contribution.
+
+Modules:
+
+* :mod:`repro.core.config` — system configuration (SLO, percentile,
+  part size, thresholds).
+* :mod:`repro.core.model` — the distribution-aware performance model
+  (§5.3) with Monte-Carlo and Gumbel (extreme-value) tail machinery.
+* :mod:`repro.core.profiler` — offline profiler that fits the model's
+  I/D/P/S/C/C' parameters from probe runs.
+* :mod:`repro.core.planner` — SLO-compliant dynamic plan generation
+  (Algorithm 3).
+* :mod:`repro.core.partpool` — decentralized part-granularity
+  scheduling over a shared KV pool (Algorithm 1), plus the "fair"
+  static dispatch ablation.
+* :mod:`repro.core.locks` — object-granularity replication lock
+  (Algorithm 2).
+* :mod:`repro.core.engine` — the variability-tolerant replication
+  engine (§5.1) with optimistic validation (§5.2).
+* :mod:`repro.core.changelog` — changelog propagation (§5.4).
+* :mod:`repro.core.batching` — SLO-bounded batching (Algorithm 4).
+* :mod:`repro.core.logger` — runtime drift detection and model
+  re-calibration (§4 "Logger").
+* :mod:`repro.core.service` — the end-to-end AReplica service facade.
+"""
+
+from repro.core.audit import ReplicationAuditor
+from repro.core.client import ReplicatedBucketClient
+from repro.core.config import ReplicaConfig
+from repro.core.model import NormalParam, PerformanceModel
+from repro.core.planner import Plan, StrategyPlanner
+from repro.core.service import AReplicaService, ReplicationRecord
+from repro.core.topology import ReplicationTopology
+
+__all__ = [
+    "ReplicaConfig",
+    "NormalParam",
+    "PerformanceModel",
+    "Plan",
+    "StrategyPlanner",
+    "AReplicaService",
+    "ReplicationRecord",
+    "ReplicationAuditor",
+    "ReplicatedBucketClient",
+    "ReplicationTopology",
+]

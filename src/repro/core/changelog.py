@@ -1,0 +1,144 @@
+"""Changelog propagation (§5.4).
+
+Object storage only sees opaque PUTs, so an object created by copying,
+concatenating, appending to, or partially updating *existing* objects
+is indistinguishable from fresh data and would normally be replicated
+in full.  AReplica lets the user program (or an automated program
+analysis) record a **changelog hint** describing how the new version
+was derived.  When the orchestrator finds a changelog matching the
+created version's ETag, it ships only the changelog to the destination
+region, where an applier function reconstructs the object from data
+already present there — near-zero cross-cloud traffic for COPY/CONCAT
+and tail-only traffic for APPEND/PATCH.
+
+Every changelog carries the ETags of its source objects.  The applier
+verifies each ETag against the destination bucket before applying
+(AReplica may have already replicated a *newer* version of a source);
+on any mismatch the changelog is inapplicable and the engine falls
+back to full replication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from repro.simcloud.kvstore import KvTable
+
+__all__ = ["ChangelogOp", "ChangelogEntry", "ChangelogStore", "ChangelogNotApplicable"]
+
+
+class ChangelogNotApplicable(RuntimeError):
+    """Destination state does not match the changelog's preconditions."""
+
+
+class ChangelogOp:
+    """Operations a changelog can describe."""
+
+    COPY = "copy"        # dst_key := src_key
+    CONCAT = "concat"    # dst_key := src_keys[0] + src_keys[1] + ...
+    APPEND = "append"    # key := key + new tail bytes
+    PATCH = "patch"      # key := key with a byte range overwritten
+
+
+@dataclass(frozen=True)
+class ChangelogEntry:
+    """One recorded derivation hint.
+
+    Attributes
+    ----------
+    op: one of :class:`ChangelogOp`.
+    key: the object the hint describes (the newly created version).
+    etag: ETag of the new version — the lookup key, ensuring a hint is
+        only ever applied to the exact version it describes.
+    sources: (source key, expected source ETag) pairs that must already
+        exist at the destination.
+    data_offset / data_length: for APPEND/PATCH, the byte range of the
+        *new* version that contains fresh bytes (fetched from the
+        source region; everything else is reused at the destination).
+    """
+
+    op: str
+    key: str
+    etag: str
+    sources: tuple[tuple[str, str], ...] = ()
+    data_offset: int = 0
+    data_length: int = 0
+
+    @property
+    def fresh_bytes(self) -> int:
+        """Bytes that must still cross the WAN when this hint applies."""
+        return self.data_length
+
+
+class ChangelogStore:
+    """Per-bucket changelog hints in a serverless KV table."""
+
+    def __init__(self, table: KvTable):
+        self.table = table
+        self.recorded = 0
+
+    @staticmethod
+    def _key(obj_key: str, etag: str) -> str:
+        return f"clog:{obj_key}:{etag}"
+
+    # -- recording (called by the user program as the hint API) ------------
+
+    def record(self, entry: ChangelogEntry):
+        """Process: persist a hint (one KV write)."""
+        self.recorded += 1
+        yield self.table.put_item(
+            self._key(entry.key, entry.etag),
+            {
+                "op": entry.op,
+                "key": entry.key,
+                "etag": entry.etag,
+                "sources": [list(s) for s in entry.sources],
+                "data_offset": entry.data_offset,
+                "data_length": entry.data_length,
+            },
+        )
+
+    def record_copy(self, src_key: str, src_etag: str, dst_key: str,
+                    dst_etag: str):
+        """Hint: ``dst_key`` was created by copying ``src_key``."""
+        return self.record(ChangelogEntry(
+            ChangelogOp.COPY, dst_key, dst_etag, ((src_key, src_etag),),
+        ))
+
+    def record_concat(self, sources: list[tuple[str, str]], dst_key: str,
+                      dst_etag: str):
+        """Hint: ``dst_key`` concatenates existing objects."""
+        return self.record(ChangelogEntry(
+            ChangelogOp.CONCAT, dst_key, dst_etag, tuple(sources),
+        ))
+
+    def record_append(self, key: str, old_etag: str, new_etag: str,
+                      old_size: int, new_size: int):
+        """Hint: ``key`` gained ``new_size - old_size`` tail bytes."""
+        return self.record(ChangelogEntry(
+            ChangelogOp.APPEND, key, new_etag, ((key, old_etag),),
+            data_offset=old_size, data_length=new_size - old_size,
+        ))
+
+    def record_patch(self, key: str, old_etag: str, new_etag: str,
+                     offset: int, length: int):
+        """Hint: ``key`` had bytes ``[offset, offset+length)`` rewritten."""
+        return self.record(ChangelogEntry(
+            ChangelogOp.PATCH, key, new_etag, ((key, old_etag),),
+            data_offset=offset, data_length=length,
+        ))
+
+    # -- lookup (called by the orchestrator) ---------------------------------
+
+    def lookup(self, obj_key: str, etag: str):
+        """Process: fetch the hint for an exact (key, version); or None."""
+        item = yield self.table.get_item(self._key(obj_key, etag))
+        if item is None:
+            return None
+        return ChangelogEntry(
+            op=item["op"],
+            key=item["key"],
+            etag=item["etag"],
+            sources=tuple((k, e) for k, e in item["sources"]),
+            data_offset=item["data_offset"],
+            data_length=item["data_length"],
+        )

@@ -1,0 +1,96 @@
+"""AReplica configuration.
+
+One :class:`ReplicaConfig` instance parameterizes a replication rule:
+the user-defined SLO and percentile, the data-part size used by
+decentralized scheduling, the threshold below which the orchestrator
+replicates inline (``T_func = 0``), and the cost-optimization switches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ReplicaConfig", "MB", "DEFAULT_PART_SIZE"]
+
+MB = 1024 * 1024
+#: §5.1: "a part size of 8 MB strikes an effective balance".
+DEFAULT_PART_SIZE = 8 * MB
+
+
+@dataclass(frozen=True)
+class ReplicaConfig:
+    """Tunable parameters of an AReplica deployment.
+
+    Attributes
+    ----------
+    slo_seconds:
+        User-defined replication SLO measured from object creation to
+        visibility at the destination.  ``0`` (the paper's setting in
+        §8.1) means "always pick the fastest plan" and disables
+        SLO-bounded batching.
+    percentile:
+        The percentile of the predicted replication-time distribution
+        that must fall within the SLO (Algorithm 3's ``p``).
+    part_size:
+        Data part granularity for distributed replication.
+    local_threshold:
+        Objects at or below this size are replicated inline by the
+        orchestrator function itself (``T_func = 0`` in the model).
+    distributed_threshold:
+        Minimum object size for which multi-function distributed
+        replication is considered at all (§5.1: replication of
+        relatively large objects, e.g. > 64 MB, benefits).
+    max_parallelism:
+        Upper bound on replicator functions per task (Algorithm 3's
+        ``n_max``); bounded by account concurrency limits (§6).
+    enable_changelog:
+        Propagate user-supplied changelogs instead of full objects.
+    enable_batching:
+        Aggregate frequent updates under the SLO (Algorithm 4).
+    batching_epsilon:
+        Safety margin ``ε`` subtracted from the batching deadline.
+    mc_samples:
+        Monte-Carlo sample count for the parallel-transfer tail.
+    gumbel_threshold:
+        Parallelism above which the Gumbel (EVT) approximation replaces
+        Monte-Carlo resampling (§5.3 "for large n").
+    """
+
+    slo_seconds: float = 0.0
+    percentile: float = 0.99
+    part_size: int = DEFAULT_PART_SIZE
+    local_threshold: int = 32 * MB
+    distributed_threshold: int = 64 * MB
+    max_parallelism: int = 512
+    enable_changelog: bool = True
+    enable_batching: bool = True
+    batching_epsilon: float = 1.0
+    mc_samples: int = 2000
+    gumbel_threshold: int = 64
+    profile_samples: int = 10
+
+    def __post_init__(self) -> None:
+        if self.slo_seconds < 0:
+            raise ValueError("slo_seconds must be >= 0")
+        if not 0.5 <= self.percentile < 1.0:
+            raise ValueError("percentile must be in [0.5, 1.0)")
+        if self.part_size <= 0:
+            raise ValueError("part_size must be positive")
+        if self.max_parallelism < 1:
+            raise ValueError("max_parallelism must be >= 1")
+        if self.local_threshold > self.distributed_threshold:
+            raise ValueError("local_threshold cannot exceed distributed_threshold")
+
+    @property
+    def slo_enabled(self) -> bool:
+        """False when the SLO is 0 — always choose the fastest plan."""
+        return self.slo_seconds > 0
+
+    def parallelism_ladder(self) -> list[int]:
+        """The exponentially-spaced parallelism levels Algorithm 3 scans."""
+        ladder = []
+        n = 1
+        while n <= self.max_parallelism:
+            ladder.append(n)
+            n *= 2
+        return ladder

@@ -1,0 +1,808 @@
+"""The variability-tolerant replication engine (§5.1, §5.2).
+
+Implements the four-stage serverless replication workflow of Fig 11:
+the cloud notification invokes an **orchestrator** function in the
+source region; the orchestrator acquires the object's replication lock,
+consults the changelog store, asks the strategy planner for an
+SLO-compliant plan, and then either
+
+* replicates the object **inline** (small objects — ``T_func = 0``),
+* invokes a single **replicator** function at the chosen region, or
+* creates a shared part pool and invokes ``n`` replicators that claim
+  8 MB parts from it autonomously (Algorithm 1), assembling the
+  destination object through a multipart upload.
+
+Consistency (§5.2): per-object replication locks serialize concurrent
+tasks (Algorithm 2); each part download is validated against the task's
+ETag and any mismatch aborts the task — exactly one replicator performs
+the cleanup and re-triggers replication of the newest version.  A
+``done`` marker per key makes re-triggered orchestrations idempotent.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Optional, Protocol
+
+from repro.core.changelog import ChangelogOp, ChangelogStore
+from repro.core.config import ReplicaConfig
+from repro.core.locks import ReplicationLockManager
+from repro.core.partpool import FairAssignment, PartPool
+from repro.core.planner import Plan, StrategyPlanner
+from repro.simcloud.cloud import Cloud
+from repro.simcloud.objectstore import (
+    Bucket,
+    NoSuchKey,
+    NoSuchUpload,
+    ObjectEvent,
+    ObjectVersion,
+)
+
+__all__ = ["ReplicationEngine", "TaskRecorder", "TaskResult"]
+
+_STATE_TABLE = "areplica-state"
+
+
+@dataclass(frozen=True)
+class TaskResult:
+    """Summary of one completed replication task."""
+
+    key: str
+    etag: str
+    seq: int
+    event_time: float
+    visible_time: float
+    plan: Optional[Plan]
+    kind: str = "created"          # "created" | "deleted" | "changelog"
+    #: When the orchestrator began executing the plan (i.e. after the
+    #: notification and planning) — the reference point the performance
+    #: model's T_rep prediction is measured from.
+    started: float = 0.0
+
+    @property
+    def delay(self) -> float:
+        return self.visible_time - self.event_time
+
+
+class TaskRecorder(Protocol):
+    """Callbacks the engine uses to report task outcomes."""
+
+    def record_visible(self, result: TaskResult) -> None: ...
+
+    def record_abort(self, key: str, etag: str) -> None: ...
+
+
+class _NullRecorder:
+    def record_visible(self, result: TaskResult) -> None:  # pragma: no cover
+        pass
+
+    def record_abort(self, key: str, etag: str) -> None:  # pragma: no cover
+        pass
+
+
+class ReplicationEngine:
+    """One replication rule: ``src_bucket`` → ``dst_bucket``."""
+
+    def __init__(
+        self,
+        cloud: Cloud,
+        config: ReplicaConfig,
+        src_bucket: Bucket,
+        dst_bucket: Bucket,
+        planner: StrategyPlanner,
+        changelog: Optional[ChangelogStore] = None,
+        recorder: Optional[TaskRecorder] = None,
+        rule_id: str = "r0",
+        scheduling: str = "pool",
+    ):
+        if scheduling not in ("pool", "fair"):
+            raise ValueError("scheduling must be 'pool' or 'fair'")
+        self.cloud = cloud
+        self.config = config
+        self.src_bucket = src_bucket
+        self.dst_bucket = dst_bucket
+        self.planner = planner
+        self.changelog = changelog
+        self.recorder: TaskRecorder = recorder or _NullRecorder()
+        self.rule_id = rule_id
+        self.scheduling = scheduling
+        self._task_seq = itertools.count(1)
+        #: Per-(task, worker) instrumentation for the scheduling ablation
+        #: (Fig 17): parts replicated and busy span of each instance.
+        self.worker_parts: dict[tuple[str, int], int] = {}
+        self.worker_spans: dict[tuple[str, int], tuple[float, float]] = {}
+        self.stats = {
+            "tasks": 0, "inline": 0, "single": 0, "distributed": 0,
+            "changelog_applied": 0, "changelog_fallback": 0, "aborted": 0,
+            "deferred": 0, "skipped_done": 0, "deletes": 0, "retriggered": 0,
+        }
+        # Control state lives in serverless databases, matching §7:
+        # locks + done markers beside the orchestrator (source region),
+        # part pools beside the replicators (execution region).  State is
+        # namespaced per rule — two rules replicating the same source
+        # bucket to different destinations are independent tasks.
+        self._lock_table = cloud.kv_table(src_bucket.region.key,
+                                          f"{_STATE_TABLE}-{rule_id}")
+        self.locks = ReplicationLockManager(self._lock_table)
+        #: Experiment hook: force every task onto (n, loc_key) instead of
+        #: consulting the planner (the ablation studies pin strategies).
+        self.forced_plan: Optional[tuple[int, str]] = None
+        self._orch_name = f"areplica-orch-{rule_id}"
+        self._rep_name = f"areplica-rep-{rule_id}"
+        self._applier_name = f"areplica-apply-{rule_id}"
+        self._deploy()
+
+    # -- deployment -----------------------------------------------------------
+
+    def _deploy(self) -> None:
+        src_faas = self.cloud.faas(self.src_bucket.region.key)
+        dst_faas = self.cloud.faas(self.dst_bucket.region.key)
+        src_faas.deploy(self._orch_name, self._orchestrator, timeout_s=300.0)
+        for faas in {src_faas, dst_faas}:
+            faas.deploy(self._rep_name, self._replicator)
+        dst_faas.deploy(self._applier_name, self._applier, timeout_s=300.0)
+
+    def _faas_at(self, loc_key: str):
+        return self.cloud.faas(loc_key)
+
+    def _state_table(self, loc_key: str):
+        return self.cloud.kv_table(loc_key, f"{_STATE_TABLE}-{self.rule_id}")
+
+    # -- entry point (the cloud notification) ------------------------------------
+
+    def handle_event(self, event: ObjectEvent) -> None:
+        """Notification delivery: trigger the orchestrator function."""
+        payload = {
+            "kind": event.kind,
+            "key": event.key,
+            "etag": event.etag,
+            "seq": event.sequencer,
+            "size": event.size,
+            "event_time": event.event_time,
+        }
+        self._faas_at(self.src_bucket.region.key).invoke_and_forget(
+            self._orch_name, payload
+        )
+
+    # -- orchestrator function -------------------------------------------------------
+
+    def _orchestrator(self, ctx, payload):
+        self.stats["tasks"] += 1
+        key = payload["key"]
+        # Deterministic per object version: a platform-retried
+        # orchestrator re-enters its own lock and resumes its own pool
+        # instead of deadlocking against its crashed predecessor.
+        task_id = f"{self.rule_id}:{key}:{payload['seq']}:{payload['kind']}"
+        outcome = yield from self.locks.lock(key, payload["etag"],
+                                             payload["seq"], owner=task_id)
+        if not outcome.acquired:
+            # A task is in flight; our version is registered as pending
+            # (or an even newer one already is) — Algorithm 2's LOCK.
+            self.stats["deferred"] += 1
+            return
+        if payload["kind"] == "deleted":
+            yield from self._handle_delete(ctx, payload, task_id)
+            return
+        # Re-read the source: replicate the *current* version (it covers
+        # this event and any newer ones), and skip when a newer-or-equal
+        # version has already been replicated.
+        try:
+            current = yield from ctx.head_object(self.src_bucket, key)
+        except NoSuchKey:
+            # Deleted concurrently; the DELETE event will handle it.
+            yield from self._finish(ctx, task_id, key, None)
+            return
+        done = yield self._lock_table.get_item(f"done:{key}")
+        if done is not None and (done["seq"] >= current.sequencer
+                                 or done["etag"] == current.etag):
+            # Already replicated: a prior task shipped this version (or
+            # a newer one) — possibly under an older sequencer when the
+            # same *content* was re-written, e.g. by the reverse rule of
+            # a bidirectional pair.  Report visibility at the recorded
+            # time so the event's delay measurement closes.
+            self.stats["skipped_done"] += 1
+            effective_seq = max(done["seq"], current.sequencer)
+            if effective_seq > done["seq"]:
+                yield self._lock_table.put_item(
+                    f"done:{key}", {"etag": done["etag"],
+                                    "seq": effective_seq,
+                                    "time": done.get("time", ctx.now)},
+                )
+            self.recorder.record_visible(TaskResult(
+                key=key, etag=done["etag"], seq=effective_seq,
+                event_time=payload["event_time"],
+                # When identical content was re-written, it was already
+                # visible at the destination the moment the PUT landed.
+                visible_time=max(done.get("time", ctx.now),
+                                 payload["event_time"]),
+                plan=None, kind="already-replicated",
+                started=payload["event_time"],
+            ))
+            yield from self._finish(ctx, task_id, key, effective_seq)
+            return
+        task = {
+            "task_id": task_id,
+            "key": key,
+            "etag": current.etag,
+            "seq": current.sequencer,
+            "size": current.size,
+            "event_time": payload["event_time"],
+        }
+        # Content short-circuit: if the destination already holds this
+        # exact content (an earlier rule run, a user pre-seed, or the
+        # reverse rule of a bidirectional pair), there is nothing to
+        # move.  Together with the done-marker ETag check above, this
+        # also breaks the ping-pong two mutually replicating buckets
+        # would otherwise sustain.  The destination HEAD only pays for
+        # itself on objects whose transfer dwarfs a cross-region
+        # round-trip, so small objects skip straight to replication.
+        dst_current = None
+        if current.size > self.config.local_threshold:
+            try:
+                dst_current = yield from ctx.head_object(self.dst_bucket, key)
+            except NoSuchKey:
+                dst_current = None
+        if dst_current is not None and dst_current.etag == current.etag:
+            self.stats["content_skipped"] = self.stats.get("content_skipped", 0) + 1
+            yield self._lock_table.put_item(
+                f"done:{key}",
+                {"etag": current.etag, "seq": current.sequencer, "time": ctx.now},
+            )
+            self.recorder.record_visible(TaskResult(
+                key=key, etag=current.etag, seq=current.sequencer,
+                event_time=payload["event_time"], visible_time=ctx.now,
+                plan=None, kind="content-match", started=ctx.now,
+            ))
+            yield from self._finish(ctx, task_id, key, current.sequencer)
+            return
+        if self.changelog is not None and self.config.enable_changelog:
+            applied = yield from self._try_changelog(ctx, task)
+            if applied:
+                return
+        plan = self._plan(task, ctx.now)
+        task["plan_n"] = plan.n
+        task["loc_key"] = plan.loc_key
+        task["predicted_s"] = plan.predicted_s
+        task["predicted_median_s"] = plan.predicted_median_s
+        task["started"] = ctx.now
+        if plan.inline:
+            self.stats["inline"] += 1
+            yield from self._run_single(ctx, task, plan)
+        elif plan.n == 1:
+            self.stats["single"] += 1
+            task["mode"] = "single"
+            invocation = yield from ctx.invoke(
+                self._faas_at(plan.loc_key), self._rep_name, dict(task)
+            )
+            del invocation  # fire-and-forget: the replicator finishes the task
+        else:
+            self.stats["distributed"] += 1
+            yield from self._launch_distributed(ctx, task, plan)
+
+    def _plan(self, task: dict, now: float) -> Plan:
+        if self.forced_plan is not None:
+            n, loc_key = self.forced_plan
+            path = (loc_key, self.src_bucket.region.key,
+                    self.dst_bucket.region.key)
+            inline = (n == 1 and loc_key == self.src_bucket.region.key
+                      and task["size"] <= self.config.local_threshold)
+            predicted = median = 0.0
+            if self.planner.model.has_path(path):
+                predicted = self.planner.model.predict_percentile(
+                    path, task["size"], n, self.config.percentile,
+                    inline=inline)
+                median = self.planner.model.predict_percentile(
+                    path, task["size"], n, 0.5, inline=inline)
+            return Plan(n=n, loc_key=loc_key, path=path, predicted_s=predicted,
+                        percentile=self.config.percentile, compliant=True,
+                        inline=inline, predicted_median_s=median)
+        if self.config.slo_enabled:
+            remaining = self.config.slo_seconds - (now - task["event_time"])
+            return self.planner.generate(task["size"],
+                                         self.src_bucket.region.key,
+                                         self.dst_bucket.region.key,
+                                         slo_remaining=remaining)
+        return self.planner.fastest(task["size"],
+                                    self.src_bucket.region.key,
+                                    self.dst_bucket.region.key)
+
+    # -- deletes ---------------------------------------------------------------------
+
+    def _handle_delete(self, ctx, payload, task_id):
+        key = payload["key"]
+        # Ordering guards: never let a stale DELETE clobber newer state.
+        done = yield self._lock_table.get_item(f"done:{key}")
+        if done is not None and done["seq"] >= payload["seq"]:
+            self.stats["skipped_done"] += 1
+            self.recorder.record_visible(TaskResult(
+                key=key, etag=done["etag"], seq=done["seq"],
+                event_time=payload["event_time"],
+                visible_time=done.get("time", ctx.now),
+                plan=None, kind="already-replicated",
+                started=payload["event_time"],
+            ))
+            yield from self._finish(ctx, task_id, key, done["seq"])
+            return
+        try:
+            current = yield from ctx.head_object(self.src_bucket, key)
+        except NoSuchKey:
+            current = None
+        if current is not None and current.sequencer > payload["seq"]:
+            # The object was re-created after this delete; the newer
+            # PUT's task supersedes us ("or its subsequent versions").
+            yield from self._finish(ctx, task_id, key, None)
+            return
+        self.stats["deletes"] += 1
+        yield from ctx.delete_object(self.dst_bucket, key)
+        yield self._lock_table.put_item(
+            f"done:{key}",
+            {"etag": payload["etag"], "seq": payload["seq"], "time": ctx.now},
+        )
+        self.recorder.record_visible(TaskResult(
+            key=key, etag=payload["etag"], seq=payload["seq"],
+            event_time=payload["event_time"], visible_time=ctx.now,
+            plan=None, kind="deleted",
+        ))
+        yield from self._finish(ctx, task_id, key, payload["seq"])
+
+    # -- changelog fast path ------------------------------------------------------------
+
+    def _try_changelog(self, ctx, task):
+        """Process: returns True when the changelog path completed the task."""
+        entry = yield from self.changelog.lookup(task["key"], task["etag"])
+        if entry is None:
+            return False
+        payload = {
+            "task": dict(task),
+            "entry": {
+                "op": entry.op, "key": entry.key, "etag": entry.etag,
+                "sources": [list(s) for s in entry.sources],
+                "data_offset": entry.data_offset,
+                "data_length": entry.data_length,
+            },
+        }
+        invocation = yield from ctx.invoke(
+            self._faas_at(self.dst_bucket.region.key), self._applier_name, payload
+        )
+        result = yield invocation
+        if result["applied"]:
+            self.stats["changelog_applied"] += 1
+            return True
+        self.stats["changelog_fallback"] += 1
+        return False
+
+    def _applier(self, ctx, payload):
+        """Destination-side changelog application (Fig 15).
+
+        Verifies every source ETag against the destination bucket, then
+        reconstructs the object from local data (server-side copy /
+        compose) plus — for APPEND/PATCH — a ranged GET of only the
+        fresh bytes from the source region.  On success it finishes the
+        task (done marker, unlock, pending re-trigger) itself.
+        """
+        task, entry = payload["task"], payload["entry"]
+        key = task["key"]
+        for src_key, src_etag in entry["sources"]:
+            if self.dst_bucket.current_etag(src_key) != src_etag:
+                return {"applied": False}
+        op = entry["op"]
+        if op == ChangelogOp.COPY:
+            version = yield from ctx.copy_object(
+                self.dst_bucket, entry["sources"][0][0], key
+            )
+        elif op == ChangelogOp.CONCAT:
+            yield ctx.sleep(0.0)
+            version = self.dst_bucket.compose_objects(
+                [s for s, _ in entry["sources"]], key, ctx.now
+            )
+        elif op in (ChangelogOp.APPEND, ChangelogOp.PATCH):
+            version = yield from self._apply_patch(ctx, task, entry)
+            if version is None:
+                return {"applied": False}
+        else:
+            return {"applied": False}
+        if version.etag != task["etag"]:
+            # The reconstruction did not reproduce the replicated
+            # version byte-for-byte; do not trust the hint.
+            self.dst_bucket.delete_object(key, ctx.now, notify=False)
+            return {"applied": False}
+        yield from self._finish_replicated(ctx, task, version, kind="changelog")
+        return {"applied": True}
+
+    def _apply_patch(self, ctx, task, entry):
+        """APPEND/PATCH: fetch only the fresh byte range from the source."""
+        key, offset, length = task["key"], entry["data_offset"], entry["data_length"]
+        try:
+            fresh, version = yield from ctx.get_object(self.src_bucket, key,
+                                                       offset, length)
+        except (NoSuchKey, ValueError):
+            return None
+        if version.etag != task["etag"]:
+            return None
+        base = self.dst_bucket.head(entry["sources"][0][0]).blob
+        if entry["op"] == ChangelogOp.APPEND:
+            from repro.simcloud.objectstore import Blob
+
+            blob = Blob.concat([base, fresh])
+        else:
+            from repro.simcloud.objectstore import Blob
+
+            head = base.slice(0, offset)
+            tail_start = offset + length
+            tail = base.slice(tail_start, base.size - tail_start) \
+                if tail_start < base.size else None
+            pieces = [head, fresh] + ([tail] if tail is not None else [])
+            blob = Blob.concat(pieces)
+        yield ctx.sleep(0.0)
+        return self.dst_bucket.put_object(key, blob, ctx.now)
+
+    # -- single-function replication ---------------------------------------------------
+
+    def _run_single(self, ctx, task, plan: Optional[Plan] = None):
+        """Single-function replication (orchestrator inline, or one
+        remote replicator).
+
+        A whole-object GET is snapshot-consistent — object storage
+        serves one version for the entire request — so the single path
+        needs no optimistic validation: whatever version the GET
+        returned is internally consistent and is the newest at read
+        time.  Objects above one part are still *written* part-by-part
+        (multipart upload), matching the model's ``T_transfer =
+        S + C·⌈size/c⌉`` workflow.  This is also why the §5.2 remedy
+        for frequently-updated objects is falling back to one function:
+        the atomic read cannot be raced, unlike distributed ranged GETs.
+        """
+        key = task["key"]
+        part = self.config.part_size
+        try:
+            blob, version = yield from ctx.get_object(self.src_bucket, key)
+        except NoSuchKey:
+            yield from self._finish(ctx, task["task_id"], key, None)
+            return
+        task = dict(task, etag=version.etag, seq=version.sequencer,
+                    size=version.size)
+        if version.size <= part:
+            yield from ctx.put_object(self.dst_bucket, key, blob)
+            yield from self._finish_replicated(ctx, task, version)
+            return
+        upload_id = yield from ctx.initiate_multipart(self.dst_bucket, key)
+        num_parts = math.ceil(version.size / part)
+        for i in range(num_parts):
+            offset = i * part
+            length = min(part, version.size - offset)
+            # Parts after the first stream back-to-back: the request
+            # handshake overlaps the preceding part's transfer.
+            yield from ctx.upload_part(self.dst_bucket, upload_id, i + 1,
+                                       blob.slice(offset, length),
+                                       pipelined=i > 0)
+        dst_version = yield from ctx.complete_multipart(self.dst_bucket,
+                                                        upload_id)
+        yield from self._finish_replicated(ctx, task, dst_version)
+
+    # -- distributed replication ----------------------------------------------------------
+
+    def _launch_distributed(self, ctx, task, plan: Plan):
+        num_parts = max(1, math.ceil(task["size"] / self.config.part_size))
+        n = min(plan.n, num_parts)
+        # §6 resource limitations: account concurrency quotas are static.
+        # Invoking beyond the remaining quota would only queue the
+        # excess behind other tasks; clamp instead (the pool lets fewer
+        # workers finish the same parts, just slower).
+        faas_quota = self._faas_at(plan.loc_key)
+        available = max(1, faas_quota.profile.max_concurrency
+                        - faas_quota.running)
+        if n > available:
+            self.stats["quota_clamped"] = self.stats.get("quota_clamped", 0) + 1
+            n = available
+        task = dict(task, mode="distributed", num_parts=num_parts,
+                    part_size=self.config.part_size, plan_n=n)
+        upload_id = yield from ctx.initiate_multipart(self.dst_bucket, task["key"])
+        task["upload_id"] = upload_id
+        if self.scheduling == "fair":
+            task["assignments"] = FairAssignment(num_parts, n).all_assignments()
+        # The task descriptor is persisted with the pool record.  A
+        # crash-retried orchestrator loses its accepted state but finds
+        # the pool already created: it must then resume the *original*
+        # task (same upload id) rather than re-initialize — in-flight
+        # workers are still uploading parts against it.
+        state_table = self._state_table(plan.loc_key)
+        created = yield state_table.put_if_absent(
+            f"pool:{task['task_id']}",
+            {"num_parts": num_parts, "claimed": 0, "completed": 0,
+             "aborted": False, "task": dict(task)},
+        )
+        if not created:
+            # Resuming a predecessor's task: adopt its upload and abort
+            # the one we just opened (it would otherwise leak and bill).
+            existing = yield state_table.get_item(f"pool:{task['task_id']}")
+            yield ctx.sleep(0.0)
+            self.dst_bucket.abort_multipart(upload_id)
+            task = dict(existing["task"])
+        faas = self._faas_at(plan.loc_key)
+        for i in range(n):
+            worker_task = dict(task, worker_index=i)
+            # Sequential invocations: the caller pays I per request,
+            # matching T_func = I·n + D + P.
+            yield from ctx.invoke(faas, self._rep_name, worker_task)
+
+    def _replicator(self, ctx, payload):
+        if payload.get("mode") == "single":
+            yield from self._run_single(ctx, payload)
+            return
+        yield from self._run_distributed_worker(ctx, payload)
+
+    #: How long a worker that drained the pool waits before treating
+    #: still-incomplete parts as orphaned (crashed owner) and recovering
+    #: them.  In-flight parts recovered early are merely duplicated
+    #: work; the done-set makes duplicate completions harmless.
+    recovery_grace_s = 10.0
+
+    def _run_distributed_worker(self, ctx, task):
+        pool = PartPool(self._state_table(ctx.region.key), task["task_id"],
+                        task["num_parts"])
+        worker_key = (task["task_id"], task.get("worker_index", 0))
+        start = ctx.now
+        self.worker_parts.setdefault(worker_key, 0)
+        self.worker_spans[worker_key] = (start, start)
+        if "assignments" in task:
+            # Fair dispatch ablation: a fixed part list, no pool claims.
+            # A platform-retried worker simply redoes its list; the
+            # done-set deduplicates completions.
+            part_indices = iter(task["assignments"][task["worker_index"]])
+        else:
+            part_indices = None
+        while True:
+            if part_indices is not None:
+                idx = next(part_indices, None)
+            else:
+                idx = yield from pool.claim()
+            if idx is None:
+                self.worker_spans[worker_key] = (start, ctx.now)
+                if part_indices is None:
+                    yield from self._recover_orphaned_parts(ctx, task, pool,
+                                                            worker_key, start)
+                return
+            done = yield from self._replicate_part(ctx, task, pool,
+                                                   worker_key, start, idx)
+            if done is None:
+                return  # task aborted
+            if done:
+                return  # this worker finished the task
+
+    def _replicate_part(self, ctx, task, pool, worker_key, start, idx):
+        """Process: move one part; True = task finished, None = aborted."""
+        offset = idx * task["part_size"]
+        length = min(task["part_size"], task["size"] - offset)
+        try:
+            blob, version = yield from ctx.get_object(
+                self.src_bucket, task["key"], offset, length,
+                concurrency=task["plan_n"],
+            )
+        except (NoSuchKey, ValueError):
+            yield from self._abort_task(ctx, task)
+            return None
+        if version.etag != task["etag"]:
+            # Optimistic validation (§5.2): the source changed under
+            # us; parts from different versions must never mix.
+            yield from self._abort_task(ctx, task)
+            return None
+        yield from ctx.upload_part(self.dst_bucket, task["upload_id"],
+                                   idx + 1, blob,
+                                   concurrency=task["plan_n"])
+        self.worker_parts[worker_key] += 1
+        self.worker_spans[worker_key] = (start, ctx.now)
+        finished = yield from pool.complete(idx)
+        if finished:
+            yield from self._try_finalize(ctx, task)
+            self.worker_spans[worker_key] = (start, ctx.now)
+            return True
+        return False
+
+    #: A finalizer that crashed mid-finalization loses its claim after
+    #: this long; a recovering worker then takes over.
+    finalize_lease_s = 60.0
+
+    @staticmethod
+    def _claim_lease(table, item_key: str, now: float, lease_s: float,
+                     owner: str):
+        """Process: atomically claim a leased, single-holder role.
+
+        Returns True for the claimant.  Re-entrant per ``owner`` — a
+        platform-retried function resumes its own role — and a holder
+        whose lease expired (crashed mid-role) is superseded.
+        """
+        state = {"won": False}
+
+        def attempt(item):
+            if (item is None or item.get("owner") == owner
+                    or now - item["at"] > lease_s):
+                state["won"] = True
+                return {"at": now, "owner": owner}
+            return item
+
+        yield table.update_item(item_key, attempt)
+        return state["won"]
+
+    @staticmethod
+    def _worker_identity(task) -> str:
+        return f"w{task.get('worker_index', 0)}"
+
+    def _try_finalize(self, ctx, task):
+        """Process: complete the multipart upload and finish the task,
+        guarded by a leased claim so exactly one live function
+        finalizes, and a crashed finalizer can be superseded."""
+        won = yield from self._claim_lease(
+            self._state_table(ctx.region.key), f"finalize:{task['task_id']}",
+            ctx.now, self.finalize_lease_s, self._worker_identity(task))
+        if not won:
+            return
+        try:
+            version = yield from ctx.complete_multipart(self.dst_bucket,
+                                                        task["upload_id"])
+        except NoSuchUpload:
+            # A previous finalizer completed the upload, then crashed
+            # before recording; the object is already at the
+            # destination — pick it up and record it.
+            try:
+                version = yield from ctx.head_object(self.dst_bucket,
+                                                     task["key"])
+            except NoSuchKey:
+                return
+        yield from self._finish_replicated(ctx, task, version)
+
+    def _recover_orphaned_parts(self, ctx, task, pool, worker_key, start):
+        """Fault tolerance (§6): parts claimed by a replicator that died
+        mid-execution would otherwise never complete.  After a grace
+        period, a surviving replicator that drained the pool re-claims
+        any still-missing parts and replicates them itself."""
+        aborted = yield from pool.is_aborted()
+        if aborted:
+            return
+        missing = yield from pool.missing_parts()
+        if not missing:
+            yield from self._recover_finalization(ctx, task)
+            return
+        # Exactly one drained worker stays behind as the task's janitor;
+        # the rest exit immediately (idle function time is billed, so a
+        # task on a slow link must not keep n-1 instances waiting).  The
+        # claim is leased: a crashed janitor is superseded by the next
+        # worker that comes through (e.g. a platform retry).
+        janitor = yield from self._claim_lease(
+            self._state_table(ctx.region.key), f"janitor:{task['task_id']}",
+            ctx.now, self.recovery_grace_s * 3 + self.finalize_lease_s,
+            self._worker_identity(task))
+        if not janitor:
+            return
+        # Poll with backoff: in the common case the missing parts are
+        # merely in flight on other instances and drain within a poll
+        # or two; only a genuinely stuck task waits out the full grace.
+        deadline = ctx.now + self.recovery_grace_s
+        backoff = 0.5
+        while ctx.now < deadline:
+            yield ctx.sleep(min(backoff, max(0.0, deadline - ctx.now)))
+            backoff *= 2
+            missing = yield from pool.missing_parts()
+            if not missing:
+                yield from self._recover_finalization(ctx, task)
+                return
+        for idx in missing:
+            won = yield from pool.try_reclaim(idx, self._worker_identity(task),
+                                              ctx.now)
+            if not won:
+                continue
+            self.stats["recovered_parts"] = self.stats.get("recovered_parts", 0) + 1
+            done = yield from self._replicate_part(ctx, task, pool,
+                                                   worker_key, start, idx)
+            if done or done is None:
+                return
+
+    def _recover_finalization(self, ctx, task):
+        """Process: if all parts are done but nobody recorded the task —
+        the finalizer crashed — take over finalization after its lease
+        expires."""
+        done = yield self._lock_table.get_item(f"done:{task['key']}")
+        if done is not None and done["seq"] >= task["seq"]:
+            return
+        fin = yield self._state_table(ctx.region.key).get_item(
+            f"finalize:{task['task_id']}")
+        if fin is not None and ctx.now - fin["at"] <= self.finalize_lease_s:
+            return  # a live finalizer owns it
+        if fin is not None:
+            self.stats["recovered_finalize"] = (
+                self.stats.get("recovered_finalize", 0) + 1)
+        yield from self._try_finalize(ctx, task)
+
+    def _abort_task(self, ctx, task):
+        pool = PartPool(self._state_table(ctx.region.key), task["task_id"],
+                        task["num_parts"])
+        first = yield from pool.abort()
+        if not first:
+            return
+        self.stats["aborted"] += 1
+        self.recorder.record_abort(task["key"], task["etag"])
+        try:
+            yield ctx.sleep(0.0)
+            self.dst_bucket.abort_multipart(task["upload_id"])
+        except Exception:  # pragma: no cover - abort is best effort
+            pass
+        # Release the lock and re-trigger so the newest version is
+        # replicated by a fresh task ("we expect a retry will go
+        # through", §5.2).
+        yield from self._finish(ctx, task["task_id"], task["key"], None,
+                                retrigger_if_unreplicated=True)
+
+    # -- completion plumbing ------------------------------------------------------------------
+
+    def _finish_replicated(self, ctx, task, version: ObjectVersion,
+                           kind: str = "created"):
+        yield self._lock_table.put_item(
+            f"done:{task['key']}",
+            {"etag": task["etag"], "seq": task["seq"], "time": ctx.now},
+        )
+        plan = None
+        if "plan_n" in task:
+            plan = Plan(
+                n=task["plan_n"], loc_key=task.get("loc_key", ctx.region.key),
+                path=(task.get("loc_key", ctx.region.key),
+                      self.src_bucket.region.key, self.dst_bucket.region.key),
+                predicted_s=task.get("predicted_s", 0.0),
+                percentile=self.config.percentile,
+                compliant=True, inline=task.get("mode") is None,
+                predicted_median_s=task.get("predicted_median_s", 0.0),
+            )
+        self.recorder.record_visible(TaskResult(
+            key=task["key"], etag=task["etag"], seq=task["seq"],
+            event_time=task["event_time"], visible_time=ctx.now,
+            plan=plan, kind=kind, started=task.get("started", task["event_time"]),
+        ))
+        yield from self._finish(ctx, task["task_id"], task["key"], task["seq"])
+
+    def _finish(self, ctx, task_id: str, key: str,
+                replicated_seq: Optional[int],
+                retrigger_if_unreplicated: bool = False):
+        """Unlock and re-trigger replication of any newer pending version
+        (Algorithm 2's UNLOCK)."""
+        pending = yield from self.locks.unlock(key, owner=task_id)
+        needs_retrigger = False
+        if pending is not None:
+            if replicated_seq is None or pending.seq > replicated_seq:
+                needs_retrigger = True
+        elif retrigger_if_unreplicated:
+            # Aborted without a registered pending version: the newer
+            # version's own notification may still be in flight, but we
+            # re-check the source now to bound the replication delay.
+            needs_retrigger = key in self.src_bucket
+        if not needs_retrigger:
+            return
+        try:
+            current = yield from ctx.head_object(self.src_bucket, key)
+        except NoSuchKey:
+            if pending is not None:
+                # A newer version was registered while we held the lock,
+                # but the object has since been deleted at the source.
+                # The pending writer quit when it registered, so nobody
+                # else will converge the destination: propagate the
+                # deletion (idempotent with the DELETE event's own task).
+                self.stats["retriggered"] += 1
+                self._faas_at(self.src_bucket.region.key).invoke_and_forget(
+                    self._orch_name,
+                    {
+                        "kind": "deleted", "key": key, "etag": pending.etag,
+                        "seq": pending.seq, "size": 0,
+                        "event_time": ctx.now,
+                    },
+                )
+            return
+        if replicated_seq is not None and current.sequencer <= replicated_seq:
+            return
+        self.stats["retriggered"] += 1
+        self._faas_at(self.src_bucket.region.key).invoke_and_forget(
+            self._orch_name,
+            {
+                "kind": "created", "key": key, "etag": current.etag,
+                "seq": current.sequencer, "size": current.size,
+                "event_time": current.put_time,
+            },
+        )

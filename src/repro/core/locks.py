@@ -1,0 +1,119 @@
+"""Object-granularity replication lock (§5.2, Algorithm 2).
+
+Object storage has no deterministic behaviour for concurrent writes to
+the same key, so AReplica serializes replication tasks per object with
+a distributed lock in a cloud database (the DynamoDB lock-client
+pattern).  While a task holds the lock, later versions of the object
+register themselves as *pending* on the lock record (keeping only the
+newest, by sequencer).  On release, the unlocker compares the pending
+ETag with the ETag it just replicated; a mismatch re-triggers
+replication so the newest version is never lost — this is what makes
+eventual consistency hold without bucket versioning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.simcloud.kvstore import KvTable
+
+__all__ = ["LockOutcome", "PendingVersion", "ReplicationLockManager"]
+
+
+@dataclass(frozen=True)
+class LockOutcome:
+    """Result of a lock attempt."""
+
+    acquired: bool
+    #: When not acquired: True if this version was recorded as pending,
+    #: False if a newer version was already pending (we can just quit).
+    registered_pending: bool = False
+
+
+@dataclass(frozen=True)
+class PendingVersion:
+    """The newest version that arrived while the lock was held."""
+
+    etag: str
+    seq: int
+
+
+class ReplicationLockManager:
+    """Per-object replication locks over a serverless KV table.
+
+    Locks carry a lease (like the DynamoDB lock client): a lock whose
+    holder died mid-task (function crash past its auto-retries) is
+    stolen by the next claimant once the lease expires, so a single
+    failure can never wedge an object's replication forever.
+    """
+
+    def __init__(self, table: KvTable, lease_s: float = 300.0):
+        self.table = table
+        self.lease_s = lease_s
+
+    @staticmethod
+    def _key(obj_key: str) -> str:
+        return f"lock:{obj_key}"
+
+    def lock(self, obj_key: str, etag: str, seq: int, owner: str):
+        """Process implementing Algorithm 2's LOCK.
+
+        Returns a :class:`LockOutcome`.  On contention, the (etag, seq)
+        pair is recorded as pending iff it is newer than any pending
+        version already registered.
+        """
+        state = {"registered": False, "acquired": False}
+        now = self.table.sim.now
+
+        def attempt(item):
+            expired = (item is not None
+                       and now - item.get("acquired_at", now) > self.lease_s)
+            reentrant = item is not None and item.get("owner") == owner
+            if item is None or expired or reentrant:
+                # Fresh acquisition, lease takeover from a dead holder,
+                # or a platform-retried function re-entering its own
+                # lock (task ids are deterministic per object version,
+                # so a retry resumes rather than deadlocks on itself).
+                pending_etag = item.get("pending_etag") if item else None
+                pending_seq = item.get("pending_seq") if item else None
+                state["acquired"] = True
+                return {"owner": owner, "held_etag": etag, "held_seq": seq,
+                        "acquired_at": now,
+                        "pending_etag": pending_etag, "pending_seq": pending_seq}
+            pending_seq = item.get("pending_seq")
+            if pending_seq is None or pending_seq < seq:
+                item["pending_etag"] = etag
+                item["pending_seq"] = seq
+                state["registered"] = True
+            return item
+
+        yield self.table.update_item(self._key(obj_key), attempt)
+        return LockOutcome(state["acquired"], state["registered"])
+
+    def unlock(self, obj_key: str, owner: str):
+        """Process implementing Algorithm 2's UNLOCK.
+
+        Releases the lock and returns the newest :class:`PendingVersion`
+        registered during the critical section, or None.  The caller
+        (the replication engine) compares the pending ETag with the one
+        it just replicated and re-triggers the orchestrator on mismatch.
+        """
+        captured: dict[str, Optional[object]] = {"etag": None, "seq": None}
+
+        def release(item):
+            if item is None or item.get("owner") != owner:
+                # Lost/expired lock: nothing to release.
+                return item
+            captured["etag"] = item.get("pending_etag")
+            captured["seq"] = item.get("pending_seq")
+            return None  # delete the lock record
+
+        yield self.table.update_item(self._key(obj_key), release)
+        if captured["etag"] is None:
+            return None
+        return PendingVersion(str(captured["etag"]), int(captured["seq"]))  # type: ignore[arg-type]
+
+    def is_locked(self, obj_key: str) -> bool:
+        """Zero-cost probe for tests/metrics."""
+        return self.table.peek(self._key(obj_key)) is not None

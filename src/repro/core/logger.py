@@ -1,0 +1,97 @@
+"""Runtime logger and model drift correction (§4 "Logger").
+
+Transfer rates between regions change after offline profiling.  The
+logger tracks the (predicted, actual) replication time of completed
+tasks per path and keeps an exponentially-weighted estimate of the
+actual/predicted ratio.  When the ratio deviates persistently — not
+just for one noisy task — the model's path parameters are rescaled and
+its Monte-Carlo caches invalidated, which is exactly the "significant,
+persistent deviation" trigger the paper describes for re-running the
+on-demand simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.model import PathKey, PerformanceModel
+
+__all__ = ["TaskTiming", "RuntimeLogger"]
+
+
+@dataclass(frozen=True)
+class TaskTiming:
+    """One completed task's timing observation."""
+
+    path: PathKey
+    n: int
+    size: int
+    predicted_s: float
+    actual_s: float
+    time: float
+
+
+@dataclass
+class _PathDrift:
+    ewma_log_ratio: float = 0.0
+    consecutive_drifts: int = 0
+    observations: int = 0
+    corrections: int = 0
+
+
+class RuntimeLogger:
+    """Streams task timings into the performance model."""
+
+    def __init__(
+        self,
+        model: PerformanceModel,
+        alpha: float = 0.25,
+        drift_threshold: float = 0.30,
+        patience: int = 5,
+        keep_timings: bool = True,
+    ):
+        """``drift_threshold`` is on |log(actual/predicted)| — 0.30 means
+        a persistent ~35 % deviation; ``patience`` is how many
+        consecutive drifting observations trigger a correction."""
+        self.model = model
+        self.alpha = alpha
+        self.drift_threshold = drift_threshold
+        self.patience = patience
+        self.keep_timings = keep_timings
+        self.timings: list[TaskTiming] = []
+        self._drift: dict[PathKey, _PathDrift] = {}
+
+    def record(self, path: PathKey, n: int, size: int,
+               predicted_s: float, actual_s: float, time: float) -> None:
+        """Log one completed task; may rescale the model's path."""
+        if self.keep_timings:
+            self.timings.append(TaskTiming(path, n, size, predicted_s,
+                                           actual_s, time))
+        if predicted_s <= 0 or actual_s <= 0:
+            return
+        import math
+
+        state = self._drift.setdefault(path, _PathDrift())
+        state.observations += 1
+        log_ratio = math.log(actual_s / predicted_s)
+        state.ewma_log_ratio = (
+            self.alpha * log_ratio + (1 - self.alpha) * state.ewma_log_ratio
+        )
+        if abs(state.ewma_log_ratio) > self.drift_threshold:
+            state.consecutive_drifts += 1
+        else:
+            state.consecutive_drifts = 0
+        if state.consecutive_drifts >= self.patience:
+            ratio = math.exp(state.ewma_log_ratio)
+            self.model.scale_path(path, ratio)
+            state.corrections += 1
+            state.ewma_log_ratio = 0.0
+            state.consecutive_drifts = 0
+
+    def corrections(self, path: PathKey) -> int:
+        state = self._drift.get(path)
+        return state.corrections if state else 0
+
+    def observations(self, path: PathKey) -> int:
+        state = self._drift.get(path)
+        return state.observations if state else 0

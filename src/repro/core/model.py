@@ -1,0 +1,289 @@
+"""Distribution-aware performance model (§5.3).
+
+Predicts the replication time
+
+    T_rep = T_func + T_transfer
+
+where, for a plan with ``n`` replicator functions executing at location
+``loc`` (the source or destination region):
+
+    T_func     = 0                          (inline, small objects)
+               = I(loc) + D(loc)            (single remote replicator)
+               = I(loc)·n + D(loc) + P(loc) (parallel replicators)
+
+    T_transfer = S + C·k                    (single function, k chunks)
+               = max_i ( S_i + C'_i·⌈k/n⌉ ) (distributed)
+
+All parameters — invocation latency *I*, instance readiness delay *D*,
+scheduler postponement *P*, client startup *S*, per-chunk time *C*
+(single) and *C'* (distributed, including the two KV accesses per
+part) — are **distributions**, not point estimates, because certain
+clouds and regions have high performance variability (Fig 9).  Samples
+are fitted to normals; weighted sums of the parameters stay normal, so
+percentiles are closed-form.  The one exception is the distributed
+``T_transfer``: the max of n i.i.d. normals, obtained by Monte-Carlo
+resampling for moderate n and by the Gumbel limit from extreme-value
+theory for large n (significantly faster than resampling).
+
+Chunks of one task share the same function instance, so per-chunk
+times are modelled as fully correlated within an instance: ``C·k`` has
+mean ``k·μ_C`` and standard deviation ``k·σ_C``.  This errs on the side
+of overestimation, which the paper accepts ("the model is allowed to
+overestimate the replication time to some extent").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["NormalParam", "LocParams", "PathParams", "PerformanceModel", "PathKey"]
+
+PathKey = tuple[str, str, str]  # (exec loc key, src key, dst key)
+
+
+@dataclass(frozen=True)
+class NormalParam:
+    """A parameter described as a (truncated-at-zero) normal."""
+
+    mean: float
+    std: float
+
+    @staticmethod
+    def from_samples(samples) -> "NormalParam":
+        xs = np.asarray(list(samples), dtype=float)
+        if xs.size == 0:
+            raise ValueError("cannot fit a parameter to zero samples")
+        std = float(xs.std(ddof=1)) if xs.size > 1 else 0.0
+        return NormalParam(float(xs.mean()), std)
+
+    @staticmethod
+    def zero() -> "NormalParam":
+        return NormalParam(0.0, 0.0)
+
+    def scaled(self, k: float) -> "NormalParam":
+        """The distribution of ``k · X`` (fully correlated repetition)."""
+        return NormalParam(self.mean * k, self.std * abs(k))
+
+    def iid_sum(self, n: int) -> "NormalParam":
+        """The distribution of the sum of ``n`` independent draws."""
+        return NormalParam(self.mean * n, self.std * math.sqrt(n))
+
+    def plus(self, other: "NormalParam") -> "NormalParam":
+        """Sum of two independent normals."""
+        return NormalParam(self.mean + other.mean,
+                           math.hypot(self.std, other.std))
+
+    def percentile(self, p: float) -> float:
+        from scipy.stats import norm
+
+        if self.std == 0:
+            return self.mean
+        return float(norm.ppf(p, loc=self.mean, scale=self.std))
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return np.maximum(rng.normal(self.mean, self.std, size), 0.0)
+
+
+@dataclass(frozen=True)
+class LocParams:
+    """Function-platform parameters at one execution location."""
+
+    invoke: NormalParam          # I(loc)
+    startup: NormalParam         # D(loc)
+    postponement: NormalParam    # P(loc)
+
+
+@dataclass(frozen=True)
+class PathParams:
+    """Transfer parameters for one (exec loc, src, dst) path."""
+
+    client_startup: NormalParam     # S(src, dst, loc)
+    chunk: NormalParam              # C(src, dst, loc), single-function
+    chunk_distributed: NormalParam  # C'(src, dst, loc), incl. KV accesses
+
+    def scaled(self, ratio: float) -> "PathParams":
+        """Uniformly rescale the path (runtime drift correction)."""
+        return PathParams(
+            self.client_startup.scaled(ratio),
+            self.chunk.scaled(ratio),
+            self.chunk_distributed.scaled(ratio),
+        )
+
+
+# Extreme-value normalizing constants for the max of n standard normals.
+def _gumbel_constants(n: int) -> tuple[float, float]:
+    ln_n = math.log(n)
+    a = math.sqrt(2 * ln_n) - (math.log(ln_n) + math.log(4 * math.pi)) / (
+        2 * math.sqrt(2 * ln_n)
+    )
+    b = 1.0 / math.sqrt(2 * ln_n)
+    return a, b
+
+
+@dataclass
+class PerformanceModel:
+    """The two-fold (single / parallel) distribution-aware model."""
+
+    chunk_size: int
+    mc_samples: int = 2000
+    gumbel_threshold: int = 64
+    seed: int = 0
+    loc_params: dict[str, LocParams] = field(default_factory=dict)
+    path_params: dict[PathKey, PathParams] = field(default_factory=dict)
+    _mc_cache: dict[tuple, np.ndarray] = field(default_factory=dict, repr=False)
+    mc_runs: int = 0
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+
+    # -- parameter management --------------------------------------------------
+
+    def set_loc_params(self, loc_key: str, params: LocParams) -> None:
+        self.loc_params[loc_key] = params
+
+    def set_path_params(self, key: PathKey, params: PathParams) -> None:
+        self.path_params[key] = params
+        self._invalidate(key)
+
+    def has_path(self, key: PathKey) -> bool:
+        return key in self.path_params and key[0] in self.loc_params
+
+    def scale_path(self, key: PathKey, ratio: float) -> None:
+        """Drift correction: rescale a path's transfer parameters."""
+        if ratio <= 0:
+            raise ValueError("scale ratio must be positive")
+        self.path_params[key] = self.path_params[key].scaled(ratio)
+        self._invalidate(key)
+
+    def _invalidate(self, key: PathKey) -> None:
+        stale = [k for k in self._mc_cache if k[:3] == key]
+        for k in stale:
+            del self._mc_cache[k]
+
+    # -- chunk math ------------------------------------------------------------
+
+    def num_chunks(self, size: int) -> int:
+        return max(1, math.ceil(size / self.chunk_size))
+
+    def chunks_per_function(self, size: int, n: int) -> int:
+        return math.ceil(self.num_chunks(size) / n)
+
+    # -- T_func -----------------------------------------------------------------
+
+    def t_func(self, n: int, loc_key: str, inline: bool = False) -> NormalParam:
+        """Distribution of the function-readiness time.
+
+        ``inline`` means the orchestrator handles the object locally
+        (small objects), so T_func is identically zero.
+        """
+        if inline:
+            return NormalParam.zero()
+        lp = self.loc_params[loc_key]
+        if n == 1:
+            return lp.invoke.plus(lp.startup)
+        return lp.invoke.iid_sum(n).plus(lp.startup).plus(lp.postponement)
+
+    # -- T_transfer ----------------------------------------------------------------
+
+    def t_transfer_single(self, key: PathKey, size: int) -> NormalParam:
+        pp = self.path_params[key]
+        k = self.num_chunks(size)
+        return pp.client_startup.plus(pp.chunk.scaled(k))
+
+    def _per_instance(self, key: PathKey, size: int, n: int) -> NormalParam:
+        pp = self.path_params[key]
+        m = self.chunks_per_function(size, n)
+        return pp.client_startup.plus(pp.chunk_distributed.scaled(m))
+
+    def transfer_tail_samples(self, key: PathKey, size: int, n: int) -> np.ndarray:
+        """Monte-Carlo samples of ``max_i(S_i + C'_i·m)`` (cached).
+
+        The simulation is an on-demand process: it runs when the cache
+        is cold (bootstrap) and after :meth:`scale_path` /
+        :meth:`set_path_params` invalidate the entry (drift detected).
+        """
+        m = self.chunks_per_function(size, n)
+        cache_key = (*key, n, m)
+        cached = self._mc_cache.get(cache_key)
+        if cached is None:
+            per_inst = self._per_instance(key, size, n)
+            draws = per_inst.sample(self._rng, (self.mc_samples, n))  # type: ignore[arg-type]
+            cached = np.asarray(draws).reshape(self.mc_samples, n).max(axis=1)
+            self._mc_cache[cache_key] = cached
+            self.mc_runs += 1
+        return cached
+
+    def t_transfer_parallel_percentile(self, key: PathKey, size: int, n: int,
+                                       p: float) -> float:
+        if n >= self.gumbel_threshold:
+            return self._gumbel_percentile(key, size, n, p)
+        samples = self.transfer_tail_samples(key, size, n)
+        return float(np.quantile(samples, p))
+
+    def _gumbel_percentile(self, key: PathKey, size: int, n: int, p: float) -> float:
+        """EVT approximation: the max of n i.i.d. normals converges to a
+        Gumbel with location ``μ + σ·a_n`` and scale ``σ·b_n``."""
+        per_inst = self._per_instance(key, size, n)
+        a_n, b_n = _gumbel_constants(n)
+        location = per_inst.mean + per_inst.std * a_n
+        scale = per_inst.std * b_n
+        return location - scale * math.log(-math.log(p))
+
+    # -- full prediction ----------------------------------------------------------
+
+    def predict_percentile(self, key: PathKey, size: int, n: int, p: float,
+                           inline: bool = False) -> float:
+        """The time ``t`` such that ``P(T_rep <= t) >= p`` for this plan."""
+        t_func = self.t_func(n, key[0], inline=inline)
+        if n == 1:
+            return t_func.plus(self.t_transfer_single(key, size)).percentile(p)
+        # Sum a percentile-matched T_func with the transfer tail.  For
+        # large n the Gumbel shortcut is used; otherwise combine the
+        # Monte-Carlo transfer samples with T_func draws for an exact
+        # empirical percentile of the sum.  The T_func draws are seeded
+        # by the plan key so repeated queries of the same plan are
+        # consistent (percentiles stay monotone across calls).
+        if n >= self.gumbel_threshold:
+            return t_func.percentile(p) + self._gumbel_percentile(key, size, n, p)
+        transfer = self.transfer_tail_samples(key, size, n)
+        func_rng = np.random.default_rng(self._stable_seed(key, size, n, inline))
+        func_draws = t_func.sample(func_rng, transfer.size)
+        return float(np.quantile(transfer + func_draws, p))
+
+    def _stable_seed(self, key: PathKey, size: int, n: int,
+                     inline: bool) -> int:
+        """Process-independent seed for per-plan auxiliary draws."""
+        import hashlib
+
+        token = f"{self.seed}:{key}:{size}:{n}:{inline}".encode()
+        return int.from_bytes(hashlib.sha256(token).digest()[:8], "little")
+
+    def predict_stats(self, key: PathKey, size: int, n: int,
+                      inline: bool = False) -> tuple[float, float]:
+        """(mean, std) of the predicted replication time (Table 4)."""
+        t_func = self.t_func(n, key[0], inline=inline)
+        if n == 1:
+            total = t_func.plus(self.t_transfer_single(key, size))
+            return total.mean, total.std
+        transfer = self.transfer_tail_samples(key, size, n)
+        func_draws = t_func.sample(self._rng, transfer.size)
+        total = transfer + func_draws
+        return float(total.mean()), float(total.std())
+
+    def predict_samples(self, key: PathKey, size: int, n: int,
+                        inline: bool = False,
+                        count: Optional[int] = None) -> np.ndarray:
+        """Raw predicted-T_rep samples (for Fig 18/19 density overlays)."""
+        count = count or self.mc_samples
+        t_func = self.t_func(n, key[0], inline=inline)
+        func_draws = t_func.sample(self._rng, count)
+        if n == 1:
+            transfer = self.t_transfer_single(key, size).sample(self._rng, count)
+            return func_draws + transfer
+        per_inst = self._per_instance(key, size, n)
+        draws = np.asarray(per_inst.sample(self._rng, (count, n))).reshape(count, n)  # type: ignore[arg-type]
+        return func_draws + draws.max(axis=1)

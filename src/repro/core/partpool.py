@@ -1,0 +1,160 @@
+"""Decentralized part-granularity scheduling (§5.1, Algorithm 1).
+
+A replication task's data parts live in a shared pool backed by a
+serverless cloud database.  Replicator functions autonomously claim
+parts as they become available, so fast instances naturally process
+more parts than slow ones and the per-instance finish times even out
+(Fig 12/17).  The protocol costs exactly **two database accesses per
+part**: one atomic counter increment to claim the part, and one to
+record its completion; the replicator that records the final
+completion learns it is the finisher and concludes the task.
+
+The module also provides the *fair dispatch* ablation (Fig 17's
+baseline): a static, equal pre-assignment of parts computed at
+invocation time with no shared state.
+"""
+
+from __future__ import annotations
+
+from repro.simcloud.kvstore import KvTable
+
+__all__ = ["PartPool", "FairAssignment"]
+
+
+class PartPool:
+    """Shared pool of part indices for one replication task."""
+
+    def __init__(self, table: KvTable, task_id: str, num_parts: int):
+        if num_parts < 1:
+            raise ValueError("a task needs at least one part")
+        self.table = table
+        self.task_id = task_id
+        self.num_parts = num_parts
+
+    @property
+    def _key(self) -> str:
+        return f"pool:{self.task_id}"
+
+    def create(self):
+        """Process: initialize the pool record (one DB write)."""
+        yield self.table.put_item(
+            self._key,
+            {"num_parts": self.num_parts, "claimed": 0, "completed": 0,
+             "aborted": False},
+        )
+
+    def claim(self):
+        """Process: atomically claim the next part index.
+
+        Returns the zero-based part index, or None when the pool is
+        exhausted (the replicator should then stop or enter recovery).
+        """
+        claimed = yield self.table.increment(self._key, "claimed")
+        if claimed > self.num_parts:
+            return None
+        return claimed - 1
+
+    def complete(self, part_index: int):
+        """Process: record ``part_index`` done; True for the finisher.
+
+        Completion is recorded in a per-task done-set, so duplicated
+        work — a recovered part whose original owner was merely slow,
+        or a platform-retried function redoing its parts — counts once.
+        Exactly one call observes the transition to fully-complete.
+        """
+        state = {"finished": False}
+
+        def mark(item):
+            done = item.setdefault("done_parts", [])
+            if part_index in done:
+                item["duplicates"] = item.get("duplicates", 0) + 1
+                return item
+            done.append(part_index)
+            item["completed"] += 1
+            state["finished"] = item["completed"] == self.num_parts
+            return item
+
+        yield self.table.update_item(self._key, mark)
+        return state["finished"]
+
+    def missing_parts(self):
+        """Process: part indices not yet recorded as done (recovery)."""
+        item = yield self.table.get_item(self._key)
+        done = set(item.get("done_parts", [])) if item else set()
+        return [i for i in range(self.num_parts) if i not in done]
+
+    def try_reclaim(self, part_index: int, owner: str, now: float,
+                    lease_s: float = 60.0):
+        """Process: atomically take over an orphaned part.
+
+        A crashed replicator's claimed-but-never-completed part is
+        recovered by whichever surviving replicator wins this leased
+        conditional write.  Re-entrant per ``owner`` (a retried
+        recoverer resumes its own reclaim) and expirable (a recoverer
+        that crashed mid-part is itself superseded).
+        """
+        state = {"won": False}
+
+        def attempt(item):
+            if (item is None or item.get("owner") == owner
+                    or now - item["at"] > lease_s):
+                state["won"] = True
+                return {"owner": owner, "at": now}
+            return item
+
+        yield self.table.update_item(f"reclaim:{self.task_id}:{part_index}",
+                                     attempt)
+        return state["won"]
+
+    def abort(self):
+        """Process: mark the task aborted (optimistic-validation failure).
+
+        Returns True for the replicator that flipped the flag — that
+        one replicator performs the cleanup/re-trigger, the rest simply
+        stop (avoids a thundering herd of retries).
+        """
+        def flip(item):
+            item = item or {}
+            item["abort_claims"] = item.get("abort_claims", 0) + 1
+            item["aborted"] = True
+            return item
+
+        item = yield self.table.update_item(self._key, flip)
+        return item["abort_claims"] == 1
+
+    def is_aborted(self):
+        """Process: read the abort flag."""
+        item = yield self.table.get_item(self._key)
+        return bool(item and item.get("aborted"))
+
+    def peek_progress(self) -> dict:
+        """Zero-cost snapshot for tests/metrics."""
+        return self.table.peek(self._key) or {}
+
+
+class FairAssignment:
+    """Static equal dispatch — the ablation baseline of Fig 17.
+
+    Part indices are split into contiguous equal ranges at invocation
+    time; each replicator receives its fixed range and no coordination
+    happens afterwards.  A slow instance therefore drags the task's
+    completion time to its own finish time.
+    """
+
+    def __init__(self, num_parts: int, num_functions: int):
+        if num_functions < 1:
+            raise ValueError("need at least one function")
+        self.num_parts = num_parts
+        self.num_functions = num_functions
+
+    def parts_for(self, worker_index: int) -> list[int]:
+        """The fixed part indices assigned to ``worker_index``."""
+        if not 0 <= worker_index < self.num_functions:
+            raise IndexError(worker_index)
+        base, extra = divmod(self.num_parts, self.num_functions)
+        start = worker_index * base + min(worker_index, extra)
+        count = base + (1 if worker_index < extra else 0)
+        return list(range(start, start + count))
+
+    def all_assignments(self) -> list[list[int]]:
+        return [self.parts_for(i) for i in range(self.num_functions)]

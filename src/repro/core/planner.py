@@ -1,0 +1,126 @@
+"""Dynamic replication strategy planning (§5.3, Algorithm 3).
+
+Given an object, the remaining SLO budget (the user SLO minus the time
+already consumed by the cloud notification), and a target percentile,
+the planner scans parallelism levels exponentially (1, 2, 4, …,
+``n_max``) and, at each level, compares executing the replicators at
+the **source** region against the **destination** region.  The first
+SLO-compliant plan wins — fewer functions means fewer API calls and
+less aggregate execution time, so the scan order doubles as a cost
+order and the exact cost of each plan never needs computing.  If no
+plan complies, the fastest plan found is returned (best effort).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.config import ReplicaConfig
+from repro.core.model import PathKey, PerformanceModel
+
+__all__ = ["Plan", "StrategyPlanner"]
+
+
+@dataclass(frozen=True)
+class Plan:
+    """An executable replication strategy."""
+
+    n: int                    # number of replicator functions
+    loc_key: str              # execution region (functions run here)
+    path: PathKey             # (loc, src, dst)
+    predicted_s: float        # predicted replication time at percentile p
+    percentile: float
+    compliant: bool           # predicted_s fits the remaining SLO budget
+    inline: bool              # orchestrator replicates by itself (T_func=0)
+    #: Median prediction — the runtime logger compares actual task times
+    #: against this (comparing against the p99 estimate would read a
+    #: healthy model as persistently overestimating).
+    predicted_median_s: float = 0.0
+
+    @property
+    def distributed(self) -> bool:
+        return self.n > 1
+
+
+class StrategyPlanner:
+    """Algorithm 3 over a fitted :class:`PerformanceModel`."""
+
+    def __init__(self, model: PerformanceModel, config: ReplicaConfig):
+        self.model = model
+        self.config = config
+        self.plans_generated = 0
+
+    def _candidate_locs(self, src_key: str, dst_key: str) -> list[str]:
+        locs = [src_key]
+        if dst_key != src_key:
+            locs.append(dst_key)
+        return locs
+
+    def _is_inline(self, n: int, loc_key: str, src_key: str, size: int) -> bool:
+        """The orchestrator (at the source region) can replicate small
+        objects itself, skipping the extra invocation entirely."""
+        return n == 1 and loc_key == src_key and size <= self.config.local_threshold
+
+    def _max_useful_parallelism(self, size: int, fastest: bool = False) -> int:
+        """No more functions than data parts; in SLO mode, no
+        distribution at all below the distributed-replication threshold
+        (a single function is cheaper and compliant).  In fastest mode
+        (SLO = 0) every multi-part object may be parallelized — that is
+        how the trace replay absorbs bursts of medium objects."""
+        if not fastest and size < self.config.distributed_threshold:
+            return 1
+        return max(1, min(self.config.max_parallelism,
+                          self.model.num_chunks(size)))
+
+    def generate(self, size: int, src_key: str, dst_key: str,
+                 slo_remaining: float, percentile: float | None = None) -> Plan:
+        """Produce the cheapest SLO-compliant plan, else the fastest.
+
+        ``slo_remaining`` is ``SLO - (now - obj.timestamp)``; it may be
+        negative when the notification alone blew the budget, in which
+        case the fastest plan is returned (the SLO is already violated,
+        per the paper's note on unreasonably tight SLOs).
+        """
+        p = percentile if percentile is not None else self.config.percentile
+        self.plans_generated += 1
+        fastest_mode = slo_remaining == -math.inf
+        n_cap = self._max_useful_parallelism(size, fastest=fastest_mode)
+        best: Plan | None = None
+        n = 1
+        while n <= n_cap:
+            for loc_key in self._candidate_locs(src_key, dst_key):
+                path: PathKey = (loc_key, src_key, dst_key)
+                if not self.model.has_path(path):
+                    continue
+                inline = self._is_inline(n, loc_key, src_key, size)
+                predicted = self.model.predict_percentile(path, size, n, p,
+                                                          inline=inline)
+                plan = Plan(
+                    n=n, loc_key=loc_key, path=path, predicted_s=predicted,
+                    percentile=p, compliant=predicted <= slo_remaining,
+                    inline=inline,
+                )
+                if best is None or plan.predicted_s < best.predicted_s:
+                    best = plan
+            # Return as soon as this parallelism level has a compliant
+            # plan: it is the cheapest level that can meet the SLO.
+            if best is not None and best.compliant:
+                return self._with_median(best, size)
+            n *= 2
+        if best is None:
+            raise RuntimeError(
+                f"no profiled path between {src_key} and {dst_key}"
+            )
+        return self._with_median(best, size)
+
+    def _with_median(self, plan: Plan, size: int) -> Plan:
+        from dataclasses import replace
+
+        median = self.model.predict_percentile(plan.path, size, plan.n, 0.5,
+                                               inline=plan.inline)
+        return replace(plan, predicted_median_s=median)
+
+    def fastest(self, size: int, src_key: str, dst_key: str) -> Plan:
+        """SLO = 0 mode (§8.1): scan everything, return the fastest."""
+        return self.generate(size, src_key, dst_key, slo_remaining=-math.inf)

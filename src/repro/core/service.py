@@ -1,0 +1,248 @@
+"""The AReplica service facade (§4 overview).
+
+Wires all components end to end for one or more replication rules:
+
+    bucket notification → [SLO-bounded batching] → orchestrator
+    → lock / changelog / planner → replication engine → destination
+
+and keeps the user-facing measurement records: for every source PUT or
+DELETE, the **replication delay** from the completion of the request to
+the successful visibility of that version (or a subsequent one) in the
+destination bucket — the paper's §8 metric.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.batching import BatchingBuffer
+from repro.core.changelog import ChangelogStore
+from repro.core.config import ReplicaConfig
+from repro.core.engine import ReplicationEngine, TaskResult
+from repro.core.logger import RuntimeLogger
+from repro.core.model import PerformanceModel
+from repro.core.planner import StrategyPlanner
+from repro.core.profiler import PerformanceProfiler
+from repro.simcloud.cloud import Cloud
+from repro.simcloud.objectstore import Bucket, ObjectEvent
+
+__all__ = ["AReplicaService", "ReplicationRecord", "ReplicationRule"]
+
+_CHANGELOG_TABLE = "areplica-changelog"
+
+
+@dataclass(frozen=True)
+class ReplicationRecord:
+    """Delay measurement for one source-bucket write."""
+
+    rule_id: str
+    key: str
+    seq: int
+    kind: str                 # "created" | "deleted"
+    event_time: float         # completion of the source PUT/DELETE
+    visible_time: float       # this or a newer version visible at dst
+    plan_n: Optional[int]
+    loc_key: Optional[str]
+    task_kind: str            # how it was satisfied (created/changelog/deleted)
+    #: When the satisfying task began executing its plan (after the
+    #: notification); ``visible_time - started`` is the pure T_rep.
+    started: float = 0.0
+
+    @property
+    def delay(self) -> float:
+        return self.visible_time - self.event_time
+
+    @property
+    def replication_seconds(self) -> float:
+        return self.visible_time - self.started
+
+
+@dataclass
+class ReplicationRule:
+    """One configured src → dst replication pair."""
+
+    rule_id: str
+    src_bucket: Bucket
+    dst_bucket: Bucket
+    engine: ReplicationEngine
+    changelog: ChangelogStore
+    batcher: Optional[BatchingBuffer] = None
+    outstanding: dict[str, list[tuple[int, float, str]]] = field(default_factory=dict)
+
+
+class _Recorder:
+    """Engine → service callback adapter for one rule."""
+
+    def __init__(self, service: "AReplicaService", rule_id: str):
+        self.service = service
+        self.rule_id = rule_id
+
+    def record_visible(self, result: TaskResult) -> None:
+        self.service._on_visible(self.rule_id, result)
+
+    def record_abort(self, key: str, etag: str) -> None:
+        self.service.aborts.append((self.rule_id, key, etag))
+
+
+class AReplicaService:
+    """Top-level entry point: build once per Cloud, add rules, run."""
+
+    def __init__(self, cloud: Cloud, config: Optional[ReplicaConfig] = None):
+        self.cloud = cloud
+        self.config = config or ReplicaConfig()
+        self.model = PerformanceModel(
+            chunk_size=self.config.part_size,
+            mc_samples=self.config.mc_samples,
+            gumbel_threshold=self.config.gumbel_threshold,
+            seed=cloud.rngs.seed,
+        )
+        self.profiler = PerformanceProfiler(cloud, self.model,
+                                            samples=self.config.profile_samples)
+        self.planner = StrategyPlanner(self.model, self.config)
+        self.logger = RuntimeLogger(self.model)
+        self.rules: dict[str, ReplicationRule] = {}
+        self.records: list[ReplicationRecord] = []
+        self.aborts: list[tuple[str, str, str]] = []
+        self._rule_seq = itertools.count(1)
+        self._estimate_cache: dict[int, float] = {}
+
+    # -- rule management ---------------------------------------------------------
+
+    def add_rule(self, src_bucket: Bucket, dst_bucket: Bucket,
+                 scheduling: str = "pool",
+                 profile: bool = True) -> ReplicationRule:
+        """Configure replication from ``src_bucket`` to ``dst_bucket``.
+
+        ``profile=True`` (the default) runs the offline profiler for
+        both candidate execution locations before the rule goes live —
+        the paper's onboarding step.  Pass False when the model has
+        already been fitted (e.g. shared across rules on one path).
+        """
+        rule_id = f"rule{next(self._rule_seq)}"
+        if profile:
+            self.profiler.ensure_path(src_bucket.region.key, src_bucket, dst_bucket)
+            if dst_bucket.region.key != src_bucket.region.key:
+                self.profiler.ensure_path(dst_bucket.region.key, src_bucket,
+                                          dst_bucket)
+        changelog = ChangelogStore(
+            self.cloud.kv_table(src_bucket.region.key, _CHANGELOG_TABLE)
+        )
+        engine = ReplicationEngine(
+            self.cloud, self.config, src_bucket, dst_bucket, self.planner,
+            changelog=changelog if self.config.enable_changelog else None,
+            recorder=_Recorder(self, rule_id), rule_id=rule_id,
+            scheduling=scheduling,
+        )
+        rule = ReplicationRule(rule_id, src_bucket, dst_bucket, engine, changelog)
+        if self.config.slo_enabled and self.config.enable_batching:
+            rule.batcher = BatchingBuffer(
+                self.cloud.sim,
+                self.cloud.timers(src_bucket.region.key),
+                self.config,
+                src_bucket,
+                estimate_s=self._estimate_replication_time(rule),
+                flush=engine.handle_event,
+            )
+        self.rules[rule_id] = rule
+        self.cloud.notifications.connect(
+            src_bucket, lambda event, r=rule: self._on_event(r, event)
+        )
+        return rule
+
+    def _estimate_replication_time(self, rule: ReplicationRule):
+        src = rule.src_bucket.region.key
+        dst = rule.dst_bucket.region.key
+
+        def estimate(size: int) -> float:
+            bucket = max(1, 1 << (max(0, size - 1)).bit_length())
+            cached = self._estimate_cache.get(bucket)
+            if cached is None:
+                cached = self.planner.fastest(bucket, src, dst).predicted_s
+                self._estimate_cache[bucket] = cached
+            return cached
+
+        return estimate
+
+    # -- event & measurement flow ----------------------------------------------------
+
+    def _on_event(self, rule: ReplicationRule, event: ObjectEvent) -> None:
+        rule.outstanding.setdefault(event.key, []).append(
+            (event.sequencer, event.event_time, event.kind)
+        )
+        if rule.batcher is not None:
+            rule.batcher.on_event(event)
+        else:
+            rule.engine.handle_event(event)
+
+    def _on_visible(self, rule_id: str, result: TaskResult) -> None:
+        rule = self.rules[rule_id]
+        waiting = rule.outstanding.get(result.key, [])
+        satisfied = [w for w in waiting if w[0] <= result.seq]
+        rule.outstanding[result.key] = [w for w in waiting if w[0] > result.seq]
+        for seq, event_time, kind in satisfied:
+            self.records.append(ReplicationRecord(
+                rule_id=rule_id, key=result.key, seq=seq, kind=kind,
+                event_time=event_time, visible_time=result.visible_time,
+                plan_n=result.plan.n if result.plan else None,
+                loc_key=result.plan.loc_key if result.plan else None,
+                task_kind=result.kind,
+                started=result.started,
+            ))
+        if result.plan is not None and result.plan.predicted_median_s > 0:
+            self.logger.record(
+                result.plan.path, result.plan.n, 0,
+                predicted_s=result.plan.predicted_median_s,
+                actual_s=max(1e-9, result.visible_time - result.started),
+                time=result.visible_time,
+            )
+
+    # -- inspection helpers ---------------------------------------------------------
+
+    def delays(self, rule_id: Optional[str] = None) -> list[float]:
+        return [r.delay for r in self.records
+                if rule_id is None or r.rule_id == rule_id]
+
+    def pending_count(self) -> int:
+        """Source writes not yet visible at their destination."""
+        return sum(len(v) for rule in self.rules.values()
+                   for v in rule.outstanding.values())
+
+    def run_until_quiet(self, max_time: Optional[float] = None) -> None:
+        """Drain the simulation (bounded by ``max_time`` if given)."""
+        self.cloud.run(until=max_time)
+
+    def summary(self) -> dict:
+        """Operational snapshot: replication counts, delay percentiles,
+        and the metered cost so far."""
+        import numpy as np
+
+        delays = np.asarray(self.delays()) if self.records else np.array([])
+        quantile = (lambda q: float(np.quantile(delays, q))) if delays.size \
+            else (lambda q: float("nan"))
+        return {
+            "rules": len(self.rules),
+            "replicated_events": len(self.records),
+            "pending_events": self.pending_count(),
+            "aborts": len(self.aborts),
+            "delay_p50_s": quantile(0.5),
+            "delay_p99_s": quantile(0.99),
+            "delay_p9999_s": quantile(0.9999),
+            "delay_max_s": float(delays.max()) if delays.size else float("nan"),
+            "total_cost_usd": self.cloud.ledger.total(),
+            "cost_breakdown": self.cloud.ledger.breakdown(),
+            "plans_generated": self.planner.plans_generated,
+            "model_corrections": sum(
+                self.logger.corrections(p) for p in self.model.path_params),
+        }
+
+    def redrive_dead_letters(self) -> int:
+        """Re-enqueue dead-lettered function events on every platform a
+        rule touches — the recovery step after an outage that outlasted
+        the platforms' automatic retries (§6)."""
+        regions = set()
+        for rule in self.rules.values():
+            regions.add(rule.src_bucket.region.key)
+            regions.add(rule.dst_bucket.region.key)
+        return sum(self.cloud.faas(r).redrive_dead_letters() for r in regions)

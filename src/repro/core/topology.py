@@ -1,0 +1,136 @@
+"""Multi-region replication topologies.
+
+A single rule replicates one bucket pair.  Real deployments arrange
+rules into topologies: a *star* fans a primary out to many replicas
+(disaster recovery, model distribution), a *chain* cascades through
+regions (cost-tiered geo distribution — each hop pays the cheaper
+backbone rate of its segment), and a *mesh* keeps every site writable
+with full pairwise propagation (safe because the engine's content
+short-circuit quenches echo replication).
+
+This module builds those shapes on an :class:`AReplicaService`,
+validates them, and answers fleet-level questions ("is every replica
+converged?", "what is each site's delay profile?").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from repro.core.service import AReplicaService, ReplicationRule
+from repro.simcloud.objectstore import Bucket
+
+__all__ = ["ReplicationTopology"]
+
+
+@dataclass
+class ReplicationTopology:
+    """A named set of rules built on one service."""
+
+    service: AReplicaService
+    name: str
+    rules: list[ReplicationRule] = field(default_factory=list)
+    buckets: list[Bucket] = field(default_factory=list)
+
+    # -- builders -----------------------------------------------------------
+
+    @classmethod
+    def star(cls, service: AReplicaService, primary: Bucket,
+             replicas: list[Bucket], name: str = "star") -> "ReplicationTopology":
+        """Fan-out: primary → every replica."""
+        if not replicas:
+            raise ValueError("a star needs at least one replica")
+        cls._check_distinct([primary, *replicas])
+        topo = cls(service, name, buckets=[primary, *replicas])
+        for replica in replicas:
+            topo.rules.append(service.add_rule(primary, replica))
+        return topo
+
+    @classmethod
+    def chain(cls, service: AReplicaService, hops: list[Bucket],
+              name: str = "chain") -> "ReplicationTopology":
+        """Cascade: hops[0] → hops[1] → … → hops[-1].
+
+        Each intermediate bucket's replicated writes emit their own
+        notifications, so objects propagate transitively down the chain.
+        """
+        if len(hops) < 2:
+            raise ValueError("a chain needs at least two buckets")
+        cls._check_distinct(hops)
+        topo = cls(service, name, buckets=list(hops))
+        for src, dst in zip(hops, hops[1:]):
+            topo.rules.append(service.add_rule(src, dst))
+        return topo
+
+    @classmethod
+    def mesh(cls, service: AReplicaService, sites: list[Bucket],
+             name: str = "mesh") -> "ReplicationTopology":
+        """Every-site-writable: a rule for every ordered pair.
+
+        The engine's done-marker/content short-circuits keep the mesh
+        quiescent instead of echoing writes around forever.
+        """
+        if len(sites) < 2:
+            raise ValueError("a mesh needs at least two buckets")
+        cls._check_distinct(sites)
+        topo = cls(service, name, buckets=list(sites))
+        for src, dst in itertools.permutations(sites, 2):
+            topo.rules.append(service.add_rule(src, dst))
+        return topo
+
+    @staticmethod
+    def _check_distinct(buckets: list[Bucket]) -> None:
+        seen = set()
+        for bucket in buckets:
+            ident = (bucket.region.key, bucket.name)
+            if ident in seen:
+                raise ValueError(f"bucket {ident} appears twice in topology")
+            seen.add(ident)
+
+    # -- fleet queries -------------------------------------------------------------
+
+    @property
+    def primary(self) -> Bucket:
+        return self.buckets[0]
+
+    def converged(self) -> bool:
+        """True when every rule's destination mirrors its source."""
+        if self.service.pending_count() > 0:
+            return False
+        for rule in self.rules:
+            src, dst = rule.src_bucket, rule.dst_bucket
+            for key in src.keys():
+                if key not in dst or dst.head(key).etag != src.head(key).etag:
+                    return False
+            for key in dst.keys():
+                if key not in src:
+                    return False
+        return True
+
+    def divergence(self) -> dict[str, list[str]]:
+        """Per-rule keys that have not converged yet (for debugging)."""
+        out: dict[str, list[str]] = {}
+        for rule in self.rules:
+            src, dst = rule.src_bucket, rule.dst_bucket
+            bad = [k for k in src.keys()
+                   if k not in dst or dst.head(k).etag != src.head(k).etag]
+            bad += [k for k in dst.keys() if k not in src]
+            if bad:
+                out[rule.rule_id] = sorted(set(bad))
+        return out
+
+    def delay_profile(self) -> dict[str, dict[str, float]]:
+        """Per-rule delay summary (count / mean / max seconds)."""
+        out = {}
+        for rule in self.rules:
+            delays = self.service.delays(rule.rule_id)
+            label = (f"{rule.src_bucket.region.key}->"
+                     f"{rule.dst_bucket.region.key}")
+            if delays:
+                out[label] = {"count": float(len(delays)),
+                              "mean": sum(delays) / len(delays),
+                              "max": max(delays)}
+            else:
+                out[label] = {"count": 0.0, "mean": float("nan"),
+                              "max": float("nan")}
+        return out

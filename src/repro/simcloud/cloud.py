@@ -1,0 +1,154 @@
+"""The multi-cloud facade.
+
+A :class:`Cloud` owns one simulator plus every regional service: object
+storage buckets, FaaS platforms, serverless KV databases, VM fleets,
+workflow timers, the shared WAN fabric, the notification bus, the price
+book and the cost ledger.  Experiments construct one Cloud, wire an
+AReplica service (or a baseline) onto it, and drive workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.simcloud.cost import CostLedger
+from repro.simcloud.faas import FaasProfile, FaasRegion
+from repro.simcloud.kvstore import KvProfile, KvTable
+from repro.simcloud.network import DEFAULT_PROFILE, NetworkFabric, NetworkProfile
+from repro.simcloud.notifications import NotificationBus, NotificationProfile
+from repro.simcloud.objectstore import Bucket
+from repro.simcloud.pricing import PriceBook
+from repro.simcloud.regions import REGIONS, Region, get_region
+from repro.simcloud.rng import RngFactory
+from repro.simcloud.sim import Simulator
+from repro.simcloud.vm import VmFleet, VmProfile
+from repro.simcloud.workflow import WorkflowTimers
+
+__all__ = ["CloudProfiles", "Cloud", "build_default_cloud"]
+
+
+@dataclass
+class CloudProfiles:
+    """Bundle of every tunable profile (all default-calibrated)."""
+
+    network: NetworkProfile = None  # type: ignore[assignment]
+    faas: FaasProfile = None  # type: ignore[assignment]
+    kv: KvProfile = None  # type: ignore[assignment]
+    vm: VmProfile = None  # type: ignore[assignment]
+    notifications: NotificationProfile = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self.network = self.network or DEFAULT_PROFILE
+        self.faas = self.faas or FaasProfile()
+        self.kv = self.kv or KvProfile()
+        self.vm = self.vm or VmProfile()
+        self.notifications = self.notifications or NotificationProfile()
+
+
+class Cloud:
+    """All three providers' services over one shared simulator."""
+
+    def __init__(self, seed: int = 0, profiles: Optional[CloudProfiles] = None,
+                 keep_cost_entries: bool = False):
+        self.sim = Simulator()
+        self.rngs = RngFactory(seed)
+        self.profiles = profiles or CloudProfiles()
+        self.prices = PriceBook()
+        self.ledger = CostLedger(keep_entries=keep_cost_entries)
+        self.fabric = NetworkFabric(self.rngs, self.profiles.network)
+        self.notifications = NotificationBus(self.sim, self.rngs,
+                                             self.profiles.notifications)
+        self._buckets: dict[tuple[str, str], Bucket] = {}
+        self._faas: dict[str, FaasRegion] = {}
+        self._kv: dict[tuple[str, str], KvTable] = {}
+        self._vms: dict[str, VmFleet] = {}
+        self._timers: dict[str, WorkflowTimers] = {}
+
+    # -- region helpers --------------------------------------------------------
+
+    @staticmethod
+    def region(key: str) -> Region:
+        return get_region(key)
+
+    # -- regional services -------------------------------------------------------
+
+    def bucket(self, region_key: str, name: str, versioning: bool = False) -> Bucket:
+        """Get or create a bucket; versioning is fixed at creation."""
+        region = get_region(region_key)
+        cache_key = (region.key, name)
+        if cache_key not in self._buckets:
+            self._buckets[cache_key] = Bucket(name, region, versioning=versioning)
+        bucket = self._buckets[cache_key]
+        if versioning and not bucket.versioning:
+            raise ValueError(f"bucket {name!r} exists without versioning")
+        return bucket
+
+    def faas(self, region_key: str) -> FaasRegion:
+        region = get_region(region_key)
+        if region.key not in self._faas:
+            self._faas[region.key] = FaasRegion(
+                self.sim, region, self.fabric, self.prices, self.ledger,
+                self.rngs, self.profiles.faas,
+            )
+        return self._faas[region.key]
+
+    def kv_table(self, region_key: str, name: str) -> KvTable:
+        region = get_region(region_key)
+        cache_key = (region.key, name)
+        if cache_key not in self._kv:
+            self._kv[cache_key] = KvTable(
+                self.sim, name, region, self.prices, self.ledger, self.rngs,
+                self.profiles.kv,
+            )
+        return self._kv[cache_key]
+
+    def vm_fleet(self, region_key: str) -> VmFleet:
+        region = get_region(region_key)
+        if region.key not in self._vms:
+            self._vms[region.key] = VmFleet(
+                self.sim, region, self.fabric, self.prices, self.ledger,
+                self.rngs, self.profiles.vm,
+            )
+        return self._vms[region.key]
+
+    def timers(self, region_key: str) -> WorkflowTimers:
+        region = get_region(region_key)
+        if region.key not in self._timers:
+            self._timers[region.key] = WorkflowTimers(self.sim, self.ledger)
+        return self._timers[region.key]
+
+    # -- fault injection ---------------------------------------------------------
+
+    def inject_outage(self, region_key: str, duration_s: float) -> None:
+        """Take every bucket in ``region_key`` offline for ``duration_s``
+        simulated seconds, starting now (a region-wide storage outage —
+        the §1 motivation for cross-cloud replication)."""
+        region = get_region(region_key)
+        affected = [b for (rk, _), b in self._buckets.items()
+                    if rk == region.key]
+        for bucket in affected:
+            bucket.in_outage = True
+
+        def restore() -> None:
+            for bucket in affected:
+                bucket.in_outage = False
+
+        self.sim.call_later(duration_s, restore)
+
+    # -- convenience ---------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> None:
+        self.sim.run(until)
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def all_region_keys(self) -> list[str]:
+        return sorted(REGIONS)
+
+
+def build_default_cloud(seed: int = 0, **kwargs) -> Cloud:
+    """A Cloud with the default calibrated profiles."""
+    return Cloud(seed=seed, **kwargs)

@@ -1,0 +1,97 @@
+"""Cost accounting.
+
+Every simulated cloud component reports its metered usage to a
+:class:`CostLedger`.  Experiments snapshot the ledger before and after
+an operation to attribute cost, exactly the way the paper "estimates
+cost based on listed prices and metered usage from recorded logs".
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+__all__ = ["CostCategory", "CostEntry", "CostLedger", "CostSnapshot"]
+
+
+class CostCategory:
+    """Cost buckets used throughout the evaluation."""
+
+    FAAS_COMPUTE = "faas_compute"
+    FAAS_REQUESTS = "faas_requests"
+    VM_COMPUTE = "vm_compute"
+    EGRESS = "egress"
+    STORAGE_REQUESTS = "storage_requests"
+    KV_OPS = "kv_ops"
+    STORAGE_CAPACITY = "storage_capacity"
+    RTC_FEE = "rtc_fee"
+    WORKFLOW = "workflow"
+
+    ALL = (
+        FAAS_COMPUTE,
+        FAAS_REQUESTS,
+        VM_COMPUTE,
+        EGRESS,
+        STORAGE_REQUESTS,
+        KV_OPS,
+        STORAGE_CAPACITY,
+        RTC_FEE,
+        WORKFLOW,
+    )
+
+
+@dataclass(frozen=True)
+class CostEntry:
+    """One metered charge."""
+
+    time: float
+    category: str
+    amount: float
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class CostSnapshot:
+    """Immutable totals, used to compute per-operation deltas."""
+
+    totals: dict[str, float]
+
+    @property
+    def total(self) -> float:
+        return sum(self.totals.values())
+
+    def delta(self, later: "CostSnapshot") -> "CostSnapshot":
+        keys = set(self.totals) | set(later.totals)
+        return CostSnapshot(
+            {k: later.totals.get(k, 0.0) - self.totals.get(k, 0.0) for k in keys}
+        )
+
+
+@dataclass
+class CostLedger:
+    """Append-only record of charges with per-category totals."""
+
+    keep_entries: bool = False
+    entries: list[CostEntry] = field(default_factory=list)
+    _totals: dict[str, float] = field(default_factory=lambda: defaultdict(float))
+
+    def charge(self, time: float, category: str, amount: float, detail: str = "") -> None:
+        if amount < 0:
+            raise ValueError(f"negative charge {amount} ({category}: {detail})")
+        if category not in CostCategory.ALL:
+            raise ValueError(f"unknown cost category {category!r}")
+        self._totals[category] += amount
+        if self.keep_entries:
+            self.entries.append(CostEntry(time, category, amount, detail))
+
+    def total(self, category: str | None = None) -> float:
+        if category is None:
+            return sum(self._totals.values())
+        return self._totals.get(category, 0.0)
+
+    def snapshot(self) -> CostSnapshot:
+        return CostSnapshot(dict(self._totals))
+
+    def breakdown(self) -> dict[str, float]:
+        """Non-zero totals per category, for reporting."""
+        return {k: v for k, v in self._totals.items() if v > 0}

@@ -1,0 +1,591 @@
+"""Simulated serverless function platforms (Lambda / Azure Functions /
+Cloud Run functions).
+
+Models every FaaS behaviour the paper's performance model (§5.3) and
+discussion (§6) depend on:
+
+* **API invocation latency** ``I(loc)`` — paid by the caller for each
+  asynchronous invocation request;
+* **instance readiness delay** ``D(loc)`` — cold-start time when no
+  warm instance is available, small warm-start time otherwise;
+* **scheduling postponement** ``P(loc)`` — Azure/GCP batch new-instance
+  creation to a periodic scheduler tick (Cloud Run's scheduler runs
+  every five seconds), so a burst of cold invocations waits for the
+  next tick together;
+* **execution time limits** — a watchdog interrupts handlers that
+  exceed the platform maximum (e.g. 15 min on Lambda);
+* **auto-retry with dead-letter queue** — failed/timed-out invocations
+  are retried with backoff up to a platform maximum, then parked
+  (§6 "Fault tolerance");
+* **concurrency limits** — excess invocations queue (§6 "Resource
+  limitations"), default 1,000 concurrent instances per region;
+* **per-instance network variability** — each instance owns a
+  persistent :class:`~repro.simcloud.network.InstanceChannel`;
+* **millisecond-granularity billing** of compute and requests.
+
+Handlers are DES processes: generator functions ``handler(ctx,
+payload)`` that yield futures.  ``ctx`` (:class:`FunctionContext`)
+exposes the object-storage data path with metered latency, transfer
+time, and cost.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Optional
+
+from repro.simcloud.cost import CostCategory, CostLedger
+from repro.simcloud.network import (
+    BEST_CONFIGS,
+    FunctionConfig,
+    InstanceChannel,
+    NetworkFabric,
+)
+from repro.simcloud.objectstore import Blob, Bucket
+from repro.simcloud.pricing import PriceBook
+from repro.simcloud.regions import Provider, Region
+from repro.simcloud.rng import Dist, RngFactory, normal
+from repro.simcloud.sim import Future, Interrupt, Process, Simulator
+
+__all__ = [
+    "FaasProfile",
+    "FaasRegion",
+    "FunctionContext",
+    "Invocation",
+    "FunctionTimeout",
+    "InvocationFailed",
+]
+
+
+class FunctionTimeout(RuntimeError):
+    """Raised inside an invocation that exceeded its time limit."""
+
+
+class InvocationFailed(RuntimeError):
+    """An invocation exhausted its automatic retries."""
+
+
+@dataclass(frozen=True)
+class FaasProfile:
+    """Platform behaviour parameters (per provider)."""
+
+    invoke_latency_s: dict[str, Dist] = field(
+        default_factory=lambda: {
+            Provider.AWS: normal(0.018, 0.005, floor=0.004),
+            Provider.AZURE: normal(0.045, 0.015, floor=0.008),
+            Provider.GCP: normal(0.030, 0.010, floor=0.006),
+        }
+    )
+    cold_start_s: dict[str, Dist] = field(
+        default_factory=lambda: {
+            Provider.AWS: normal(0.32, 0.08, floor=0.08),
+            Provider.AZURE: normal(1.10, 0.35, floor=0.25),
+            Provider.GCP: normal(0.55, 0.15, floor=0.12),
+        }
+    )
+    warm_start_s: dict[str, Dist] = field(
+        default_factory=lambda: {
+            Provider.AWS: normal(0.008, 0.002, floor=0.001),
+            Provider.AZURE: normal(0.020, 0.006, floor=0.002),
+            Provider.GCP: normal(0.012, 0.004, floor=0.002),
+        }
+    )
+    # Scheduler tick period driving P(loc); 0 means instances are added
+    # immediately (Lambda's firecracker pool).
+    scheduler_period_s: dict[str, float] = field(
+        default_factory=lambda: {
+            Provider.AWS: 0.0,
+            Provider.AZURE: 4.0,
+            Provider.GCP: 5.0,
+        }
+    )
+    # Hard execution time limits.
+    timeout_limit_s: dict[str, float] = field(
+        default_factory=lambda: {
+            Provider.AWS: 900.0,
+            Provider.AZURE: 600.0,
+            Provider.GCP: 540.0,
+        }
+    )
+    # Extra caller-side latency when invoking across providers (public
+    # HTTPS endpoint instead of in-cloud API).
+    cross_provider_invoke_s: Dist = normal(0.09, 0.03, floor=0.02)
+    keepalive_s: float = 600.0
+    max_concurrency: int = 1000
+    max_retries: int = 2
+    retry_backoff_s: float = 1.0
+
+
+# Object-storage request (first-byte) latencies, paid per API call from
+# a function to a bucket; WAN round-trip added when crossing regions.
+_STORE_REQ_LATENCY: dict[str, Dist] = {
+    Provider.AWS: normal(0.025, 0.008, floor=0.005),
+    Provider.AZURE: normal(0.040, 0.012, floor=0.008),
+    Provider.GCP: normal(0.030, 0.010, floor=0.006),
+}
+_WAN_RTT_PER_1000KM = 0.012  # seconds of extra request RTT per 1000 km
+
+
+@dataclass
+class _Instance:
+    """One warm function instance (a microVM/container)."""
+
+    instance_id: int
+    channel: InstanceChannel
+    last_used: float
+    cold_started_at: float
+
+
+class Invocation(Future):
+    """Handle for one logical invocation (spanning auto-retries)."""
+
+    __slots__ = ("name", "payload", "attempts", "enqueued_at", "started_at")
+
+    def __init__(self, sim: Simulator, name: str, payload: Any):
+        super().__init__(sim)
+        self.name = name
+        self.payload = payload
+        self.attempts = 0
+        self.enqueued_at = sim.now
+        self.started_at: Optional[float] = None
+
+
+@dataclass
+class _Deployment:
+    name: str
+    handler: Callable[["FunctionContext", Any], Generator]
+    config: FunctionConfig
+    timeout_s: float
+    warm_pool: deque = field(default_factory=deque)
+    stats: dict[str, int] = field(
+        default_factory=lambda: {
+            "invocations": 0,
+            "cold_starts": 0,
+            "warm_starts": 0,
+            "timeouts": 0,
+            "errors": 0,
+            "retries": 0,
+        }
+    )
+
+
+class FaasRegion:
+    """The FaaS service of one provider in one region."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        region: Region,
+        fabric: NetworkFabric,
+        prices: PriceBook,
+        ledger: CostLedger,
+        rngs: RngFactory,
+        profile: FaasProfile | None = None,
+    ):
+        self.sim = sim
+        self.region = region
+        self.fabric = fabric
+        self.prices = prices
+        self.ledger = ledger
+        self.profile = profile or FaasProfile()
+        self._rng = rngs.stream(f"faas:{region.key}")
+        self._deployments: dict[str, _Deployment] = {}
+        self._instance_seq = itertools.count(1)
+        self._running = 0
+        #: High-water mark of concurrently running instances.
+        self.peak_running = 0
+        self._queue: deque[Callable[[], None]] = deque()
+        self.dead_letters: list[tuple[str, Any, str]] = []
+        #: Fault injection: probability that any attempt crashes after
+        #: an Exp(chaos_mean_delay_s)-distributed execution time.  The
+        #: crash takes the platform's normal failure path (§6: auto-
+        #: retry, then dead-letter queue).  Off by default.
+        self.chaos_crash_prob = 0.0
+        self.chaos_mean_delay_s = 2.0
+        self.chaos_crashes = 0
+
+    @property
+    def provider(self) -> str:
+        return self.region.provider
+
+    @property
+    def running(self) -> int:
+        return self._running
+
+    # -- deployment ----------------------------------------------------------
+
+    def deploy(
+        self,
+        name: str,
+        handler: Callable[["FunctionContext", Any], Generator],
+        config: FunctionConfig | None = None,
+        timeout_s: float | None = None,
+    ) -> None:
+        """Register a function; ``config`` defaults to the platform's
+        best-price configuration from the paper's setup."""
+        limit = self.profile.timeout_limit_s[self.provider]
+        timeout = min(timeout_s or limit, limit)
+        self._deployments[name] = _Deployment(
+            name, handler, config or BEST_CONFIGS[self.provider], timeout
+        )
+
+    def deployment_stats(self, name: str) -> dict[str, int]:
+        return dict(self._deployments[name].stats)
+
+    # -- invocation ----------------------------------------------------------
+
+    def invoke(self, name: str, payload: Any,
+               caller_region: Region | None = None) -> tuple[Future, Invocation]:
+        """Asynchronously invoke ``name``.
+
+        Returns ``(accepted, invocation)``: ``accepted`` resolves after
+        the caller-side API latency *I* (plus a cross-provider surcharge
+        when the caller runs on a different cloud); ``invocation``
+        resolves with the handler's return value once the function —
+        including platform auto-retries — finishes.
+        """
+        if name not in self._deployments:
+            raise KeyError(f"function {name!r} not deployed in {self.region.key}")
+        latency = float(self.profile.invoke_latency_s[self.provider].sample(self._rng))
+        if caller_region is not None and caller_region.provider != self.provider:
+            latency += float(self.profile.cross_provider_invoke_s.sample(self._rng))
+        invocation = Invocation(self.sim, name, payload)
+        accepted = Future(self.sim)
+
+        def accept() -> None:
+            accepted.resolve(invocation)
+            self._admit(invocation)
+
+        self.sim.call_later(latency, accept)
+        return accepted, invocation
+
+    def invoke_and_forget(self, name: str, payload: Any) -> Invocation:
+        """Platform-internal trigger (no caller to pay *I*), e.g. a
+        bucket notification invoking its event-listener function."""
+        invocation = Invocation(self.sim, name, payload)
+        self._admit(invocation)
+        return invocation
+
+    def redrive_dead_letters(self) -> int:
+        """Re-enqueue every dead-lettered event as a fresh invocation.
+
+        The operational recovery path after an extended fault (e.g. a
+        region outage that outlasted the automatic retries): all the
+        system's functions are idempotent, so redriving the DLQ resumes
+        exactly where the failures interrupted.  Returns the number of
+        events redriven.
+        """
+        parked, self.dead_letters = self.dead_letters, []
+        for name, payload, _error in parked:
+            if name in self._deployments:
+                self.invoke_and_forget(name, payload)
+        return len(parked)
+
+    # -- internal lifecycle -----------------------------------------------------
+
+    def _admit(self, invocation: Invocation) -> None:
+        if self._running >= self.profile.max_concurrency:
+            self._queue.append(lambda: self._start_attempt(invocation))
+        else:
+            self._start_attempt(invocation)
+
+    def _release_slot(self) -> None:
+        self._running -= 1
+        if self._queue and self._running < self.profile.max_concurrency:
+            self._queue.popleft()()
+
+    def _next_scheduler_tick(self) -> float:
+        """Delay until the platform scheduler next adds instances (P)."""
+        period = self.profile.scheduler_period_s[self.provider]
+        if period <= 0:
+            return 0.0
+        return period - math.fmod(self.sim.now, period)
+
+    def _acquire_instance(self, dep: _Deployment):
+        """Process: obtain a warm or cold instance; returns (_Instance, cold)."""
+        now = self.sim.now
+        while dep.warm_pool:
+            inst: _Instance = dep.warm_pool.popleft()
+            if now - inst.last_used <= self.profile.keepalive_s:
+                yield self.sim.sleep(
+                    float(self.profile.warm_start_s[self.provider].sample(self._rng))
+                )
+                return inst, False
+        postponement = self._next_scheduler_tick()
+        if postponement > 0:
+            yield self.sim.sleep(postponement)
+        yield self.sim.sleep(
+            float(self.profile.cold_start_s[self.provider].sample(self._rng))
+        )
+        inst = _Instance(
+            instance_id=next(self._instance_seq),
+            channel=self.fabric.open_channel(self.provider),
+            last_used=self.sim.now,
+            cold_started_at=self.sim.now,
+        )
+        return inst, True
+
+    def _start_attempt(self, invocation: Invocation) -> None:
+        self._running += 1
+        self.peak_running = max(self.peak_running, self._running)
+        dep = self._deployments[invocation.name]
+        dep.stats["invocations"] += 1
+        invocation.attempts += 1
+        self.sim.spawn(self._run_attempt(dep, invocation),
+                       name=f"faas:{self.region.key}:{invocation.name}")
+
+    def _run_attempt(self, dep: _Deployment, invocation: Invocation):
+        try:
+            inst, cold = yield self.sim.spawn(self._acquire_instance(dep))
+            dep.stats["cold_starts" if cold else "warm_starts"] += 1
+            if invocation.started_at is None:
+                invocation.started_at = self.sim.now
+            ctx = FunctionContext(self, dep, inst, deadline=self.sim.now + dep.timeout_s)
+            body = self.sim.spawn(dep.handler(ctx, invocation.payload),
+                                  name=f"body:{dep.name}")
+            watchdog_fired = [False]
+
+            def watchdog() -> None:
+                if body.alive:
+                    watchdog_fired[0] = True
+                    body.interrupt("timeout")
+
+            watchdog_timer = self.sim.call_later(dep.timeout_s, watchdog)
+            chaos_timer = None
+            if self.chaos_crash_prob and self._rng.random() < self.chaos_crash_prob:
+                def chaos() -> None:
+                    if body.alive:
+                        self.chaos_crashes += 1
+                        body.interrupt("chaos-crash")
+
+                chaos_timer = self.sim.call_later(
+                    float(self._rng.exponential(self.chaos_mean_delay_s)),
+                    chaos,
+                )
+            started = self.sim.now
+            try:
+                result = yield body
+                error: Optional[BaseException] = None
+            except Interrupt as intr:
+                error = FunctionTimeout(str(intr.cause)) if watchdog_fired[0] else intr
+                result = None
+            except Exception as exc:  # noqa: BLE001 - handler fault
+                error = exc
+                result = None
+            watchdog_timer.cancel()
+            if chaos_timer is not None:
+                chaos_timer.cancel()
+            duration = self.sim.now - started
+            self._bill(dep, duration)
+            inst.last_used = self.sim.now
+            dep.warm_pool.append(inst)
+        finally:
+            self._release_slot()
+        if error is None:
+            invocation.resolve(result)
+            return
+        if isinstance(error, FunctionTimeout):
+            dep.stats["timeouts"] += 1
+        else:
+            dep.stats["errors"] += 1
+        if invocation.attempts <= self.profile.max_retries:
+            dep.stats["retries"] += 1
+            delay = self.profile.retry_backoff_s * (2 ** (invocation.attempts - 1))
+            self.sim.call_later(delay, lambda: self._admit_retry(invocation))
+        else:
+            self.dead_letters.append((invocation.name, invocation.payload, repr(error)))
+            invocation.fail(InvocationFailed(f"{invocation.name}: {error!r}"))
+
+    def _admit_retry(self, invocation: Invocation) -> None:
+        self._admit(invocation)
+
+    def _bill(self, dep: _Deployment, duration_s: float) -> None:
+        cost = self.prices.faas_compute_cost(
+            self.provider, dep.config.memory_mb, dep.config.vcpus, duration_s
+        )
+        self.ledger.charge(self.sim.now, CostCategory.FAAS_COMPUTE, cost,
+                           f"{self.region.key}:{dep.name}")
+        self.ledger.charge(self.sim.now, CostCategory.FAAS_REQUESTS,
+                           self.prices.faas[self.provider].per_request,
+                           f"{self.region.key}:{dep.name}")
+
+
+class FunctionContext:
+    """Runtime services available to a handler.
+
+    The data-path methods are generators; use them with ``yield from``
+    inside handlers.  Each charges the appropriate request, egress, and
+    compute-time costs and advances simulated time by the sampled
+    request latency and transfer duration.
+    """
+
+    def __init__(self, faas: FaasRegion, dep: _Deployment, inst: _Instance,
+                 deadline: float):
+        self._faas = faas
+        self._dep = dep
+        self.instance = inst
+        self.deadline = deadline
+        self.region = faas.region
+        self.config = dep.config
+        self._client_ready = False
+        self.bytes_downloaded = 0
+        self.bytes_uploaded = 0
+
+    # -- basics ---------------------------------------------------------------
+
+    @property
+    def sim(self) -> Simulator:
+        return self._faas.sim
+
+    @property
+    def now(self) -> float:
+        return self._faas.sim.now
+
+    @property
+    def remaining_s(self) -> float:
+        return max(0.0, self.deadline - self.now)
+
+    def sleep(self, seconds: float) -> Future:
+        return self._faas.sim.sleep(seconds)
+
+    def spawn(self, gen, name: str = "") -> Process:
+        return self._faas.sim.spawn(gen, name=name)
+
+    # -- metered request plumbing ---------------------------------------------
+
+    def _request_latency(self, bucket: Bucket) -> float:
+        base = float(_STORE_REQ_LATENCY[bucket.region.provider].sample(self._faas._rng))
+        if bucket.region.key != self.region.key:
+            from repro.simcloud.regions import geo_distance_km
+
+            base += _WAN_RTT_PER_1000KM * geo_distance_km(self.region, bucket.region) / 1000.0
+        return base
+
+    def _charge_request(self, bucket: Bucket, kind: str) -> None:
+        price = self._faas.prices.store[bucket.region.provider]
+        amount = price.put if kind == "put" else price.get
+        self._faas.ledger.charge(self.now, CostCategory.STORAGE_REQUESTS, amount,
+                                 f"{bucket.region.key}:{bucket.name}:{kind}")
+
+    def _charge_egress(self, src: Region, dst: Region, nbytes: int) -> None:
+        cost = self._faas.prices.egress_cost(src, dst, nbytes)
+        if cost > 0:
+            self._faas.ledger.charge(self.now, CostCategory.EGRESS, cost,
+                                     f"{src.key}->{dst.key}")
+
+    def _client_startup(self):
+        """First data-path call per invocation pays the S overhead."""
+        if not self._client_ready:
+            self._client_ready = True
+            yield self.sleep(self._faas.fabric.sample_startup(self.region.provider))
+
+    def _leg_seconds(self, bucket: Bucket, nbytes: int, upload: bool,
+                     concurrency: int) -> float:
+        fabric = self._faas.fabric
+        peer = bucket.region
+        mbps = fabric.path_mbps(self.region, peer, self.config, upload=upload)
+        divisor, extra_sigma = fabric.congestion_scale(self.region.provider, concurrency)
+        factor = self.instance.channel.next_factor()
+        if extra_sigma > 0:
+            import numpy as np
+
+            factor *= float(np.exp(fabric._rng.normal(-extra_sigma**2 / 2, extra_sigma)))
+        return nbytes * 8 / (mbps * 1e6) * divisor / factor
+
+    # -- object storage data path -----------------------------------------------
+
+    def get_object(self, bucket: Bucket, key: str, offset: int = 0,
+                   length: Optional[int] = None, concurrency: int = 1):
+        """Download a (range of an) object into local storage."""
+        yield from self._client_startup()
+        yield self.sleep(self._request_latency(bucket))
+        blob, version = bucket.get_object(key, offset, length)
+        self._charge_request(bucket, "get")
+        yield self.sleep(self._leg_seconds(bucket, blob.size, upload=False,
+                                           concurrency=concurrency))
+        self._charge_egress(bucket.region, self.region, blob.size)
+        self.bytes_downloaded += blob.size
+        return blob, version
+
+    def head_object(self, bucket: Bucket, key: str):
+        """Metadata-only request (no data transfer)."""
+        yield self.sleep(self._request_latency(bucket))
+        self._charge_request(bucket, "get")
+        return bucket.head(key)
+
+    def put_object(self, bucket: Bucket, key: str, blob: Blob,
+                   if_match: Optional[str] = None, concurrency: int = 1):
+        """Upload ``blob`` from local storage to ``bucket/key``."""
+        yield from self._client_startup()
+        yield self.sleep(self._request_latency(bucket))
+        yield self.sleep(self._leg_seconds(bucket, blob.size, upload=True,
+                                           concurrency=concurrency))
+        version = bucket.put_object(key, blob, self.now, if_match=if_match)
+        self._charge_request(bucket, "put")
+        self._charge_egress(self.region, bucket.region, blob.size)
+        self.bytes_uploaded += blob.size
+        return version
+
+    def delete_object(self, bucket: Bucket, key: str):
+        yield self.sleep(self._request_latency(bucket))
+        bucket.delete_object(key, self.now)
+        self._charge_request(bucket, "put")
+        return None
+
+    def copy_object(self, bucket: Bucket, src_key: str, dst_key: str,
+                    if_match: Optional[str] = None):
+        """Server-side copy inside one bucket — no WAN transfer."""
+        yield self.sleep(self._request_latency(bucket))
+        if if_match is not None and bucket.current_etag(src_key) != if_match:
+            from repro.simcloud.objectstore import PreconditionFailed
+
+            self._charge_request(bucket, "put")
+            raise PreconditionFailed(f"copy source {src_key} etag mismatch")
+        version = bucket.copy_object(src_key, dst_key, self.now)
+        self._charge_request(bucket, "put")
+        return version
+
+    # -- multipart ----------------------------------------------------------------
+
+    def initiate_multipart(self, bucket: Bucket, key: str,
+                           if_match: Optional[str] = None):
+        yield self.sleep(self._request_latency(bucket))
+        self._charge_request(bucket, "put")
+        return bucket.initiate_multipart(key, if_match=if_match)
+
+    def upload_part(self, bucket: Bucket, upload_id: str, part_number: int,
+                    blob: Blob, concurrency: int = 1, pipelined: bool = False):
+        """``pipelined=True`` overlaps the request handshake with the
+        previous part's data transfer (streaming uploads), so only the
+        transfer time itself is paid; the request is still billed."""
+        yield from self._client_startup()
+        if not pipelined:
+            yield self.sleep(self._request_latency(bucket))
+        yield self.sleep(self._leg_seconds(bucket, blob.size, upload=True,
+                                           concurrency=concurrency))
+        etag = bucket.upload_part(upload_id, part_number, blob)
+        self._charge_request(bucket, "put")
+        self._charge_egress(self.region, bucket.region, blob.size)
+        self.bytes_uploaded += blob.size
+        return etag
+
+    def complete_multipart(self, bucket: Bucket, upload_id: str):
+        yield self.sleep(self._request_latency(bucket))
+        version = bucket.complete_multipart(upload_id, self.now)
+        self._charge_request(bucket, "put")
+        return version
+
+    # -- invoking other functions ---------------------------------------------------
+
+    def invoke(self, target: FaasRegion, name: str, payload: Any):
+        """Asynchronously invoke a function (possibly on another cloud).
+
+        Generator; returns the :class:`Invocation` handle after the
+        caller-side API latency elapses.
+        """
+        accepted, _ = target.invoke(name, payload, caller_region=self.region)
+        invocation = yield accepted
+        return invocation

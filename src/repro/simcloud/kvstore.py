@@ -1,0 +1,162 @@
+"""Simulated serverless NoSQL database (DynamoDB / Cosmos DB / Firestore).
+
+AReplica keeps all intermediate replication state — the shared part
+pool, task progress counters, and the object-granularity replication
+lock — in a pay-as-you-go cloud database.  The simulation provides the
+exact primitives those components need:
+
+* point reads/writes with single-digit-millisecond latency,
+* atomic conditional writes (the basis of the lock client),
+* atomic read-modify-write updates and counters,
+* per-operation pricing metered into the cost ledger.
+
+Mutations are applied atomically at request admission and the response
+is delivered after the sampled latency, giving linearizable semantics
+(a real conditional-write API provides the same guarantee).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.simcloud.cost import CostCategory, CostLedger
+from repro.simcloud.pricing import PriceBook
+from repro.simcloud.regions import Provider, Region
+from repro.simcloud.rng import Dist, RngFactory, normal
+from repro.simcloud.sim import Future, Simulator
+
+__all__ = ["KvProfile", "KvTable", "ConditionFailed"]
+
+
+class ConditionFailed(RuntimeError):
+    """A conditional write's condition evaluated to false."""
+
+
+@dataclass(frozen=True)
+class KvProfile:
+    """Per-provider operation latency distributions."""
+
+    latency_s: dict[str, Dist] = field(
+        default_factory=lambda: {
+            Provider.AWS: normal(0.004, 0.0012, floor=0.001),
+            Provider.AZURE: normal(0.006, 0.002, floor=0.0015),
+            Provider.GCP: normal(0.007, 0.002, floor=0.0015),
+        }
+    )
+
+
+class KvTable:
+    """One table in one region's serverless database."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        region: Region,
+        prices: PriceBook,
+        ledger: CostLedger,
+        rngs: RngFactory,
+        profile: KvProfile | None = None,
+    ):
+        self.sim = sim
+        self.name = name
+        self.region = region
+        self._prices = prices
+        self._ledger = ledger
+        self._profile = profile or KvProfile()
+        self._rng = rngs.stream(f"kv:{region.key}:{name}")
+        self._items: dict[str, dict[str, Any]] = {}
+        self.op_counts = {"read": 0, "write": 0}
+
+    # -- internals ---------------------------------------------------------
+
+    def _latency(self) -> float:
+        return float(self._profile.latency_s[self.region.provider].sample(self._rng))
+
+    def _respond(self, kind: str, value: Any = None,
+                 error: Optional[BaseException] = None) -> Future:
+        price = self._prices.kv[self.region.provider]
+        cost = price.write if kind == "write" else price.read
+        self.op_counts[kind] += 1
+        self._ledger.charge(self.sim.now, CostCategory.KV_OPS, cost,
+                            f"kv:{kind}:{self.name}")
+        fut = Future(self.sim)
+        if error is not None:
+            self.sim.call_later(self._latency(), lambda: fut.fail(error))
+        else:
+            self.sim.call_later(self._latency(), lambda: fut.resolve(value))
+        return fut
+
+    # -- point operations ----------------------------------------------------
+
+    def get_item(self, key: str) -> Future:
+        """Read an item; resolves with a copy of the dict or None."""
+        item = self._items.get(key)
+        return self._respond("read", dict(item) if item is not None else None)
+
+    def put_item(self, key: str, item: dict[str, Any]) -> Future:
+        """Unconditional upsert."""
+        self._items[key] = dict(item)
+        return self._respond("write", None)
+
+    def delete_item(self, key: str) -> Future:
+        self._items.pop(key, None)
+        return self._respond("write", None)
+
+    def conditional_put(
+        self,
+        key: str,
+        item: dict[str, Any],
+        condition: Callable[[Optional[dict[str, Any]]], bool],
+    ) -> Future:
+        """Upsert only if ``condition(current_item)`` holds.
+
+        Resolves with True on success; fails with
+        :class:`ConditionFailed` otherwise (mirroring DynamoDB's
+        ``ConditionalCheckFailedException``).
+        """
+        current = self._items.get(key)
+        if not condition(dict(current) if current is not None else None):
+            return self._respond("write", error=ConditionFailed(key))
+        self._items[key] = dict(item)
+        return self._respond("write", True)
+
+    def put_if_absent(self, key: str, item: dict[str, Any]) -> Future:
+        """Create the item only if the key does not exist; bool result."""
+        if key in self._items:
+            return self._respond("write", False)
+        self._items[key] = dict(item)
+        return self._respond("write", True)
+
+    def update_item(
+        self, key: str, fn: Callable[[Optional[dict[str, Any]]], Optional[dict[str, Any]]]
+    ) -> Future:
+        """Atomic read-modify-write.
+
+        ``fn`` receives a copy of the current item (or None) and returns
+        the new item, or None to delete.  Resolves with the new item.
+        """
+        current = self._items.get(key)
+        updated = fn(dict(current) if current is not None else None)
+        if updated is None:
+            self._items.pop(key, None)
+        else:
+            self._items[key] = dict(updated)
+        return self._respond("write", dict(updated) if updated is not None else None)
+
+    def increment(self, key: str, field_name: str, by: int = 1) -> Future:
+        """Atomic counter; creates the item/field at 0 when missing."""
+        item = self._items.setdefault(key, {})
+        item[field_name] = item.get(field_name, 0) + by
+        return self._respond("write", item[field_name])
+
+    # -- test/debug helpers ---------------------------------------------------
+
+    def peek(self, key: str) -> Optional[dict[str, Any]]:
+        """Zero-latency, zero-cost read for assertions in tests."""
+        item = self._items.get(key)
+        return dict(item) if item is not None else None
+
+    def __len__(self) -> int:
+        return len(self._items)

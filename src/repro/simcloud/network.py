@@ -1,0 +1,280 @@
+"""Wide-area network fabric.
+
+Models the two empirical phenomena the paper's characterization (§3)
+identifies as the key challenges for serverless replication:
+
+* **Asymmetric performance of clouds/regions** (Fig 8): the achievable
+  bandwidth depends not only on the (source, destination) pair but on
+  *which platform executes the function*.  We compose a per-platform
+  NIC cap, a platform WAN efficiency factor, a continental distance
+  factor, and a cross-provider (public internet) penalty; specific
+  pairs can additionally be overridden.
+
+* **Performance variability of instances** (Fig 9): every function
+  instance draws a persistent lognormal speed factor at cold start, and
+  each transfer additionally sees autocorrelated jitter, so bandwidth
+  differs by more than 2x between instances with identical
+  configuration, with no predictable pattern.
+
+Bandwidths also depend on the function's memory/vCPU configuration
+(Fig 6): AWS and Azure scale network with memory up to a sweet spot,
+GCP with vCPU count.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.simcloud.regions import Provider, Region
+from repro.simcloud.rng import Dist, RngFactory, normal
+
+__all__ = ["FunctionConfig", "NetworkProfile", "InstanceChannel", "NetworkFabric",
+           "DEFAULT_PROFILE", "MBPS"]
+
+MBPS = 1e6  # bits per second in one Mbps
+
+
+@dataclass(frozen=True)
+class FunctionConfig:
+    """Compute configuration of a cloud function (drives bandwidth)."""
+
+    memory_mb: int = 1024
+    vcpus: float = 1.0
+
+
+# Default, best-price configurations the paper uses in §8 ("we manually
+# configure cloud functions so that they achieve the best performance at
+# the lowest cost").
+BEST_CONFIGS: dict[str, FunctionConfig] = {
+    Provider.AWS: FunctionConfig(memory_mb=1024, vcpus=0.6),
+    Provider.AZURE: FunctionConfig(memory_mb=2048, vcpus=1.0),
+    Provider.GCP: FunctionConfig(memory_mb=1024, vcpus=2.0),
+}
+
+
+@dataclass(frozen=True)
+class NetworkProfile:
+    """All tunable parameters of the WAN model (calibration lives here)."""
+
+    # Per-function WAN cap (Mbps) at full configuration scale.
+    nic_cap_mbps: dict[str, float] = field(
+        default_factory=lambda: {
+            Provider.AWS: 620.0,
+            Provider.AZURE: 480.0,
+            Provider.GCP: 540.0,
+        }
+    )
+    # In-region object store access bandwidth per function (Mbps).
+    intra_mbps: dict[str, float] = field(
+        default_factory=lambda: {
+            Provider.AWS: 950.0,
+            Provider.AZURE: 750.0,
+            Provider.GCP: 850.0,
+        }
+    )
+    # Platform efficiency on WAN paths (AWS Lambda fastest & most stable).
+    platform_wan_factor: dict[str, float] = field(
+        default_factory=lambda: {
+            Provider.AWS: 1.0,
+            Provider.AZURE: 0.62,
+            Provider.GCP: 0.85,
+        }
+    )
+    # Continental distance factors for a single TCP stream.
+    same_region_factor: float = 1.0
+    same_continent_factor: float = 0.82
+    continent_factor: dict[tuple[str, str], float] = field(
+        default_factory=lambda: {
+            ("na", "eu"): 0.52,
+            ("eu", "na"): 0.52,
+            ("na", "ap"): 0.30,
+            ("ap", "na"): 0.30,
+            ("eu", "ap"): 0.24,
+            ("ap", "eu"): 0.24,
+        }
+    )
+    # Crossing the public internet between providers.
+    cross_provider_factor: float = 0.78
+    # Upload (PUT) achieves slightly less than download (GET).
+    upload_factor: float = 0.92
+    # Persistent per-instance lognormal sigma (the Fig 9 spread).
+    instance_sigma: dict[str, float] = field(
+        default_factory=lambda: {
+            Provider.AWS: 0.16,
+            Provider.AZURE: 0.42,
+            Provider.GCP: 0.34,
+        }
+    )
+    # Per-transfer multiplicative jitter sigma.
+    transfer_sigma: dict[str, float] = field(
+        default_factory=lambda: {
+            Provider.AWS: 0.08,
+            Provider.AZURE: 0.22,
+            Provider.GCP: 0.18,
+        }
+    )
+    # AR(1) coefficient for within-instance bandwidth drift over time.
+    drift_rho: float = 0.85
+    # Client startup overhead S before bytes flow (seconds).
+    startup_s: dict[str, Dist] = field(
+        default_factory=lambda: {
+            Provider.AWS: normal(0.22, 0.05),
+            Provider.AZURE: normal(0.35, 0.10),
+            Provider.GCP: normal(0.28, 0.08),
+        }
+    )
+    # Mean-bandwidth degradation with concurrency: bw /= 1 + alpha*(n-1)/64.
+    congestion_alpha: dict[str, float] = field(
+        default_factory=lambda: {
+            Provider.AWS: 0.06,
+            Provider.AZURE: 0.55,
+            Provider.GCP: 0.40,
+        }
+    )
+    # Extra variability under concurrency ("links unstable with parallelism").
+    congestion_sigma: dict[str, float] = field(
+        default_factory=lambda: {
+            Provider.AWS: 0.02,
+            Provider.AZURE: 0.10,
+            Provider.GCP: 0.07,
+        }
+    )
+    # Directed Mbps overrides for specific (exec_provider, src_key, dst_key).
+    pair_overrides: dict[tuple[str, str, str], float] = field(default_factory=dict)
+
+    def config_scale(self, provider: str, config: FunctionConfig) -> float:
+        """Bandwidth scale in (0, 1] as a function of compute config.
+
+        Captures Fig 6: bandwidth grows with memory (AWS/Azure) or vCPUs
+        (GCP) and saturates at a sweet spot beyond which more expensive
+        configurations buy nothing.
+        """
+        if provider == Provider.AWS:
+            # Scales with memory up to ~1 GB, flat afterwards.
+            return min(1.0, 0.25 + 0.75 * config.memory_mb / 1024.0)
+        if provider == Provider.AZURE:
+            # 2048 MB is both the minimum and the knee.
+            return min(1.0, 0.40 + 0.60 * config.memory_mb / 2048.0)
+        # GCP: network follows vCPUs; saturates at 2 vCPUs.
+        return min(1.0, 0.35 + 0.65 * config.vcpus / 2.0)
+
+
+DEFAULT_PROFILE = NetworkProfile()
+
+
+class InstanceChannel:
+    """Per-function-instance view of the network.
+
+    Holds the instance's persistent speed factor and an AR(1) drift
+    state so that consecutive transfers by the same instance are
+    correlated (an instance that is slow now tends to stay slow), which
+    is what makes straggler mitigation worthwhile.
+    """
+
+    def __init__(self, provider: str, profile: NetworkProfile, rng: np.random.Generator):
+        self.provider = provider
+        self.profile = profile
+        self._rng = rng
+        sigma = profile.instance_sigma[provider]
+        # Mean-one lognormal: E[exp(N(-s^2/2, s^2))] = 1.
+        self.base_factor = float(rng.lognormal(-sigma**2 / 2, sigma))
+        self._drift = 0.0
+
+    def next_factor(self) -> float:
+        """Sample the instantaneous speed multiplier for one transfer."""
+        sigma = self.profile.transfer_sigma[self.provider]
+        innovation = self._rng.normal(0.0, sigma * math.sqrt(1 - self.profile.drift_rho**2))
+        self._drift = self.profile.drift_rho * self._drift + innovation
+        return max(0.05, self.base_factor * math.exp(self._drift - sigma**2 / 2))
+
+
+class NetworkFabric:
+    """Samples transfer times for functions/VMs moving object data."""
+
+    def __init__(self, rngs: RngFactory, profile: NetworkProfile = DEFAULT_PROFILE):
+        self.profile = profile
+        self._rng = rngs.stream("network")
+        self._channel_seq = 0
+
+    # -- deterministic mean bandwidths ----------------------------------
+
+    def path_mbps(self, exec_region: Region, peer: Region, config: FunctionConfig,
+                  upload: bool) -> float:
+        """Mean bandwidth (Mbps) between a function and an object store.
+
+        ``peer`` is the bucket's region; ``upload`` selects the PUT
+        direction.  Intra-region access bypasses the WAN model.
+        """
+        p = self.profile
+        provider = exec_region.provider
+        scale = p.config_scale(provider, config)
+        # Overrides are keyed by data-flow direction:
+        # (exec provider, region bytes leave, region bytes enter).
+        flow = ((exec_region.key, peer.key) if upload
+                else (peer.key, exec_region.key))
+        override = p.pair_overrides.get((provider, *flow))
+        if override is not None:
+            bw = override * scale
+            return bw * (p.upload_factor if upload else 1.0)
+        if exec_region.key == peer.key:
+            bw = p.intra_mbps[provider] * scale
+            return bw * (p.upload_factor if upload else 1.0)
+        nic = p.nic_cap_mbps[provider] * scale
+        if exec_region.continent == peer.continent:
+            dist = (p.same_continent_factor
+                    if exec_region.name != peer.name or exec_region.provider != peer.provider
+                    else p.same_region_factor)
+        else:
+            dist = p.continent_factor[(exec_region.continent, peer.continent)]
+        cross = 1.0 if exec_region.provider == peer.provider else p.cross_provider_factor
+        bw = nic * p.platform_wan_factor[provider] * dist * cross
+        return bw * (p.upload_factor if upload else 1.0)
+
+    def mean_transfer_seconds(self, exec_region: Region, src: Region, dst: Region,
+                              nbytes: int, config: FunctionConfig) -> float:
+        """Expected store-and-forward time, excluding startup overhead."""
+        down = self.path_mbps(exec_region, src, config, upload=False) * MBPS
+        up = self.path_mbps(exec_region, dst, config, upload=True) * MBPS
+        bits = nbytes * 8
+        return bits / down + bits / up
+
+    # -- stochastic sampling ---------------------------------------------
+
+    def open_channel(self, provider: str) -> InstanceChannel:
+        """Create the network view for a newly started instance."""
+        self._channel_seq += 1
+        child = np.random.default_rng(self._rng.integers(0, 2**63))
+        return InstanceChannel(provider, self.profile, child)
+
+    def sample_startup(self, provider: str) -> float:
+        return float(self.profile.startup_s[provider].sample(self._rng))
+
+    def congestion_scale(self, provider: str, concurrency: int) -> tuple[float, float]:
+        """(mean divisor, extra sigma) for ``concurrency`` parallel streams."""
+        if concurrency <= 1:
+            return 1.0, 0.0
+        p = self.profile
+        divisor = 1.0 + p.congestion_alpha[provider] * (concurrency - 1) / 64.0
+        extra = p.congestion_sigma[provider] * math.log2(concurrency)
+        return divisor, extra
+
+    def sample_transfer_seconds(
+        self,
+        exec_region: Region,
+        src: Region,
+        dst: Region,
+        nbytes: int,
+        config: FunctionConfig,
+        channel: InstanceChannel,
+        concurrency: int = 1,
+    ) -> float:
+        """One store-and-forward transfer time draw for ``nbytes``."""
+        base = self.mean_transfer_seconds(exec_region, src, dst, nbytes, config)
+        divisor, extra_sigma = self.congestion_scale(exec_region.provider, concurrency)
+        factor = channel.next_factor()
+        if extra_sigma > 0:
+            factor *= float(np.exp(self._rng.normal(-extra_sigma**2 / 2, extra_sigma)))
+        return base * divisor / factor

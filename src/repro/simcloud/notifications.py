@@ -1,0 +1,64 @@
+"""Cloud event notification service.
+
+When an object is created or deleted, the platform generates a
+JSON-format notification delivered to subscribed functions after a
+platform-dependent delay ``T_n`` (the paper's notation in §5.3).  The
+SLO math in the strategy planner subtracts this delay from the user's
+budget, so the delivery delay distribution is part of the substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.simcloud.objectstore import Bucket, ObjectEvent
+from repro.simcloud.regions import Provider
+from repro.simcloud.rng import Dist, RngFactory, normal
+from repro.simcloud.sim import Simulator
+
+__all__ = ["NotificationProfile", "NotificationBus"]
+
+
+@dataclass(frozen=True)
+class NotificationProfile:
+    """Per-provider notification delivery delay distributions."""
+
+    delay_s: dict[str, Dist] = field(
+        default_factory=lambda: {
+            Provider.AWS: normal(0.45, 0.12, floor=0.05),
+            Provider.AZURE: normal(0.80, 0.25, floor=0.08),
+            Provider.GCP: normal(0.60, 0.18, floor=0.06),
+        }
+    )
+
+
+class NotificationBus:
+    """Connects buckets to handlers with realistic delivery delay."""
+
+    def __init__(self, sim: Simulator, rngs: RngFactory,
+                 profile: NotificationProfile | None = None):
+        self.sim = sim
+        self.profile = profile or NotificationProfile()
+        self._rng = rngs.stream("notifications")
+        self.delivered = 0
+
+    def connect(self, bucket: Bucket,
+                handler: Callable[[ObjectEvent], None]) -> None:
+        """Deliver ``bucket``'s events to ``handler`` after ``T_n``."""
+        dist = self.profile.delay_s[bucket.region.provider]
+
+        def on_event(event: ObjectEvent) -> None:
+            delay = float(dist.sample(self._rng))
+
+            def deliver() -> None:
+                self.delivered += 1
+                handler(event)
+
+            self.sim.call_later(delay, deliver)
+
+        bucket.subscribe(on_event)
+
+    def sample_delay(self, provider: str) -> float:
+        """One delivery-delay draw (used by the profiler)."""
+        return float(self.profile.delay_s[provider].sample(self._rng))

@@ -1,0 +1,154 @@
+"""Price book for the three simulated clouds.
+
+All prices are taken from the providers' public list prices circa the
+paper's evaluation (and the figures the paper itself quotes, e.g.
+DynamoDB at $0.625 per million writes in us-east-1).  Prices are USD.
+
+The egress model follows each provider's published bandwidth pricing
+structure:
+
+* intra-region transfers are free;
+* same-provider inter-region transfers are billed at a reduced
+  backbone rate that grows with continental distance;
+* cross-provider transfers are billed at the source provider's
+  internet egress rate (data leaving for a competitor always goes over
+  the public internet).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.simcloud.regions import Provider, Region
+
+__all__ = ["FaasPrice", "VmPrice", "KvPrice", "ObjectStorePrice", "PriceBook"]
+
+GIB = 1024**3
+GB = 10**9
+
+
+@dataclass(frozen=True)
+class FaasPrice:
+    """Serverless compute pricing for one platform."""
+
+    gb_second: float          # $ per GiB-second of configured memory
+    vcpu_second: float        # $ per vCPU-second (GCP bills CPU separately)
+    per_request: float        # $ per invocation
+    min_billed_ms: float = 1.0
+
+
+@dataclass(frozen=True)
+class VmPrice:
+    """VM pricing for one platform (Skyplane's substrate)."""
+
+    per_hour: float
+    min_billed_seconds: float = 60.0
+
+
+@dataclass(frozen=True)
+class KvPrice:
+    """Serverless NoSQL pricing (per single-item operation)."""
+
+    write: float
+    read: float
+
+
+@dataclass(frozen=True)
+class ObjectStorePrice:
+    """Object storage request + capacity pricing."""
+
+    put: float                 # $ per PUT/COPY/POST/LIST request
+    get: float                 # $ per GET request
+    gb_month: float            # $ per GB-month stored
+    rtc_fee_per_gb: float = 0.0  # S3 Replication Time Control data fee
+
+
+# -- platform price tables ------------------------------------------------
+
+FAAS_PRICES: dict[str, FaasPrice] = {
+    # AWS Lambda: $0.0000166667/GB-s, $0.20 per 1M requests.
+    Provider.AWS: FaasPrice(gb_second=1.66667e-5, vcpu_second=0.0, per_request=2.0e-7),
+    # Azure Functions (consumption): $0.000016/GB-s, $0.20 per 1M.
+    Provider.AZURE: FaasPrice(gb_second=1.6e-5, vcpu_second=0.0, per_request=2.0e-7),
+    # Cloud Run functions: $0.0000025/GiB-s + $0.000024/vCPU-s, $0.40/M.
+    Provider.GCP: FaasPrice(gb_second=2.5e-6, vcpu_second=2.4e-5, per_request=4.0e-7),
+}
+
+VM_PRICES: dict[str, VmPrice] = {
+    # Roughly the general-purpose instance classes Skyplane provisions.
+    Provider.AWS: VmPrice(per_hour=1.65, min_billed_seconds=60.0),
+    Provider.AZURE: VmPrice(per_hour=1.90, min_billed_seconds=60.0),
+    Provider.GCP: VmPrice(per_hour=1.50, min_billed_seconds=60.0),
+}
+
+KV_PRICES: dict[str, KvPrice] = {
+    # DynamoDB on-demand (the paper quotes $0.6250 per million writes).
+    Provider.AWS: KvPrice(write=6.25e-7, read=1.25e-7),
+    # Cosmos DB serverless, approximated per point operation.
+    Provider.AZURE: KvPrice(write=8.0e-7, read=2.0e-7),
+    # Firestore: $0.108 per 100k writes, $0.036 per 100k reads -> pricier.
+    Provider.GCP: KvPrice(write=1.08e-6, read=3.6e-7),
+}
+
+STORE_PRICES: dict[str, ObjectStorePrice] = {
+    Provider.AWS: ObjectStorePrice(
+        put=5.0e-6, get=4.0e-7, gb_month=0.023, rtc_fee_per_gb=0.015
+    ),
+    Provider.AZURE: ObjectStorePrice(put=6.5e-6, get=5.2e-7, gb_month=0.018),
+    Provider.GCP: ObjectStorePrice(put=5.0e-6, get=4.0e-7, gb_month=0.020),
+}
+
+# Same-provider inter-region backbone $/GB by (src continent, dst continent).
+_INTER_REGION_EGRESS: dict[str, dict[tuple[str, str], float]] = {
+    Provider.AWS: {("same", "same"): 0.02, ("na", "eu"): 0.02, ("na", "ap"): 0.02,
+                   ("eu", "ap"): 0.02, ("eu", "na"): 0.02, ("ap", "na"): 0.09,
+                   ("ap", "eu"): 0.09},
+    Provider.AZURE: {("same", "same"): 0.02, ("na", "eu"): 0.05, ("na", "ap"): 0.06,
+                     ("eu", "ap"): 0.06, ("eu", "na"): 0.05, ("ap", "na"): 0.08,
+                     ("ap", "eu"): 0.08},
+    Provider.GCP: {("same", "same"): 0.01, ("na", "eu"): 0.05, ("na", "ap"): 0.08,
+                   ("eu", "ap"): 0.08, ("eu", "na"): 0.05, ("ap", "na"): 0.08,
+                   ("ap", "eu"): 0.08},
+}
+
+# Internet egress $/GB (used for cross-provider transfers).
+_INTERNET_EGRESS: dict[str, float] = {
+    Provider.AWS: 0.09,
+    Provider.AZURE: 0.087,
+    Provider.GCP: 0.12,
+}
+
+
+@dataclass(frozen=True)
+class PriceBook:
+    """Resolves prices for any metered operation in the simulation."""
+
+    faas: dict[str, FaasPrice] = field(default_factory=lambda: dict(FAAS_PRICES))
+    vm: dict[str, VmPrice] = field(default_factory=lambda: dict(VM_PRICES))
+    kv: dict[str, KvPrice] = field(default_factory=lambda: dict(KV_PRICES))
+    store: dict[str, ObjectStorePrice] = field(default_factory=lambda: dict(STORE_PRICES))
+
+    def egress_per_gb(self, src: Region, dst: Region) -> float:
+        """Data transfer price for moving bytes out of ``src`` to ``dst``."""
+        if src.key == dst.key:
+            return 0.0
+        if src.provider != dst.provider:
+            return _INTERNET_EGRESS[src.provider]
+        table = _INTER_REGION_EGRESS[src.provider]
+        if src.continent == dst.continent:
+            return table[("same", "same")]
+        return table[(src.continent, dst.continent)]
+
+    def egress_cost(self, src: Region, dst: Region, nbytes: int) -> float:
+        return self.egress_per_gb(src, dst) * nbytes / GB
+
+    def faas_compute_cost(
+        self, provider: str, memory_mb: int, vcpus: float, duration_s: float
+    ) -> float:
+        p = self.faas[provider]
+        billed = max(duration_s, p.min_billed_ms / 1000.0)
+        return (memory_mb / 1024.0) * billed * p.gb_second + vcpus * billed * p.vcpu_second
+
+    def vm_cost(self, provider: str, duration_s: float) -> float:
+        p = self.vm[provider]
+        return max(duration_s, p.min_billed_seconds) * p.per_hour / 3600.0

@@ -1,0 +1,95 @@
+"""Cloud region catalog.
+
+Covers every region used in the paper's evaluation (Tables 1-3 plus the
+ablations) with approximate datacenter coordinates, which drive the
+baseline WAN latency/bandwidth model in :mod:`repro.simcloud.network`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["Provider", "Region", "REGIONS", "get_region", "regions_of", "geo_distance_km"]
+
+
+class Provider:
+    """Cloud provider identifiers (plain strings for easy dict keys)."""
+
+    AWS = "aws"
+    AZURE = "azure"
+    GCP = "gcp"
+
+    ALL = (AWS, AZURE, GCP)
+
+
+@dataclass(frozen=True)
+class Region:
+    """A cloud region: provider, provider-local name, and location."""
+
+    provider: str
+    name: str
+    lat: float
+    lon: float
+    continent: str
+
+    @property
+    def key(self) -> str:
+        """Globally unique identifier, e.g. ``aws:us-east-1``."""
+        return f"{self.provider}:{self.name}"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.key
+
+
+_CATALOG = [
+    # provider, name, lat, lon, continent
+    (Provider.AWS, "us-east-1", 38.9, -77.4, "na"),       # N. Virginia
+    (Provider.AWS, "us-east-2", 40.0, -83.0, "na"),       # Ohio
+    (Provider.AWS, "us-west-2", 45.8, -119.7, "na"),      # Oregon
+    (Provider.AWS, "ca-central-1", 45.5, -73.6, "na"),    # Montreal
+    (Provider.AWS, "eu-west-1", 53.3, -6.3, "eu"),        # Ireland
+    (Provider.AWS, "ap-northeast-1", 35.6, 139.7, "ap"),  # Tokyo
+    (Provider.AZURE, "eastus", 37.4, -79.8, "na"),        # Virginia
+    (Provider.AZURE, "westus2", 47.2, -119.9, "na"),      # Washington
+    (Provider.AZURE, "uksouth", 51.5, -0.1, "eu"),        # London
+    (Provider.AZURE, "southeastasia", 1.3, 103.8, "ap"),  # Singapore
+    (Provider.GCP, "us-east1", 33.2, -80.0, "na"),        # S. Carolina
+    (Provider.GCP, "us-west1", 45.6, -121.2, "na"),       # Oregon
+    (Provider.GCP, "europe-west6", 47.4, 8.5, "eu"),      # Zurich
+    (Provider.GCP, "asia-northeast1", 35.7, 139.7, "ap"), # Tokyo
+]
+
+REGIONS: dict[str, Region] = {
+    f"{p}:{n}": Region(p, n, lat, lon, cont) for p, n, lat, lon, cont in _CATALOG
+}
+
+
+def get_region(key: str) -> Region:
+    """Look up a region by its ``provider:name`` key.
+
+    Accepts bare provider-local names when unambiguous (``us-east-1``).
+    """
+    if key in REGIONS:
+        return REGIONS[key]
+    matches = [r for r in REGIONS.values() if r.name == key]
+    if len(matches) == 1:
+        return matches[0]
+    if not matches:
+        raise KeyError(f"unknown region {key!r}")
+    raise KeyError(f"ambiguous region {key!r}: {[m.key for m in matches]}")
+
+
+def regions_of(provider: str) -> list[Region]:
+    """All catalog regions belonging to one provider."""
+    return [r for r in REGIONS.values() if r.provider == provider]
+
+
+def geo_distance_km(a: Region, b: Region) -> float:
+    """Great-circle distance between two regions in kilometres."""
+    lat1, lon1, lat2, lon2 = map(math.radians, (a.lat, a.lon, b.lat, b.lon))
+    h = (
+        math.sin((lat2 - lat1) / 2) ** 2
+        + math.cos(lat1) * math.cos(lat2) * math.sin((lon2 - lon1) / 2) ** 2
+    )
+    return 2 * 6371.0 * math.asin(math.sqrt(h))

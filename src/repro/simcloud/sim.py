@@ -1,0 +1,366 @@
+"""Discrete-event simulation kernel.
+
+A tiny, dependency-free process-based DES in the style of SimPy.  Time
+is a float (seconds).  Concurrency is expressed as generator-based
+*processes* that yield :class:`Future` objects; the kernel resumes a
+process when the future it waits on resolves.
+
+The kernel is fully deterministic: events scheduled for the same
+timestamp fire in scheduling order (a monotonically increasing sequence
+number breaks ties), and no wall-clock or OS entropy is consulted.
+
+Example
+-------
+>>> sim = Simulator()
+>>> log = []
+>>> def worker(name, delay):
+...     yield sim.sleep(delay)
+...     log.append((sim.now, name))
+>>> _ = sim.spawn(worker("a", 2.0))
+>>> _ = sim.spawn(worker("b", 1.0))
+>>> sim.run()
+>>> log
+[(1.0, 'b'), (2.0, 'a')]
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Simulator",
+    "Future",
+    "Process",
+    "Interrupt",
+    "SimulationError",
+    "Timer",
+]
+
+
+class Timer:
+    """Handle for a scheduled callback; ``cancel()`` makes it a no-op.
+
+    Cancelled timers are also dropped from the clock-advance horizon:
+    :meth:`Simulator.run` never advances time just to fire a dead timer,
+    so long-dated safety timeouts (e.g. FaaS watchdogs) do not drag the
+    clock forward when the queue drains.
+    """
+
+    __slots__ = ("_fn",)
+
+    def __init__(self, fn: Callable[[], None]):
+        self._fn: Optional[Callable[[], None]] = fn
+
+    @property
+    def cancelled(self) -> bool:
+        return self._fn is None
+
+    def cancel(self) -> None:
+        self._fn = None
+
+    def fire(self) -> None:
+        if self._fn is not None:
+            fn, self._fn = self._fn, None
+            fn()
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (e.g. running time backwards)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when it is interrupted.
+
+    The ``cause`` attribute carries an arbitrary payload supplied by the
+    interrupter (for example, a FaaS platform passes the string
+    ``"timeout"`` when it kills a function that exceeded its execution
+    time limit).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(f"interrupted: {cause!r}")
+        self.cause = cause
+
+
+class Future:
+    """A one-shot container for a value produced at some simulated time.
+
+    Processes wait on futures by yielding them.  A future resolves at
+    most once, either with a value (:meth:`resolve`) or with an
+    exception (:meth:`fail`).  Callbacks added after resolution fire
+    immediately.
+    """
+
+    __slots__ = ("sim", "_done", "_value", "_exception", "_callbacks")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self._done = False
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._callbacks: list[Callable[["Future"], None]] = []
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def value(self) -> Any:
+        if not self._done:
+            raise SimulationError("future not resolved yet")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        return self._exception if self._done else None
+
+    def resolve(self, value: Any = None) -> None:
+        if self._done:
+            raise SimulationError("future already resolved")
+        self._done = True
+        self._value = value
+        self._fire()
+
+    def fail(self, exc: BaseException) -> None:
+        if self._done:
+            raise SimulationError("future already resolved")
+        self._done = True
+        self._exception = exc
+        self._fire()
+
+    def add_callback(self, fn: Callable[["Future"], None]) -> None:
+        if self._done:
+            fn(self)
+        else:
+            self._callbacks.append(fn)
+
+    def _fire(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
+
+
+ProcessBody = Generator[Future, Any, Any]
+
+
+class Process(Future):
+    """A running generator-based process.
+
+    A process is itself a future: it resolves with the generator's
+    return value, or fails with the exception that escaped it.  Other
+    processes may therefore ``yield`` a process to join it.
+    """
+
+    __slots__ = ("_gen", "_waiting_on", "name")
+
+    def __init__(self, sim: "Simulator", gen: ProcessBody, name: str = ""):
+        super().__init__(sim)
+        self._gen = gen
+        self._waiting_on: Optional[Future] = None
+        self.name = name or getattr(gen, "__name__", "process")
+        # Kick off on the next kernel step at the current time.
+        sim._schedule_call(0.0, self._step, None, None)
+
+    @property
+    def alive(self) -> bool:
+        return not self._done
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting an already-finished process is a no-op, mirroring
+        the semantics of cancelling a completed task.
+        """
+        if self._done:
+            return
+        waiting = self._waiting_on
+        if waiting is not None:
+            self._waiting_on = None
+        self.sim._schedule_call(0.0, self._step, None, Interrupt(cause))
+
+    def _on_wait_done(self, fut: Future) -> None:
+        if self._waiting_on is not fut:
+            return  # interrupted while waiting; stale wake-up
+        self._waiting_on = None
+        if fut._exception is not None:
+            self._step(None, fut._exception)
+        else:
+            self._step(fut._value, None)
+
+    def _step(self, value: Any, exc: Optional[BaseException]) -> None:
+        if self._done:
+            return
+        try:
+            if exc is not None:
+                target = self._gen.throw(exc)
+            else:
+                target = self._gen.send(value)
+        except StopIteration as stop:
+            self.resolve(stop.value)
+            return
+        except BaseException as err:  # noqa: BLE001 - propagate into future
+            self.fail(err)
+            return
+        if not isinstance(target, Future):
+            self.fail(
+                SimulationError(
+                    f"process {self.name!r} yielded {target!r}; "
+                    "processes must yield Future objects"
+                )
+            )
+            return
+        self._waiting_on = target
+        target.add_callback(self._on_wait_done)
+
+
+class Simulator:
+    """The event loop: a priority queue of timestamped callbacks."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Timer]] = []
+        self._seq = 0
+
+    # -- scheduling ----------------------------------------------------
+
+    def _schedule_call(
+        self,
+        delay: float,
+        fn: Callable[..., None],
+        value: Any,
+        exc: Optional[BaseException],
+    ) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        self.call_later(delay, lambda: fn(value, exc))
+
+    def call_at(self, time: float, fn: Callable[[], None]) -> Timer:
+        """Run ``fn()`` at absolute simulated ``time``; returns a handle."""
+        if time < self.now:
+            raise SimulationError(f"cannot schedule at {time} < now {self.now}")
+        self._seq += 1
+        timer = Timer(fn)
+        heapq.heappush(self._heap, (time, self._seq, timer))
+        return timer
+
+    def call_later(self, delay: float, fn: Callable[[], None]) -> Timer:
+        """Run ``fn()`` after ``delay`` simulated seconds; returns a handle."""
+        return self.call_at(self.now + delay, fn)
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)
+
+    def sleep(self, delay: float) -> Future:
+        """Return a future that resolves after ``delay`` seconds."""
+        fut = Future(self)
+        self.call_later(max(0.0, delay), lambda: fut.resolve(None) if not fut.done else None)
+        return fut
+
+    def timeout_at(self, time: float) -> Future:
+        """Return a future that resolves at absolute ``time``."""
+        fut = Future(self)
+        self.call_at(max(self.now, time), lambda: fut.resolve(None) if not fut.done else None)
+        return fut
+
+    def spawn(self, gen: ProcessBody, name: str = "") -> Process:
+        """Start a new process from a generator."""
+        return Process(self, gen, name=name)
+
+    # -- combinators ---------------------------------------------------
+
+    def all_of(self, futures: Iterable[Future]) -> Future:
+        """Resolve once every input future has resolved.
+
+        The result is the list of individual values in input order.  The
+        first failure fails the combined future immediately.
+        """
+        futures = list(futures)
+        combined = Future(self)
+        if not futures:
+            self.call_later(0.0, lambda: combined.resolve([]))
+            return combined
+        remaining = [len(futures)]
+
+        def on_done(_fut: Future) -> None:
+            if combined.done:
+                return
+            if _fut._exception is not None:
+                combined.fail(_fut._exception)
+                return
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                combined.resolve([f._value for f in futures])
+
+        for f in futures:
+            f.add_callback(on_done)
+        return combined
+
+    def any_of(self, futures: Iterable[Future]) -> Future:
+        """Resolve with (index, value) of the first future to resolve."""
+        futures = list(futures)
+        if not futures:
+            raise SimulationError("any_of requires at least one future")
+        combined = Future(self)
+
+        def make_cb(idx: int) -> Callable[[Future], None]:
+            def on_done(fut: Future) -> None:
+                if combined.done:
+                    return
+                if fut._exception is not None:
+                    combined.fail(fut._exception)
+                else:
+                    combined.resolve((idx, fut._value))
+
+            return on_done
+
+        for i, f in enumerate(futures):
+            f.add_callback(make_cb(i))
+        return combined
+
+    # -- running -------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute the next live event; return False if none remain."""
+        self._drop_cancelled()
+        if not self._heap:
+            return False
+        time, _seq, timer = heapq.heappop(self._heap)
+        if time < self.now:
+            raise SimulationError("event heap corrupted: time went backwards")
+        self.now = time
+        timer.fire()
+        return True
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the event queue drains or ``until`` is reached.
+
+        When ``until`` is given, the clock is advanced to exactly
+        ``until`` even if the last event fires earlier, so repeated
+        bounded runs compose predictably.
+        """
+        if until is None:
+            while self.step():
+                pass
+            return
+        if until < self.now:
+            raise SimulationError(f"cannot run until {until} < now {self.now}")
+        while True:
+            self._drop_cancelled()
+            if not self._heap or self._heap[0][0] > until:
+                break
+            self.step()
+        self.now = until
+
+    def run_process(self, gen: ProcessBody, name: str = "") -> Any:
+        """Spawn ``gen``, drain the queue, and return its result."""
+        proc = self.spawn(gen, name=name)
+        self.run()
+        if not proc.done:
+            raise SimulationError(
+                f"process {proc.name!r} did not finish (deadlocked waiting?)"
+            )
+        return proc.value

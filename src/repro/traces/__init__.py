@@ -1,0 +1,26 @@
+"""Workload traces: the synthetic IBM-COS-like generator and replayer.
+
+The paper evaluates on the IBM Cloud Object Storage traces (SNIA,
+~1.6 billion requests over one week).  Those traces are licensed and
+not redistributable, so :mod:`repro.traces.ibm_cos` generates synthetic
+traces calibrated to the statistics the paper publishes: ~80 % of PUT
+requests at or below 1 MB with >99.99 % below 1 GB (Fig 2), sharply
+fluctuating per-minute write throughput (Fig 3), and a busy one-hour
+segment with ~0.99 M PUT/DELETE requests used for the end-to-end replay
+(Fig 23).
+"""
+
+from repro.traces.ibm_cos import IbmCosTraceGenerator, TraceRequest
+from repro.traces.replay import TraceReplayer
+from repro.traces.snia import load_snia_trace, parse_snia_lines
+from repro.traces.workload import UpdateWorkload, uniform_object_workload
+
+__all__ = [
+    "IbmCosTraceGenerator",
+    "TraceRequest",
+    "TraceReplayer",
+    "UpdateWorkload",
+    "uniform_object_workload",
+    "load_snia_trace",
+    "parse_snia_lines",
+]

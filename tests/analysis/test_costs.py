@@ -1,0 +1,135 @@
+"""Tests for the analytic cost model, validated against the metered
+ledger of real simulated replications."""
+
+import pytest
+
+from repro.analysis.costs import CostEstimate, ReplicationCostModel
+from repro.core.config import ReplicaConfig
+from repro.core.service import AReplicaService
+from repro.simcloud.cloud import build_default_cloud
+from repro.simcloud.objectstore import Blob
+
+MB = 1024 * 1024
+GB = 1024 * MB
+
+
+class TestCostEstimate:
+    def test_total_sums_components(self):
+        est = CostEstimate(egress=1.0, compute=0.5, requests=0.1, kv=0.05,
+                           service_fee=0.2, storage=0.15)
+        assert est.total == pytest.approx(2.0)
+
+    def test_plus_and_scaled(self):
+        a = CostEstimate(egress=1.0)
+        b = CostEstimate(compute=2.0)
+        assert a.plus(b).total == pytest.approx(3.0)
+        assert a.scaled(30).egress == pytest.approx(30.0)
+
+
+class TestPerObjectEstimates:
+    def setup_method(self):
+        self.model = ReplicationCostModel()
+
+    def test_areplica_egress_dominates_large_cross_cloud(self):
+        est = self.model.areplica("aws:us-east-1", "azure:eastus", GB,
+                                  n=32, loc_key="aws:us-east-1",
+                                  transfer_seconds=2.0)
+        assert est.egress == pytest.approx(0.09 * GB / 1e9)
+        assert est.egress / est.total > 0.8
+
+    def test_areplica_relay_at_third_region_pays_double_egress(self):
+        direct = self.model.areplica("aws:us-east-1", "azure:eastus", GB,
+                                     n=8, loc_key="aws:us-east-1",
+                                     transfer_seconds=2.0)
+        relayed = self.model.areplica("aws:us-east-1", "azure:eastus", GB,
+                                      n=8, loc_key="gcp:us-east1",
+                                      transfer_seconds=2.0)
+        assert relayed.egress > direct.egress * 1.5
+
+    def test_skyplane_minimum_vm_charge(self):
+        est = self.model.skyplane("aws:us-east-1", "aws:us-east-2", MB)
+        # Two VMs, 60 s billing minimum each.
+        assert est.compute >= 2 * 1.5 * 60 / 3600
+
+    def test_s3rtc_matches_paper_1gb(self):
+        est = self.model.s3rtc("aws:us-east-1", "aws:ca-central-1", GB)
+        # Table 1: ~354e-4 $ for 1 GB.
+        assert 0.030 < est.total < 0.045
+
+    def test_s3rtc_rejects_cross_cloud(self):
+        with pytest.raises(ValueError):
+            self.model.s3rtc("aws:us-east-1", "azure:eastus", GB)
+
+    def test_azrep_rejects_non_azure(self):
+        with pytest.raises(ValueError):
+            self.model.azrep("aws:us-east-1", "azure:eastus", GB)
+
+    def test_azrep_has_no_service_fee(self):
+        est = self.model.azrep("azure:eastus", "azure:uksouth", GB)
+        assert est.service_fee == 0.0
+        assert est.egress > 0
+
+
+class TestAgainstMeteredLedger:
+    @pytest.mark.parametrize("size,rel", [(1 * MB, 1.2), (128 * MB, 0.5),
+                                          (1 * GB, 0.35)])
+    def test_areplica_estimate_tracks_simulation(self, size, rel):
+        cloud = build_default_cloud(seed=601)
+        config = ReplicaConfig(profile_samples=5, mc_samples=300)
+        svc = AReplicaService(cloud, config)
+        src = cloud.bucket("aws:us-east-1", "src")
+        dst = cloud.bucket("azure:eastus", "dst")
+        svc.add_rule(src, dst)
+        before = cloud.ledger.snapshot()
+        src.put_object("k", Blob.fresh(size), cloud.now)
+        cloud.run()
+        metered = before.delta(cloud.ledger.snapshot()).total
+        record = svc.records[-1]
+        est = ReplicationCostModel().areplica(
+            "aws:us-east-1", "azure:eastus", size, n=record.plan_n,
+            loc_key=record.loc_key,
+            transfer_seconds=record.replication_seconds)
+        assert est.total == pytest.approx(metered, rel=rel)
+
+    def test_skyplane_estimate_tracks_simulation(self):
+        from repro.baselines.skyplane import SkyplaneReplicator
+
+        cloud = build_default_cloud(seed=602)
+        src = cloud.bucket("aws:us-east-1", "src")
+        dst = cloud.bucket("aws:us-east-2", "dst")
+        sky = SkyplaneReplicator(cloud, src, dst)
+        src.put_object("k", Blob.fresh(10 * MB), cloud.now, notify=False)
+        before = cloud.ledger.snapshot()
+        sky.replicate_once("k")
+        metered = before.delta(cloud.ledger.snapshot()).total
+        est = ReplicationCostModel().skyplane("aws:us-east-1",
+                                              "aws:us-east-2", 10 * MB)
+        assert est.total == pytest.approx(metered, rel=0.5)
+
+
+class TestWorkloadProjection:
+    def test_monthly_extrapolation_scales(self):
+        model = ReplicationCostModel()
+        sizes = [MB] * 10
+        one_day = model.workload_monthly("aws:us-east-1", "aws:us-east-2",
+                                         sizes, "areplica", days_observed=1.0)
+        half_day = model.workload_monthly("aws:us-east-1", "aws:us-east-2",
+                                          sizes, "areplica", days_observed=0.5)
+        assert half_day.total == pytest.approx(2 * one_day.total)
+
+    def test_system_ordering_small_objects(self):
+        """For a small-object workload the paper's cost ordering holds:
+        AReplica < S3 RTC << Skyplane."""
+        model = ReplicationCostModel()
+        sizes = [MB] * 100
+        args = ("aws:us-east-1", "aws:us-east-2", sizes)
+        ours = model.workload_monthly(*args, system="areplica").total
+        rtc = model.workload_monthly(*args, system="s3rtc").total
+        sky = model.workload_monthly(*args, system="skyplane").total
+        assert ours < rtc < sky
+        assert sky / ours > 100
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ValueError):
+            ReplicationCostModel().workload_monthly(
+                "aws:us-east-1", "aws:us-east-2", [MB], system="pigeon")

@@ -1,0 +1,121 @@
+"""Tests for the plain-text chart renderer."""
+
+import math
+
+import pytest
+
+from repro.analysis.textchart import (
+    bar_chart,
+    grouped_bar_chart,
+    histogram,
+    series_strip,
+)
+
+
+class TestBarChart:
+    def test_basic_rendering(self):
+        out = bar_chart(["a", "bb"], [1.0, 2.0], width=10, unit="s")
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert "1s" in lines[0] and "2s" in lines[1]
+        # The larger value gets the longer bar.
+        assert lines[1].count("█") > lines[0].count("█")
+
+    def test_max_value_fills_width(self):
+        out = bar_chart(["x"], [5.0], width=10)
+        assert out.count("█") == 10
+
+    def test_zero_values(self):
+        out = bar_chart(["x", "y"], [0.0, 0.0], width=10)
+        assert "█" not in out
+
+    def test_title(self):
+        out = bar_chart(["x"], [1.0], title="My chart")
+        assert out.splitlines()[0] == "My chart"
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty(self):
+        assert bar_chart([], [], title="t") == "t"
+
+    def test_labels_aligned(self):
+        out = bar_chart(["a", "long-label"], [1, 2], width=5)
+        pipes = [line.index("|") for line in out.splitlines()]
+        assert len(set(pipes)) == 1
+
+
+class TestGroupedBarChart:
+    def test_one_bar_per_series_per_group(self):
+        out = grouped_bar_chart(
+            ["1MB", "1GB"],
+            {"AReplica": [1.0, 4.0], "Skyplane": [76.0, 83.0]},
+            width=20,
+        )
+        lines = out.splitlines()
+        assert lines[0] == "1MB:"
+        assert sum("AReplica" in l for l in lines) == 2
+        assert sum("Skyplane" in l for l in lines) == 2
+
+    def test_shared_scale_across_series(self):
+        out = grouped_bar_chart(
+            ["g"], {"small": [1.0], "big": [100.0]}, width=20)
+        small_line = [l for l in out.splitlines() if "small" in l][0]
+        big_line = [l for l in out.splitlines() if "big" in l][0]
+        assert big_line.count("█") == 20
+        assert small_line.count("█") == 0  # 1/100 of 20 cells rounds down
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart(["a", "b"], {"s": [1.0]})
+
+
+class TestSeriesStrip:
+    def test_renders_one_cell_per_value(self):
+        out = series_strip([0, 1, 2, 3])
+        inner = out[out.index("[") + 1:out.index("]")]
+        assert len(inner) == 4
+
+    def test_peak_is_full_block(self):
+        out = series_strip([0.0, 10.0])
+        assert "█" in out
+
+    def test_nan_rendered_as_dot(self):
+        out = series_strip([1.0, math.nan, 2.0])
+        assert "·" in out
+
+    def test_width_bucketing_keeps_peaks(self):
+        values = [0.0] * 99 + [100.0]
+        out = series_strip(values, width=10)
+        assert "█" in out
+        inner = out[out.index("[") + 1:out.index("]")]
+        assert len(inner) == 10
+
+    def test_max_annotated(self):
+        assert "max=7" in series_strip([1.0, 7.0])
+
+    def test_empty(self):
+        assert series_strip([], title="t") == "t"
+
+
+class TestHistogram:
+    def test_counts_sum_visible(self):
+        out = histogram([1, 1, 2, 9, 9, 9], bins=3, width=10)
+        # Three bins, each line ends with its count.
+        counts = [int(line.rsplit(" ", 1)[1]) for line in out.splitlines()]
+        assert sum(counts) == 6
+
+    def test_log_bins_for_size_distributions(self):
+        sizes = [100, 1_000, 10_000, 1_000_000, 10_000_000]
+        out = histogram(sizes, bins=5, width=10, log_x=True)
+        assert "K" in out or "M" in out
+
+    def test_log_requires_positive(self):
+        with pytest.raises(ValueError):
+            histogram([0, 1], log_x=True)
+
+    def test_degenerate_single_value(self):
+        out = histogram([5.0, 5.0], bins=4)
+        counts = [int(line.rsplit(" ", 1)[1]) for line in out.splitlines()]
+        assert sum(counts) == 2

@@ -1,0 +1,233 @@
+"""Tests for the Skyplane, S3 RTC, and AZ Rep baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.azrep import AzureObjectReplicator
+from repro.baselines.s3rtc import S3RTCReplicator
+from repro.baselines.skyplane import SkyplaneReplicator
+from repro.simcloud.cloud import build_default_cloud
+from repro.simcloud.cost import CostCategory
+from repro.simcloud.objectstore import Blob
+
+MB = 1024 * 1024
+GB_BYTES = 1024 * MB
+
+
+def make_skyplane(seed=0, src="aws:us-east-1", dst="aws:us-east-2", **kw):
+    cloud = build_default_cloud(seed=seed)
+    src_b = cloud.bucket(src, "src")
+    dst_b = cloud.bucket(dst, "dst")
+    sky = SkyplaneReplicator(cloud, src_b, dst_b, **kw)
+    return cloud, src_b, dst_b, sky
+
+
+class TestSkyplane:
+    def test_cold_transfer_dominated_by_provisioning(self):
+        """Fig 4: >70 s end to end for a 10 MB object, almost none of it
+        data transfer."""
+        cloud, src, dst, sky = make_skyplane()
+        blob = Blob.fresh(10 * MB)
+        src.put_object("obj", blob, cloud.now, notify=False)
+        record = sky.replicate_once("obj")
+        assert 55 < record.delay < 110
+        assert record.transfer_seconds < 0.35 * record.delay
+        assert dst.head("obj").etag == blob.etag
+
+    def test_vm_cost_dominates(self):
+        cloud, src, dst, sky = make_skyplane(seed=1)
+        src.put_object("obj", Blob.fresh(10 * MB), cloud.now, notify=False)
+        sky.replicate_once("obj")
+        vm = cloud.ledger.total(CostCategory.VM_COMPUTE)
+        total = cloud.ledger.total()
+        assert vm / total > 0.95          # Fig 4b: >99 % of cost is VMs
+
+    def test_keepalive_amortizes_provisioning(self):
+        cloud, src, dst, sky = make_skyplane(seed=2, keepalive_s=300.0)
+
+        def driver():
+            for i in range(3):
+                src.put_object(f"o{i}", Blob.fresh(5 * MB), cloud.now,
+                               notify=False)
+                sky.submit(f"o{i}")
+                yield cloud.sim.sleep(120.0)  # idle, but under keep-alive
+
+        cloud.sim.run_process(driver())
+        cloud.run(until=cloud.now + 1.0)
+        assert sky.stats["provisions"] == 1
+        delays = [r.delay for r in sky.records]
+        assert delays[1] < delays[0] / 3  # warm transfers skip provisioning
+        sky.shutdown()
+
+    def test_idle_timeout_shuts_down(self):
+        cloud, src, dst, sky = make_skyplane(seed=3, keepalive_s=60.0)
+        src.put_object("o", Blob.fresh(MB), cloud.now, notify=False)
+        sky.replicate_once("o")
+        cloud.run(until=cloud.now + 120.0)
+        assert sky.stats["shutdowns"] >= 1
+        assert not sky._pairs[0].alive
+
+    def test_busy_pair_defers_idle_shutdown(self):
+        cloud, src, dst, sky = make_skyplane(seed=4, keepalive_s=60.0)
+
+        def driver():
+            src.put_object("a", Blob.fresh(MB), cloud.now, notify=False)
+            sky.submit("a")
+            yield cloud.sim.sleep(120.0)   # finish + ~30 s of idle
+            src.put_object("b", Blob.fresh(MB), cloud.now, notify=False)
+            sky.submit("b")                # reuses the still-warm pair
+
+        cloud.sim.run_process(driver())
+        assert sky.stats["provisions"] == 1
+
+    def test_azure_transfers_slower_than_aws(self):
+        def delay_for(dst_region, seed):
+            cloud, src, dst, sky = make_skyplane(seed=seed, dst=dst_region)
+            src.put_object("o", Blob.fresh(MB), cloud.now, notify=False)
+            return sky.replicate_once("o").delay
+
+        aws = np.mean([delay_for("aws:us-east-2", s) for s in range(4)])
+        azure = np.mean([delay_for("azure:eastus", s) for s in range(4)])
+        assert azure > aws + 15
+
+    def test_bulk_striping_uses_all_pairs(self):
+        cloud, src, dst, sky = make_skyplane(seed=5, vm_pairs=4)
+        src.put_object("big", Blob.fresh(GB_BYTES), cloud.now, notify=False)
+        record = sky.replicate_once("big")
+        assert sky.stats["provisions"] == 4
+        assert dst.head("big").etag == src.head("big").etag
+        assert record.delay > 55  # still pays provisioning
+
+    def test_queueing_serializes_jobs(self):
+        cloud, src, dst, sky = make_skyplane(seed=6, keepalive_s=None)
+        for i in range(3):
+            src.put_object(f"o{i}", Blob.fresh(MB), cloud.now, notify=False)
+            sky.submit(f"o{i}")
+        cloud.run()
+        done = sorted(r.done_time for r in sky.records)
+        assert len(done) == 3
+        assert done[0] < done[1] < done[2]
+        sky.shutdown()
+
+    def test_notifications_drive_transfers(self):
+        cloud, src, dst, sky = make_skyplane(seed=7, keepalive_s=None)
+        sky.connect_notifications()
+        src.put_object("auto", Blob.fresh(MB), cloud.now)
+        cloud.run()
+        assert "auto" in dst
+        sky.shutdown()
+
+    def test_invalid_pair_count(self):
+        cloud = build_default_cloud(seed=0)
+        with pytest.raises(ValueError):
+            SkyplaneReplicator(cloud, cloud.bucket("aws:us-east-1", "a"),
+                               cloud.bucket("aws:us-east-2", "b"), vm_pairs=0)
+
+
+class TestS3RTC:
+    def make(self, seed=0, dst="aws:us-east-2"):
+        cloud = build_default_cloud(seed=seed)
+        src = cloud.bucket("aws:us-east-1", "src", versioning=True)
+        dst_b = cloud.bucket(dst, "dst", versioning=True)
+        return cloud, src, dst_b, S3RTCReplicator(cloud, src, dst_b)
+
+    def test_typical_delay_15_to_30s(self):
+        cloud, src, dst, rtc = self.make()
+        delays = []
+        for i in range(20):
+            src.put_object(f"o{i}", Blob.fresh(MB), cloud.now, notify=False)
+            delays.append(rtc.replicate_once(f"o{i}").delay)
+        assert 12 < np.mean(delays) < 30
+
+    def test_requires_aws_buckets(self):
+        cloud = build_default_cloud(seed=0)
+        src = cloud.bucket("aws:us-east-1", "s", versioning=True)
+        dst = cloud.bucket("azure:eastus", "d", versioning=True)
+        with pytest.raises(ValueError, match="AWS"):
+            S3RTCReplicator(cloud, src, dst)
+
+    def test_requires_versioning(self):
+        cloud = build_default_cloud(seed=0)
+        src = cloud.bucket("aws:us-east-1", "s")
+        dst = cloud.bucket("aws:us-east-2", "d", versioning=True)
+        with pytest.raises(ValueError, match="versioning"):
+            S3RTCReplicator(cloud, src, dst)
+
+    def test_cost_matches_rtc_fee_plus_egress(self):
+        cloud, src, dst, rtc = self.make(seed=1)
+        src.put_object("gig", Blob.fresh(GB_BYTES), cloud.now, notify=False)
+        before = cloud.ledger.snapshot()
+        rtc.replicate_once("gig")
+        delta = before.delta(cloud.ledger.snapshot())
+        gb = GB_BYTES / 1e9
+        assert delta.totals[CostCategory.RTC_FEE] == pytest.approx(0.015 * gb)
+        assert delta.totals[CostCategory.EGRESS] == pytest.approx(0.02 * gb)
+        # Table 1 1GB S3 RTC: ~354e-4 $ total.
+        assert 0.030 < delta.total < 0.045
+
+    def test_burst_inflates_tail(self):
+        cloud, src, dst, rtc = self.make(seed=2)
+        rtc.connect_notifications()
+        for i in range(3000):
+            src.put_object(f"b{i}", Blob.fresh(1024), cloud.now, notify=False)
+            rtc._on_event(type("E", (), {})) if False else None
+        # Use the real notification path at high rate:
+        for i in range(3000):
+            src.put_object(f"c{i}", Blob.fresh(1024), cloud.now)
+        cloud.run()
+        delays = [r.delay for r in rtc.records]
+        assert np.quantile(delays, 0.9999) > 30.0
+
+    def test_deletes_propagate(self):
+        cloud, src, dst, rtc = self.make(seed=3)
+        rtc.connect_notifications()
+        src.put_object("k", Blob.fresh(MB), cloud.now)
+        cloud.run()
+        assert "k" in dst
+        src.delete_object("k", cloud.now)
+        cloud.run()
+        assert "k" not in dst
+
+    def test_stale_event_skipped(self):
+        """If the object was overwritten before delivery, the service
+        replicates the newer version via its own event instead."""
+        cloud, src, dst, rtc = self.make(seed=4)
+        rtc.connect_notifications()
+        src.put_object("k", Blob.fresh(MB), cloud.now)
+        v2 = src.put_object("k", Blob.fresh(MB), cloud.now)
+        cloud.run()
+        assert dst.head("k").etag == v2.etag
+
+
+class TestAzRep:
+    def make(self, seed=0):
+        cloud = build_default_cloud(seed=seed)
+        src = cloud.bucket("azure:eastus", "src", versioning=True)
+        dst = cloud.bucket("azure:westus2", "dst", versioning=True)
+        return cloud, src, dst, AzureObjectReplicator(cloud, src, dst)
+
+    def test_delay_exceeds_60s(self):
+        cloud, src, dst, rep = self.make()
+        delays = []
+        for i in range(10):
+            src.put_object(f"o{i}", Blob.fresh(MB), cloud.now, notify=False)
+            delays.append(rep.replicate_once(f"o{i}").delay)
+        assert np.mean(delays) > 55.0
+
+    def test_azure_only(self):
+        cloud = build_default_cloud(seed=0)
+        src = cloud.bucket("aws:us-east-1", "s", versioning=True)
+        dst = cloud.bucket("azure:eastus", "d", versioning=True)
+        with pytest.raises(ValueError, match="Azure"):
+            AzureObjectReplicator(cloud, src, dst)
+
+    def test_no_service_fee_only_bandwidth(self):
+        cloud, src, dst, rep = self.make(seed=1)
+        src.put_object("gig", Blob.fresh(GB_BYTES), cloud.now, notify=False)
+        before = cloud.ledger.snapshot()
+        rep.replicate_once("gig")
+        delta = before.delta(cloud.ledger.snapshot())
+        assert CostCategory.RTC_FEE not in delta.totals or \
+            delta.totals[CostCategory.RTC_FEE] == 0
+        # Table 2 1GB AZ Rep westus2: ~203e-4 $ (mostly NA-NA bandwidth).
+        assert 0.015 < delta.total < 0.035

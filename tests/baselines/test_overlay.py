@@ -1,0 +1,95 @@
+"""Tests for Skyplane's overlay relays (§6's orthogonal acceleration)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.skyplane import SkyplaneReplicator
+from repro.simcloud.cloud import build_default_cloud
+from repro.simcloud.cost import CostCategory
+from repro.simcloud.objectstore import Blob
+
+MB = 1024 * 1024
+GB = 1024 * MB
+
+# A slow direct link: Azure southeastasia -> GCP europe-west6 crosses
+# AP->EU (the worst continent factor) on Azure's weak WAN.
+SLOW_SRC, SLOW_DST = "azure:southeastasia", "gcp:europe-west6"
+
+
+def make(seed, overlay=None, src=SLOW_SRC, dst=SLOW_DST):
+    cloud = build_default_cloud(seed=seed)
+    src_b = cloud.bucket(src, "src")
+    dst_b = cloud.bucket(dst, "dst")
+    sky = SkyplaneReplicator(cloud, src_b, dst_b, overlay_region=overlay)
+    return cloud, src_b, dst_b, sky
+
+
+class TestOverlayPlanning:
+    def test_slow_pair_gets_a_relay(self):
+        cloud, src_b, dst_b, _ = make(seed=0)
+        relay = SkyplaneReplicator.plan_overlay(cloud, src_b, dst_b)
+        assert relay is not None
+        assert relay not in (SLOW_SRC, SLOW_DST)
+
+    def test_fast_pair_goes_direct(self):
+        cloud, src_b, dst_b, _ = make(seed=0, src="aws:us-east-1",
+                                      dst="aws:us-east-2")
+        assert SkyplaneReplicator.plan_overlay(cloud, src_b, dst_b) is None
+
+    def test_candidate_restriction(self):
+        cloud, src_b, dst_b, _ = make(seed=0)
+        relay = SkyplaneReplicator.plan_overlay(
+            cloud, src_b, dst_b, candidates=["aws:eu-west-1"])
+        assert relay in (None, "aws:eu-west-1")
+
+    def test_endpoint_overlay_rejected_silently(self):
+        cloud, src_b, dst_b, sky = make(seed=0, overlay=SLOW_SRC)
+        assert sky.overlay_region is None
+
+
+class TestOverlayTransfers:
+    def test_overlay_transfer_correct_and_provisions_three_vms(self):
+        cloud, src_b, dst_b, sky = make(seed=1, overlay="aws:eu-west-1")
+        blob = Blob.fresh(GB)
+        src_b.put_object("big", blob, cloud.now, notify=False)
+        record = sky.replicate_once("big")
+        assert dst_b.head("big").etag == blob.etag
+        assert sky._pairs[0].relay is None  # terminated after transfer
+        assert record.delay > 60  # still pays (3-way) provisioning
+
+    def test_overlay_raises_bottleneck_bandwidth(self):
+        def transfer_seconds(overlay, seed):
+            cloud, src_b, dst_b, sky = make(seed=seed, overlay=overlay)
+            src_b.put_object("big", Blob.fresh(2 * GB), cloud.now,
+                             notify=False)
+            record = sky.replicate_once("big")
+            return record.transfer_seconds
+
+        cloud, src_b, dst_b, _ = make(seed=0)
+        relay = SkyplaneReplicator.plan_overlay(cloud, src_b, dst_b)
+        direct = np.mean([transfer_seconds(None, s) for s in range(3)])
+        relayed = np.mean([transfer_seconds(relay, s) for s in range(3)])
+        assert relayed < direct
+
+    def test_overlay_charges_both_hops(self):
+        size = GB
+        cloud, src_b, dst_b, sky = make(seed=2, overlay="aws:eu-west-1")
+        src_b.put_object("big", Blob.fresh(size), cloud.now, notify=False)
+        before = cloud.ledger.snapshot()
+        sky.replicate_once("big")
+        egress = before.delta(cloud.ledger.snapshot()).totals[CostCategory.EGRESS]
+        hop1 = cloud.prices.egress_cost(cloud.region(SLOW_SRC),
+                                        cloud.region("aws:eu-west-1"), size)
+        hop2 = cloud.prices.egress_cost(cloud.region("aws:eu-west-1"),
+                                        cloud.region(SLOW_DST), size)
+        direct = cloud.prices.egress_cost(cloud.region(SLOW_SRC),
+                                          cloud.region(SLOW_DST), size)
+        assert egress == pytest.approx(hop1 + hop2)
+        assert egress > direct  # the overlay's explicit cost premium
+
+    def test_direct_transfer_unaffected_by_feature(self):
+        cloud, src_b, dst_b, sky = make(seed=3, overlay=None)
+        src_b.put_object("k", Blob.fresh(64 * MB), cloud.now, notify=False)
+        record = sky.replicate_once("k")
+        assert dst_b.head("k").etag == src_b.head("k").etag
+        assert not sky._pairs[0].uses_relay

@@ -1,0 +1,215 @@
+"""Tests for changelog propagation (§5.4)."""
+
+import pytest
+
+from repro.core.changelog import ChangelogEntry, ChangelogOp, ChangelogStore
+from repro.core.config import ReplicaConfig
+from repro.core.service import AReplicaService
+from repro.simcloud.cloud import build_default_cloud
+from repro.simcloud.cost import CostCategory
+from repro.simcloud.objectstore import Blob
+
+MB = 1024 * 1024
+
+
+def build(seed=41, **cfg):
+    cloud = build_default_cloud(seed=seed)
+    config = ReplicaConfig(profile_samples=6, mc_samples=500, **cfg)
+    svc = AReplicaService(cloud, config)
+    src = cloud.bucket("aws:us-east-1", "src")
+    dst = cloud.bucket("aws:us-east-2", "dst")
+    rule = svc.add_rule(src, dst)
+    return cloud, svc, src, dst, rule
+
+
+def replicate_seed_object(cloud, src, dst, key="base", size=100 * MB):
+    blob = Blob.fresh(size)
+    src.put_object(key, blob, cloud.now)
+    cloud.run()
+    assert dst.head(key).etag == blob.etag
+    return blob
+
+
+class TestChangelogStore:
+    def test_record_and_lookup_roundtrip(self):
+        cloud, svc, src, dst, rule = build()
+        store = rule.changelog
+
+        def flow():
+            yield from store.record_copy("a", "etag-a", "b", "etag-b")
+            entry = yield from store.lookup("b", "etag-b")
+            return entry
+
+        entry = cloud.sim.run_process(flow())
+        assert entry.op == ChangelogOp.COPY
+        assert entry.sources == (("a", "etag-a"),)
+
+    def test_lookup_wrong_etag_returns_none(self):
+        cloud, svc, src, dst, rule = build()
+        store = rule.changelog
+
+        def flow():
+            yield from store.record_copy("a", "e1", "b", "e2")
+            return (yield from store.lookup("b", "other"))
+
+        assert cloud.sim.run_process(flow()) is None
+
+    def test_fresh_bytes_only_for_patch_ops(self):
+        copy = ChangelogEntry(ChangelogOp.COPY, "k", "e", (("a", "ea"),))
+        append = ChangelogEntry(ChangelogOp.APPEND, "k", "e", (("k", "ea"),),
+                                data_offset=100, data_length=50)
+        assert copy.fresh_bytes == 0
+        assert append.fresh_bytes == 50
+
+
+class TestCopyPropagation:
+    def test_copy_applied_without_wan_transfer(self):
+        """Fig 15/21: a COPY changelog replicates with near-zero egress."""
+        cloud, svc, src, dst, rule = build()
+        replicate_seed_object(cloud, src, dst, "orig")
+        egress_before = cloud.ledger.total(CostCategory.EGRESS)
+
+        def user_program():
+            version = src.copy_object("orig", "copy", cloud.now, notify=False)
+            yield from rule.changelog.record_copy(
+                "orig", src.head("orig").etag, "copy", version.etag
+            )
+            # Re-announce the object now that the hint exists (the real
+            # client library records the hint before the PUT lands).
+            src.delete_object("copy", cloud.now, notify=False)
+            src.copy_object("orig", "copy", cloud.now)
+
+        cloud.sim.run_process(user_program())
+        cloud.run()
+        assert dst.head("copy").etag == src.head("copy").etag
+        assert rule.engine.stats["changelog_applied"] == 1
+        egress_added = cloud.ledger.total(CostCategory.EGRESS) - egress_before
+        assert egress_added == 0.0
+
+    def test_copy_falls_back_when_source_missing_at_dst(self):
+        cloud, svc, src, dst, rule = build(seed=43)
+        # "orig" exists only at the source; the hint cannot apply.
+        blob = Blob.fresh(50 * MB)
+        src.put_object("orig", blob, cloud.now, notify=False)
+
+        def user_program():
+            version = src.copy_object("orig", "copy", cloud.now, notify=False)
+            yield from rule.changelog.record_copy(
+                "orig", blob.etag, "copy", version.etag
+            )
+            src.delete_object("copy", cloud.now, notify=False)
+            src.copy_object("orig", "copy", cloud.now)
+
+        cloud.sim.run_process(user_program())
+        cloud.run()
+        assert dst.head("copy").etag == src.head("copy").etag
+        assert rule.engine.stats["changelog_fallback"] == 1
+        assert rule.engine.stats["changelog_applied"] == 0
+
+    def test_copy_falls_back_on_stale_source_version(self):
+        """The §5.4 caveat: a newer version of the source may already be
+        at the destination; the ETag guard must catch it."""
+        cloud, svc, src, dst, rule = build(seed=47)
+        old = replicate_seed_object(cloud, src, dst, "orig")
+
+        def user_program():
+            version = src.copy_object("orig", "copy", cloud.now, notify=False)
+            yield from rule.changelog.record_copy(
+                "orig", old.etag, "copy", version.etag
+            )
+            # The source object moves on before the copy replicates, and
+            # the new version reaches the destination first.
+            src.put_object("orig", Blob.fresh(100 * MB), cloud.now)
+            yield cloud.sim.sleep(30.0)
+            src.delete_object("copy", cloud.now, notify=False)
+            version2 = src.put_object("copy", old, cloud.now)
+            del version2
+
+        cloud.sim.run_process(user_program())
+        cloud.run()
+        assert dst.head("copy").etag == src.head("copy").etag
+        assert dst.head("orig").etag == src.head("orig").etag
+
+
+class TestConcatAppendPatch:
+    def test_concat_composes_locally(self):
+        cloud, svc, src, dst, rule = build(seed=53)
+        a = replicate_seed_object(cloud, src, dst, "a", 40 * MB)
+        b = replicate_seed_object(cloud, src, dst, "b", 24 * MB)
+        egress_before = cloud.ledger.total(CostCategory.EGRESS)
+
+        def user_program():
+            blob = Blob.concat([a, b])
+            yield from rule.changelog.record_concat(
+                [("a", a.etag), ("b", b.etag)], "ab", blob.etag
+            )
+            src.put_object("ab", blob, cloud.now)
+
+        cloud.sim.run_process(user_program())
+        cloud.run()
+        assert dst.head("ab").etag == src.head("ab").etag
+        assert rule.engine.stats["changelog_applied"] == 1
+        assert cloud.ledger.total(CostCategory.EGRESS) == egress_before
+
+    def test_append_transfers_only_tail(self):
+        cloud, svc, src, dst, rule = build(seed=59)
+        base = replicate_seed_object(cloud, src, dst, "log", 100 * MB)
+        before = cloud.ledger.snapshot()
+
+        def user_program():
+            tail = Blob.fresh(1 * MB)
+            blob = Blob.concat([base, tail])
+            yield from rule.changelog.record_append(
+                "log", base.etag, blob.etag, base.size, blob.size
+            )
+            src.put_object("log", blob, cloud.now)
+
+        cloud.sim.run_process(user_program())
+        cloud.run()
+        assert dst.head("log").etag == src.head("log").etag
+        delta = before.delta(cloud.ledger.snapshot())
+        # Only ~1 MB crossed the WAN instead of 101 MB.
+        assert delta.totals.get("egress", 0.0) < 0.02 * 101 * MB / 1e9
+
+    def test_patch_rewrites_byte_range(self):
+        cloud, svc, src, dst, rule = build(seed=61)
+        base = replicate_seed_object(cloud, src, dst, "blockdev", 64 * MB)
+
+        def user_program():
+            patch = Blob.fresh(2 * MB)
+            offset = 10 * MB
+            blob = Blob.concat([
+                base.slice(0, offset), patch,
+                base.slice(offset + patch.size, base.size - offset - patch.size),
+            ])
+            yield from rule.changelog.record_patch(
+                "blockdev", base.etag, blob.etag, offset, patch.size
+            )
+            src.put_object("blockdev", blob, cloud.now)
+
+        cloud.sim.run_process(user_program())
+        cloud.run()
+        assert dst.head("blockdev").etag == src.head("blockdev").etag
+        assert rule.engine.stats["changelog_applied"] == 1
+
+    def test_changelog_disabled_by_config(self):
+        cloud = build_default_cloud(seed=67)
+        config = ReplicaConfig(profile_samples=6, mc_samples=500,
+                               enable_changelog=False)
+        svc = AReplicaService(cloud, config)
+        src = cloud.bucket("aws:us-east-1", "src")
+        dst = cloud.bucket("aws:us-east-2", "dst")
+        rule = svc.add_rule(src, dst)
+        blob = replicate_seed_object(cloud, src, dst, "orig", 50 * MB)
+
+        def user_program():
+            version = src.copy_object("orig", "copy", cloud.now, notify=False)
+            yield from rule.changelog.record_copy("orig", blob.etag, "copy",
+                                                  version.etag)
+            src.delete_object("copy", cloud.now, notify=False)
+            src.copy_object("orig", "copy", cloud.now)
+
+        cloud.sim.run_process(user_program())
+        cloud.run()
+        assert dst.head("copy").etag == src.head("copy").etag
+        assert rule.engine.stats["changelog_applied"] == 0

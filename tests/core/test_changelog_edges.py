@@ -1,0 +1,128 @@
+"""Edge cases of destination-side changelog application."""
+
+import pytest
+
+from repro.core.changelog import ChangelogEntry, ChangelogOp
+from repro.core.config import ReplicaConfig
+from repro.core.service import AReplicaService
+from repro.simcloud.cloud import build_default_cloud
+from repro.simcloud.objectstore import Blob
+
+MB = 1024 * 1024
+
+
+def build(seed):
+    cloud = build_default_cloud(seed=seed)
+    config = ReplicaConfig(profile_samples=5, mc_samples=300)
+    svc = AReplicaService(cloud, config)
+    src = cloud.bucket("aws:us-east-1", "src")
+    dst = cloud.bucket("aws:us-east-2", "dst")
+    rule = svc.add_rule(src, dst)
+    return cloud, svc, src, dst, rule
+
+
+def seed_replicated(cloud, src, dst, key, size):
+    blob = Blob.fresh(size)
+    src.put_object(key, blob, cloud.now)
+    cloud.run()
+    assert dst.head(key).etag == blob.etag
+    return blob
+
+
+class TestApplierGuards:
+    def test_unknown_op_falls_back_to_full_replication(self):
+        cloud, svc, src, dst, rule = build(1201)
+        base = seed_replicated(cloud, src, dst, "base", 40 * MB)
+
+        def user_program():
+            yield from rule.changelog.record(ChangelogEntry(
+                "teleport", "derived", base.etag, (("base", base.etag),)))
+            src.put_object("derived", base, cloud.now)
+
+        # The hint's etag must match the new version's etag to be found:
+        # 'derived' holds base's blob, so lookup('derived', base.etag) hits.
+        cloud.sim.run_process(user_program())
+        cloud.run()
+        assert dst.head("derived").etag == base.etag
+        assert rule.engine.stats["changelog_fallback"] == 1
+        assert rule.engine.stats["changelog_applied"] == 0
+
+    def test_reconstruction_mismatch_rolls_back(self):
+        """A hint whose reconstruction would not reproduce the version's
+        exact bytes is distrusted: the applier deletes its attempt and
+        the engine replicates in full."""
+        cloud, svc, src, dst, rule = build(1202)
+        a = seed_replicated(cloud, src, dst, "a", 10 * MB)
+        imposter = Blob.fresh(10 * MB)
+
+        def user_program():
+            # A *lying* COPY hint: claims 'fake' copies 'a', but the
+            # actual new object holds different content.
+            yield from rule.changelog.record(ChangelogEntry(
+                ChangelogOp.COPY, "fake", imposter.etag, (("a", a.etag),)))
+            src.put_object("fake", imposter, cloud.now)
+
+        cloud.sim.run_process(user_program())
+        cloud.run()
+        assert dst.head("fake").etag == imposter.etag  # correct content won
+        assert rule.engine.stats["changelog_fallback"] == 1
+
+    def test_patch_with_stale_source_version_falls_back(self):
+        cloud, svc, src, dst, rule = build(1203)
+        base = seed_replicated(cloud, src, dst, "dev", 20 * MB)
+        patch = Blob.fresh(1 * MB)
+        patched = Blob.concat([base.slice(0, 4 * MB), patch,
+                               base.slice(5 * MB, 15 * MB)])
+
+        def user_program():
+            yield from rule.changelog.record_patch(
+                "dev", base.etag, patched.etag, 4 * MB, 1 * MB)
+            src.put_object("dev", patched, cloud.now)
+            # The object moves on again immediately: by the time the
+            # applier's ranged GET arrives, the hinted version is stale.
+            src.put_object("dev", Blob.fresh(20 * MB), cloud.now)
+
+        cloud.sim.run_process(user_program())
+        cloud.run()
+        assert dst.head("dev").etag == src.head("dev").etag
+        assert svc.pending_count() == 0
+
+    def test_append_hint_base_deleted_at_destination(self):
+        cloud, svc, src, dst, rule = build(1204)
+        base = seed_replicated(cloud, src, dst, "log", 10 * MB)
+        # Sabotage: the destination copy disappears (e.g. manual delete).
+        dst.delete_object("log", cloud.now, notify=False)
+        tail = Blob.fresh(1 * MB)
+        grown = Blob.concat([base, tail])
+
+        def user_program():
+            yield from rule.changelog.record_append(
+                "log", base.etag, grown.etag, base.size, grown.size)
+            src.put_object("log", grown, cloud.now)
+
+        cloud.sim.run_process(user_program())
+        cloud.run()
+        assert dst.head("log").etag == grown.etag
+        assert rule.engine.stats["changelog_fallback"] == 1
+
+    def test_hint_for_small_object_still_cheap(self):
+        """Changelog applies before any plan is made, so even inline-size
+        objects benefit."""
+        from repro.simcloud.cost import CostCategory
+
+        cloud, svc, src, dst, rule = build(1205)
+        base = seed_replicated(cloud, src, dst, "tiny", 1 * MB)
+        egress_before = cloud.ledger.total(CostCategory.EGRESS)
+
+        def user_program():
+            version = src.copy_object("tiny", "tiny2", cloud.now, notify=False)
+            yield from rule.changelog.record_copy("tiny", base.etag,
+                                                  "tiny2", version.etag)
+            src.delete_object("tiny2", cloud.now, notify=False)
+            src.copy_object("tiny", "tiny2", cloud.now)
+
+        cloud.sim.run_process(user_program())
+        cloud.run()
+        assert dst.head("tiny2").etag == base.etag
+        assert rule.engine.stats["changelog_applied"] == 1
+        assert cloud.ledger.total(CostCategory.EGRESS) == egress_before

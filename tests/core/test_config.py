@@ -1,0 +1,47 @@
+"""Tests for ReplicaConfig."""
+
+import pytest
+
+from repro.core.config import DEFAULT_PART_SIZE, MB, ReplicaConfig
+
+
+def test_defaults_match_paper():
+    cfg = ReplicaConfig()
+    assert cfg.part_size == 8 * MB          # §5.1 part-size finding
+    assert cfg.percentile == 0.99
+    assert not cfg.slo_enabled              # SLO=0: fastest plan (§8.1)
+
+
+def test_slo_enabled_flag():
+    assert ReplicaConfig(slo_seconds=30).slo_enabled
+    assert not ReplicaConfig(slo_seconds=0).slo_enabled
+
+
+def test_parallelism_ladder_is_exponential():
+    cfg = ReplicaConfig(max_parallelism=16)
+    assert cfg.parallelism_ladder() == [1, 2, 4, 8, 16]
+
+
+def test_parallelism_ladder_non_power_of_two_cap():
+    cfg = ReplicaConfig(max_parallelism=100)
+    assert cfg.parallelism_ladder() == [1, 2, 4, 8, 16, 32, 64]
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"slo_seconds": -1},
+        {"percentile": 0.4},
+        {"percentile": 1.0},
+        {"part_size": 0},
+        {"max_parallelism": 0},
+        {"local_threshold": 128 * MB, "distributed_threshold": 64 * MB},
+    ],
+)
+def test_invalid_configs_rejected(kwargs):
+    with pytest.raises(ValueError):
+        ReplicaConfig(**kwargs)
+
+
+def test_default_part_size_constant():
+    assert DEFAULT_PART_SIZE == 8 * 1024 * 1024

@@ -1,0 +1,225 @@
+"""Fault-tolerance tests (§6): crashed functions, auto-retry, orphaned
+part recovery, dead-letter queues, and lock lease recovery."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ReplicaConfig
+from repro.core.service import AReplicaService
+from repro.simcloud.cloud import build_default_cloud
+from repro.simcloud.objectstore import Blob
+
+MB = 1024 * 1024
+GB = 1024 * MB
+
+
+def build(seed=7, slo=0.0, **cfg):
+    cloud = build_default_cloud(seed=seed)
+    config = ReplicaConfig(slo_seconds=slo, profile_samples=6, mc_samples=500,
+                           **cfg)
+    svc = AReplicaService(cloud, config)
+    src = cloud.bucket("aws:us-east-1", "src")
+    dst = cloud.bucket("azure:eastus", "dst")
+    rule = svc.add_rule(src, dst)
+    return cloud, svc, src, dst, rule
+
+
+class TestChaosInjection:
+    def test_chaos_crashes_are_retried_by_platform(self):
+        cloud = build_default_cloud(seed=101)
+        faas = cloud.faas("aws:us-east-1")
+        faas.chaos_crash_prob = 1.0  # first attempts always crash
+        faas.chaos_mean_delay_s = 0.05
+        attempts = []
+
+        def handler(ctx, payload):
+            attempts.append(ctx.now)
+            yield ctx.sleep(5.0)
+            return "done"
+
+        faas.deploy("f", handler)
+
+        def main():
+            accepted, inv = faas.invoke("f", None)
+            yield accepted
+            try:
+                return (yield inv)
+            except Exception as exc:  # noqa: BLE001
+                return repr(exc)
+
+        result = cloud.sim.run_process(main())
+        assert faas.chaos_crashes >= 1
+        assert len(attempts) >= 2            # at least one retry happened
+        # All attempts crash (prob=1) -> eventually dead-lettered.
+        assert "InvocationFailed" in result
+        assert len(faas.dead_letters) == 1
+
+    def test_partial_chaos_eventually_succeeds(self):
+        cloud = build_default_cloud(seed=102)
+        faas = cloud.faas("aws:us-east-1")
+        faas.chaos_crash_prob = 0.5
+        faas.chaos_mean_delay_s = 0.01
+        successes = 0
+
+        def handler(ctx, payload):
+            yield ctx.sleep(1.0)
+            return "ok"
+
+        faas.deploy("f", handler)
+        for i in range(20):
+            def main():
+                accepted, inv = faas.invoke("f", None)
+                yield accepted
+                try:
+                    return (yield inv)
+                except Exception:  # noqa: BLE001
+                    return None
+
+            if cloud.sim.run_process(main()) == "ok":
+                successes += 1
+        # With 2 retries, P(all three attempts crash) is small.
+        assert successes >= 15
+
+    def test_chaos_off_by_default(self):
+        cloud = build_default_cloud(seed=103)
+        faas = cloud.faas("aws:us-east-1")
+        assert faas.chaos_crash_prob == 0.0
+
+
+class TestReplicationUnderCrashes:
+    def test_distributed_replication_survives_worker_crashes(self):
+        """Workers crash mid-task; platform retries plus orphaned-part
+        recovery still deliver a byte-identical object."""
+        cloud, svc, src, dst, rule = build(seed=104)
+        faas = cloud.faas("aws:us-east-1")
+        faas.chaos_crash_prob = 0.25
+        faas.chaos_mean_delay_s = 1.0
+        blob = Blob.fresh(GB)
+        src.put_object("big", blob, cloud.now)
+        cloud.run()
+        assert dst.head("big").etag == blob.etag
+        assert svc.pending_count() == 0
+        assert faas.chaos_crashes >= 1
+
+    def test_single_function_replication_survives_crash(self):
+        cloud, svc, src, dst, rule = build(seed=105)
+        for region in ("aws:us-east-1", "azure:eastus"):
+            cloud.faas(region).chaos_crash_prob = 0.4
+            cloud.faas(region).chaos_mean_delay_s = 0.5
+        blobs = {}
+        for i in range(10):
+            blobs[f"k{i}"] = Blob.fresh(4 * MB)
+            src.put_object(f"k{i}", blobs[f"k{i}"], cloud.now)
+        cloud.run()
+        for key, blob in blobs.items():
+            assert dst.head(key).etag == blob.etag
+        assert svc.pending_count() == 0
+
+    def test_orphan_recovery_counts_recovered_parts(self):
+        cloud, svc, src, dst, rule = build(seed=106)
+        faas = cloud.faas("aws:us-east-1")
+        faas.chaos_crash_prob = 0.5
+        faas.chaos_mean_delay_s = 0.8
+        src.put_object("big", Blob.fresh(GB), cloud.now)
+        cloud.run()
+        assert dst.head("big").etag == src.head("big").etag
+        # Either recovery kicked in or retries redid the work — both
+        # paths must leave no duplicate completions unaccounted.
+        assert svc.pending_count() == 0
+
+    def test_fair_mode_survives_crashes_via_retry(self):
+        cloud = build_default_cloud(seed=107)
+        config = ReplicaConfig(profile_samples=6, mc_samples=500)
+        svc = AReplicaService(cloud, config)
+        src = cloud.bucket("aws:us-east-1", "src")
+        dst = cloud.bucket("azure:eastus", "dst")
+        svc.add_rule(src, dst, scheduling="fair")
+        faas = cloud.faas("aws:us-east-1")
+        faas.chaos_crash_prob = 0.3
+        faas.chaos_mean_delay_s = 1.0
+        blob = Blob.fresh(512 * MB)
+        src.put_object("big", blob, cloud.now)
+        cloud.run()
+        assert dst.head("big").etag == blob.etag
+
+    def test_duplicate_completions_counted_once(self):
+        """A retried worker redoing an already-done part must not
+        double-count toward task completion."""
+        cloud = build_default_cloud(seed=108)
+        table = cloud.kv_table("aws:us-east-1", "s")
+        from repro.core.partpool import PartPool
+
+        pool = PartPool(table, "t", 3)
+
+        def main():
+            yield from pool.create()
+            finishes = []
+            for idx in (0, 1, 1, 0, 2):  # duplicates interleaved
+                finishes.append((yield from pool.complete(idx)))
+            return finishes
+
+        finishes = cloud.sim.run_process(main())
+        assert finishes == [False, False, False, False, True]
+        assert pool.peek_progress()["duplicates"] == 2
+
+    def test_missing_parts_reflects_done_set(self):
+        cloud = build_default_cloud(seed=109)
+        table = cloud.kv_table("aws:us-east-1", "s")
+        from repro.core.partpool import PartPool
+
+        pool = PartPool(table, "t", 4)
+
+        def main():
+            yield from pool.create()
+            yield from pool.complete(1)
+            yield from pool.complete(3)
+            return (yield from pool.missing_parts())
+
+        assert cloud.sim.run_process(main()) == [0, 2]
+
+    def test_try_reclaim_single_winner(self):
+        cloud = build_default_cloud(seed=110)
+        table = cloud.kv_table("aws:us-east-1", "s")
+        from repro.core.partpool import PartPool
+
+        pool = PartPool(table, "t", 4)
+        wins = []
+
+        def claimer(i):
+            won = yield from pool.try_reclaim(2, owner=f"w{i}", now=cloud.now)
+            wins.append(won)
+
+        def main():
+            yield from pool.create()
+            yield cloud.sim.all_of([cloud.sim.spawn(claimer(i))
+                                    for i in range(5)])
+
+        cloud.sim.run_process(main())
+        assert sum(wins) == 1
+
+
+class TestEndToEndChaosWorkload:
+    def test_bursty_workload_with_chaos_converges(self):
+        """A realistic mixed workload with 15 % crash probability on both
+        platforms must still deliver every object and every delete."""
+        cloud, svc, src, dst, rule = build(seed=111)
+        for region in ("aws:us-east-1", "azure:eastus"):
+            cloud.faas(region).chaos_crash_prob = 0.15
+            cloud.faas(region).chaos_mean_delay_s = 0.5
+        rng = np.random.default_rng(0)
+        expected = {}
+        for i in range(40):
+            key = f"k{int(rng.integers(0, 12))}"
+            if rng.random() < 0.15 and key in expected:
+                src.delete_object(key, cloud.now)
+                del expected[key]
+            else:
+                blob = Blob.fresh(int(rng.integers(1, 32)) * MB)
+                src.put_object(key, blob, cloud.now)
+                expected[key] = blob
+        cloud.run()
+        for key, blob in expected.items():
+            assert dst.head(key).etag == blob.etag, key
+        for key in set(dst.keys()) - set(expected):
+            assert key not in src
+        assert svc.pending_count() == 0

@@ -1,0 +1,204 @@
+"""Tests for the distribution-aware performance model."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import LocParams, NormalParam, PathParams, PerformanceModel
+
+MB = 1024 * 1024
+LOC = "aws:us-east-1"
+PATH = (LOC, "aws:us-east-1", "azure:eastus")
+
+
+def make_model(chunk_size=8 * MB, **kwargs) -> PerformanceModel:
+    model = PerformanceModel(chunk_size=chunk_size, **kwargs)
+    model.set_loc_params(LOC, LocParams(
+        invoke=NormalParam(0.02, 0.005),
+        startup=NormalParam(0.35, 0.08),
+        postponement=NormalParam.zero(),
+    ))
+    model.set_path_params(PATH, PathParams(
+        client_startup=NormalParam(0.25, 0.05),
+        chunk=NormalParam(0.20, 0.04),
+        chunk_distributed=NormalParam(0.24, 0.06),
+    ))
+    return model
+
+
+class TestNormalParam:
+    def test_from_samples(self):
+        p = NormalParam.from_samples([1.0, 2.0, 3.0])
+        assert p.mean == pytest.approx(2.0)
+        assert p.std == pytest.approx(1.0)
+
+    def test_from_single_sample_zero_std(self):
+        p = NormalParam.from_samples([5.0])
+        assert (p.mean, p.std) == (5.0, 0.0)
+
+    def test_from_empty_rejected(self):
+        with pytest.raises(ValueError):
+            NormalParam.from_samples([])
+
+    def test_scaled_is_fully_correlated(self):
+        p = NormalParam(2.0, 0.5).scaled(4)
+        assert (p.mean, p.std) == (8.0, 2.0)
+
+    def test_iid_sum_sqrt_variance(self):
+        p = NormalParam(2.0, 0.5).iid_sum(4)
+        assert p.mean == 8.0
+        assert p.std == pytest.approx(1.0)
+
+    def test_plus_independent(self):
+        p = NormalParam(1.0, 3.0).plus(NormalParam(2.0, 4.0))
+        assert p.mean == 3.0
+        assert p.std == pytest.approx(5.0)
+
+    def test_percentile_monotone(self):
+        p = NormalParam(10.0, 2.0)
+        assert p.percentile(0.5) == pytest.approx(10.0)
+        assert p.percentile(0.99) > p.percentile(0.9) > p.percentile(0.5)
+
+    def test_percentile_of_degenerate(self):
+        assert NormalParam(3.0, 0.0).percentile(0.99) == 3.0
+
+    def test_samples_nonnegative(self):
+        rng = np.random.default_rng(0)
+        xs = NormalParam(0.01, 1.0).sample(rng, 1000)
+        assert (xs >= 0).all()
+
+
+class TestChunkMath:
+    def test_num_chunks_rounds_up(self):
+        m = make_model()
+        assert m.num_chunks(1) == 1
+        assert m.num_chunks(8 * MB) == 1
+        assert m.num_chunks(8 * MB + 1) == 2
+        assert m.num_chunks(1024 * MB) == 128
+
+    def test_chunks_per_function(self):
+        m = make_model()
+        assert m.chunks_per_function(1024 * MB, 32) == 4
+        assert m.chunks_per_function(1024 * MB, 100) == 2  # ceil(128/100)
+
+
+class TestTFunc:
+    def test_inline_is_zero(self):
+        m = make_model()
+        assert m.t_func(1, LOC, inline=True) == NormalParam.zero()
+
+    def test_single_is_invoke_plus_startup(self):
+        m = make_model()
+        t = m.t_func(1, LOC)
+        assert t.mean == pytest.approx(0.37)
+
+    def test_parallel_scales_invoke_linearly(self):
+        """T_func = I·n + D + P (§5.3)."""
+        m = make_model()
+        t8 = m.t_func(8, LOC)
+        t16 = m.t_func(16, LOC)
+        assert t16.mean - t8.mean == pytest.approx(8 * 0.02)
+
+
+class TestTransfer:
+    def test_single_grows_with_chunks(self):
+        m = make_model()
+        t1 = m.t_transfer_single(PATH, 8 * MB)
+        t4 = m.t_transfer_single(PATH, 32 * MB)
+        assert t4.mean == pytest.approx(t1.mean + 3 * 0.20)
+
+    def test_parallel_percentile_above_single_instance_mean(self):
+        """The max over n instances exceeds any single instance's mean."""
+        m = make_model()
+        per_mean = 0.25 + 4 * 0.24
+        p50 = m.t_transfer_parallel_percentile(PATH, 1024 * MB, 32, 0.5)
+        assert p50 > per_mean
+
+    def test_parallel_percentile_monotone_in_p(self):
+        m = make_model()
+        p90 = m.t_transfer_parallel_percentile(PATH, 1024 * MB, 8, 0.90)
+        p99 = m.t_transfer_parallel_percentile(PATH, 1024 * MB, 8, 0.99)
+        assert p99 > p90
+
+    def test_mc_cache_reused(self):
+        m = make_model()
+        m.t_transfer_parallel_percentile(PATH, 1024 * MB, 8, 0.9)
+        runs = m.mc_runs
+        m.t_transfer_parallel_percentile(PATH, 1024 * MB, 8, 0.99)
+        assert m.mc_runs == runs  # same (path, n, m) key
+
+    def test_mc_cache_invalidated_on_scale(self):
+        m = make_model()
+        m.t_transfer_parallel_percentile(PATH, 1024 * MB, 8, 0.9)
+        runs = m.mc_runs
+        m.scale_path(PATH, 1.5)
+        m.t_transfer_parallel_percentile(PATH, 1024 * MB, 8, 0.9)
+        assert m.mc_runs == runs + 1
+
+    def test_gumbel_used_for_large_n(self):
+        m = make_model(gumbel_threshold=32)
+        m.predict_percentile(PATH, 10240 * MB, 64, 0.99)
+        assert m.mc_runs == 0  # no resampling for large n (§5.3)
+
+    def test_gumbel_approximates_monte_carlo(self):
+        """EVT percentiles should be close to brute-force resampling."""
+        m = make_model(mc_samples=20000)
+        n, size = 128, 10240 * MB
+        gumbel_p = m._gumbel_percentile(PATH, size, n, 0.9)
+        per_inst = m._per_instance(PATH, size, n)
+        rng = np.random.default_rng(1)
+        mc = per_inst.sample(rng, (20000, n)).max(axis=1)
+        mc_p = float(np.quantile(mc, 0.9))
+        assert gumbel_p == pytest.approx(mc_p, rel=0.08)
+
+    def test_scale_path_rejects_nonpositive(self):
+        m = make_model()
+        with pytest.raises(ValueError):
+            m.scale_path(PATH, 0.0)
+
+
+class TestPredict:
+    def test_more_functions_cut_transfer_time(self):
+        m = make_model()
+        t1 = m.predict_percentile(PATH, 1024 * MB, 1, 0.9)
+        t32 = m.predict_percentile(PATH, 1024 * MB, 32, 0.9)
+        assert t32 < t1 / 4
+
+    def test_inline_beats_remote_single_for_small(self):
+        m = make_model()
+        remote = m.predict_percentile(PATH, 1 * MB, 1, 0.9, inline=False)
+        inline = m.predict_percentile(PATH, 1 * MB, 1, 0.9, inline=True)
+        assert inline < remote
+
+    def test_predict_stats_match_sample_moments(self):
+        m = make_model(mc_samples=20000)
+        mean, std = m.predict_stats(PATH, 1024 * MB, 16)
+        samples = m.predict_samples(PATH, 1024 * MB, 16, count=20000)
+        assert mean == pytest.approx(float(samples.mean()), rel=0.05)
+        assert std == pytest.approx(float(samples.std()), rel=0.2)
+
+    def test_predict_single_closed_form(self):
+        m = make_model()
+        mean, std = m.predict_stats(PATH, 8 * MB, 1)
+        # I + D + S + C
+        assert mean == pytest.approx(0.02 + 0.35 + 0.25 + 0.20)
+        assert std == pytest.approx(math.sqrt(0.005**2 + 0.08**2 + 0.05**2 + 0.04**2))
+
+    def test_has_path(self):
+        m = make_model()
+        assert m.has_path(PATH)
+        assert not m.has_path(("gcp:us-east1", "a", "b"))
+
+    @given(n=st.sampled_from([2, 4, 8, 16]), p=st.floats(0.6, 0.99))
+    @settings(max_examples=20, deadline=None)
+    def test_percentile_increases_with_n_at_fixed_chunks(self, n, p):
+        """With per-function work held constant, more instances mean a
+        worse straggler tail: max of more draws."""
+        m = make_model()
+        size_small = n * 8 * MB          # one chunk per function
+        t = m.t_transfer_parallel_percentile(PATH, size_small, n, p)
+        t_double = m.t_transfer_parallel_percentile(PATH, 2 * size_small, 2 * n, p)
+        assert t_double >= t - 0.05

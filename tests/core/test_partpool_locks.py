@@ -1,0 +1,274 @@
+"""Tests for the decentralized part pool (Algorithm 1) and the
+replication lock (Algorithm 2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.locks import ReplicationLockManager
+from repro.core.partpool import FairAssignment, PartPool
+from repro.simcloud.cloud import build_default_cloud
+
+
+@pytest.fixture
+def cloud():
+    return build_default_cloud(seed=9)
+
+
+@pytest.fixture
+def table(cloud):
+    return cloud.kv_table("aws:us-east-1", "state")
+
+
+def run(cloud, gen):
+    return cloud.sim.run_process(gen)
+
+
+class TestPartPool:
+    def test_claims_are_unique_and_complete(self, cloud, table):
+        pool = PartPool(table, "t1", 10)
+        claimed = []
+
+        def worker():
+            while True:
+                idx = yield from pool.claim()
+                if idx is None:
+                    return
+                claimed.append(idx)
+                yield from pool.complete(idx)
+
+        def main():
+            yield from pool.create()
+            yield cloud.sim.all_of([cloud.sim.spawn(worker()) for _ in range(4)])
+
+        run(cloud, main())
+        assert sorted(claimed) == list(range(10))
+
+    def test_exactly_one_finisher(self, cloud, table):
+        pool = PartPool(table, "t2", 7)
+        finishers = []
+
+        def worker(i):
+            while True:
+                idx = yield from pool.claim()
+                if idx is None:
+                    return
+                done = yield from pool.complete(idx)
+                if done:
+                    finishers.append(i)
+
+        def main():
+            yield from pool.create()
+            yield cloud.sim.all_of([cloud.sim.spawn(worker(i)) for i in range(3)])
+
+        run(cloud, main())
+        assert len(finishers) == 1
+
+    def test_fast_workers_claim_more(self, cloud, table):
+        """The point of decentralized scheduling: throughput-proportional
+        part counts (Fig 12)."""
+        pool = PartPool(table, "t3", 12)
+        counts = {"fast": 0, "slow": 0}
+
+        def worker(name, per_part_s):
+            while True:
+                idx = yield from pool.claim()
+                if idx is None:
+                    return
+                yield cloud.sim.sleep(per_part_s)
+                counts[name] += 1
+                yield from pool.complete(idx)
+
+        def main():
+            yield from pool.create()
+            yield cloud.sim.all_of([
+                cloud.sim.spawn(worker("fast", 0.25)),
+                cloud.sim.spawn(worker("slow", 0.5)),
+            ])
+
+        run(cloud, main())
+        assert counts["fast"] > counts["slow"]
+        assert counts["fast"] + counts["slow"] == 12
+
+    def test_two_kv_ops_per_part(self, cloud, table):
+        """§5.1: decentralized scheduling triggers only two external
+        storage accesses per data part."""
+        pool = PartPool(table, "t4", 5)
+
+        def worker():
+            while True:
+                idx = yield from pool.claim()
+                if idx is None:
+                    return
+                yield from pool.complete(idx)
+
+        def main():
+            yield from pool.create()
+            yield cloud.sim.spawn(worker())
+
+        run(cloud, main())
+        # 1 create + (5+1) claims (last returns None) + 5 completes.
+        assert table.op_counts["write"] == 1 + 6 + 5
+
+    def test_abort_first_claimer_only(self, cloud, table):
+        pool = PartPool(table, "t5", 4)
+        results = []
+
+        def aborter():
+            first = yield from pool.abort()
+            results.append(first)
+
+        def main():
+            yield from pool.create()
+            yield cloud.sim.all_of([cloud.sim.spawn(aborter()) for _ in range(3)])
+
+        run(cloud, main())
+        assert sorted(results) == [False, False, True]
+
+    def test_is_aborted_flag(self, cloud, table):
+        pool = PartPool(table, "t6", 4)
+
+        def main():
+            yield from pool.create()
+            before = yield from pool.is_aborted()
+            yield from pool.abort()
+            after = yield from pool.is_aborted()
+            return before, after
+
+        assert run(cloud, main()) == (False, True)
+
+    def test_zero_parts_rejected(self, table):
+        with pytest.raises(ValueError):
+            PartPool(table, "t", 0)
+
+
+class TestFairAssignment:
+    def test_even_split(self):
+        fa = FairAssignment(8, 4)
+        assert fa.all_assignments() == [[0, 1], [2, 3], [4, 5], [6, 7]]
+
+    def test_uneven_split_front_loaded(self):
+        fa = FairAssignment(10, 4)
+        sizes = [len(p) for p in fa.all_assignments()]
+        assert sizes == [3, 3, 2, 2]
+
+    def test_covers_all_parts_exactly_once(self):
+        fa = FairAssignment(13, 5)
+        flat = [i for parts in fa.all_assignments() for i in parts]
+        assert sorted(flat) == list(range(13))
+
+    def test_more_workers_than_parts(self):
+        fa = FairAssignment(2, 5)
+        sizes = [len(p) for p in fa.all_assignments()]
+        assert sizes == [1, 1, 0, 0, 0]
+
+    def test_bad_index_rejected(self):
+        with pytest.raises(IndexError):
+            FairAssignment(4, 2).parts_for(2)
+
+    @given(parts=st.integers(1, 200), workers=st.integers(1, 64))
+    @settings(max_examples=50, deadline=None)
+    def test_partition_property(self, parts, workers):
+        fa = FairAssignment(parts, workers)
+        flat = sorted(i for p in fa.all_assignments() for i in p)
+        assert flat == list(range(parts))
+        sizes = [len(p) for p in fa.all_assignments()]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestReplicationLock:
+    def test_acquire_release(self, cloud, table):
+        mgr = ReplicationLockManager(table)
+
+        def main():
+            outcome = yield from mgr.lock("k", "e1", 1, owner="a")
+            assert outcome.acquired
+            assert mgr.is_locked("k")
+            pending = yield from mgr.unlock("k", owner="a")
+            return pending
+
+        assert run(cloud, main()) is None
+        assert not table.peek("lock:k")
+
+    def test_contention_registers_pending(self, cloud, table):
+        mgr = ReplicationLockManager(table)
+
+        def main():
+            yield from mgr.lock("k", "e1", 1, owner="a")
+            second = yield from mgr.lock("k", "e2", 2, owner="b")
+            assert not second.acquired
+            assert second.registered_pending
+            pending = yield from mgr.unlock("k", owner="a")
+            return pending
+
+        pending = run(cloud, main())
+        assert pending.etag == "e2"
+        assert pending.seq == 2
+
+    def test_only_newest_pending_kept(self, cloud, table):
+        mgr = ReplicationLockManager(table)
+
+        def main():
+            yield from mgr.lock("k", "e1", 1, owner="a")
+            yield from mgr.lock("k", "e3", 3, owner="c")
+            older = yield from mgr.lock("k", "e2", 2, owner="b")
+            assert not older.registered_pending  # e3 is newer, e2 can quit
+            pending = yield from mgr.unlock("k", owner="a")
+            return pending
+
+        pending = run(cloud, main())
+        assert pending.etag == "e3"
+
+    def test_unlock_by_non_owner_is_noop(self, cloud, table):
+        mgr = ReplicationLockManager(table)
+
+        def main():
+            yield from mgr.lock("k", "e1", 1, owner="a")
+            pending = yield from mgr.unlock("k", owner="z")
+            return pending
+
+        assert run(cloud, main()) is None
+        assert table.peek("lock:k") is not None
+
+    def test_expired_lease_stolen(self, cloud, table):
+        mgr = ReplicationLockManager(table, lease_s=10.0)
+
+        def main():
+            yield from mgr.lock("k", "e1", 1, owner="dead")
+            yield cloud.sim.sleep(11.0)
+            outcome = yield from mgr.lock("k", "e2", 2, owner="alive")
+            return outcome
+
+        outcome = run(cloud, main())
+        assert outcome.acquired
+        assert table.peek("lock:k")["owner"] == "alive"
+
+    def test_steal_preserves_pending(self, cloud, table):
+        mgr = ReplicationLockManager(table, lease_s=10.0)
+
+        def main():
+            yield from mgr.lock("k", "e1", 1, owner="dead")
+            yield from mgr.lock("k", "e2", 2, owner="waiter")
+            yield cloud.sim.sleep(11.0)
+            yield from mgr.lock("k", "e3", 3, owner="alive")
+            pending = yield from mgr.unlock("k", owner="alive")
+            return pending
+
+        pending = run(cloud, main())
+        assert pending.etag == "e2"
+
+    def test_concurrent_lockers_single_winner(self, cloud, table):
+        mgr = ReplicationLockManager(table)
+        outcomes = []
+
+        def locker(i):
+            outcome = yield from mgr.lock("k", f"e{i}", i, owner=f"o{i}")
+            outcomes.append(outcome.acquired)
+
+        def main():
+            yield cloud.sim.all_of(
+                [cloud.sim.spawn(locker(i)) for i in range(1, 9)]
+            )
+
+        run(cloud, main())
+        assert sum(outcomes) == 1

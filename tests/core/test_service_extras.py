@@ -1,0 +1,120 @@
+"""Tests for service summary, quota clamping, and the cost CLI."""
+
+import math
+
+import pytest
+
+from repro.cli import main
+from repro.core.config import ReplicaConfig
+from repro.core.service import AReplicaService
+from repro.simcloud.cloud import build_default_cloud
+from repro.simcloud.faas import FaasProfile
+from repro.simcloud.objectstore import Blob
+
+MB = 1024 * 1024
+
+
+class TestServiceSummary:
+    def test_summary_after_work(self):
+        cloud = build_default_cloud(seed=801)
+        svc = AReplicaService(cloud, ReplicaConfig(profile_samples=5,
+                                                   mc_samples=300))
+        src = cloud.bucket("aws:us-east-1", "src")
+        dst = cloud.bucket("aws:us-east-2", "dst")
+        svc.add_rule(src, dst)
+        for i in range(4):
+            src.put_object(f"k{i}", Blob.fresh(MB), cloud.now)
+        cloud.run()
+        s = svc.summary()
+        assert s["rules"] == 1
+        assert s["replicated_events"] == 4
+        assert s["pending_events"] == 0
+        assert s["delay_p50_s"] > 0
+        assert s["delay_max_s"] >= s["delay_p99_s"] >= s["delay_p50_s"]
+        assert s["total_cost_usd"] > 0
+        assert "egress" in s["cost_breakdown"]
+
+    def test_summary_empty(self):
+        cloud = build_default_cloud(seed=802)
+        svc = AReplicaService(cloud, ReplicaConfig(profile_samples=5,
+                                                   mc_samples=300))
+        s = svc.summary()
+        assert s["replicated_events"] == 0
+        assert math.isnan(s["delay_p50_s"])
+
+
+class TestQuotaClamping:
+    def test_distributed_task_clamped_to_remaining_quota(self):
+        cloud = build_default_cloud(seed=803)
+        svc = AReplicaService(cloud, ReplicaConfig(profile_samples=5,
+                                                   mc_samples=300))
+        src = cloud.bucket("aws:us-east-1", "src")
+        dst = cloud.bucket("azure:eastus", "dst")
+        rule = svc.add_rule(src, dst)
+        # Shrink the source platform's concurrency quota drastically.
+        faas = cloud.faas("aws:us-east-1")
+        faas.profile = FaasProfile(max_concurrency=6)
+        blob = Blob.fresh(1024 * MB)  # would normally use 32-64 workers
+        src.put_object("big", blob, cloud.now)
+        cloud.run()
+        assert dst.head("big").etag == blob.etag
+        assert rule.engine.stats.get("quota_clamped", 0) >= 1
+        workers = {w for (t, w) in rule.engine.worker_parts}
+        assert len(workers) <= 6
+
+    def test_no_clamp_with_ample_quota(self):
+        cloud = build_default_cloud(seed=804)
+        svc = AReplicaService(cloud, ReplicaConfig(profile_samples=5,
+                                                   mc_samples=300))
+        src = cloud.bucket("aws:us-east-1", "src")
+        dst = cloud.bucket("azure:eastus", "dst")
+        rule = svc.add_rule(src, dst)
+        src.put_object("big", Blob.fresh(512 * MB), cloud.now)
+        cloud.run()
+        assert rule.engine.stats.get("quota_clamped", 0) == 0
+
+
+class TestCostCli:
+    def test_cost_command_aws(self, capsys):
+        rc = main(["cost", "--src", "aws:us-east-1", "--dst", "aws:us-east-2",
+                   "--requests-per-day", "1000"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "areplica" in out and "skyplane" in out and "s3rtc" in out
+
+    def test_cost_command_cross_cloud_omits_proprietary(self, capsys):
+        rc = main(["cost", "--src", "aws:us-east-1", "--dst", "gcp:us-east1",
+                   "--requests-per-day", "1000"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "s3rtc" not in out and "azrep" not in out
+
+    def test_cost_command_azure_includes_azrep(self, capsys):
+        rc = main(["cost", "--src", "azure:eastus", "--dst", "azure:uksouth",
+                   "--requests-per-day", "1000"])
+        assert rc == 0
+        assert "azrep" in capsys.readouterr().out
+
+
+class TestRegionsCli:
+    def test_regions_listing(self, capsys):
+        rc = main(["regions"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "aws:us-east-1" in out and "regions:" in out
+
+    def test_regions_egress_matrix(self, capsys):
+        rc = main(["regions", "--egress"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "egress $/GB" in out
+        assert "0.090" in out  # AWS internet rate appears somewhere
+
+
+class TestAuditCli:
+    def test_audit_command_clean_exit(self, capsys):
+        rc = main(["audit", "--dst", "aws:us-east-2", "--requests", "200",
+                   "--profile-samples", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "clean" in out and "auditing" in out

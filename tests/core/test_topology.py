@@ -1,0 +1,126 @@
+"""Tests for replication topologies (star / chain / mesh)."""
+
+import math
+
+import pytest
+
+from repro.core.config import ReplicaConfig
+from repro.core.service import AReplicaService
+from repro.core.topology import ReplicationTopology
+from repro.simcloud.cloud import build_default_cloud
+from repro.simcloud.objectstore import Blob
+
+MB = 1024 * 1024
+
+
+def make_service(seed):
+    cloud = build_default_cloud(seed=seed)
+    svc = AReplicaService(cloud, ReplicaConfig(profile_samples=5,
+                                               mc_samples=300))
+    return cloud, svc
+
+
+class TestStar:
+    def test_fanout_replicates_everywhere(self):
+        cloud, svc = make_service(1101)
+        primary = cloud.bucket("aws:us-east-1", "primary")
+        replicas = [cloud.bucket("azure:eastus", "r1"),
+                    cloud.bucket("gcp:us-east1", "r2")]
+        topo = ReplicationTopology.star(svc, primary, replicas)
+        blob = Blob.fresh(8 * MB)
+        primary.put_object("k", blob, cloud.now)
+        cloud.run()
+        assert topo.converged()
+        for replica in replicas:
+            assert replica.head("k").etag == blob.etag
+
+    def test_star_needs_replicas(self):
+        cloud, svc = make_service(1102)
+        with pytest.raises(ValueError):
+            ReplicationTopology.star(svc, cloud.bucket("aws:us-east-1", "p"),
+                                     [])
+
+    def test_duplicate_bucket_rejected(self):
+        cloud, svc = make_service(1103)
+        p = cloud.bucket("aws:us-east-1", "p")
+        r = cloud.bucket("azure:eastus", "r")
+        with pytest.raises(ValueError):
+            ReplicationTopology.star(svc, p, [r, r])
+
+
+class TestChain:
+    def test_cascade_propagates_to_the_end(self):
+        cloud, svc = make_service(1104)
+        hops = [cloud.bucket("aws:us-east-1", "a"),
+                cloud.bucket("azure:eastus", "b"),
+                cloud.bucket("gcp:us-east1", "c")]
+        topo = ReplicationTopology.chain(svc, hops)
+        blob = Blob.fresh(4 * MB)
+        hops[0].put_object("k", blob, cloud.now)
+        cloud.run()
+        assert topo.converged()
+        assert hops[2].head("k").etag == blob.etag
+        # Delay accumulates down the chain.
+        profile = topo.delay_profile()
+        first = profile["aws:us-east-1->azure:eastus"]
+        assert first["count"] == 1
+
+    def test_chain_needs_two(self):
+        cloud, svc = make_service(1105)
+        with pytest.raises(ValueError):
+            ReplicationTopology.chain(svc, [cloud.bucket("aws:us-east-1", "a")])
+
+    def test_chain_delete_propagates(self):
+        cloud, svc = make_service(1106)
+        hops = [cloud.bucket("aws:us-east-1", "a"),
+                cloud.bucket("aws:us-east-2", "b"),
+                cloud.bucket("aws:us-west-2", "c")]
+        topo = ReplicationTopology.chain(svc, hops)
+        hops[0].put_object("k", Blob.fresh(MB), cloud.now)
+        cloud.run()
+        hops[0].delete_object("k", cloud.now)
+        cloud.run()
+        assert topo.converged()
+        assert "k" not in hops[2]
+
+
+class TestMesh:
+    def test_mesh_converges_from_any_writer(self):
+        cloud, svc = make_service(1107)
+        sites = [cloud.bucket("aws:us-east-1", "a"),
+                 cloud.bucket("azure:eastus", "b"),
+                 cloud.bucket("gcp:us-east1", "c")]
+        topo = ReplicationTopology.mesh(svc, sites)
+        assert len(topo.rules) == 6
+        blob_a = Blob.fresh(2 * MB)
+        blob_b = Blob.fresh(2 * MB)
+        sites[0].put_object("from-a", blob_a, cloud.now)
+        sites[1].put_object("from-b", blob_b, cloud.now)
+        cloud.run()  # terminates: short-circuits quench the echoes
+        assert topo.converged()
+        for site in sites:
+            assert site.head("from-a").etag == blob_a.etag
+            assert site.head("from-b").etag == blob_b.etag
+
+    def test_divergence_reporting(self):
+        cloud, svc = make_service(1108)
+        sites = [cloud.bucket("aws:us-east-1", "a"),
+                 cloud.bucket("aws:us-east-2", "b")]
+        topo = ReplicationTopology.mesh(svc, sites)
+        sites[0].put_object("k", Blob.fresh(MB), cloud.now)
+        # Before the simulation runs, the write has not propagated.
+        assert not topo.converged()
+        assert any("k" in keys for keys in topo.divergence().values())
+        cloud.run()
+        assert topo.converged()
+        assert topo.divergence() == {}
+
+    def test_delay_profile_nan_when_idle(self):
+        cloud, svc = make_service(1109)
+        topo = ReplicationTopology.star(
+            svc, cloud.bucket("aws:us-east-1", "p"),
+            [cloud.bucket("aws:us-east-2", "r")])
+        profile = topo.delay_profile()
+        [(label, row)] = profile.items()
+        assert row["count"] == 0.0
+        assert math.isnan(row["mean"])

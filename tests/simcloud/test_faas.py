@@ -1,0 +1,413 @@
+"""Tests for the simulated FaaS platforms."""
+
+import pytest
+
+from repro.simcloud.cloud import build_default_cloud
+from repro.simcloud.cost import CostCategory
+from repro.simcloud.faas import FunctionTimeout, InvocationFailed
+from repro.simcloud.network import FunctionConfig
+from repro.simcloud.objectstore import Blob
+from repro.simcloud.sim import Interrupt
+
+MB = 10**6
+
+
+@pytest.fixture
+def cloud():
+    return build_default_cloud(seed=2)
+
+
+def run(cloud, gen):
+    return cloud.sim.run_process(gen)
+
+
+def echo_handler(ctx, payload):
+    yield ctx.sleep(0.01)
+    return payload
+
+
+class TestInvocation:
+    def test_invoke_returns_handler_result(self, cloud):
+        faas = cloud.faas("aws:us-east-1")
+        faas.deploy("echo", echo_handler)
+
+        def main():
+            accepted, invocation = faas.invoke("echo", {"v": 7})
+            yield accepted
+            result = yield invocation
+            return result
+
+        assert run(cloud, main()) == {"v": 7}
+
+    def test_api_latency_precedes_acceptance(self, cloud):
+        faas = cloud.faas("aws:us-east-1")
+        faas.deploy("echo", echo_handler)
+
+        def main():
+            accepted, _ = faas.invoke("echo", None)
+            yield accepted
+            return cloud.now
+
+        assert run(cloud, main()) > 0.0
+
+    def test_unknown_function_raises(self, cloud):
+        with pytest.raises(KeyError):
+            cloud.faas("aws:us-east-1").invoke("nope", None)
+
+    def test_cross_provider_invoke_slower(self, cloud):
+        aws = cloud.faas("aws:us-east-1")
+        aws.deploy("echo", echo_handler)
+        az_region = cloud.region("azure:eastus")
+
+        def accept_time(caller_region):
+            def main():
+                accepted, _ = aws.invoke("echo", None, caller_region=caller_region)
+                yield accepted
+                return cloud.now - start
+
+            start = cloud.now
+            return run(cloud, main())
+
+        local = accept_time(cloud.region("aws:us-east-1"))
+        cloud2 = build_default_cloud(seed=2)
+        aws2 = cloud2.faas("aws:us-east-1")
+        aws2.deploy("echo", echo_handler)
+
+        def main2():
+            accepted, _ = aws2.invoke("echo", None, caller_region=az_region)
+            yield accepted
+            return cloud2.now
+
+        remote = run(cloud2, main2())
+        assert remote > local
+
+    def test_cold_then_warm_start(self, cloud):
+        faas = cloud.faas("aws:us-east-1")
+        faas.deploy("echo", echo_handler)
+
+        def one_call():
+            accepted, inv = faas.invoke("echo", None)
+            yield accepted
+            yield inv
+
+        run(cloud, one_call())
+        run(cloud, one_call())
+        stats = faas.deployment_stats("echo")
+        assert stats["cold_starts"] == 1
+        assert stats["warm_starts"] == 1
+
+    def test_warm_instance_keeps_channel(self, cloud):
+        """A reused instance retains its (possibly slow) network factor."""
+        faas = cloud.faas("aws:us-east-1")
+        seen = []
+
+        def handler(ctx, payload):
+            seen.append(ctx.instance.channel.base_factor)
+            yield ctx.sleep(0.001)
+
+        faas.deploy("f", handler)
+
+        def one_call():
+            accepted, inv = faas.invoke("f", None)
+            yield accepted
+            yield inv
+
+        run(cloud, one_call())
+        run(cloud, one_call())
+        assert seen[0] == seen[1]
+
+    def test_expired_warm_instance_discarded(self, cloud):
+        faas = cloud.faas("aws:us-east-1")
+        faas.deploy("echo", echo_handler)
+
+        def one_call():
+            accepted, inv = faas.invoke("echo", None)
+            yield accepted
+            yield inv
+
+        run(cloud, one_call())
+        cloud.sim.run(until=cloud.now + faas.profile.keepalive_s + 1)
+        run(cloud, one_call())
+        assert faas.deployment_stats("echo")["cold_starts"] == 2
+
+
+class TestSchedulerPostponement:
+    def test_gcp_cold_starts_wait_for_tick(self):
+        """Cloud Run's scheduler runs every 5 s; a cold invocation issued
+        at t=1 s cannot start before the t=5 s tick."""
+        cloud = build_default_cloud(seed=3)
+        faas = cloud.faas("gcp:us-east1")
+        started = []
+
+        def handler(ctx, payload):
+            started.append(ctx.now)
+            yield ctx.sleep(0.001)
+
+        faas.deploy("f", handler)
+
+        def main():
+            yield cloud.sim.sleep(1.0)
+            accepted, inv = faas.invoke("f", None)
+            yield accepted
+            yield inv
+
+        run(cloud, main())
+        assert started[0] >= 5.0
+
+    def test_aws_has_no_postponement(self):
+        cloud = build_default_cloud(seed=3)
+        faas = cloud.faas("aws:us-east-1")
+        started = []
+
+        def handler(ctx, payload):
+            started.append(ctx.now)
+            yield ctx.sleep(0.001)
+
+        faas.deploy("f", handler)
+
+        def main():
+            yield cloud.sim.sleep(1.0)
+            accepted, inv = faas.invoke("f", None)
+            yield accepted
+            yield inv
+
+        run(cloud, main())
+        assert started[0] < 2.5  # just I + cold start
+
+
+class TestTimeoutsAndRetries:
+    def test_timeout_interrupts_and_dead_letters(self, cloud):
+        faas = cloud.faas("aws:us-east-1")
+
+        def forever(ctx, payload):
+            yield ctx.sleep(10_000.0)
+
+        faas.deploy("stuck", forever, timeout_s=5.0)
+
+        def main():
+            accepted, inv = faas.invoke("stuck", {"id": 1})
+            yield accepted
+            try:
+                yield inv
+            except InvocationFailed:
+                return "failed"
+            return "ok"
+
+        assert run(cloud, main()) == "failed"
+        stats = faas.deployment_stats("stuck")
+        assert stats["timeouts"] == 1 + faas.profile.max_retries
+        assert len(faas.dead_letters) == 1
+
+    def test_timeout_capped_at_platform_limit(self, cloud):
+        faas = cloud.faas("gcp:us-east1")
+        faas.deploy("f", echo_handler, timeout_s=10_000.0)
+        assert faas._deployments["f"].timeout_s == 540.0
+
+    def test_transient_failure_retried_to_success(self, cloud):
+        faas = cloud.faas("aws:us-east-1")
+        attempts = []
+
+        def flaky(ctx, payload):
+            attempts.append(ctx.now)
+            yield ctx.sleep(0.01)
+            if len(attempts) < 2:
+                raise RuntimeError("transient")
+            return "recovered"
+
+        faas.deploy("flaky", flaky)
+
+        def main():
+            accepted, inv = faas.invoke("flaky", None)
+            yield accepted
+            return (yield inv)
+
+        assert run(cloud, main()) == "recovered"
+        assert faas.deployment_stats("flaky")["retries"] == 1
+
+    def test_permanent_failure_exhausts_retries(self, cloud):
+        faas = cloud.faas("aws:us-east-1")
+
+        def broken(ctx, payload):
+            yield ctx.sleep(0.01)
+            raise ValueError("permanent")
+
+        faas.deploy("broken", broken)
+
+        def main():
+            accepted, inv = faas.invoke("broken", None)
+            yield accepted
+            try:
+                yield inv
+            except InvocationFailed:
+                return "dlq"
+
+        assert run(cloud, main()) == "dlq"
+        assert len(faas.dead_letters) == 1
+
+
+class TestConcurrencyLimit:
+    def test_excess_invocations_queue(self):
+        cloud = build_default_cloud(seed=4)
+        faas = cloud.faas("aws:us-east-1")
+        faas.profile = type(faas.profile)(max_concurrency=2)
+        peak = [0]
+
+        def handler(ctx, payload):
+            peak[0] = max(peak[0], faas.running)
+            yield ctx.sleep(1.0)
+
+        faas.deploy("f", handler)
+
+        def main():
+            invocations = []
+            for _ in range(6):
+                accepted, inv = faas.invoke("f", None)
+                yield accepted
+                invocations.append(inv)
+            yield cloud.sim.all_of(invocations)
+
+        run(cloud, main())
+        assert peak[0] <= 2
+
+
+class TestDataPath:
+    def test_function_replicates_object(self, cloud):
+        src = cloud.bucket("aws:us-east-1", "src")
+        dst = cloud.bucket("aws:ca-central-1", "dst")
+        blob = Blob.fresh(8 * MB)
+        src.put_object("obj", blob, 0.0, notify=False)
+        faas = cloud.faas("aws:us-east-1")
+
+        def replicate(ctx, payload):
+            data, version = yield from ctx.get_object(src, "obj")
+            yield from ctx.put_object(dst, "obj", data)
+            return version.etag
+
+        faas.deploy("rep", replicate)
+
+        def main():
+            accepted, inv = faas.invoke("rep", None)
+            yield accepted
+            return (yield inv)
+
+        etag = run(cloud, main())
+        assert etag == blob.etag
+        assert dst.head("obj").etag == blob.etag
+
+    def test_egress_charged_once_for_relay_at_source(self, cloud):
+        src = cloud.bucket("aws:us-east-1", "src")
+        dst = cloud.bucket("azure:eastus", "dst")
+        blob = Blob.fresh(100 * MB)
+        src.put_object("obj", blob, 0.0, notify=False)
+        faas = cloud.faas("aws:us-east-1")
+
+        def replicate(ctx, payload):
+            data, _ = yield from ctx.get_object(src, "obj")
+            yield from ctx.put_object(dst, "obj", data)
+
+        faas.deploy("rep", replicate)
+
+        def main():
+            accepted, inv = faas.invoke("rep", None)
+            yield accepted
+            yield inv
+
+        run(cloud, main())
+        egress = cloud.ledger.total(CostCategory.EGRESS)
+        # Download is intra-region (free); upload crosses AWS->Azure at
+        # $0.09/GB. 100 MB => $0.009.
+        assert egress == pytest.approx(0.09 * 100 * MB / 10**9, rel=1e-6)
+
+    def test_compute_and_requests_billed(self, cloud):
+        faas = cloud.faas("aws:us-east-1")
+        faas.deploy("echo", echo_handler)
+
+        def main():
+            accepted, inv = faas.invoke("echo", None)
+            yield accepted
+            yield inv
+
+        run(cloud, main())
+        assert cloud.ledger.total(CostCategory.FAAS_COMPUTE) > 0
+        assert cloud.ledger.total(CostCategory.FAAS_REQUESTS) > 0
+
+    def test_head_object_charges_no_egress(self, cloud):
+        src = cloud.bucket("aws:us-east-1", "src")
+        src.put_object("obj", Blob.fresh(MB), 0.0, notify=False)
+        faas = cloud.faas("azure:eastus")
+
+        def peek(ctx, payload):
+            meta = yield from ctx.head_object(src, "obj")
+            return meta.size
+
+        faas.deploy("peek", peek)
+
+        def main():
+            accepted, inv = faas.invoke("peek", None)
+            yield accepted
+            return (yield inv)
+
+        assert run(cloud, main()) == MB
+        assert cloud.ledger.total(CostCategory.EGRESS) == 0.0
+
+    def test_multipart_via_context(self, cloud):
+        src = cloud.bucket("aws:us-east-1", "src")
+        dst = cloud.bucket("aws:ca-central-1", "dst")
+        blob = Blob.fresh(32 * MB)
+        src.put_object("obj", blob, 0.0, notify=False)
+        faas = cloud.faas("aws:us-east-1")
+
+        def rep(ctx, payload):
+            upload = yield from ctx.initiate_multipart(dst, "obj")
+            for i, off in enumerate(range(0, 32 * MB, 8 * MB), start=1):
+                part, _ = yield from ctx.get_object(src, "obj", off, 8 * MB)
+                yield from ctx.upload_part(dst, upload, i, part)
+            version = yield from ctx.complete_multipart(dst, upload)
+            return version.etag
+
+        faas.deploy("rep", rep)
+
+        def main():
+            accepted, inv = faas.invoke("rep", None)
+            yield accepted
+            return (yield inv)
+
+        assert run(cloud, main()) == blob.etag
+
+    def test_remaining_time_decreases(self, cloud):
+        faas = cloud.faas("aws:us-east-1")
+        readings = []
+
+        def handler(ctx, payload):
+            readings.append(ctx.remaining_s)
+            yield ctx.sleep(1.0)
+            readings.append(ctx.remaining_s)
+
+        faas.deploy("f", handler, timeout_s=10.0)
+
+        def main():
+            accepted, inv = faas.invoke("f", None)
+            yield accepted
+            yield inv
+
+        run(cloud, main())
+        assert readings[0] > readings[1]
+
+    def test_invoke_from_context(self, cloud):
+        aws = cloud.faas("aws:us-east-1")
+        az = cloud.faas("azure:eastus")
+        az.deploy("worker", echo_handler)
+
+        def orchestrator(ctx, payload):
+            invocation = yield from ctx.invoke(az, "worker", "hi")
+            result = yield invocation
+            return result
+
+        aws.deploy("orch", orchestrator)
+
+        def main():
+            accepted, inv = aws.invoke("orch", None)
+            yield accepted
+            return (yield inv)
+
+        assert run(cloud, main()) == "hi"

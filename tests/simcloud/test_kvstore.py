@@ -1,0 +1,184 @@
+"""Tests for the simulated serverless NoSQL database."""
+
+import pytest
+
+from repro.simcloud.cloud import build_default_cloud
+from repro.simcloud.cost import CostCategory
+from repro.simcloud.kvstore import ConditionFailed
+
+
+@pytest.fixture
+def cloud():
+    return build_default_cloud(seed=1)
+
+
+@pytest.fixture
+def table(cloud):
+    return cloud.kv_table("aws:us-east-1", "state")
+
+
+def run(cloud, gen):
+    return cloud.sim.run_process(gen)
+
+
+class TestPointOps:
+    def test_put_then_get(self, cloud, table):
+        def flow():
+            yield table.put_item("k", {"x": 1})
+            item = yield table.get_item("k")
+            return item
+
+        assert run(cloud, flow()) == {"x": 1}
+
+    def test_get_missing_returns_none(self, cloud, table):
+        def flow():
+            return (yield table.get_item("nope"))
+
+        assert run(cloud, flow()) is None
+
+    def test_get_returns_copy(self, cloud, table):
+        def flow():
+            yield table.put_item("k", {"x": 1})
+            item = yield table.get_item("k")
+            item["x"] = 99
+            return (yield table.get_item("k"))
+
+        assert run(cloud, flow()) == {"x": 1}
+
+    def test_delete(self, cloud, table):
+        def flow():
+            yield table.put_item("k", {"x": 1})
+            yield table.delete_item("k")
+            return (yield table.get_item("k"))
+
+        assert run(cloud, flow()) is None
+
+    def test_operations_take_time(self, cloud, table):
+        def flow():
+            yield table.put_item("k", {"x": 1})
+            yield table.get_item("k")
+
+        run(cloud, flow())
+        assert cloud.now > 0.0
+        assert cloud.now < 0.1  # single-digit-ms latencies
+
+
+class TestAtomics:
+    def test_conditional_put_success(self, cloud, table):
+        def flow():
+            ok = yield table.conditional_put("k", {"v": 1}, lambda cur: cur is None)
+            return ok
+
+        assert run(cloud, flow()) is True
+
+    def test_conditional_put_failure_raises(self, cloud, table):
+        def flow():
+            yield table.put_item("k", {"v": 1})
+            try:
+                yield table.conditional_put("k", {"v": 2}, lambda cur: cur is None)
+            except ConditionFailed:
+                return "failed"
+            return "succeeded"
+
+        assert run(cloud, flow()) == "failed"
+
+    def test_put_if_absent(self, cloud, table):
+        def flow():
+            first = yield table.put_if_absent("k", {"v": 1})
+            second = yield table.put_if_absent("k", {"v": 2})
+            item = yield table.get_item("k")
+            return first, second, item
+
+        first, second, item = run(cloud, flow())
+        assert first is True and second is False
+        assert item == {"v": 1}
+
+    def test_concurrent_put_if_absent_single_winner(self, cloud, table):
+        """The lock-acquisition race: exactly one concurrent claimant wins."""
+        results = []
+
+        def claimant(i):
+            won = yield table.put_if_absent("lock", {"owner": i})
+            results.append((i, won))
+
+        def main():
+            procs = [cloud.sim.spawn(claimant(i)) for i in range(10)]
+            yield cloud.sim.all_of(procs)
+
+        run(cloud, main())
+        winners = [i for i, won in results if won]
+        assert len(winners) == 1
+
+    def test_increment_counter(self, cloud, table):
+        def flow():
+            values = []
+            for _ in range(3):
+                v = yield table.increment("task", "done")
+                values.append(v)
+            return values
+
+        assert run(cloud, flow()) == [1, 2, 3]
+
+    def test_increment_concurrent_no_lost_updates(self, cloud, table):
+        def bump():
+            yield table.increment("c", "n")
+
+        def main():
+            yield cloud.sim.all_of([cloud.sim.spawn(bump()) for _ in range(50)])
+
+        run(cloud, main())
+        assert table.peek("c")["n"] == 50
+
+    def test_update_item_read_modify_write(self, cloud, table):
+        def flow():
+            yield table.put_item("k", {"n": 1})
+            updated = yield table.update_item("k", lambda cur: {"n": cur["n"] + 10})
+            return updated
+
+        assert run(cloud, flow()) == {"n": 11}
+
+    def test_update_item_delete_via_none(self, cloud, table):
+        def flow():
+            yield table.put_item("k", {"n": 1})
+            yield table.update_item("k", lambda cur: None)
+            return (yield table.get_item("k"))
+
+        assert run(cloud, flow()) is None
+
+
+class TestMetering:
+    def test_ops_charged(self, cloud, table):
+        def flow():
+            yield table.put_item("k", {"x": 1})
+            yield table.get_item("k")
+
+        run(cloud, flow())
+        assert cloud.ledger.total(CostCategory.KV_OPS) > 0
+        assert table.op_counts == {"read": 1, "write": 1}
+
+    def test_write_costs_more_than_read(self, cloud):
+        t = cloud.kv_table("aws:us-east-1", "t2")
+
+        def writes():
+            for _ in range(100):
+                yield t.put_item("k", {})
+
+        def reads():
+            for _ in range(100):
+                yield t.get_item("k")
+
+        before = cloud.ledger.snapshot()
+        run(cloud, writes())
+        mid = cloud.ledger.snapshot()
+        run(cloud, reads())
+        after = cloud.ledger.snapshot()
+        write_cost = before.delta(mid).total
+        read_cost = mid.delta(after).total
+        assert write_cost > read_cost
+
+    def test_tables_cached_per_region_name(self, cloud):
+        a = cloud.kv_table("aws:us-east-1", "x")
+        b = cloud.kv_table("aws:us-east-1", "x")
+        c = cloud.kv_table("aws:us-east-2", "x")
+        assert a is b
+        assert a is not c

@@ -1,0 +1,91 @@
+"""Tests for seeded random streams and distribution helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simcloud.rng import RngFactory, constant, lognormal, normal, uniform
+
+
+class TestRngFactory:
+    def test_same_seed_same_stream(self):
+        a = RngFactory(7).stream("x").random(10)
+        b = RngFactory(7).stream("x").random(10)
+        assert np.allclose(a, b)
+
+    def test_different_names_differ(self):
+        a = RngFactory(7).stream("x").random(10)
+        b = RngFactory(7).stream("y").random(10)
+        assert not np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RngFactory(1).stream("x").random(10)
+        b = RngFactory(2).stream("x").random(10)
+        assert not np.allclose(a, b)
+
+    def test_child_factory_deterministic(self):
+        a = RngFactory(3).child("sub").stream("s").random(5)
+        b = RngFactory(3).child("sub").stream("s").random(5)
+        assert np.allclose(a, b)
+
+    def test_child_differs_from_parent(self):
+        a = RngFactory(3).stream("s").random(5)
+        b = RngFactory(3).child("sub").stream("s").random(5)
+        assert not np.allclose(a, b)
+
+
+class TestDist:
+    def test_normal_moments(self):
+        rng = np.random.default_rng(0)
+        d = normal(10.0, 2.0)
+        samples = d.sample(rng, 200_000)
+        assert abs(samples.mean() - 10.0) < 0.05
+        assert abs(samples.std() - 2.0) < 0.05
+        assert d.mean == 10.0
+        assert d.std == 2.0
+
+    def test_normal_floor_truncates(self):
+        rng = np.random.default_rng(0)
+        d = normal(0.0, 1.0, floor=0.5)
+        assert (d.sample(rng, 1000) >= 0.5).all()
+
+    def test_lognormal_mean_formula(self):
+        rng = np.random.default_rng(0)
+        d = lognormal(-0.125, 0.5)
+        samples = d.sample(rng, 400_000)
+        assert abs(samples.mean() - d.mean) < 0.01
+        assert abs(samples.std() - d.std) < 0.02
+
+    def test_constant(self):
+        rng = np.random.default_rng(0)
+        d = constant(3.5)
+        assert d.sample(rng) == 3.5
+        assert (d.sample(rng, 10) == 3.5).all()
+        assert d.mean == 3.5
+        assert d.std == 0.0
+
+    def test_uniform_range(self):
+        rng = np.random.default_rng(0)
+        d = uniform(2.0, 4.0)
+        samples = d.sample(rng, 1000)
+        assert samples.min() >= 2.0
+        assert samples.max() <= 4.0
+        assert d.mean == 3.0
+
+    def test_unknown_kind_rejected(self):
+        from repro.simcloud.rng import Dist
+
+        with pytest.raises(ValueError):
+            Dist("cauchy", 0.0).sample(np.random.default_rng(0))
+
+    @given(mean=st.floats(0.1, 100), std=st.floats(0.01, 10))
+    @settings(max_examples=25, deadline=None)
+    def test_samples_respect_floor_property(self, mean, std):
+        rng = np.random.default_rng(0)
+        d = normal(mean, std, floor=0.001)
+        assert (d.sample(rng, 200) >= 0.001).all()
+
+    def test_scalar_sample_is_float_like(self):
+        rng = np.random.default_rng(0)
+        assert float(normal(1.0, 0.1).sample(rng)) > 0

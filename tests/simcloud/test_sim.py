@@ -1,0 +1,278 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.simcloud.sim import Future, Interrupt, SimulationError, Simulator
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_call_later_ordering():
+    sim = Simulator()
+    log = []
+    sim.call_later(2.0, lambda: log.append("b"))
+    sim.call_later(1.0, lambda: log.append("a"))
+    sim.call_later(3.0, lambda: log.append("c"))
+    sim.run()
+    assert log == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_same_time_events_fire_in_schedule_order():
+    sim = Simulator()
+    log = []
+    for i in range(5):
+        sim.call_later(1.0, lambda i=i: log.append(i))
+    sim.run()
+    assert log == [0, 1, 2, 3, 4]
+
+
+def test_call_at_in_past_raises():
+    sim = Simulator()
+    sim.call_later(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.call_at(1.0, lambda: None)
+
+
+def test_run_until_advances_clock_exactly():
+    sim = Simulator()
+    sim.call_later(1.0, lambda: None)
+    sim.run(until=10.0)
+    assert sim.now == 10.0
+
+
+def test_run_until_does_not_execute_later_events():
+    sim = Simulator()
+    log = []
+    sim.call_later(5.0, lambda: log.append("late"))
+    sim.run(until=2.0)
+    assert log == []
+    sim.run()
+    assert log == ["late"]
+
+
+def test_process_sleep_sequence():
+    sim = Simulator()
+    log = []
+
+    def proc():
+        yield sim.sleep(1.5)
+        log.append(sim.now)
+        yield sim.sleep(0.5)
+        log.append(sim.now)
+        return "done"
+
+    result = sim.run_process(proc())
+    assert log == [1.5, 2.0]
+    assert result == "done"
+
+
+def test_process_returns_value_through_future():
+    sim = Simulator()
+
+    def inner():
+        yield sim.sleep(1.0)
+        return 42
+
+    def outer():
+        value = yield sim.spawn(inner())
+        return value + 1
+
+    assert sim.run_process(outer()) == 43
+
+
+def test_future_resolution_wakes_waiter():
+    sim = Simulator()
+    fut = Future(sim)
+    log = []
+
+    def waiter():
+        value = yield fut
+        log.append((sim.now, value))
+
+    sim.spawn(waiter())
+    sim.call_later(3.0, lambda: fut.resolve("hello"))
+    sim.run()
+    assert log == [(3.0, "hello")]
+
+
+def test_future_failure_raises_in_waiter():
+    sim = Simulator()
+    fut = Future(sim)
+
+    def waiter():
+        with pytest.raises(ValueError):
+            yield fut
+        return "caught"
+
+    proc = sim.spawn(waiter())
+    sim.call_later(1.0, lambda: fut.fail(ValueError("boom")))
+    sim.run()
+    assert proc.value == "caught"
+
+
+def test_uncaught_exception_fails_process():
+    sim = Simulator()
+
+    def bad():
+        yield sim.sleep(1.0)
+        raise RuntimeError("broken")
+
+    proc = sim.spawn(bad())
+    sim.run()
+    assert proc.done
+    assert isinstance(proc.exception, RuntimeError)
+
+
+def test_double_resolve_rejected():
+    sim = Simulator()
+    fut = Future(sim)
+    fut.resolve(1)
+    with pytest.raises(SimulationError):
+        fut.resolve(2)
+
+
+def test_all_of_collects_in_order():
+    sim = Simulator()
+
+    def worker(delay, value):
+        yield sim.sleep(delay)
+        return value
+
+    def main():
+        procs = [sim.spawn(worker(3 - i, i)) for i in range(3)]
+        values = yield sim.all_of(procs)
+        return values
+
+    assert sim.run_process(main()) == [0, 1, 2]
+
+
+def test_all_of_empty_resolves_immediately():
+    sim = Simulator()
+
+    def main():
+        values = yield sim.all_of([])
+        return values
+
+    assert sim.run_process(main()) == []
+
+
+def test_any_of_returns_first():
+    sim = Simulator()
+
+    def worker(delay, value):
+        yield sim.sleep(delay)
+        return value
+
+    def main():
+        idx, value = yield sim.any_of(
+            [sim.spawn(worker(5, "slow")), sim.spawn(worker(1, "fast"))]
+        )
+        return idx, value, sim.now
+
+    assert sim.run_process(main()) == (1, "fast", 1.0)
+
+
+def test_interrupt_raises_inside_process():
+    sim = Simulator()
+    log = []
+
+    def sleeper():
+        try:
+            yield sim.sleep(100.0)
+        except Interrupt as intr:
+            log.append((sim.now, intr.cause))
+        return "interrupted"
+
+    proc = sim.spawn(sleeper())
+    sim.call_later(2.0, lambda: proc.interrupt("timeout"))
+    sim.run()
+    assert log == [(2.0, "timeout")]
+    assert proc.value == "interrupted"
+
+
+def test_interrupt_finished_process_is_noop():
+    sim = Simulator()
+
+    def quick():
+        yield sim.sleep(1.0)
+        return "ok"
+
+    proc = sim.spawn(quick())
+    sim.run()
+    proc.interrupt("late")  # must not raise
+    assert proc.value == "ok"
+
+
+def test_stale_wakeup_after_interrupt_ignored():
+    """A process interrupted mid-sleep must not be resumed again when the
+    original sleep future later resolves."""
+    sim = Simulator()
+    resumes = []
+
+    def sleeper():
+        try:
+            yield sim.sleep(10.0)
+            resumes.append("slept")
+        except Interrupt:
+            resumes.append("interrupted")
+            yield sim.sleep(20.0)
+            resumes.append("post")
+
+    proc = sim.spawn(sleeper())
+    sim.call_later(1.0, lambda: proc.interrupt(None))
+    sim.run()
+    assert resumes == ["interrupted", "post"]
+    assert sim.now == 21.0
+
+
+def test_yielding_non_future_fails_process():
+    sim = Simulator()
+
+    def bad():
+        yield 42
+
+    proc = sim.spawn(bad())
+    sim.run()
+    assert isinstance(proc.exception, SimulationError)
+
+
+def test_run_process_detects_deadlock():
+    sim = Simulator()
+    fut = Future(sim)
+
+    def stuck():
+        yield fut
+
+    with pytest.raises(SimulationError, match="did not finish"):
+        sim.run_process(stuck())
+
+
+def test_negative_sleep_clamped_to_zero():
+    sim = Simulator()
+
+    def proc():
+        yield sim.sleep(-5.0)
+        return sim.now
+
+    assert sim.run_process(proc()) == 0.0
+
+
+def test_nested_process_failure_propagates():
+    sim = Simulator()
+
+    def inner():
+        yield sim.sleep(1.0)
+        raise KeyError("missing")
+
+    def outer():
+        try:
+            yield sim.spawn(inner())
+        except KeyError:
+            return "handled"
+        return "unreachable"
+
+    assert sim.run_process(outer()) == "handled"

@@ -1,0 +1,85 @@
+"""Tests for the areplica CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main, parse_size
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("512", 512),
+            ("1KB", 1024),
+            ("8MB", 8 * 1024**2),
+            ("1.5GB", int(1.5 * 1024**3)),
+            ("1 TB", 1024**4),
+            ("100b", 100),
+        ],
+    )
+    def test_valid(self, text, expected):
+        assert parse_size(text) == expected
+
+    @pytest.mark.parametrize("text", ["", "abc", "12XB", "MB"])
+    def test_invalid(self, text):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_size(text)
+
+
+class TestParser:
+    def test_all_subcommands_exist(self):
+        parser = build_parser()
+        for cmd in ("replicate", "plan", "profile", "trace", "compare"):
+            args = parser.parse_args([cmd] if cmd != "trace" else [cmd])
+            assert args.command == cmd
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_replicate(self, capsys):
+        rc = main(["replicate", "--size", "1MB", "--dst", "aws:us-east-2",
+                   "--profile-samples", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "delay:" in out and "cost:" in out
+
+    def test_plan_with_slo(self, capsys):
+        rc = main(["plan", "--size", "128MB", "--slo", "30",
+                   "--profile-samples", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "parallelism:" in out
+        assert "candidates:" in out
+
+    def test_profile(self, capsys):
+        rc = main(["profile", "--dst", "aws:us-east-2",
+                   "--profile-samples", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "C  (per chunk)" in out
+
+    def test_trace_small(self, capsys):
+        rc = main(["trace", "--requests", "300", "--dst", "aws:us-east-2",
+                   "--profile-samples", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "p99.99" in out
+
+    def test_compare_includes_proprietary_on_aws(self, capsys):
+        rc = main(["compare", "--size", "1MB", "--src", "aws:us-east-1",
+                   "--dst", "aws:us-east-2", "--profile-samples", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Skyplane" in out and "S3 RTC" in out
+
+    def test_compare_cross_cloud_no_proprietary(self, capsys):
+        rc = main(["compare", "--size", "1MB", "--src", "aws:us-east-1",
+                   "--dst", "gcp:us-east1", "--profile-samples", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "S3 RTC" not in out and "AZ Rep" not in out

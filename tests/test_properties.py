@@ -1,0 +1,250 @@
+"""Cross-module property-based tests (hypothesis).
+
+These pin down the invariants the system's correctness arguments rest
+on: kernel event ordering, blob content algebra, model percentile
+monotonicity, pricing sanity, and the batching buffer's no-event-lost
+guarantee.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import LocParams, NormalParam, PathParams, PerformanceModel
+from repro.simcloud.objectstore import Blob
+from repro.simcloud.pricing import PriceBook
+from repro.simcloud.regions import REGIONS, get_region
+from repro.simcloud.sim import Simulator
+
+MB = 1024 * 1024
+
+
+class TestKernelProperties:
+    @given(delays=st.lists(st.floats(0.0, 1e6), min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_events_fire_in_nondecreasing_time_order(self, delays):
+        sim = Simulator()
+        fired = []
+        for d in delays:
+            sim.call_later(d, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+        assert sim.now == max(delays)
+
+    @given(delays=st.lists(st.floats(0.0, 100.0), min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_all_of_resolves_at_max_delay(self, delays):
+        sim = Simulator()
+
+        def waiter(d):
+            yield sim.sleep(d)
+            return d
+
+        def main():
+            procs = [sim.spawn(waiter(d)) for d in delays]
+            values = yield sim.all_of(procs)
+            return values, sim.now
+
+        values, end = sim.run_process(main())
+        assert values == delays
+        assert end == pytest.approx(max(delays))
+
+    @given(delays=st.lists(st.floats(0.001, 100.0), min_size=2, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_any_of_resolves_at_min_delay(self, delays):
+        sim = Simulator()
+
+        def waiter(d):
+            yield sim.sleep(d)
+            return d
+
+        def main():
+            idx, value = yield sim.any_of([sim.spawn(waiter(d)) for d in delays])
+            return value, sim.now
+
+        value, when = sim.run_process(main())
+        assert when == pytest.approx(min(delays))
+        assert value == min(delays)
+
+    @given(
+        cancel_mask=st.lists(st.booleans(), min_size=1, max_size=30),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_cancelled_timers_never_fire(self, cancel_mask):
+        sim = Simulator()
+        fired = []
+        timers = [
+            sim.call_later(float(i + 1), lambda i=i: fired.append(i))
+            for i in range(len(cancel_mask))
+        ]
+        for timer, cancel in zip(timers, cancel_mask):
+            if cancel:
+                timer.cancel()
+        sim.run()
+        expected = [i for i, cancel in enumerate(cancel_mask) if not cancel]
+        assert fired == expected
+
+
+class TestBlobAlgebraProperties:
+    @given(
+        size=st.integers(2, 100_000),
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_slice_of_slice_equals_direct_slice(self, size, data):
+        blob = Blob.fresh(size)
+        a = data.draw(st.integers(0, size - 1))
+        alen = data.draw(st.integers(1, size - a))
+        inner = blob.slice(a, alen)
+        b = data.draw(st.integers(0, alen - 1))
+        blen = data.draw(st.integers(1, alen - b))
+        assert inner.slice(b, blen) == blob.slice(a + b, blen)
+
+    @given(
+        sizes=st.lists(st.integers(1, 10_000), min_size=1, max_size=6),
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_slice_of_concat_matches_segment_math(self, sizes, data):
+        blobs = [Blob.fresh(s) for s in sizes]
+        combined = Blob.concat(blobs)
+        total = sum(sizes)
+        off = data.draw(st.integers(0, total - 1))
+        length = data.draw(st.integers(1, total - off))
+        piece = combined.slice(off, length)
+        assert piece.size == length
+        # Reassembling all pieces around it reproduces the whole.
+        head = combined.slice(0, off)
+        tail = combined.slice(off + length, total - off - length)
+        assert Blob.concat([head, piece, tail]) == combined
+
+    @given(sizes=st.lists(st.integers(0, 1000), min_size=0, max_size=8))
+    @settings(max_examples=60, deadline=None)
+    def test_concat_size_additive_and_empty_neutral(self, sizes):
+        blobs = [Blob.fresh(s) for s in sizes]
+        combined = Blob.concat(blobs + [Blob.fresh(0)])
+        assert combined.size == sum(sizes)
+
+    @given(size=st.integers(1, 10_000), parts=st.integers(1, 16))
+    @settings(max_examples=60, deadline=None)
+    def test_multipart_partition_roundtrip(self, size, parts):
+        """The invariant behind multipart replication correctness."""
+        blob = Blob.fresh(size)
+        part_size = math.ceil(size / parts)
+        pieces = [
+            blob.slice(off, min(part_size, size - off))
+            for off in range(0, size, part_size)
+        ]
+        assert Blob.concat(pieces).etag == blob.etag
+
+    @given(size=st.integers(2, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_distinct_content_distinct_etag(self, size):
+        a, b = Blob.fresh(size), Blob.fresh(size)
+        assert a.etag != b.etag
+        mixed = Blob.concat([a.slice(0, size // 2),
+                             b.slice(size // 2, size - size // 2)])
+        assert mixed.etag not in (a.etag, b.etag)
+
+
+class TestModelProperties:
+    def _model(self):
+        m = PerformanceModel(chunk_size=8 * MB, mc_samples=800, seed=1)
+        m.set_loc_params("loc", LocParams(
+            NormalParam(0.02, 0.005), NormalParam(0.3, 0.06),
+            NormalParam.zero()))
+        m.set_path_params(("loc", "s", "d"), PathParams(
+            NormalParam(0.2, 0.05), NormalParam(0.3, 0.06),
+            NormalParam(0.35, 0.08)))
+        return m
+
+    @given(
+        p1=st.floats(0.55, 0.9),
+        p2=st.floats(0.91, 0.999),
+        n=st.sampled_from([1, 4, 16, 64, 256]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_percentile_monotone_in_p(self, p1, p2, n):
+        m = self._model()
+        lo = m.predict_percentile(("loc", "s", "d"), 1024 * MB, n, p1)
+        hi = m.predict_percentile(("loc", "s", "d"), 1024 * MB, n, p2)
+        assert hi >= lo
+
+    @given(size_mb=st.sampled_from([64, 256, 1024, 4096]))
+    @settings(max_examples=20, deadline=None)
+    def test_prediction_monotone_in_size(self, size_mb):
+        m = self._model()
+        small = m.predict_percentile(("loc", "s", "d"), size_mb * MB, 8, 0.9)
+        big = m.predict_percentile(("loc", "s", "d"), 2 * size_mb * MB, 8, 0.9)
+        assert big > small
+
+    @given(n=st.sampled_from([64, 128, 256, 512]),
+           p=st.floats(0.6, 0.99))
+    @settings(max_examples=30, deadline=None)
+    def test_gumbel_close_to_monte_carlo(self, n, p):
+        m = self._model()
+        size = 100 * 1024 * MB
+        mc = float(np.quantile(m.transfer_tail_samples(("loc", "s", "d"),
+                                                       size, n), p))
+        ev = m._gumbel_percentile(("loc", "s", "d"), size, n, p)
+        assert abs(ev - mc) / mc < 0.15
+
+    def test_scaled_params_scale_predictions(self):
+        m = self._model()
+        before = m.predict_percentile(("loc", "s", "d"), 1024 * MB, 1, 0.9)
+        m.scale_path(("loc", "s", "d"), 2.0)
+        after = m.predict_percentile(("loc", "s", "d"), 1024 * MB, 1, 0.9)
+        assert after > before * 1.5
+
+
+class TestPricingProperties:
+    @given(
+        src=st.sampled_from(sorted(REGIONS)),
+        dst=st.sampled_from(sorted(REGIONS)),
+        nbytes=st.integers(0, 10**12),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_egress_nonnegative_and_linear(self, src, dst, nbytes):
+        book = PriceBook()
+        a, b = get_region(src), get_region(dst)
+        cost = book.egress_cost(a, b, nbytes)
+        assert cost >= 0
+        assert book.egress_cost(a, b, 2 * nbytes) == pytest.approx(2 * cost)
+
+    @given(src=st.sampled_from(sorted(REGIONS)))
+    @settings(max_examples=20, deadline=None)
+    def test_intra_region_always_free(self, src):
+        book = PriceBook()
+        r = get_region(src)
+        assert book.egress_per_gb(r, r) == 0.0
+
+    @given(
+        src=st.sampled_from(sorted(REGIONS)),
+        dst=st.sampled_from(sorted(REGIONS)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_cross_provider_at_least_as_expensive_as_backbone(self, src, dst):
+        """Leaving for a competitor never undercuts the same provider's
+        own inter-region backbone from the same source region."""
+        book = PriceBook()
+        a, b = get_region(src), get_region(dst)
+        if a.provider == b.provider or a.key == b.key:
+            return
+        same_provider_rates = [
+            book.egress_per_gb(a, get_region(other))
+            for other in REGIONS
+            if get_region(other).provider == a.provider and other != a.key
+        ]
+        assert book.egress_per_gb(a, b) >= max(same_provider_rates) - 1e-12
+
+    @given(duration=st.floats(0.0, 10_000.0))
+    @settings(max_examples=40, deadline=None)
+    def test_vm_cost_monotone_with_minimum(self, duration):
+        book = PriceBook()
+        cost = book.vm_cost("aws", duration)
+        assert cost >= book.vm_cost("aws", 0.0)
+        assert book.vm_cost("aws", duration + 100) >= cost

@@ -1,0 +1,104 @@
+"""Tests for the SNIA IBM COS trace loader."""
+
+import gzip
+import io
+
+import pytest
+
+from repro.simcloud.cloud import build_default_cloud
+from repro.traces.replay import TraceReplayer
+from repro.traces.snia import SniaFormatError, load_snia_trace, parse_snia_lines
+
+SAMPLE = """\
+# IBM COS trace excerpt (synthetic sample in the real format)
+1219008 REST.PUT.OBJECT 8a9b1c 1024
+1219500 REST.GET.OBJECT 8a9b1c 1024 0 511
+1220000 REST.HEAD.OBJECT 8a9b1c
+1221000 REST.PUT.OBJECT deadbeef 52428800
+1224000 REST.DELETE.OBJECT 8a9b1c
+1225000 REST.GET.OBJECT deadbeef 52428800 0 52428799
+"""
+
+
+class TestParsing:
+    def test_keeps_only_puts_and_deletes(self):
+        reqs = list(parse_snia_lines(io.StringIO(SAMPLE)))
+        assert [r.op for r in reqs] == ["PUT", "PUT", "DELETE"]
+
+    def test_timestamps_rebased_to_seconds(self):
+        reqs = list(parse_snia_lines(io.StringIO(SAMPLE)))
+        assert reqs[0].time == 0.0
+        assert reqs[1].time == pytest.approx(1.992)  # 1221000-1219008 ms
+        assert reqs[2].time == pytest.approx(4.992)
+
+    def test_sizes_parsed(self):
+        reqs = list(parse_snia_lines(io.StringIO(SAMPLE)))
+        assert reqs[0].size == 1024
+        assert reqs[1].size == 52428800
+        assert reqs[2].size == 0
+
+    def test_comments_and_blank_lines_skipped(self):
+        text = "\n# comment\n\n100 REST.PUT.OBJECT k 5\n"
+        reqs = list(parse_snia_lines(io.StringIO(text)))
+        assert len(reqs) == 1
+
+    def test_unsized_put_dropped_by_default(self):
+        text = "100 REST.PUT.OBJECT k\n200 REST.PUT.OBJECT j 7\n"
+        reqs = list(parse_snia_lines(io.StringIO(text)))
+        assert [r.key for r in reqs] == ["j"]
+
+    def test_unsized_put_kept_on_request(self):
+        text = "100 REST.PUT.OBJECT k\n"
+        reqs = list(parse_snia_lines(io.StringIO(text), keep_unsized_puts=True))
+        assert reqs[0].size == 0
+
+    def test_malformed_lines_skipped_lenient(self):
+        text = "garbage\nnot-a-ts REST.PUT.OBJECT k 5\n100 REST.PUT.OBJECT k x\n200 REST.PUT.OBJECT ok 5\n"
+        reqs = list(parse_snia_lines(io.StringIO(text)))
+        assert [r.key for r in reqs] == ["ok"]
+
+    def test_strict_mode_raises(self):
+        with pytest.raises(SniaFormatError):
+            list(parse_snia_lines(io.StringIO("bad line here extra\n"),
+                                  strict=True))
+        with pytest.raises(SniaFormatError):
+            list(parse_snia_lines(io.StringIO("100 REST.PUT.OBJECT k xyz\n"),
+                                  strict=True))
+
+    def test_copy_counts_as_put(self):
+        text = "100 REST.COPY.OBJECT k 5\n"
+        reqs = list(parse_snia_lines(io.StringIO(text)))
+        assert reqs[0].op == "PUT"
+
+
+class TestLoading:
+    def test_load_plain_file(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text(SAMPLE)
+        reqs = load_snia_trace(path)
+        assert len(reqs) == 3
+
+    def test_load_gzip_file(self, tmp_path):
+        path = tmp_path / "trace.txt.gz"
+        with gzip.open(path, "wt") as f:
+            f.write(SAMPLE)
+        reqs = load_snia_trace(path)
+        assert len(reqs) == 3
+
+    def test_limit(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text(SAMPLE)
+        assert len(load_snia_trace(path, limit=2)) == 2
+
+    def test_load_from_file_object(self):
+        assert len(load_snia_trace(io.StringIO(SAMPLE))) == 3
+
+    def test_loaded_trace_replays(self):
+        """A loaded real-format trace drives the standard replayer."""
+        cloud = build_default_cloud(seed=0)
+        bucket = cloud.bucket("aws:us-east-1", "b")
+        stats = TraceReplayer(cloud, bucket).replay_all(
+            load_snia_trace(io.StringIO(SAMPLE)))
+        assert stats.puts == 2
+        assert stats.deletes == 1
+        assert "deadbeef" in bucket and "8a9b1c" not in bucket
