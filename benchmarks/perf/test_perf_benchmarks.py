@@ -1,0 +1,65 @@
+"""Wall-clock benchmark suite (perf-marked; not part of tier-1).
+
+Run explicitly with::
+
+    PYTHONPATH=src python -m pytest benchmarks/perf -m perf --no-header
+
+Each test executes one of the :mod:`repro.bench.perf` microbenchmarks
+at reduced scale and asserts only sanity (positive throughput, no lost
+work) — absolute numbers are machine-dependent and belong in the
+``BENCH_*.json`` trajectory files, not in assertions.
+"""
+
+import pytest
+
+from repro.bench import perf
+
+pytestmark = pytest.mark.perf
+
+
+def test_kernel_benchmark_runs():
+    rate = perf.bench_kernel(events=20_000, repeat=1)
+    assert rate > 0
+
+
+def test_planner_benchmark_runs():
+    cold, warm = perf.bench_planner(iterations=20, repeat=1)
+    assert cold > 0 and warm > 0
+    # The plan cache must make warm queries dramatically cheaper.
+    assert warm > cold
+
+
+def test_tracegen_benchmark_runs():
+    rate = perf.bench_tracegen(requests=4_000, repeat=1)
+    assert rate > 0
+
+
+def test_e2e_benchmark_runs():
+    seconds, rate = perf.bench_e2e(requests=300, repeat=1)
+    assert seconds > 0 and rate > 0
+
+
+def test_run_all_shape():
+    results = perf.run_all(scale=0.02, repeat=1)
+    assert set(results) == {
+        "kernel_events_per_s",
+        "planner_cold_plans_per_s",
+        "planner_warm_plans_per_s",
+        "tracegen_reqs_per_s",
+        "e2e_seconds",
+        "e2e_reqs_per_s",
+    }
+    assert all(v > 0 for v in results.values())
+
+
+def test_emit_and_check_roundtrip(tmp_path):
+    current = {m: 100.0 for m in perf.THROUGHPUT_METRICS}
+    current["e2e_seconds"] = 1.0
+    doc = perf.emit(tmp_path / "BENCH_TEST.json", current,
+                    baseline={m: 50.0 for m in perf.THROUGHPUT_METRICS})
+    assert doc["speedup"]["e2e_reqs_per_s"] == 2.0
+    # 40% drop on one metric trips the 30% tolerance.
+    slower = dict(current, kernel_events_per_s=60.0)
+    warnings = perf.check_regression(slower, doc, tolerance=0.30)
+    assert len(warnings) == 1 and "kernel_events_per_s" in warnings[0]
+    assert not perf.check_regression(current, doc, tolerance=0.30)

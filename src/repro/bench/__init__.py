@@ -1,0 +1,8 @@
+"""Performance benchmark harnesses (not paper-figure benchmarks).
+
+``repro.bench.perf`` measures the simulator's own execution speed —
+kernel event throughput, planner throughput, trace generation, and a
+scaled-down Fig 23 end-to-end replay — and records the results in
+machine-readable ``BENCH_*.json`` files so later changes can be
+regression-checked against earlier baselines.
+"""

@@ -1,0 +1,309 @@
+"""Microbenchmarks for the simulator's hot paths.
+
+Four benchmarks, all driven through public APIs only so the same
+harness runs against any revision of the codebase:
+
+* **kernel** — DES event throughput (events/s): a mix of sleeping
+  processes, plain timers, zero-delay callback fan-out, and cancelled
+  timers, i.e. the event shapes the replication engine actually
+  schedules.
+* **planner** — Algorithm-3 plan generation throughput (plans/s),
+  measured cold (fresh model, empty caches) and warm (repeated queries
+  for the same paths and size buckets).
+* **tracegen** — synthetic IBM COS trace generation (requests/s).
+* **e2e** — a scaled-down Fig 23 busy-hour replay through the full
+  notification → planner → engine path (requests/s of simulated
+  workload processed per wall-clock second).
+
+``run_all`` returns a flat ``{metric: value}`` dict; ``emit`` writes
+the ``BENCH_*.json`` trajectory file; ``check_regression`` compares a
+fresh run against the latest committed file.
+
+Wall-clock timings are machine-dependent; the *simulated* outputs of
+every benchmark are seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+import time
+from typing import Callable, Optional
+
+__all__ = [
+    "bench_kernel",
+    "bench_planner",
+    "bench_tracegen",
+    "bench_e2e",
+    "run_all",
+    "emit",
+    "latest_bench_file",
+    "check_regression",
+]
+
+#: Metrics where larger is better (throughputs).  ``e2e_seconds`` is
+#: excluded: it is informational, with ``e2e_reqs_per_s`` the guarded
+#: throughput form.
+THROUGHPUT_METRICS = (
+    "kernel_events_per_s",
+    "planner_cold_plans_per_s",
+    "planner_warm_plans_per_s",
+    "tracegen_reqs_per_s",
+    "e2e_reqs_per_s",
+)
+
+
+def _best_of(fn: Callable[[], tuple[float, float]], repeat: int) -> float:
+    """Run ``fn`` -> (work, seconds) ``repeat`` times; best work/s."""
+    best = 0.0
+    for _ in range(max(1, repeat)):
+        work, seconds = fn()
+        best = max(best, work / max(seconds, 1e-12))
+    return best
+
+
+# -- kernel ----------------------------------------------------------------
+
+
+def bench_kernel(events: int = 200_000, repeat: int = 3) -> float:
+    """DES kernel throughput in events fired per wall-clock second."""
+    from repro.simcloud.sim import Simulator
+
+    sleeps_per_proc = 20
+    n_procs = max(1, events // (2 * sleeps_per_proc))
+    n_timers = max(1, events // 4)
+
+    def once() -> tuple[float, float]:
+        sim = Simulator()
+        fired = [0]
+
+        def proc(offset: float):
+            for i in range(sleeps_per_proc):
+                yield sim.sleep(0.25 + offset)
+                # Zero-delay fan-out: the engine's dominant shape.
+                yield sim.sleep(0.0)
+
+        for i in range(n_procs):
+            sim.spawn(proc(i * 1e-4))
+        for i in range(n_timers):
+            t = sim.call_later(1.0 + i * 1e-5, lambda: fired.__setitem__(0, fired[0] + 1))
+            if i % 3 == 0:
+                t.cancel()
+        total = n_procs * (1 + 2 * sleeps_per_proc) + n_timers
+        t0 = time.perf_counter()
+        sim.run()
+        return float(total), time.perf_counter() - t0
+
+    return _best_of(once, repeat)
+
+
+# -- planner ----------------------------------------------------------------
+
+
+def _make_model_and_planner():
+    from repro.core.config import ReplicaConfig
+    from repro.core.model import LocParams, NormalParam, PathParams, PerformanceModel
+    from repro.core.planner import StrategyPlanner
+
+    config = ReplicaConfig()
+    model = PerformanceModel(chunk_size=config.part_size,
+                             mc_samples=config.mc_samples,
+                             gumbel_threshold=config.gumbel_threshold, seed=7)
+    locs = ("aws:us-east-1", "azure:eastus")
+    for i, loc in enumerate(locs):
+        model.set_loc_params(loc, LocParams(
+            invoke=NormalParam(0.05 + 0.01 * i, 0.01),
+            startup=NormalParam(0.25 + 0.05 * i, 0.06),
+            postponement=NormalParam(0.4, 0.1),
+        ))
+    for loc in locs:
+        model.set_path_params((loc, locs[0], locs[1]), PathParams(
+            client_startup=NormalParam(0.6, 0.12),
+            chunk=NormalParam(0.35, 0.07),
+            chunk_distributed=NormalParam(0.45, 0.09),
+        ))
+    return model, StrategyPlanner(model, config), locs
+
+
+_PLANNER_SIZES = tuple(
+    int(s) for s in (
+        2 * 1024, 96 * 1024, 1024**2, 6 * 1024**2, 24 * 1024**2,
+        80 * 1024**2, 320 * 1024**2, 1280 * 1024**2,
+    )
+)
+
+
+def bench_planner(iterations: int = 400, repeat: int = 3) -> tuple[float, float]:
+    """(cold plans/s, warm plans/s) for repeated Algorithm-3 queries.
+
+    Cold constructs a fresh model+planner per round so every cache in
+    play (plan cache, Monte-Carlo cache, seed tables) starts empty;
+    warm reuses one planner and re-issues identical queries.
+    """
+
+    def cold() -> tuple[float, float]:
+        model, planner, locs = _make_model_and_planner()
+        t0 = time.perf_counter()
+        for size in _PLANNER_SIZES:
+            planner.fastest(size, locs[0], locs[1])
+        return float(len(_PLANNER_SIZES)), time.perf_counter() - t0
+
+    cold_rate = _best_of(cold, repeat)
+
+    model, planner, locs = _make_model_and_planner()
+    for size in _PLANNER_SIZES:  # prime every cache once
+        planner.fastest(size, locs[0], locs[1])
+
+    def warm() -> tuple[float, float]:
+        t0 = time.perf_counter()
+        for _ in range(iterations):
+            for size in _PLANNER_SIZES:
+                planner.fastest(size, locs[0], locs[1])
+        return float(iterations * len(_PLANNER_SIZES)), time.perf_counter() - t0
+
+    warm_rate = _best_of(warm, repeat)
+    return cold_rate, warm_rate
+
+
+# -- trace generation --------------------------------------------------------
+
+
+def bench_tracegen(requests: int = 40_000, repeat: int = 3) -> float:
+    """Synthetic IBM COS trace generation throughput (requests/s)."""
+    from repro.traces.ibm_cos import IbmCosTraceGenerator
+
+    duration = 1800.0
+    gen_kwargs = dict(seed=11, mean_rps=requests / duration)
+
+    def once() -> tuple[float, float]:
+        gen = IbmCosTraceGenerator(**gen_kwargs)
+        batched = getattr(gen, "generate_batches", gen.generate)
+        t0 = time.perf_counter()
+        trace = batched(duration)
+        produced = sum(len(b) for b in trace) if trace and not hasattr(
+            trace[0], "op") else len(trace)
+        return float(produced), time.perf_counter() - t0
+
+    return _best_of(once, repeat)
+
+
+# -- end-to-end --------------------------------------------------------------
+
+
+def bench_e2e(requests: int = 3_000, repeat: int = 1) -> tuple[float, float]:
+    """Scaled-down Fig 23 replay: (seconds, trace requests/s).
+
+    Replays a seeded busy-hour IBM COS segment through a full AReplica
+    deployment (aws:us-east-1 → azure:eastus, fastest-plan mode) and
+    times the whole simulation, exactly like ``repro.cli trace`` does.
+    """
+    from repro.core.config import ReplicaConfig
+    from repro.core.service import AReplicaService
+    from repro.simcloud.cloud import build_default_cloud
+    from repro.traces.ibm_cos import IbmCosTraceGenerator
+    from repro.traces.replay import TraceReplayer
+
+    gen = IbmCosTraceGenerator(seed=0)
+    if hasattr(gen, "busy_hour_batches"):
+        trace = gen.busy_hour_batches(total_requests=requests)
+        n_requests = sum(len(b) for b in trace)
+    else:
+        trace = gen.busy_hour(total_requests=requests)
+        n_requests = len(trace)
+
+    best_rate, best_seconds = 0.0, math.inf
+    for _ in range(max(1, repeat)):
+        cloud = build_default_cloud(seed=0)
+        service = AReplicaService(cloud, ReplicaConfig(profile_samples=8))
+        src = cloud.bucket("aws:us-east-1", "src")
+        dst = cloud.bucket("azure:eastus", "dst")
+        service.add_rule(src, dst)
+        replayer = TraceReplayer(cloud, src)
+        run = getattr(replayer, "replay_all_batches", replayer.replay_all)
+        t0 = time.perf_counter()
+        stats = run(trace)
+        seconds = time.perf_counter() - t0
+        if stats.requests != n_requests:
+            raise RuntimeError("e2e benchmark lost requests")
+        if seconds < best_seconds:
+            best_seconds = seconds
+            best_rate = stats.requests / max(seconds, 1e-12)
+    return best_seconds, best_rate
+
+
+# -- orchestration ------------------------------------------------------------
+
+
+def run_all(scale: float = 1.0, repeat: int = 3,
+            progress: Optional[Callable[[str], None]] = None) -> dict[str, float]:
+    """Run every benchmark; returns the flat metric dict."""
+
+    def note(msg: str) -> None:
+        if progress is not None:
+            progress(msg)
+
+    def scaled(n: int, minimum: int = 1) -> int:
+        return max(minimum, int(round(n * scale)))
+
+    note("kernel: event throughput ...")
+    kernel = bench_kernel(events=scaled(200_000, 1000), repeat=repeat)
+    note("planner: cold vs warm plan generation ...")
+    cold, warm = bench_planner(iterations=scaled(400, 5), repeat=repeat)
+    note("tracegen: synthetic IBM COS hour ...")
+    tracegen = bench_tracegen(requests=scaled(40_000, 500), repeat=repeat)
+    note("e2e: scaled-down Fig 23 replay ...")
+    seconds, rate = bench_e2e(requests=scaled(3_000, 100),
+                              repeat=max(1, repeat - 1))
+    return {
+        "kernel_events_per_s": kernel,
+        "planner_cold_plans_per_s": cold,
+        "planner_warm_plans_per_s": warm,
+        "tracegen_reqs_per_s": tracegen,
+        "e2e_seconds": seconds,
+        "e2e_reqs_per_s": rate,
+    }
+
+
+def emit(path: str | pathlib.Path, current: dict[str, float],
+         baseline: Optional[dict[str, float]] = None,
+         meta: Optional[dict] = None) -> dict:
+    """Write a ``BENCH_*.json`` document and return it."""
+    doc: dict = {"schema": 1, "meta": meta or {}, "current": current}
+    if baseline is not None:
+        doc["baseline"] = baseline
+        doc["speedup"] = {
+            m: current[m] / baseline[m]
+            for m in THROUGHPUT_METRICS
+            if m in current and baseline.get(m)
+        }
+    pathlib.Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return doc
+
+
+def latest_bench_file(root: str | pathlib.Path = ".") -> Optional[pathlib.Path]:
+    """The lexically newest ``BENCH_*.json`` under ``root``."""
+    files = sorted(pathlib.Path(root).glob("BENCH_*.json"))
+    return files[-1] if files else None
+
+
+def check_regression(current: dict[str, float], reference: dict,
+                     tolerance: float = 0.30) -> list[str]:
+    """Warnings for throughput metrics > ``tolerance`` below reference.
+
+    ``reference`` is a previously emitted document (its ``current``
+    section is the bar to clear).
+    """
+    bar = reference.get("current", reference)
+    warnings = []
+    for metric in THROUGHPUT_METRICS:
+        ref = bar.get(metric)
+        cur = current.get(metric)
+        if not ref or cur is None:
+            continue
+        if cur < ref * (1.0 - tolerance):
+            warnings.append(
+                f"{metric}: {cur:,.0f}/s is {1 - cur / ref:.0%} below the "
+                f"recorded {ref:,.0f}/s (tolerance {tolerance:.0%})"
+            )
+    return warnings

@@ -272,6 +272,58 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def cmd_bench_perf(args) -> int:
+    """Run the hot-path microbenchmarks; optionally emit/check BENCH files."""
+    import json
+    import pathlib
+
+    from repro.bench import perf
+
+    reference_path = None
+    if args.check:
+        # Resolve the reference before spending minutes benchmarking.
+        reference_path = (pathlib.Path(args.baseline) if args.baseline
+                          else perf.latest_bench_file())
+        if reference_path is None or not reference_path.exists():
+            print("bench-perf --check: no BENCH_*.json reference found",
+                  file=sys.stderr)
+            return 1
+
+    results = perf.run_all(scale=args.scale, repeat=args.repeat,
+                           progress=lambda msg: print(f"  {msg}", file=sys.stderr))
+    print(f"{'metric':<28} {'value':>16}")
+    for metric, value in results.items():
+        unit = "s" if metric.endswith("_seconds") else "/s"
+        print(f"  {metric:<26} {value:>14,.2f} {unit}")
+
+    if args.check:
+        reference = json.loads(reference_path.read_text())
+        warnings = perf.check_regression(results, reference,
+                                         tolerance=args.tolerance)
+        if warnings:
+            print(f"\nperformance regressions vs {reference_path}:",
+                  file=sys.stderr)
+            for warning in warnings:
+                print(f"  WARNING: {warning}", file=sys.stderr)
+            return 1
+        print(f"\nno regression vs {reference_path} "
+              f"(tolerance {args.tolerance:.0%})")
+        return 0
+
+    if args.out:
+        baseline = None
+        if args.baseline:
+            doc = json.loads(pathlib.Path(args.baseline).read_text())
+            baseline = doc.get("current", doc)
+        meta = {"scale": args.scale, "repeat": args.repeat,
+                "command": "repro.cli bench-perf"}
+        doc = perf.emit(args.out, results, baseline=baseline, meta=meta)
+        print(f"\nwrote {args.out}")
+        for metric, ratio in sorted(doc.get("speedup", {}).items()):
+            print(f"  {metric:<26} {ratio:>8.2f}x vs baseline")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="areplica",
@@ -312,6 +364,22 @@ def build_parser() -> argparse.ArgumentParser:
                            help="replay a workload and audit consistency")
     common(audit, with_size=False)
     audit.add_argument("--requests", type=int, default=2000)
+    bench = sub.add_parser("bench-perf",
+                           help="run the hot-path microbenchmarks")
+    bench.add_argument("--scale", type=float, default=1.0,
+                       help="scale factor on every benchmark's work size")
+    bench.add_argument("--repeat", type=int, default=3,
+                       help="timing repetitions per benchmark (best wins)")
+    bench.add_argument("--out", default=None,
+                       help="write a BENCH_*.json document here")
+    bench.add_argument("--baseline", default=None,
+                       help="BENCH_*.json to record (with --out) or compare "
+                            "against (with --check)")
+    bench.add_argument("--check", action="store_true",
+                       help="compare against the latest BENCH_*.json and warn "
+                            "on regression (nonzero exit)")
+    bench.add_argument("--tolerance", type=float, default=0.30,
+                       help="allowed fractional throughput drop for --check")
     return parser
 
 
@@ -326,6 +394,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         "cost": cmd_cost,
         "regions": cmd_regions,
         "audit": cmd_audit,
+        "bench-perf": cmd_bench_perf,
     }
     return handlers[args.command](args)
 

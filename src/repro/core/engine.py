@@ -191,7 +191,22 @@ class ReplicationEngine:
         try:
             current = yield from ctx.head_object(self.src_bucket, key)
         except NoSuchKey:
-            # Deleted concurrently; the DELETE event will handle it.
+            # Deleted concurrently.  If the DELETE's task already ran
+            # (its notification overtook ours), its done marker covers
+            # this event — close the measurement here, because nobody
+            # else will.  Otherwise the DELETE event is still in flight
+            # and its own visibility report subsumes this sequencer.
+            done = yield self._lock_table.get_item(f"done:{key}")
+            if done is not None and done["seq"] >= payload["seq"]:
+                self.stats["skipped_done"] += 1
+                self.recorder.record_visible(TaskResult(
+                    key=key, etag=done["etag"], seq=done["seq"],
+                    event_time=payload["event_time"],
+                    visible_time=max(done.get("time", ctx.now),
+                                     payload["event_time"]),
+                    plan=None, kind="already-replicated",
+                    started=payload["event_time"],
+                ))
             yield from self._finish(ctx, task_id, key, None)
             return
         done = yield self._lock_table.get_item(f"done:{key}")
@@ -469,16 +484,25 @@ class ReplicationEngine:
             return
         upload_id = yield from ctx.initiate_multipart(self.dst_bucket, key)
         num_parts = math.ceil(version.size / part)
-        for i in range(num_parts):
-            offset = i * part
-            length = min(part, version.size - offset)
-            # Parts after the first stream back-to-back: the request
-            # handshake overlaps the preceding part's transfer.
-            yield from ctx.upload_part(self.dst_bucket, upload_id, i + 1,
-                                       blob.slice(offset, length),
-                                       pipelined=i > 0)
-        dst_version = yield from ctx.complete_multipart(self.dst_bucket,
-                                                        upload_id)
+        try:
+            for i in range(num_parts):
+                offset = i * part
+                length = min(part, version.size - offset)
+                # Parts after the first stream back-to-back: the request
+                # handshake overlaps the preceding part's transfer.
+                yield from ctx.upload_part(self.dst_bucket, upload_id, i + 1,
+                                           blob.slice(offset, length),
+                                           pipelined=i > 0)
+            dst_version = yield from ctx.complete_multipart(self.dst_bucket,
+                                                            upload_id)
+        except BaseException:
+            # A crashed (or platform-killed) single replicator is retried
+            # from scratch with a *new* upload id; the one opened here
+            # would leak and keep billing its parts.  Abort it on the way
+            # out — this is the "function" dying, so no further simulated
+            # requests are issued.
+            self.dst_bucket.abort_multipart(upload_id)
+            raise
         yield from self._finish_replicated(ctx, task, dst_version)
 
     # -- distributed replication ----------------------------------------------------------
@@ -508,18 +532,27 @@ class ReplicationEngine:
         # task (same upload id) rather than re-initialize — in-flight
         # workers are still uploading parts against it.
         state_table = self._state_table(plan.loc_key)
-        created = yield state_table.put_if_absent(
-            f"pool:{task['task_id']}",
-            {"num_parts": num_parts, "claimed": 0, "completed": 0,
-             "aborted": False, "task": dict(task)},
-        )
-        if not created:
-            # Resuming a predecessor's task: adopt its upload and abort
-            # the one we just opened (it would otherwise leak and bill).
-            existing = yield state_table.get_item(f"pool:{task['task_id']}")
-            yield ctx.sleep(0.0)
-            self.dst_bucket.abort_multipart(upload_id)
-            task = dict(existing["task"])
+        try:
+            created = yield state_table.put_if_absent(
+                f"pool:{task['task_id']}",
+                {"num_parts": num_parts, "claimed": 0, "completed": 0,
+                 "aborted": False, "task": dict(task)},
+            )
+            if not created:
+                # Resuming a predecessor's task: adopt its upload and abort
+                # the one we just opened (it would otherwise leak and bill).
+                existing = yield state_table.get_item(f"pool:{task['task_id']}")
+                yield ctx.sleep(0.0)
+                self.dst_bucket.abort_multipart(upload_id)
+                task = dict(existing["task"])
+        except BaseException:
+            # Crashing before the pool record points at our upload means
+            # no retry will ever learn this id existed; abort it so the
+            # parts don't bill forever.  Once the record is durable the
+            # retried orchestrator adopts the same id instead.
+            if task.get("upload_id") == upload_id:
+                self.dst_bucket.abort_multipart(upload_id)
+            raise
         faas = self._faas_at(plan.loc_key)
         for i in range(n):
             worker_task = dict(task, worker_index=i)

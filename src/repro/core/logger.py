@@ -12,6 +12,7 @@ on-demand simulation.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.core.model import PathKey, PerformanceModel
@@ -69,8 +70,6 @@ class RuntimeLogger:
                                            actual_s, time))
         if predicted_s <= 0 or actual_s <= 0:
             return
-        import math
-
         state = self._drift.setdefault(path, _PathDrift())
         state.observations += 1
         log_ratio = math.log(actual_s / predicted_s)

@@ -30,19 +30,84 @@ times are modelled as fully correlated within an instance: ``C·k`` has
 mean ``k·μ_C`` and standard deviation ``k·σ_C``.  This errs on the side
 of overestimation, which the paper accepts ("the model is allowed to
 overestimate the replication time to some extent").
+
+Every prediction depends on the object size only through its chunk
+count ``num_chunks(size)`` — auxiliary seeded draws are keyed on the
+chunk count too, so two sizes in the same chunk bucket yield
+bit-identical predictions.  That exactness is what lets the planner
+cache whole plans per size bucket (see ``core.planner.PlanCache``);
+parameter updates are broadcast to registered invalidation listeners.
 """
 
 from __future__ import annotations
 
+import hashlib
 import math
 from dataclasses import dataclass, field
-from typing import Optional
+from functools import lru_cache
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
 __all__ = ["NormalParam", "LocParams", "PathParams", "PerformanceModel", "PathKey"]
 
 PathKey = tuple[str, str, str]  # (exec loc key, src key, dst key)
+
+_SQRT2 = math.sqrt(2.0)
+_SQRT_2PI = math.sqrt(2.0 * math.pi)
+
+# Acklam's rational approximation to the inverse standard-normal CDF.
+_PPF_A = (-3.969683028665376e+01, 2.209460984245205e+02,
+          -2.759285104469687e+02, 1.383577518672690e+02,
+          -3.066479806614716e+01, 2.506628277459239e+00)
+_PPF_B = (-5.447609879822406e+01, 1.615858368580409e+02,
+          -1.556989798598866e+02, 6.680131188771972e+01,
+          -1.328068155288572e+01)
+_PPF_C = (-7.784894002430293e-03, -3.223964580411365e-01,
+          -2.400758277161838e+00, -2.549732539343734e+00,
+          4.374664141464968e+00, 2.938163982698783e+00)
+_PPF_D = (7.784695709041462e-03, 3.224671290700398e-01,
+          2.445134137142996e+00, 3.754408661907416e+00)
+_PPF_LOW = 0.02425
+
+
+def _norm_ppf(p: float) -> float:
+    """Inverse standard-normal CDF without scipy.
+
+    Acklam's rational approximation (|ε| < 1.15e-9) polished by one
+    Halley step against ``math.erfc``, which brings the result to
+    within a few ULP of ``scipy.stats.norm.ppf`` — the previous
+    per-call scipy import dominated planner cost.
+    """
+    if not 0.0 < p < 1.0:
+        if p == 0.0:
+            return -math.inf
+        if p == 1.0:
+            return math.inf
+        raise ValueError(f"percentile must be in [0, 1], got {p}")
+    if p < _PPF_LOW:
+        q = math.sqrt(-2.0 * math.log(p))
+        x = ((((((_PPF_C[0] * q + _PPF_C[1]) * q + _PPF_C[2]) * q + _PPF_C[3])
+               * q + _PPF_C[4]) * q + _PPF_C[5])
+             / ((((_PPF_D[0] * q + _PPF_D[1]) * q + _PPF_D[2]) * q
+                 + _PPF_D[3]) * q + 1.0))
+    elif p <= 1.0 - _PPF_LOW:
+        q = p - 0.5
+        r = q * q
+        x = ((((((_PPF_A[0] * r + _PPF_A[1]) * r + _PPF_A[2]) * r + _PPF_A[3])
+               * r + _PPF_A[4]) * r + _PPF_A[5]) * q
+             / (((((_PPF_B[0] * r + _PPF_B[1]) * r + _PPF_B[2]) * r
+                  + _PPF_B[3]) * r + _PPF_B[4]) * r + 1.0))
+    else:
+        q = math.sqrt(-2.0 * math.log(1.0 - p))
+        x = -((((((_PPF_C[0] * q + _PPF_C[1]) * q + _PPF_C[2]) * q + _PPF_C[3])
+                * q + _PPF_C[4]) * q + _PPF_C[5])
+              / ((((_PPF_D[0] * q + _PPF_D[1]) * q + _PPF_D[2]) * q
+                  + _PPF_D[3]) * q + 1.0))
+    # One Halley refinement: e = Φ(x) − p, u = e / φ(x).
+    e = 0.5 * math.erfc(-x / _SQRT2) - p
+    u = e * _SQRT_2PI * math.exp(x * x / 2.0)
+    return x - u / (1.0 + x * u / 2.0)
 
 
 @dataclass(frozen=True)
@@ -62,7 +127,7 @@ class NormalParam:
 
     @staticmethod
     def zero() -> "NormalParam":
-        return NormalParam(0.0, 0.0)
+        return _ZERO
 
     def scaled(self, k: float) -> "NormalParam":
         """The distribution of ``k · X`` (fully correlated repetition)."""
@@ -78,14 +143,15 @@ class NormalParam:
                            math.hypot(self.std, other.std))
 
     def percentile(self, p: float) -> float:
-        from scipy.stats import norm
-
         if self.std == 0:
             return self.mean
-        return float(norm.ppf(p, loc=self.mean, scale=self.std))
+        return self.mean + self.std * _norm_ppf(p)
 
     def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
         return np.maximum(rng.normal(self.mean, self.std, size), 0.0)
+
+
+_ZERO = NormalParam(0.0, 0.0)
 
 
 @dataclass(frozen=True)
@@ -114,8 +180,9 @@ class PathParams:
         )
 
 
-# Extreme-value normalizing constants for the max of n standard normals.
+@lru_cache(maxsize=4096)
 def _gumbel_constants(n: int) -> tuple[float, float]:
+    """Extreme-value normalizing constants for the max of n std normals."""
     ln_n = math.log(n)
     a = math.sqrt(2 * ln_n) - (math.log(ln_n) + math.log(4 * math.pi)) / (
         2 * math.sqrt(2 * ln_n)
@@ -139,11 +206,28 @@ class PerformanceModel:
 
     def __post_init__(self) -> None:
         self._rng = np.random.default_rng(self.seed)
+        self._seed_table: dict[tuple, int] = {}
+        self._listeners: list[Callable[[Optional[PathKey]], None]] = []
 
     # -- parameter management --------------------------------------------------
 
+    def subscribe_invalidation(
+            self, fn: Callable[[Optional[PathKey]], None]) -> None:
+        """Register a listener called whenever predictions may change.
+
+        The listener receives the affected :data:`PathKey`, or ``None``
+        when every cached prediction must be dropped (location-level
+        parameter changes affect all paths through that location).
+        """
+        self._listeners.append(fn)
+
+    def _notify(self, key: Optional[PathKey]) -> None:
+        for fn in self._listeners:
+            fn(key)
+
     def set_loc_params(self, loc_key: str, params: LocParams) -> None:
         self.loc_params[loc_key] = params
+        self._notify(None)
 
     def set_path_params(self, key: PathKey, params: PathParams) -> None:
         self.path_params[key] = params
@@ -163,6 +247,7 @@ class PerformanceModel:
         stale = [k for k in self._mc_cache if k[:3] == key]
         for k in stale:
             del self._mc_cache[k]
+        self._notify(key)
 
     # -- chunk math ------------------------------------------------------------
 
@@ -181,7 +266,7 @@ class PerformanceModel:
         (small objects), so T_func is identically zero.
         """
         if inline:
-            return NormalParam.zero()
+            return _ZERO
         lp = self.loc_params[loc_key]
         if n == 1:
             return lp.invoke.plus(lp.startup)
@@ -254,13 +339,62 @@ class PerformanceModel:
         func_draws = t_func.sample(func_rng, transfer.size)
         return float(np.quantile(transfer + func_draws, p))
 
+    def predict_percentiles(self, key: PathKey, size: int,
+                            candidates: Sequence[tuple[int, bool]],
+                            ps: Sequence[float]) -> np.ndarray:
+        """Percentiles for many candidate plans in one NumPy pass.
+
+        ``candidates`` is a sequence of ``(n, inline)`` pairs; the
+        result has shape ``(len(candidates), len(ps))`` and is
+        bit-identical to calling :meth:`predict_percentile` per entry.
+        Monte-Carlo candidates share a single stacked ``np.quantile``
+        call; closed-form (n == 1) and Gumbel-range candidates never
+        touch the Monte-Carlo machinery.
+        """
+        ps = list(ps)
+        out = np.empty((len(candidates), len(ps)), dtype=float)
+        mc_rows: list[int] = []
+        mc_totals: list[np.ndarray] = []
+        for i, (n, inline) in enumerate(candidates):
+            t_func = self.t_func(n, key[0], inline=inline)
+            if n == 1:
+                total = t_func.plus(self.t_transfer_single(key, size))
+                out[i] = [total.percentile(p) for p in ps]
+            elif n >= self.gumbel_threshold:
+                out[i] = [t_func.percentile(p)
+                          + self._gumbel_percentile(key, size, n, p)
+                          for p in ps]
+            else:
+                transfer = self.transfer_tail_samples(key, size, n)
+                func_rng = np.random.default_rng(
+                    self._stable_seed(key, size, n, inline))
+                mc_rows.append(i)
+                mc_totals.append(transfer + t_func.sample(func_rng, transfer.size))
+        if mc_rows:
+            stacked = np.vstack(mc_totals)
+            # axis=1 quantiles for all candidates at once; float64
+            # quantile of each row equals the per-row scalar quantile.
+            q = np.quantile(stacked, ps, axis=1)
+            for j, i in enumerate(mc_rows):
+                out[i] = q[:, j]
+        return out
+
     def _stable_seed(self, key: PathKey, size: int, n: int,
                      inline: bool) -> int:
-        """Process-independent seed for per-plan auxiliary draws."""
-        import hashlib
+        """Process-independent seed for per-plan auxiliary draws.
 
-        token = f"{self.seed}:{key}:{size}:{n}:{inline}".encode()
-        return int.from_bytes(hashlib.sha256(token).digest()[:8], "little")
+        Keyed on the chunk count, not the raw size: predictions depend
+        on size only through ``num_chunks``, and keeping the seed in
+        the same equivalence class makes plan-level caching exact.
+        """
+        k = self.num_chunks(size)
+        table_key = (key, k, n, inline)
+        seed = self._seed_table.get(table_key)
+        if seed is None:
+            token = f"{self.seed}:{key}:{k}:{n}:{inline}".encode()
+            seed = int.from_bytes(hashlib.sha256(token).digest()[:8], "little")
+            self._seed_table[table_key] = seed
+        return seed
 
     def predict_stats(self, key: PathKey, size: int, n: int,
                       inline: bool = False) -> tuple[float, float]:

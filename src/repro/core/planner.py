@@ -9,17 +9,28 @@ SLO-compliant plan wins — fewer functions means fewer API calls and
 less aggregate execution time, so the scan order doubles as a cost
 order and the exact cost of each plan never needs computing.  If no
 plan complies, the fastest plan found is returned (best effort).
+
+Plans are memoized.  Every model prediction depends on the object size
+only through its chunk count, so a plan query is fully determined by
+``(src, dst, percentile, chunk count, parallelism cap, inline
+eligibility)`` — :class:`PlanCache` stores the predicted percentiles of
+every ladder candidate under that key and replays the (cheap)
+Algorithm-3 selection against the caller's actual SLO budget.  The
+cache subscribes to the model's invalidation feed: drift-triggered
+``scale_path``/``set_path_params`` drop the affected (src, dst)
+entries, and location-parameter changes clear everything.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from typing import Optional
 
 from repro.core.config import ReplicaConfig
 from repro.core.model import PathKey, PerformanceModel
 
-__all__ = ["Plan", "StrategyPlanner"]
+__all__ = ["Plan", "PlanCache", "StrategyPlanner"]
 
 
 @dataclass(frozen=True)
@@ -43,6 +54,56 @@ class Plan:
         return self.n > 1
 
 
+#: A scored ladder candidate: (n, loc_key, path, inline, predicted at
+#: the target percentile, predicted median).
+_Candidate = tuple[int, str, PathKey, bool, float, float]
+
+
+class PlanCache:
+    """Memoized Algorithm-3 candidate tables, keyed per size bucket.
+
+    The key ``(src, dst, p, chunks, n_cap, inline_ok)`` captures every
+    way the inputs can influence a prediction, so cached entries are
+    exact, not approximate.  Entries hold the scored ladder candidates
+    (in scan order); selection against a concrete SLO budget is
+    replayed per query, which keeps SLO-mode calls with different
+    remaining budgets sharing one entry.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple, list[_Candidate]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: tuple) -> Optional[list[_Candidate]]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return entry
+
+    def put(self, key: tuple, candidates: list[_Candidate]) -> None:
+        self._entries[key] = candidates
+
+    def invalidate(self, path: Optional[PathKey] = None) -> None:
+        """Drop entries affected by a model-parameter change.
+
+        ``path`` is the updated :data:`PathKey`; ``None`` (location
+        parameters changed) clears the whole cache.
+        """
+        if path is None:
+            self._entries.clear()
+            return
+        _loc, src, dst = path
+        stale = [k for k in self._entries if k[0] == src and k[1] == dst]
+        for k in stale:
+            del self._entries[k]
+
+
 class StrategyPlanner:
     """Algorithm 3 over a fitted :class:`PerformanceModel`."""
 
@@ -50,6 +111,23 @@ class StrategyPlanner:
         self.model = model
         self.config = config
         self.plans_generated = 0
+        self.cache = PlanCache()
+        # Fastest-mode selection ignores the SLO budget, so the chosen
+        # Plan itself (frozen, safely shared) can be memoized on top of
+        # the candidate tables — the trace replay calls nothing else.
+        self._fastest_plans: dict[tuple, Plan] = {}
+        model.subscribe_invalidation(self._invalidate)
+
+    def _invalidate(self, path) -> None:
+        self.cache.invalidate(path)
+        if path is None:
+            self._fastest_plans.clear()
+            return
+        _loc, src, dst = path
+        stale = [k for k in self._fastest_plans
+                 if k[0] == src and k[1] == dst]
+        for k in stale:
+            del self._fastest_plans[k]
 
     def _candidate_locs(self, src_key: str, dst_key: str) -> list[str]:
         locs = [src_key]
@@ -73,6 +151,42 @@ class StrategyPlanner:
         return max(1, min(self.config.max_parallelism,
                           self.model.num_chunks(size)))
 
+    def _scored_candidates(self, size: int, src_key: str, dst_key: str,
+                           p: float, n_cap: int,
+                           inline_ok: bool) -> list[_Candidate]:
+        """Score every ladder candidate, batching the model queries.
+
+        Candidates are returned in Algorithm-3 scan order (level-major,
+        source location before destination).  Each carries both the
+        target-percentile and the median prediction so selection never
+        goes back to the model.
+        """
+        locs = self._candidate_locs(src_key, dst_key)
+        slots: list[tuple[int, str, PathKey, bool]] = []
+        n = 1
+        while n <= n_cap:
+            for loc_key in locs:
+                path: PathKey = (loc_key, src_key, dst_key)
+                if not self.model.has_path(path):
+                    continue
+                inline = inline_ok and n == 1 and loc_key == src_key
+                slots.append((n, loc_key, path, inline))
+            n *= 2
+        # One vectorized percentile pass per path (candidate queries for
+        # the same path share Monte-Carlo state).
+        by_path: dict[PathKey, list[int]] = {}
+        for i, (_n, _loc, path, _inline) in enumerate(slots):
+            by_path.setdefault(path, []).append(i)
+        scored: list[Optional[_Candidate]] = [None] * len(slots)
+        for path, indices in by_path.items():
+            queries = [(slots[i][0], slots[i][3]) for i in indices]
+            preds = self.model.predict_percentiles(path, size, queries, (p, 0.5))
+            for row, i in enumerate(indices):
+                n_i, loc_i, path_i, inline_i = slots[i]
+                scored[i] = (n_i, loc_i, path_i, inline_i,
+                             float(preds[row, 0]), float(preds[row, 1]))
+        return [c for c in scored if c is not None]
+
     def generate(self, size: int, src_key: str, dst_key: str,
                  slo_remaining: float, percentile: float | None = None) -> Plan:
         """Produce the cheapest SLO-compliant plan, else the fastest.
@@ -86,41 +200,53 @@ class StrategyPlanner:
         self.plans_generated += 1
         fastest_mode = slo_remaining == -math.inf
         n_cap = self._max_useful_parallelism(size, fastest=fastest_mode)
-        best: Plan | None = None
-        n = 1
-        while n <= n_cap:
-            for loc_key in self._candidate_locs(src_key, dst_key):
-                path: PathKey = (loc_key, src_key, dst_key)
-                if not self.model.has_path(path):
-                    continue
-                inline = self._is_inline(n, loc_key, src_key, size)
-                predicted = self.model.predict_percentile(path, size, n, p,
-                                                          inline=inline)
-                plan = Plan(
-                    n=n, loc_key=loc_key, path=path, predicted_s=predicted,
-                    percentile=p, compliant=predicted <= slo_remaining,
-                    inline=inline,
-                )
-                if best is None or plan.predicted_s < best.predicted_s:
-                    best = plan
-            # Return as soon as this parallelism level has a compliant
-            # plan: it is the cheapest level that can meet the SLO.
-            if best is not None and best.compliant:
-                return self._with_median(best, size)
-            n *= 2
-        if best is None:
+        inline_ok = size <= self.config.local_threshold
+        key = (src_key, dst_key, p, self.model.num_chunks(size), n_cap,
+               inline_ok)
+        candidates = self.cache.get(key)
+        if candidates is None:
+            candidates = self._scored_candidates(size, src_key, dst_key, p,
+                                                 n_cap, inline_ok)
+            self.cache.put(key, candidates)
+        if not candidates:
             raise RuntimeError(
                 f"no profiled path between {src_key} and {dst_key}"
             )
-        return self._with_median(best, size)
+        # Replay Algorithm 3 against this call's SLO budget: walk the
+        # ladder, keep the global best, stop at the first level whose
+        # best plan complies.
+        best: Optional[_Candidate] = None
+        level = candidates[0][0]
+        for cand in candidates:
+            if cand[0] != level:
+                if best is not None and best[4] <= slo_remaining:
+                    break
+                level = cand[0]
+            if best is None or cand[4] < best[4]:
+                best = cand
+        assert best is not None
+        n, loc_key, path, inline, predicted, median = best
+        return Plan(
+            n=n, loc_key=loc_key, path=path, predicted_s=predicted,
+            percentile=p, compliant=predicted <= slo_remaining,
+            inline=inline, predicted_median_s=median,
+        )
 
     def _with_median(self, plan: Plan, size: int) -> Plan:
-        from dataclasses import replace
-
         median = self.model.predict_percentile(plan.path, size, plan.n, 0.5,
                                                inline=plan.inline)
         return replace(plan, predicted_median_s=median)
 
     def fastest(self, size: int, src_key: str, dst_key: str) -> Plan:
         """SLO = 0 mode (§8.1): scan everything, return the fastest."""
-        return self.generate(size, src_key, dst_key, slo_remaining=-math.inf)
+        key = (src_key, dst_key, self.config.percentile,
+               self.model.num_chunks(size), size <= self.config.local_threshold,
+               size >= self.config.distributed_threshold)
+        plan = self._fastest_plans.get(key)
+        if plan is None:
+            plan = self.generate(size, src_key, dst_key, slo_remaining=-math.inf)
+            self._fastest_plans[key] = plan
+        else:
+            self.plans_generated += 1
+            self.cache.hits += 1
+        return plan

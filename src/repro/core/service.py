@@ -17,6 +17,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Optional
 
+import numpy as np
+
 from repro.core.batching import BatchingBuffer
 from repro.core.changelog import ChangelogStore
 from repro.core.config import ReplicaConfig
@@ -106,7 +108,6 @@ class AReplicaService:
         self.records: list[ReplicationRecord] = []
         self.aborts: list[tuple[str, str, str]] = []
         self._rule_seq = itertools.count(1)
-        self._estimate_cache: dict[int, float] = {}
 
     # -- rule management ---------------------------------------------------------
 
@@ -156,12 +157,11 @@ class AReplicaService:
         dst = rule.dst_bucket.region.key
 
         def estimate(size: int) -> float:
+            # Power-of-two size bucketing keeps the batcher's estimate
+            # queries coarse; the planner's PlanCache (which also sees
+            # drift invalidations, unlike a local dict) does the rest.
             bucket = max(1, 1 << (max(0, size - 1)).bit_length())
-            cached = self._estimate_cache.get(bucket)
-            if cached is None:
-                cached = self.planner.fastest(bucket, src, dst).predicted_s
-                self._estimate_cache[bucket] = cached
-            return cached
+            return self.planner.fastest(bucket, src, dst).predicted_s
 
         return estimate
 
@@ -216,8 +216,6 @@ class AReplicaService:
     def summary(self) -> dict:
         """Operational snapshot: replication counts, delay percentiles,
         and the metered cost so far."""
-        import numpy as np
-
         delays = np.asarray(self.delays()) if self.records else np.array([])
         quantile = (lambda q: float(np.quantile(delays, q))) if delays.size \
             else (lambda q: float("nan"))
@@ -233,6 +231,8 @@ class AReplicaService:
             "total_cost_usd": self.cloud.ledger.total(),
             "cost_breakdown": self.cloud.ledger.breakdown(),
             "plans_generated": self.planner.plans_generated,
+            "plan_cache_hits": self.planner.cache.hits,
+            "plan_cache_misses": self.planner.cache.misses,
             "model_corrections": sum(
                 self.logger.corrections(p) for p in self.model.path_params),
         }

@@ -47,8 +47,14 @@ from repro.simcloud.network import (
 from repro.simcloud.objectstore import Blob, Bucket
 from repro.simcloud.pricing import PriceBook
 from repro.simcloud.regions import Provider, Region
-from repro.simcloud.rng import Dist, RngFactory, normal
-from repro.simcloud.sim import Future, Interrupt, Process, Simulator
+from repro.simcloud.rng import BufferedSampler, Dist, RngFactory, normal
+from repro.simcloud.sim import (
+    Future,
+    Interrupt,
+    Process,
+    Simulator,
+    SleepRequest,
+)
 
 __all__ = [
     "FaasProfile",
@@ -192,6 +198,18 @@ class FaasRegion:
         self.ledger = ledger
         self.profile = profile or FaasProfile()
         self._rng = rngs.stream(f"faas:{region.key}")
+        # Fault injection draws from its own stream: crash patterns for
+        # a given seed depend only on the attempt sequence, not on how
+        # many latency samples other machinery happened to consume.
+        self._chaos_rng = rngs.stream(f"faas-chaos:{region.key}")
+        self._req_latency_samplers: dict[str, BufferedSampler] = {}
+        # Deterministic WAN round-trip surcharge per remote region key.
+        self._wan_surcharges: dict[str, float] = {}
+        # Scalar platform-latency draws (invoke, warm start, cold start)
+        # served from vectorized blocks; keyed by the Dist itself so a
+        # post-construction profile swap transparently gets fresh
+        # samplers for any changed distribution.
+        self._dist_samplers: dict[Dist, BufferedSampler] = {}
         self._deployments: dict[str, _Deployment] = {}
         self._instance_seq = itertools.count(1)
         self._running = 0
@@ -235,6 +253,14 @@ class FaasRegion:
     def deployment_stats(self, name: str) -> dict[str, int]:
         return dict(self._deployments[name].stats)
 
+    def _sample(self, dist: Dist) -> float:
+        """One scalar draw from ``dist``, buffered per distribution."""
+        sampler = self._dist_samplers.get(dist)
+        if sampler is None:
+            sampler = self._dist_samplers[dist] = BufferedSampler(
+                dist, self._rng, block=128)
+        return sampler.sample()
+
     # -- invocation ----------------------------------------------------------
 
     def invoke(self, name: str, payload: Any,
@@ -249,7 +275,7 @@ class FaasRegion:
         """
         if name not in self._deployments:
             raise KeyError(f"function {name!r} not deployed in {self.region.key}")
-        latency = float(self.profile.invoke_latency_s[self.provider].sample(self._rng))
+        latency = self._sample(self.profile.invoke_latency_s[self.provider])
         if caller_region is not None and caller_region.provider != self.provider:
             latency += float(self.profile.cross_provider_invoke_s.sample(self._rng))
         invocation = Invocation(self.sim, name, payload)
@@ -310,15 +336,15 @@ class FaasRegion:
         while dep.warm_pool:
             inst: _Instance = dep.warm_pool.popleft()
             if now - inst.last_used <= self.profile.keepalive_s:
-                yield self.sim.sleep(
-                    float(self.profile.warm_start_s[self.provider].sample(self._rng))
+                yield SleepRequest(
+                    self._sample(self.profile.warm_start_s[self.provider])
                 )
                 return inst, False
         postponement = self._next_scheduler_tick()
         if postponement > 0:
-            yield self.sim.sleep(postponement)
-        yield self.sim.sleep(
-            float(self.profile.cold_start_s[self.provider].sample(self._rng))
+            yield SleepRequest(postponement)
+        yield SleepRequest(
+            self._sample(self.profile.cold_start_s[self.provider])
         )
         inst = _Instance(
             instance_id=next(self._instance_seq),
@@ -355,14 +381,14 @@ class FaasRegion:
 
             watchdog_timer = self.sim.call_later(dep.timeout_s, watchdog)
             chaos_timer = None
-            if self.chaos_crash_prob and self._rng.random() < self.chaos_crash_prob:
+            if self.chaos_crash_prob and self._chaos_rng.random() < self.chaos_crash_prob:
                 def chaos() -> None:
                     if body.alive:
                         self.chaos_crashes += 1
                         body.interrupt("chaos-crash")
 
                 chaos_timer = self.sim.call_later(
-                    float(self._rng.exponential(self.chaos_mean_delay_s)),
+                    float(self._chaos_rng.exponential(self.chaos_mean_delay_s)),
                     chaos,
                 )
             started = self.sim.now
@@ -448,8 +474,11 @@ class FunctionContext:
     def remaining_s(self) -> float:
         return max(0.0, self.deadline - self.now)
 
-    def sleep(self, seconds: float) -> Future:
-        return self._faas.sim.sleep(seconds)
+    def sleep(self, seconds: float) -> SleepRequest:
+        """Yieldable sleep — served by the kernel's direct-resume fast
+        path rather than a full future (data-path sleeps dominate the
+        event count of a replay)."""
+        return SleepRequest(seconds)
 
     def spawn(self, gen, name: str = "") -> Process:
         return self._faas.sim.spawn(gen, name=name)
@@ -457,11 +486,23 @@ class FunctionContext:
     # -- metered request plumbing ---------------------------------------------
 
     def _request_latency(self, bucket: Bucket) -> float:
-        base = float(_STORE_REQ_LATENCY[bucket.region.provider].sample(self._faas._rng))
+        provider = bucket.region.provider
+        samplers = self._faas._req_latency_samplers
+        sampler = samplers.get(provider)
+        if sampler is None:
+            sampler = samplers[provider] = BufferedSampler(
+                _STORE_REQ_LATENCY[provider], self._faas._rng)
+        base = sampler.sample()
         if bucket.region.key != self.region.key:
-            from repro.simcloud.regions import geo_distance_km
+            surcharges = self._faas._wan_surcharges
+            surcharge = surcharges.get(bucket.region.key)
+            if surcharge is None:
+                from repro.simcloud.regions import geo_distance_km
 
-            base += _WAN_RTT_PER_1000KM * geo_distance_km(self.region, bucket.region) / 1000.0
+                surcharge = surcharges[bucket.region.key] = (
+                    _WAN_RTT_PER_1000KM
+                    * geo_distance_km(self.region, bucket.region) / 1000.0)
+            base += surcharge
         return base
 
     def _charge_request(self, bucket: Bucket, kind: str) -> None:
@@ -480,7 +521,7 @@ class FunctionContext:
         """First data-path call per invocation pays the S overhead."""
         if not self._client_ready:
             self._client_ready = True
-            yield self.sleep(self._faas.fabric.sample_startup(self.region.provider))
+            yield SleepRequest(self._faas.fabric.sample_startup(self.region.provider))
 
     def _leg_seconds(self, bucket: Bucket, nbytes: int, upload: bool,
                      concurrency: int) -> float:
@@ -501,10 +542,10 @@ class FunctionContext:
                    length: Optional[int] = None, concurrency: int = 1):
         """Download a (range of an) object into local storage."""
         yield from self._client_startup()
-        yield self.sleep(self._request_latency(bucket))
+        yield SleepRequest(self._request_latency(bucket))
         blob, version = bucket.get_object(key, offset, length)
         self._charge_request(bucket, "get")
-        yield self.sleep(self._leg_seconds(bucket, blob.size, upload=False,
+        yield SleepRequest(self._leg_seconds(bucket, blob.size, upload=False,
                                            concurrency=concurrency))
         self._charge_egress(bucket.region, self.region, blob.size)
         self.bytes_downloaded += blob.size
@@ -512,7 +553,7 @@ class FunctionContext:
 
     def head_object(self, bucket: Bucket, key: str):
         """Metadata-only request (no data transfer)."""
-        yield self.sleep(self._request_latency(bucket))
+        yield SleepRequest(self._request_latency(bucket))
         self._charge_request(bucket, "get")
         return bucket.head(key)
 
@@ -520,8 +561,8 @@ class FunctionContext:
                    if_match: Optional[str] = None, concurrency: int = 1):
         """Upload ``blob`` from local storage to ``bucket/key``."""
         yield from self._client_startup()
-        yield self.sleep(self._request_latency(bucket))
-        yield self.sleep(self._leg_seconds(bucket, blob.size, upload=True,
+        yield SleepRequest(self._request_latency(bucket))
+        yield SleepRequest(self._leg_seconds(bucket, blob.size, upload=True,
                                            concurrency=concurrency))
         version = bucket.put_object(key, blob, self.now, if_match=if_match)
         self._charge_request(bucket, "put")
@@ -530,7 +571,7 @@ class FunctionContext:
         return version
 
     def delete_object(self, bucket: Bucket, key: str):
-        yield self.sleep(self._request_latency(bucket))
+        yield SleepRequest(self._request_latency(bucket))
         bucket.delete_object(key, self.now)
         self._charge_request(bucket, "put")
         return None
@@ -538,7 +579,7 @@ class FunctionContext:
     def copy_object(self, bucket: Bucket, src_key: str, dst_key: str,
                     if_match: Optional[str] = None):
         """Server-side copy inside one bucket — no WAN transfer."""
-        yield self.sleep(self._request_latency(bucket))
+        yield SleepRequest(self._request_latency(bucket))
         if if_match is not None and bucket.current_etag(src_key) != if_match:
             from repro.simcloud.objectstore import PreconditionFailed
 
@@ -552,7 +593,7 @@ class FunctionContext:
 
     def initiate_multipart(self, bucket: Bucket, key: str,
                            if_match: Optional[str] = None):
-        yield self.sleep(self._request_latency(bucket))
+        yield SleepRequest(self._request_latency(bucket))
         self._charge_request(bucket, "put")
         return bucket.initiate_multipart(key, if_match=if_match)
 
@@ -563,8 +604,8 @@ class FunctionContext:
         transfer time itself is paid; the request is still billed."""
         yield from self._client_startup()
         if not pipelined:
-            yield self.sleep(self._request_latency(bucket))
-        yield self.sleep(self._leg_seconds(bucket, blob.size, upload=True,
+            yield SleepRequest(self._request_latency(bucket))
+        yield SleepRequest(self._leg_seconds(bucket, blob.size, upload=True,
                                            concurrency=concurrency))
         etag = bucket.upload_part(upload_id, part_number, blob)
         self._charge_request(bucket, "put")
@@ -573,7 +614,7 @@ class FunctionContext:
         return etag
 
     def complete_multipart(self, bucket: Bucket, upload_id: str):
-        yield self.sleep(self._request_latency(bucket))
+        yield SleepRequest(self._request_latency(bucket))
         version = bucket.complete_multipart(upload_id, self.now)
         self._charge_request(bucket, "put")
         return version

@@ -12,7 +12,11 @@ exact primitives those components need:
 
 Mutations are applied atomically at request admission and the response
 is delivered after the sampled latency, giving linearizable semantics
-(a real conditional-write API provides the same guarantee).
+(a real conditional-write API provides the same guarantee).  Responses
+are returned as kernel :class:`DeferredResult` markers — the outcome is
+already known at admission, so the caller's process is resumed directly
+without a future allocation (KV round trips dominate the control-plane
+event count).
 """
 
 from __future__ import annotations
@@ -23,8 +27,8 @@ from typing import Any, Callable, Optional
 from repro.simcloud.cost import CostCategory, CostLedger
 from repro.simcloud.pricing import PriceBook
 from repro.simcloud.regions import Provider, Region
-from repro.simcloud.rng import Dist, RngFactory, normal
-from repro.simcloud.sim import Future, Simulator
+from repro.simcloud.rng import BufferedSampler, Dist, RngFactory, normal
+from repro.simcloud.sim import DeferredResult, Simulator
 
 __all__ = ["KvProfile", "KvTable", "ConditionFailed"]
 
@@ -68,39 +72,38 @@ class KvTable:
         self._rng = rngs.stream(f"kv:{region.key}:{name}")
         self._items: dict[str, dict[str, Any]] = {}
         self.op_counts = {"read": 0, "write": 0}
+        self._latency_sampler = BufferedSampler(
+            self._profile.latency_s[region.provider], self._rng)
+        # Per-op constants, hoisted out of the (very hot) _respond path.
+        price = prices.kv[region.provider]
+        self._op_cost = {"read": price.read, "write": price.write}
+        self._op_detail = {"read": f"kv:read:{name}", "write": f"kv:write:{name}"}
 
     # -- internals ---------------------------------------------------------
 
     def _latency(self) -> float:
-        return float(self._profile.latency_s[self.region.provider].sample(self._rng))
+        return self._latency_sampler.sample()
 
     def _respond(self, kind: str, value: Any = None,
-                 error: Optional[BaseException] = None) -> Future:
-        price = self._prices.kv[self.region.provider]
-        cost = price.write if kind == "write" else price.read
+                 error: Optional[BaseException] = None) -> DeferredResult:
         self.op_counts[kind] += 1
-        self._ledger.charge(self.sim.now, CostCategory.KV_OPS, cost,
-                            f"kv:{kind}:{self.name}")
-        fut = Future(self.sim)
-        if error is not None:
-            self.sim.call_later(self._latency(), lambda: fut.fail(error))
-        else:
-            self.sim.call_later(self._latency(), lambda: fut.resolve(value))
-        return fut
+        self._ledger.charge(self.sim.now, CostCategory.KV_OPS,
+                            self._op_cost[kind], self._op_detail[kind])
+        return DeferredResult(self._latency(), value, error)
 
     # -- point operations ----------------------------------------------------
 
-    def get_item(self, key: str) -> Future:
+    def get_item(self, key: str) -> DeferredResult:
         """Read an item; resolves with a copy of the dict or None."""
         item = self._items.get(key)
         return self._respond("read", dict(item) if item is not None else None)
 
-    def put_item(self, key: str, item: dict[str, Any]) -> Future:
+    def put_item(self, key: str, item: dict[str, Any]) -> DeferredResult:
         """Unconditional upsert."""
         self._items[key] = dict(item)
         return self._respond("write", None)
 
-    def delete_item(self, key: str) -> Future:
+    def delete_item(self, key: str) -> DeferredResult:
         self._items.pop(key, None)
         return self._respond("write", None)
 
@@ -109,7 +112,7 @@ class KvTable:
         key: str,
         item: dict[str, Any],
         condition: Callable[[Optional[dict[str, Any]]], bool],
-    ) -> Future:
+    ) -> DeferredResult:
         """Upsert only if ``condition(current_item)`` holds.
 
         Resolves with True on success; fails with
@@ -122,7 +125,7 @@ class KvTable:
         self._items[key] = dict(item)
         return self._respond("write", True)
 
-    def put_if_absent(self, key: str, item: dict[str, Any]) -> Future:
+    def put_if_absent(self, key: str, item: dict[str, Any]) -> DeferredResult:
         """Create the item only if the key does not exist; bool result."""
         if key in self._items:
             return self._respond("write", False)
@@ -131,7 +134,7 @@ class KvTable:
 
     def update_item(
         self, key: str, fn: Callable[[Optional[dict[str, Any]]], Optional[dict[str, Any]]]
-    ) -> Future:
+    ) -> DeferredResult:
         """Atomic read-modify-write.
 
         ``fn`` receives a copy of the current item (or None) and returns
@@ -145,7 +148,7 @@ class KvTable:
             self._items[key] = dict(updated)
         return self._respond("write", dict(updated) if updated is not None else None)
 
-    def increment(self, key: str, field_name: str, by: int = 1) -> Future:
+    def increment(self, key: str, field_name: str, by: int = 1) -> DeferredResult:
         """Atomic counter; creates the item/field at 0 when missing."""
         item = self._items.setdefault(key, {})
         item[field_name] = item.get(field_name, 0) + by

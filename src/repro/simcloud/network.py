@@ -29,7 +29,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.simcloud.regions import Provider, Region
-from repro.simcloud.rng import Dist, RngFactory, normal
+from repro.simcloud.rng import BufferedSampler, Dist, RngFactory, normal
 
 __all__ = ["FunctionConfig", "NetworkProfile", "InstanceChannel", "NetworkFabric",
            "DEFAULT_PROFILE", "MBPS"]
@@ -182,13 +182,27 @@ class InstanceChannel:
         # Mean-one lognormal: E[exp(N(-s^2/2, s^2))] = 1.
         self.base_factor = float(rng.lognormal(-sigma**2 / 2, sigma))
         self._drift = 0.0
+        # Per-transfer constants and a block buffer of innovations —
+        # next_factor is called once per data leg, so the scalar NumPy
+        # dispatch would otherwise dominate it.
+        t_sigma = profile.transfer_sigma[provider]
+        self._innov_std = t_sigma * math.sqrt(1 - profile.drift_rho**2)
+        self._half_sigma2 = t_sigma**2 / 2
+        self._rho = profile.drift_rho
+        self._innov_buf: list[float] = []
+        self._innov_idx = 0
 
     def next_factor(self) -> float:
         """Sample the instantaneous speed multiplier for one transfer."""
-        sigma = self.profile.transfer_sigma[self.provider]
-        innovation = self._rng.normal(0.0, sigma * math.sqrt(1 - self.profile.drift_rho**2))
-        self._drift = self.profile.drift_rho * self._drift + innovation
-        return max(0.05, self.base_factor * math.exp(self._drift - sigma**2 / 2))
+        idx = self._innov_idx
+        buf = self._innov_buf
+        if idx >= len(buf):
+            buf = self._rng.normal(0.0, self._innov_std, 64).tolist()
+            self._innov_buf = buf
+            idx = 0
+        self._innov_idx = idx + 1
+        self._drift = self._rho * self._drift + buf[idx]
+        return max(0.05, self.base_factor * math.exp(self._drift - self._half_sigma2))
 
 
 class NetworkFabric:
@@ -198,6 +212,12 @@ class NetworkFabric:
         self.profile = profile
         self._rng = rngs.stream("network")
         self._channel_seq = 0
+        # path_mbps/congestion_scale are pure functions of their
+        # arguments (given the profile), and every transfer evaluates
+        # both — memoize on the small set of distinct inputs.
+        self._mbps_memo: dict[tuple, float] = {}
+        self._congestion_memo: dict[tuple[str, int], tuple[float, float]] = {}
+        self._startup_samplers: dict[str, BufferedSampler] = {}
 
     # -- deterministic mean bandwidths ----------------------------------
 
@@ -208,6 +228,11 @@ class NetworkFabric:
         ``peer`` is the bucket's region; ``upload`` selects the PUT
         direction.  Intra-region access bypasses the WAN model.
         """
+        memo_key = (exec_region.key, peer.key, config.memory_mb, config.vcpus,
+                    upload)
+        cached = self._mbps_memo.get(memo_key)
+        if cached is not None:
+            return cached
         p = self.profile
         provider = exec_region.provider
         scale = p.config_scale(provider, config)
@@ -218,10 +243,14 @@ class NetworkFabric:
         override = p.pair_overrides.get((provider, *flow))
         if override is not None:
             bw = override * scale
-            return bw * (p.upload_factor if upload else 1.0)
+            result = bw * (p.upload_factor if upload else 1.0)
+            self._mbps_memo[memo_key] = result
+            return result
         if exec_region.key == peer.key:
             bw = p.intra_mbps[provider] * scale
-            return bw * (p.upload_factor if upload else 1.0)
+            result = bw * (p.upload_factor if upload else 1.0)
+            self._mbps_memo[memo_key] = result
+            return result
         nic = p.nic_cap_mbps[provider] * scale
         if exec_region.continent == peer.continent:
             dist = (p.same_continent_factor
@@ -231,7 +260,9 @@ class NetworkFabric:
             dist = p.continent_factor[(exec_region.continent, peer.continent)]
         cross = 1.0 if exec_region.provider == peer.provider else p.cross_provider_factor
         bw = nic * p.platform_wan_factor[provider] * dist * cross
-        return bw * (p.upload_factor if upload else 1.0)
+        result = bw * (p.upload_factor if upload else 1.0)
+        self._mbps_memo[memo_key] = result
+        return result
 
     def mean_transfer_seconds(self, exec_region: Region, src: Region, dst: Region,
                               nbytes: int, config: FunctionConfig) -> float:
@@ -250,15 +281,25 @@ class NetworkFabric:
         return InstanceChannel(provider, self.profile, child)
 
     def sample_startup(self, provider: str) -> float:
-        return float(self.profile.startup_s[provider].sample(self._rng))
+        sampler = self._startup_samplers.get(provider)
+        if sampler is None:
+            sampler = BufferedSampler(self.profile.startup_s[provider],
+                                      self._rng, block=128)
+            self._startup_samplers[provider] = sampler
+        return sampler.sample()
 
     def congestion_scale(self, provider: str, concurrency: int) -> tuple[float, float]:
         """(mean divisor, extra sigma) for ``concurrency`` parallel streams."""
         if concurrency <= 1:
             return 1.0, 0.0
+        memo_key = (provider, concurrency)
+        cached = self._congestion_memo.get(memo_key)
+        if cached is not None:
+            return cached
         p = self.profile
         divisor = 1.0 + p.congestion_alpha[provider] * (concurrency - 1) / 64.0
         extra = p.congestion_sigma[provider] * math.log2(concurrency)
+        self._congestion_memo[memo_key] = (divisor, extra)
         return divisor, extra
 
     def sample_transfer_seconds(

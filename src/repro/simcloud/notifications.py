@@ -14,7 +14,7 @@ from typing import Callable
 
 from repro.simcloud.objectstore import Bucket, ObjectEvent
 from repro.simcloud.regions import Provider
-from repro.simcloud.rng import Dist, RngFactory, normal
+from repro.simcloud.rng import BufferedSampler, Dist, RngFactory, normal
 from repro.simcloud.sim import Simulator
 
 __all__ = ["NotificationProfile", "NotificationBus"]
@@ -46,18 +46,19 @@ class NotificationBus:
     def connect(self, bucket: Bucket,
                 handler: Callable[[ObjectEvent], None]) -> None:
         """Deliver ``bucket``'s events to ``handler`` after ``T_n``."""
-        dist = self.profile.delay_s[bucket.region.provider]
+        sampler = BufferedSampler(self.profile.delay_s[bucket.region.provider],
+                                  self._rng, block=256)
+        schedule_call = self.sim.schedule_call
 
         def on_event(event: ObjectEvent) -> None:
-            delay = float(dist.sample(self._rng))
-
-            def deliver() -> None:
-                self.delivered += 1
-                handler(event)
-
-            self.sim.call_later(delay, deliver)
+            schedule_call(sampler.sample(), self._deliver, handler, event)
 
         bucket.subscribe(on_event)
+
+    def _deliver(self, handler: Callable[[ObjectEvent], None],
+                 event: ObjectEvent) -> None:
+        self.delivered += 1
+        handler(event)
 
     def sample_delay(self, provider: str) -> float:
         """One delivery-delay draw (used by the profiler)."""

@@ -30,6 +30,7 @@ from __future__ import annotations
 import hashlib
 import itertools
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Callable, Iterable, Optional
 
 from repro.simcloud.regions import Region
@@ -134,12 +135,12 @@ class Blob:
             segments.extend(p.segments)
         return Blob(sum(p.size for p in parts), _merge_segments(segments))
 
-    @property
+    @cached_property
     def content_id(self) -> str:
         """Canonical string identity of the content."""
         return "+".join(f"{s}@{o}#{n}" for s, o, n in self.segments) or "empty"
 
-    @property
+    @cached_property
     def etag(self) -> str:
         """Platform-generated content hash (like the S3 ETag)."""
         return hashlib.md5(self.content_id.encode()).hexdigest()
@@ -217,6 +218,7 @@ class Bucket:
         #: The most recently issued sequencer (0 before any write).
         self.last_sequencer = 0
         self._listeners: list[Callable[[ObjectEvent], None]] = []
+        self._listeners_snapshot: tuple[Callable[[ObjectEvent], None], ...] = ()
         #: Injected-fault flag: while True, every data-plane operation
         #: raises :class:`ServiceUnavailable` (a region-wide outage).
         self.in_outage = False
@@ -295,9 +297,12 @@ class Bucket:
     def subscribe(self, listener: Callable[[ObjectEvent], None]) -> None:
         """Register for creation/deletion events (raw, undelayed)."""
         self._listeners.append(listener)
+        self._listeners_snapshot = tuple(self._listeners)
 
     def _emit(self, event: ObjectEvent) -> None:
-        for listener in list(self._listeners):
+        # Iterate the subscribe-time snapshot: no per-event list copy,
+        # and listeners registered mid-emit only see later events.
+        for listener in self._listeners_snapshot:
             listener(event)
 
     # -- write path ---------------------------------------------------------

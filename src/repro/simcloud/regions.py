@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import cached_property, lru_cache
 
 __all__ = ["Provider", "Region", "REGIONS", "get_region", "regions_of", "geo_distance_km"]
 
@@ -33,7 +34,7 @@ class Region:
     lon: float
     continent: str
 
-    @property
+    @cached_property
     def key(self) -> str:
         """Globally unique identifier, e.g. ``aws:us-east-1``."""
         return f"{self.provider}:{self.name}"
@@ -85,6 +86,7 @@ def regions_of(provider: str) -> list[Region]:
     return [r for r in REGIONS.values() if r.provider == provider]
 
 
+@lru_cache(maxsize=4096)
 def geo_distance_km(a: Region, b: Region) -> float:
     """Great-circle distance between two regions in kilometres."""
     lat1, lon1, lat2, lon2 = map(math.radians, (a.lat, a.lon, b.lat, b.lon))

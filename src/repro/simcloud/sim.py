@@ -9,6 +9,20 @@ The kernel is fully deterministic: events scheduled for the same
 timestamp fire in scheduling order (a monotonically increasing sequence
 number breaks ties), and no wall-clock or OS entropy is consulted.
 
+Performance notes (the event loop is the simulator's hottest path):
+
+* Events are plain ``(time, seq, kind, a, b, c)`` records pushed
+  straight onto the heap — no per-event closure, and a :class:`Timer`
+  handle is only allocated for the public ``call_at``/``call_later``
+  API where the caller may want to cancel.
+* Zero-delay events (process kick-off, interrupts, callback fan-out,
+  same-instant KV responses) bypass ``heapq`` entirely through a FIFO
+  ring; a shared sequence counter keeps them correctly interleaved with
+  heap events at the same timestamp.
+* Cancelled timers are tombstones: they stay in the queue, are skipped
+  lazily (never advancing the clock), and the heap is compacted once
+  tombstones outnumber live entries.
+
 Example
 -------
 >>> sim = Simulator()
@@ -26,16 +40,25 @@ Example
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
     "Simulator",
     "Future",
     "Process",
+    "SleepRequest",
+    "DeferredResult",
     "Interrupt",
     "SimulationError",
     "Timer",
 ]
+
+# Event record kinds (index 2 of a heap record, index 1 of a ring record).
+_TIMER = 0      # a: Timer            -> a.fire()
+_CALL = 1       # a: fn, b: value, c: exc -> a(b, c)
+_RESOLVE = 2    # a: Future, b: value -> a.resolve(b)
+_FAIL = 3       # a: Future, b: exc   -> a.fail(b)
 
 
 class Timer:
@@ -47,17 +70,22 @@ class Timer:
     clock forward when the queue drains.
     """
 
-    __slots__ = ("_fn",)
+    __slots__ = ("_fn", "_sim")
 
-    def __init__(self, fn: Callable[[], None]):
+    def __init__(self, fn: Callable[[], None], sim: Optional["Simulator"] = None):
         self._fn: Optional[Callable[[], None]] = fn
+        self._sim = sim
 
     @property
     def cancelled(self) -> bool:
         return self._fn is None
 
     def cancel(self) -> None:
+        if self._fn is None:
+            return
         self._fn = None
+        if self._sim is not None:
+            self._sim._note_cancelled()
 
     def fire(self) -> None:
         if self._fn is not None:
@@ -122,14 +150,16 @@ class Future:
             raise SimulationError("future already resolved")
         self._done = True
         self._value = value
-        self._fire()
+        if self._callbacks:
+            self._fire()
 
     def fail(self, exc: BaseException) -> None:
         if self._done:
             raise SimulationError("future already resolved")
         self._done = True
         self._exception = exc
-        self._fire()
+        if self._callbacks:
+            self._fire()
 
     def add_callback(self, fn: Callable[["Future"], None]) -> None:
         if self._done:
@@ -143,6 +173,45 @@ class Future:
             fn(self)
 
 
+class SleepRequest:
+    """A lightweight "resume me after ``delay``" marker.
+
+    Processes may yield a :class:`SleepRequest` instead of a sleep
+    future; the kernel then schedules the process's own resumption
+    directly, skipping the future allocation and callback chain.  This
+    is the hot path for the data-plane latency sleeps (network legs,
+    request admission), which account for the majority of all events in
+    a trace replay.  Semantics match ``yield sim.sleep(delay)`` exactly:
+    same wake-up time, same event ordering (the event record is pushed
+    at the same global sequence point), and the process receives
+    ``None``.
+    """
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float):
+        self.delay = delay if delay > 0.0 else 0.0
+
+
+class DeferredResult:
+    """A yieldable "resume me after ``delay`` with this outcome" marker.
+
+    Like :class:`SleepRequest`, but carrying a value (or an exception to
+    raise into the process).  Services whose response is computed at
+    admission time and merely *delivered* after a latency — the KV
+    store's point operations are the canonical case — yield this
+    instead of allocating a future per request.
+    """
+
+    __slots__ = ("delay", "value", "exc")
+
+    def __init__(self, delay: float, value: Any = None,
+                 exc: Optional[BaseException] = None):
+        self.delay = delay if delay > 0.0 else 0.0
+        self.value = value
+        self.exc = exc
+
+
 ProcessBody = Generator[Future, Any, Any]
 
 
@@ -154,15 +223,25 @@ class Process(Future):
     processes may therefore ``yield`` a process to join it.
     """
 
-    __slots__ = ("_gen", "_waiting_on", "name")
+    __slots__ = ("_gen", "_waiting_on", "_epoch", "name")
 
     def __init__(self, sim: "Simulator", gen: ProcessBody, name: str = ""):
-        super().__init__(sim)
+        # Inlined Future.__init__ — processes are created in bulk on the
+        # hot path (one per request plus one per invocation).
+        self.sim = sim
+        self._done = False
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._callbacks: list[Callable[[Future], None]] = []
         self._gen = gen
         self._waiting_on: Optional[Future] = None
+        # Bumped on every interrupt so that direct wake-ups scheduled by
+        # the SleepRequest fast path (which bypass the stale-future
+        # check in _on_wait_done) can be recognised as stale.
+        self._epoch = 0
         self.name = name or getattr(gen, "__name__", "process")
         # Kick off on the next kernel step at the current time.
-        sim._schedule_call(0.0, self._step, None, None)
+        sim._push(sim.now, _CALL, self._step, None, None)
 
     @property
     def alive(self) -> bool:
@@ -176,8 +255,8 @@ class Process(Future):
         """
         if self._done:
             return
-        waiting = self._waiting_on
-        if waiting is not None:
+        self._epoch += 1
+        if self._waiting_on is not None:
             self._waiting_on = None
         self.sim._schedule_call(0.0, self._step, None, Interrupt(cause))
 
@@ -204,6 +283,17 @@ class Process(Future):
         except BaseException as err:  # noqa: BLE001 - propagate into future
             self.fail(err)
             return
+        tt = type(target)
+        if tt is SleepRequest:
+            sim = self.sim
+            sim._push(sim.now + target.delay, _CALL, self._resume,
+                      self._epoch, None)
+            return
+        if tt is DeferredResult:
+            sim = self.sim
+            sim._push(sim.now + target.delay, _CALL, self._resume_result,
+                      target, self._epoch)
+            return
         if not isinstance(target, Future):
             self.fail(
                 SimulationError(
@@ -215,16 +305,46 @@ class Process(Future):
         self._waiting_on = target
         target.add_callback(self._on_wait_done)
 
+    def _resume(self, epoch: int, _exc: Optional[BaseException]) -> None:
+        """Wake up from a SleepRequest; stale after an interrupt."""
+        if epoch != self._epoch or self._done:
+            return
+        self._step(None, None)
+
+    def _resume_result(self, result: "DeferredResult", epoch: int) -> None:
+        """Wake up from a DeferredResult; stale after an interrupt."""
+        if epoch != self._epoch or self._done:
+            return
+        self._step(result.value, result.exc)
+
 
 class Simulator:
-    """The event loop: a priority queue of timestamped callbacks."""
+    """The event loop: a priority queue of timestamped event records,
+    plus a FIFO ring for zero-delay events at the current time."""
+
+    #: Compact the heap when at least this many tombstones accumulate
+    #: and they outnumber the live entries.
+    _COMPACT_MIN = 64
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: list[tuple[float, int, Timer]] = []
+        # Heap records: (time, seq, kind, a, b, c); seq is unique, so
+        # tuple comparison never reaches the payload fields.
+        self._heap: list[tuple] = []
+        # Ring records: (seq, kind, a, b, c), all due at ``now``.
+        self._ring: deque[tuple] = deque()
         self._seq = 0
+        self._tombstones = 0
 
     # -- scheduling ----------------------------------------------------
+
+    def _push(self, time: float, kind: int, a: Any, b: Any, c: Any) -> None:
+        """Schedule one event record; zero-delay goes to the ring."""
+        self._seq += 1
+        if time <= self.now:
+            self._ring.append((self._seq, kind, a, b, c))
+        else:
+            heapq.heappush(self._heap, (time, self._seq, kind, a, b, c))
 
     def _schedule_call(
         self,
@@ -235,40 +355,89 @@ class Simulator:
     ) -> None:
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        self.call_later(delay, lambda: fn(value, exc))
+        self._push(self.now + delay, _CALL, fn, value, exc)
+
+    def schedule_resolve(self, delay: float, fut: Future, value: Any = None) -> None:
+        """Resolve ``fut`` with ``value`` after ``delay`` seconds.
+
+        The allocation-free fast path for the ubiquitous "respond after
+        some latency" pattern — no closure, no :class:`Timer`.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        self._push(self.now + delay, _RESOLVE, fut, value, None)
+
+    def schedule_fail(self, delay: float, fut: Future, exc: BaseException) -> None:
+        """Fail ``fut`` with ``exc`` after ``delay`` seconds."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        self._push(self.now + delay, _FAIL, fut, exc, None)
+
+    def schedule_call(self, delay: float, fn: Callable[..., None],
+                      a: Any = None, b: Any = None) -> None:
+        """Run ``fn(a, b)`` after ``delay`` seconds.
+
+        The allocation-free cousin of :meth:`call_later`: no closure, no
+        :class:`Timer`, therefore not cancellable.  Made for high-volume
+        callbacks whose two arguments are known up front (e.g. delivering
+        a notification event to a handler).
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        self._push(self.now + delay, _CALL, fn, a, b)
 
     def call_at(self, time: float, fn: Callable[[], None]) -> Timer:
         """Run ``fn()`` at absolute simulated ``time``; returns a handle."""
         if time < self.now:
             raise SimulationError(f"cannot schedule at {time} < now {self.now}")
-        self._seq += 1
-        timer = Timer(fn)
-        heapq.heappush(self._heap, (time, self._seq, timer))
+        timer = Timer(fn, self)
+        self._push(time, _TIMER, timer, None, None)
         return timer
 
     def call_later(self, delay: float, fn: Callable[[], None]) -> Timer:
         """Run ``fn()`` after ``delay`` simulated seconds; returns a handle."""
         return self.call_at(self.now + delay, fn)
 
-    def _drop_cancelled(self) -> None:
-        while self._heap and self._heap[0][2].cancelled:
-            heapq.heappop(self._heap)
-
     def sleep(self, delay: float) -> Future:
         """Return a future that resolves after ``delay`` seconds."""
         fut = Future(self)
-        self.call_later(max(0.0, delay), lambda: fut.resolve(None) if not fut.done else None)
+        self._push(self.now + max(0.0, delay), _RESOLVE, fut, None, None)
         return fut
 
     def timeout_at(self, time: float) -> Future:
         """Return a future that resolves at absolute ``time``."""
         fut = Future(self)
-        self.call_at(max(self.now, time), lambda: fut.resolve(None) if not fut.done else None)
+        self._push(max(self.now, time), _RESOLVE, fut, None, None)
         return fut
 
     def spawn(self, gen: ProcessBody, name: str = "") -> Process:
         """Start a new process from a generator."""
         return Process(self, gen, name=name)
+
+    # -- tombstone management ------------------------------------------
+
+    def _note_cancelled(self) -> None:
+        self._tombstones += 1
+        heap = self._heap
+        if (self._tombstones >= self._COMPACT_MIN
+                and self._tombstones * 2 > len(heap)):
+            live = [e for e in heap
+                    if e[2] != _TIMER or e[3]._fn is not None]
+            self._tombstones -= len(heap) - len(live)
+            heapq.heapify(live)
+            # In place: the drain loop holds a reference to the list.
+            heap[:] = live
+
+    def _skip_dead_head(self) -> None:
+        """Pop cancelled-timer tombstones sitting at the heap head."""
+        heap = self._heap
+        while heap:
+            head = heap[0]
+            if head[2] == _TIMER and head[3]._fn is None:
+                heapq.heappop(heap)
+                self._tombstones -= 1
+            else:
+                break
 
     # -- combinators ---------------------------------------------------
 
@@ -281,7 +450,7 @@ class Simulator:
         futures = list(futures)
         combined = Future(self)
         if not futures:
-            self.call_later(0.0, lambda: combined.resolve([]))
+            self.schedule_resolve(0.0, combined, [])
             return combined
         remaining = [len(futures)]
 
@@ -323,17 +492,114 @@ class Simulator:
 
     # -- running -------------------------------------------------------
 
+    def _dispatch(self, kind: int, a: Any, b: Any, c: Any) -> None:
+        if kind == _TIMER:
+            a.fire()
+        elif kind == _CALL:
+            a(b, c)
+        elif kind == _RESOLVE:
+            a.resolve(b)
+        else:
+            a.fail(b)
+
     def step(self) -> bool:
-        """Execute the next live event; return False if none remain."""
-        self._drop_cancelled()
-        if not self._heap:
-            return False
-        time, _seq, timer = heapq.heappop(self._heap)
-        if time < self.now:
-            raise SimulationError("event heap corrupted: time went backwards")
-        self.now = time
-        timer.fire()
-        return True
+        """Execute the next live event; return False if none remain.
+
+        Ring events (zero-delay, due now) and heap events at the current
+        timestamp are merged by sequence number, preserving global
+        scheduling order among same-timestamp events.
+        """
+        ring = self._ring
+        heap = self._heap
+        while True:
+            if ring:
+                if heap:
+                    head = heap[0]
+                    if head[2] == _TIMER and head[3]._fn is None:
+                        heapq.heappop(heap)
+                        self._tombstones -= 1
+                        continue
+                    if head[0] <= self.now and head[1] < ring[0][0]:
+                        time, _seq, kind, a, b, c = heapq.heappop(heap)
+                        if time < self.now:
+                            raise SimulationError(
+                                "event heap corrupted: time went backwards")
+                        self.now = time
+                        self._dispatch(kind, a, b, c)
+                        return True
+                _seq, kind, a, b, c = ring.popleft()
+                if kind == _TIMER and a._fn is None:
+                    self._tombstones -= 1
+                    continue
+                self._dispatch(kind, a, b, c)
+                return True
+            if not heap:
+                return False
+            time, _seq, kind, a, b, c = heapq.heappop(heap)
+            if kind == _TIMER and a._fn is None:
+                self._tombstones -= 1
+                continue
+            if time < self.now:
+                raise SimulationError("event heap corrupted: time went backwards")
+            self.now = time
+            self._dispatch(kind, a, b, c)
+            return True
+
+    def _drain(self) -> None:
+        """Run until the event queue is empty.
+
+        Semantically ``while self.step(): pass``, but with the event
+        pop and dispatch inlined — the two calls per event that
+        :meth:`step` costs add up to a measurable share of a replay's
+        runtime.  Any change to the merge/tombstone rules here must be
+        mirrored in :meth:`step` (the golden ordering tests cover both).
+        """
+        ring = self._ring
+        heap = self._heap
+        pop = heapq.heappop
+        while True:
+            if ring:
+                if heap:
+                    head = heap[0]
+                    if head[2] == _TIMER and head[3]._fn is None:
+                        pop(heap)
+                        self._tombstones -= 1
+                        continue
+                    if head[0] <= self.now and head[1] < ring[0][0]:
+                        time, _seq, kind, a, b, c = pop(heap)
+                        if time < self.now:
+                            raise SimulationError(
+                                "event heap corrupted: time went backwards")
+                        self.now = time
+                    else:
+                        _seq, kind, a, b, c = ring.popleft()
+                        if kind == _TIMER and a._fn is None:
+                            self._tombstones -= 1
+                            continue
+                else:
+                    _seq, kind, a, b, c = ring.popleft()
+                    if kind == _TIMER and a._fn is None:
+                        self._tombstones -= 1
+                        continue
+            elif heap:
+                time, _seq, kind, a, b, c = pop(heap)
+                if kind == _TIMER and a._fn is None:
+                    self._tombstones -= 1
+                    continue
+                if time < self.now:
+                    raise SimulationError(
+                        "event heap corrupted: time went backwards")
+                self.now = time
+            else:
+                return
+            if kind == _CALL:
+                a(b, c)
+            elif kind == _RESOLVE:
+                a.resolve(b)
+            elif kind == _TIMER:
+                a.fire()
+            else:
+                a.fail(b)
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the event queue drains or ``until`` is reached.
@@ -343,15 +609,15 @@ class Simulator:
         bounded runs compose predictably.
         """
         if until is None:
-            while self.step():
-                pass
+            self._drain()
             return
         if until < self.now:
             raise SimulationError(f"cannot run until {until} < now {self.now}")
         while True:
-            self._drop_cancelled()
-            if not self._heap or self._heap[0][0] > until:
-                break
+            if not self._ring:
+                self._skip_dead_head()
+                if not self._heap or self._heap[0][0] > until:
+                    break
             self.step()
         self.now = until
 

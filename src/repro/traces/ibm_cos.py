@@ -13,6 +13,14 @@ Storage traces the paper analyzes (§2):
 * **Operations** — PUTs dominate; a small fraction of DELETEs target
   existing keys.  Keys are drawn Zipf-style per tenant so hot objects
   receive repeated updates.
+
+Generation is batched per minute: every random quantity a minute needs
+(arrival times, sizes, op/reuse coin flips, Zipf ranks, tenant picks,
+delete positions) is drawn as one NumPy vector, and requests are
+emitted as struct-of-arrays :class:`TraceBatch` columns.  The live-key
+set uses a head pointer (O(1) oldest-key eviction) and swap-with-head
+removal (O(1) random deletes).  ``iter_requests``/``generate`` remain
+as per-request views over the same batches.
 """
 
 from __future__ import annotations
@@ -23,11 +31,16 @@ from typing import Iterator
 
 import numpy as np
 
-__all__ = ["TraceRequest", "SizeModel", "IbmCosTraceGenerator"]
+__all__ = ["TraceRequest", "TraceBatch", "SizeModel", "IbmCosTraceGenerator"]
 
 KB = 1024
 MB = 1024 * KB
 GB = 1024 * MB
+
+OP_PUT = 0
+OP_DELETE = 1
+
+_OP_NAMES = ("PUT", "DELETE")
 
 
 @dataclass(frozen=True)
@@ -38,6 +51,30 @@ class TraceRequest:
     op: str              # "PUT" | "DELETE"
     key: str
     size: int            # bytes (0 for DELETE)
+
+
+@dataclass(frozen=True)
+class TraceBatch:
+    """One minute of trace requests in column form.
+
+    ``ops`` holds :data:`OP_PUT`/:data:`OP_DELETE` codes; ``sizes`` is
+    0 for deletes.  Replayers iterate the columns directly instead of
+    materializing a :class:`TraceRequest` per row.
+    """
+
+    times: np.ndarray    # float64, ascending within the batch
+    ops: np.ndarray      # uint8 op codes
+    keys: list[str]
+    sizes: np.ndarray    # int64 bytes
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def requests(self) -> Iterator[TraceRequest]:
+        """Row view (compat with per-request consumers)."""
+        for t, op, key, size in zip(self.times.tolist(), self.ops.tolist(),
+                                    self.keys, self.sizes.tolist()):
+            yield TraceRequest(t, _OP_NAMES[op], key, size)
 
 
 class SizeModel:
@@ -63,6 +100,52 @@ class SizeModel:
         comp = self._rng.choice(len(self._weights), size=count, p=self._weights)
         sizes = self._rng.lognormal(self._mus[comp], self._sigmas[comp])
         return np.maximum(1, sizes).astype(np.int64)
+
+
+class _LiveKeys:
+    """Append-ordered key set with O(1) evict-oldest and random removal.
+
+    Keys live in ``self._keys[self._head:]`` in (approximate) insertion
+    order.  Evicting the oldest advances the head pointer; removing a
+    random key swaps the head key into its slot first, so only the
+    oldest key's position is perturbed — Zipf reuse reads from the
+    *recent* end, which stays exact.
+    """
+
+    __slots__ = ("_keys", "_head")
+
+    def __init__(self) -> None:
+        self._keys: list[str] = []
+        self._head = 0
+
+    def __len__(self) -> int:
+        return len(self._keys) - self._head
+
+    def append(self, key: str) -> None:
+        self._keys.append(key)
+
+    def evict_oldest(self) -> None:
+        self._head += 1
+        if self._head > 4096 and self._head * 2 > len(self._keys):
+            del self._keys[:self._head]
+            self._head = 0
+
+    def from_recent(self, rank: int) -> str:
+        """The ``rank``-th most recent key (clamped to the oldest)."""
+        n = len(self._keys) - self._head
+        return self._keys[-rank if rank < n else self._head]
+
+    def remove_at(self, frac: float) -> str:
+        """Remove and return the key at relative position ``frac`` ∈ [0, 1)."""
+        keys, head = self._keys, self._head
+        idx = head + int(frac * (len(keys) - head))
+        key = keys[idx]
+        keys[idx] = keys[head]
+        self._head = head + 1
+        if head > 4096 and head * 2 > len(keys):
+            del keys[: self._head]
+            self._head = 0
+        return key
 
 
 class IbmCosTraceGenerator:
@@ -122,55 +205,78 @@ class IbmCosTraceGenerator:
 
     # -- trace generation ----------------------------------------------------------
 
+    def iter_batches(self, duration_s: float,
+                     start_s: float = 0.0) -> Iterator[TraceBatch]:
+        """Yield one :class:`TraceBatch` per non-empty trace minute."""
+        rng = self._rng
+        rates = self.minute_rates(duration_s, start_s)
+        live = _LiveKeys()
+        n_live = 0
+        key_seq = 0
+        cap = self.tenants * self.keys_per_tenant
+        delete_fraction = self.delete_fraction
+        update_fraction = self.update_fraction
+        for minute, rate in enumerate(rates):
+            window = min(60.0, duration_s - minute * 60.0)
+            count = int(rng.poisson(rate * window))
+            if count == 0:
+                continue
+            # Every random quantity this minute needs, in bulk; the
+            # selection loop below then runs RNG-free over plain lists
+            # (scalar indexing into NumPy arrays is ~10× slower).
+            times = np.sort(rng.uniform(0.0, window, count)) + minute * 60.0
+            sizes = self.sizes.sample(count)
+            op_draws = rng.random(count).tolist()
+            reuse_draws = rng.random(count).tolist()
+            del_positions = rng.random(count).tolist()
+            ranks = rng.zipf(1.4, count).tolist()
+            tenant_draws = rng.integers(0, self.tenants, count).tolist()
+            delete_rows: list[int] = []
+            keys: list[str] = []
+            append_key = keys.append
+            for i in range(count):
+                if op_draws[i] < delete_fraction and n_live:
+                    delete_rows.append(i)
+                    append_key(live.remove_at(del_positions[i]))
+                    n_live -= 1
+                    continue
+                if reuse_draws[i] < update_fraction and n_live >= 16:
+                    # Zipf-ish: overwhelmingly prefer recent/hot keys.
+                    append_key(live.from_recent(ranks[i]))
+                else:
+                    key = f"t{tenant_draws[i]}/obj{key_seq}"
+                    key_seq += 1
+                    live.append(key)
+                    append_key(key)
+                    if n_live >= cap:
+                        live.evict_oldest()
+                    else:
+                        n_live += 1
+            ops = np.zeros(count, dtype=np.uint8)
+            if delete_rows:
+                ops[delete_rows] = OP_DELETE
+                sizes[delete_rows] = 0
+            yield TraceBatch(times=times, ops=ops, keys=keys, sizes=sizes)
+
+    def generate_batches(self, duration_s: float,
+                         start_s: float = 0.0) -> list[TraceBatch]:
+        return list(self.iter_batches(duration_s, start_s))
+
+    def iter_requests(self, duration_s: float,
+                      start_s: float = 0.0) -> Iterator[TraceRequest]:
+        for batch in self.iter_batches(duration_s, start_s):
+            yield from batch.requests()
+
     def generate(self, duration_s: float,
                  start_s: float = 0.0) -> list[TraceRequest]:
         """Materialize a trace segment of ``duration_s`` seconds."""
         return list(self.iter_requests(duration_s, start_s))
 
-    def iter_requests(self, duration_s: float,
-                      start_s: float = 0.0) -> Iterator[TraceRequest]:
-        rates = self.minute_rates(duration_s, start_s)
-        live_keys: list[str] = []
-        key_seq = 0
-        zipf_cache: dict[int, np.ndarray] = {}
-        for minute, rate in enumerate(rates):
-            window = min(60.0, duration_s - minute * 60.0)
-            count = self._rng.poisson(rate * window)
-            if count == 0:
-                continue
-            times = np.sort(self._rng.uniform(0.0, window, count)) + minute * 60.0
-            sizes = self.sizes.sample(count)
-            ops = self._rng.random(count)
-            for t, size, op_draw in zip(times, sizes, ops):
-                if op_draw < self.delete_fraction and live_keys:
-                    idx = self._rng.integers(0, len(live_keys))
-                    key = live_keys.pop(int(idx))
-                    yield TraceRequest(float(t), "DELETE", key, 0)
-                    continue
-                reuse = (self._rng.random() < self.update_fraction
-                         and len(live_keys) >= 16)
-                if reuse:
-                    # Zipf-ish: overwhelmingly prefer recent/hot keys.
-                    rank = int(self._rng.zipf(1.4))
-                    key = live_keys[-min(rank, len(live_keys))]
-                else:
-                    tenant = int(self._rng.integers(0, self.tenants))
-                    key = f"t{tenant}/obj{key_seq}"
-                    key_seq += 1
-                    live_keys.append(key)
-                    if len(live_keys) > self.tenants * self.keys_per_tenant:
-                        live_keys.pop(0)
-                yield TraceRequest(float(t), "PUT", key, int(size))
-        del zipf_cache
-
-    def busy_hour(self, total_requests: int = 50_000,
-                  seed_offset: int = 7) -> list[TraceRequest]:
-        """A busy 60-minute segment with approximately the requested
-        number of PUT/DELETE requests (the paper replays ~0.99 M; scale
-        ``total_requests`` to your simulation budget)."""
-        gen = IbmCosTraceGenerator(
+    def _scaled_to(self, total_requests: int, seed_offset: int,
+                   duration_s: float) -> "IbmCosTraceGenerator":
+        return IbmCosTraceGenerator(
             seed=self.seed + seed_offset,
-            mean_rps=total_requests / 3600.0,
+            mean_rps=total_requests / duration_s,
             tenants=self.tenants,
             keys_per_tenant=self.keys_per_tenant,
             delete_fraction=self.delete_fraction,
@@ -180,4 +286,17 @@ class IbmCosTraceGenerator:
             minute_sigma=self.minute_sigma,
             minute_rho=self.minute_rho,
         )
+
+    def busy_hour(self, total_requests: int = 50_000,
+                  seed_offset: int = 7) -> list[TraceRequest]:
+        """A busy 60-minute segment with approximately the requested
+        number of PUT/DELETE requests (the paper replays ~0.99 M; scale
+        ``total_requests`` to your simulation budget)."""
+        gen = self._scaled_to(total_requests, seed_offset, 3600.0)
         return gen.generate(3600.0)
+
+    def busy_hour_batches(self, total_requests: int = 50_000,
+                          seed_offset: int = 7) -> list[TraceBatch]:
+        """Column-form :meth:`busy_hour` (no per-request objects)."""
+        gen = self._scaled_to(total_requests, seed_offset, 3600.0)
+        return gen.generate_batches(3600.0)

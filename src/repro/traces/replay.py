@@ -6,6 +6,11 @@ system is wired to that bucket — AReplica, Skyplane, S3 RTC, AZ Rep —
 reacts through its normal notification path.  This mirrors the paper's
 §8.3 methodology of replaying the IBM COS trace with parallel client
 drivers against the source bucket.
+
+Traces arrive either as :class:`TraceRequest` rows or, faster, as the
+generator's column-form :class:`TraceBatch` minutes (``replay_batches``
+/ ``replay_all_batches``) — the batch path reads the raw columns and
+never touches per-request attribute access.
 """
 
 from __future__ import annotations
@@ -14,8 +19,9 @@ from dataclasses import dataclass
 from typing import Iterable, Optional
 
 from repro.simcloud.cloud import Cloud
+from repro.simcloud.sim import SleepRequest
 from repro.simcloud.objectstore import Blob, Bucket
-from repro.traces.ibm_cos import TraceRequest
+from repro.traces.ibm_cos import OP_PUT, TraceBatch, TraceRequest
 
 __all__ = ["ReplayStats", "TraceReplayer"]
 
@@ -54,11 +60,31 @@ class TraceReplayer:
         """Process: apply every request at its (scaled) timestamp."""
         origin = self.cloud.now
         for req in requests:
+            if req.op not in ("PUT", "DELETE"):
+                raise ValueError(f"unknown trace op {req.op!r}")
             target = origin + req.time * self.time_scale
             if target > self.cloud.now:
-                yield self.cloud.sim.sleep(target - self.cloud.now)
-            self._apply(req)
+                yield SleepRequest(target - self.cloud.now)
+            self._apply(req.op == "PUT", req.key, req.size)
         self.stats.last_time = self.cloud.now
+
+    def replay_batches(self, batches: Iterable[TraceBatch]):
+        """Process: column-form replay (no per-request objects)."""
+        origin = self.cloud.now
+        sim = self.cloud.sim
+        scale = self.time_scale
+        stats = self.stats
+        for batch in batches:
+            times = batch.times.tolist()
+            ops = batch.ops.tolist()
+            sizes = batch.sizes.tolist()
+            keys = batch.keys
+            for i in range(len(keys)):
+                target = origin + times[i] * scale
+                if target > sim.now:
+                    yield SleepRequest(target - sim.now)
+                self._apply(ops[i] == OP_PUT, keys[i], sizes[i])
+        stats.last_time = self.cloud.now
 
     def replay_all(self, requests: Iterable[TraceRequest]) -> ReplayStats:
         """Spawn the replay process and drain the simulation."""
@@ -66,18 +92,23 @@ class TraceReplayer:
         self.cloud.run()
         return self.stats
 
-    def _apply(self, req: TraceRequest) -> None:
+    def replay_all_batches(self, batches: Iterable[TraceBatch]) -> ReplayStats:
+        """Spawn the batch replay process and drain the simulation."""
+        self.cloud.sim.run_process(self.replay_batches(batches),
+                                   name="trace-replay")
+        self.cloud.run()
+        return self.stats
+
+    def _apply(self, is_put: bool, key: str, size: int) -> None:
         if self.stats.first_time is None:
             self.stats.first_time = self.cloud.now
-        if req.op == "PUT":
-            self.bucket.put_object(req.key, Blob.fresh(req.size), self.cloud.now)
+        if is_put:
+            self.bucket.put_object(key, Blob.fresh(size), self.cloud.now)
             self.stats.puts += 1
-            self.stats.bytes_written += req.size
-        elif req.op == "DELETE":
-            if req.key in self.bucket:
-                self.bucket.delete_object(req.key, self.cloud.now)
+            self.stats.bytes_written += size
+        else:
+            if key in self.bucket:
+                self.bucket.delete_object(key, self.cloud.now)
                 self.stats.deletes += 1
             else:
                 self.stats.skipped_deletes += 1
-        else:
-            raise ValueError(f"unknown trace op {req.op!r}")
