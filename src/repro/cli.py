@@ -163,6 +163,60 @@ def cmd_audit(args) -> int:
     return 0 if report.clean else 1
 
 
+def cmd_chaos_soak(args) -> int:
+    """Replay a trace segment under a seeded fault schedule, then let the
+    storm pass, drain retries/DLQs and assert full convergence."""
+    from repro.core.audit import ReplicationAuditor
+    from repro.simcloud.chaos import ChaosConfig
+    from repro.traces.ibm_cos import IbmCosTraceGenerator
+    from repro.traces.replay import TraceReplayer
+
+    chaos = ChaosConfig(
+        crash_prob=args.crash_prob,
+        notif_drop_prob=args.notif_drop,
+        notif_dup_prob=args.notif_dup,
+        notif_reorder_prob=args.notif_reorder,
+        kv_reject_prob=args.kv_reject,
+        kv_delay_prob=args.kv_delay,
+        wan_stall_prob=args.wan_stall,
+    )
+    cloud, service, src, dst, rule = _build_service(args, slo=args.slo)
+    # Chaos goes live only after onboarding: faults are injected into
+    # the running service, not into the offline profiling step.
+    cloud.apply_chaos(chaos)
+    trace = IbmCosTraceGenerator(seed=args.seed).busy_hour(
+        total_requests=args.requests)
+    print(f"soaking {len(trace)} requests under chaos "
+          f"(crash={chaos.crash_prob}, drop={chaos.notif_drop_prob}, "
+          f"dup={chaos.notif_dup_prob}, reorder={chaos.notif_reorder_prob}, "
+          f"kv-reject={chaos.kv_reject_prob}, kv-delay={chaos.kv_delay_prob}, "
+          f"wan-stall={chaos.wan_stall_prob}) ...")
+    stats = TraceReplayer(cloud, src).replay_all(trace)
+    injected = cloud.chaos_stats()
+    # The storm passes; whatever it broke must now self-heal.
+    cloud.apply_chaos(None)
+    rounds = service.run_to_convergence()
+    report = ReplicationAuditor(service).audit(quiescent=True)
+
+    print(f"replayed {stats.requests} requests "
+          f"({stats.bytes_written / 1e9:.2f} GB)")
+    print("injected faults:")
+    for name, count in injected.items():
+        print(f"  {name:<26} {count}")
+    engine = rule.engine.stats
+    print("engine recovery:")
+    for name in ("lock_lost", "orphaned_uploads", "kv_retries",
+                 "kv_retry_exhausted", "aborted", "retriggered"):
+        print(f"  {name:<26} {engine[name]}")
+    print(f"  {'dlq_redrive_rounds':<26} {rounds}")
+    pending = service.pending_count()
+    print(f"convergence audit ({pending} pending measurement(s)):")
+    print(report.render())
+    clean = report.clean and pending == 0
+    print("RESULT: " + ("CONVERGED" if clean else "DIVERGED"))
+    return 0 if clean else 1
+
+
 def cmd_regions(args) -> int:
     """List the region catalog and the egress price matrix."""
     from repro.simcloud.pricing import PriceBook
@@ -364,6 +418,25 @@ def build_parser() -> argparse.ArgumentParser:
                            help="replay a workload and audit consistency")
     common(audit, with_size=False)
     audit.add_argument("--requests", type=int, default=2000)
+    soak = sub.add_parser("chaos-soak",
+                          help="replay a workload under injected faults and "
+                               "audit convergence")
+    common(soak, with_size=False)
+    soak.add_argument("--requests", type=int, default=1000)
+    soak.add_argument("--crash-prob", type=float, default=0.05,
+                      help="per-invocation function crash probability")
+    soak.add_argument("--notif-drop", type=float, default=0.05,
+                      help="notification drop (delayed redelivery) probability")
+    soak.add_argument("--notif-dup", type=float, default=0.05,
+                      help="notification duplication probability")
+    soak.add_argument("--notif-reorder", type=float, default=0.05,
+                      help="notification reordering probability")
+    soak.add_argument("--kv-reject", type=float, default=0.05,
+                      help="KV write throttling probability")
+    soak.add_argument("--kv-delay", type=float, default=0.05,
+                      help="KV admission-delay probability")
+    soak.add_argument("--wan-stall", type=float, default=0.02,
+                      help="per-transfer WAN stall probability")
     bench = sub.add_parser("bench-perf",
                            help="run the hot-path microbenchmarks")
     bench.add_argument("--scale", type=float, default=1.0,
@@ -394,6 +467,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         "cost": cmd_cost,
         "regions": cmd_regions,
         "audit": cmd_audit,
+        "chaos-soak": cmd_chaos_soak,
         "bench-perf": cmd_bench_perf,
     }
     return handlers[args.command](args)

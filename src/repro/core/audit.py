@@ -32,7 +32,7 @@ __all__ = ["AuditFinding", "AuditReport", "ReplicationAuditor"]
 class AuditFinding:
     """One violated invariant."""
 
-    kind: str          # divergence | stale-lock | done-drift | upload-leak | gap
+    kind: str  # divergence | stale-lock | leaked-lock | done-drift | upload-leak | gap
     key: str
     detail: str
 
@@ -68,16 +68,26 @@ class ReplicationAuditor:
     def __init__(self, service: AReplicaService):
         self.service = service
 
-    def audit(self, rule: Optional[ReplicationRule] = None) -> AuditReport:
+    def audit(self, rule: Optional[ReplicationRule] = None,
+              quiescent: bool = False) -> AuditReport:
+        """Audit ``rule`` (or all rules).
+
+        With ``quiescent=True`` the workload is declared over: every
+        surviving lock record is a leak (a correct engine releases all
+        locks once traffic stops and retries drain), not just those past
+        their lease — this is the convergence check the chaos harness
+        runs after the fault storm.
+        """
         rules = [rule] if rule is not None else list(self.service.rules.values())
         report = AuditReport("+".join(r.rule_id for r in rules))
         for r in rules:
-            self._audit_rule(r, report)
+            self._audit_rule(r, report, quiescent)
         return report
 
     # -- checks ------------------------------------------------------------
 
-    def _audit_rule(self, rule: ReplicationRule, report: AuditReport) -> None:
+    def _audit_rule(self, rule: ReplicationRule, report: AuditReport,
+                    quiescent: bool = False) -> None:
         src, dst = rule.src_bucket, rule.dst_bucket
         now = self.service.cloud.now
         # 1. content divergence
@@ -101,7 +111,12 @@ class ReplicationAuditor:
         for item_key, item in list(lock_table._items.items()):
             if item_key.startswith("lock:"):
                 age = now - item.get("acquired_at", now)
-                if age > lease:
+                if quiescent:
+                    report.findings.append(AuditFinding(
+                        "leaked-lock", item_key[len("lock:"):],
+                        f"survives quiescence, held {age:.0f}s "
+                        f"by {item.get('owner')!r}"))
+                elif age > lease:
                     report.findings.append(AuditFinding(
                         "stale-lock", item_key[len("lock:"):],
                         f"held {age:.0f}s by {item.get('owner')!r}"))

@@ -8,7 +8,9 @@ replicates inline (``T_func = 0``), and the cost-optimization switches.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+from repro.core.retry import RetryPolicy
 
 __all__ = ["ReplicaConfig", "MB", "DEFAULT_PART_SIZE"]
 
@@ -54,6 +56,10 @@ class ReplicaConfig:
     gumbel_threshold:
         Parallelism above which the Gumbel (EVT) approximation replaces
         Monte-Carlo resampling (§5.3 "for large n").
+    retry_policy:
+        Jittered exponential backoff applied by the engine to throttled
+        control-plane (KV) operations before escalating to the
+        platform's own retry-then-DLQ ladder.
     """
 
     slo_seconds: float = 0.0
@@ -68,6 +74,7 @@ class ReplicaConfig:
     mc_samples: int = 2000
     gumbel_threshold: int = 64
     profile_samples: int = 10
+    retry_policy: RetryPolicy = field(default_factory=RetryPolicy)
 
     def __post_init__(self) -> None:
         if self.slo_seconds < 0:

@@ -24,6 +24,7 @@ from __future__ import annotations
 import itertools
 import math
 from dataclasses import dataclass
+from types import GeneratorType
 from typing import Optional, Protocol
 
 from repro.core.changelog import ChangelogOp, ChangelogStore
@@ -32,6 +33,7 @@ from repro.core.locks import ReplicationLockManager
 from repro.core.partpool import FairAssignment, PartPool
 from repro.core.planner import Plan, StrategyPlanner
 from repro.simcloud.cloud import Cloud
+from repro.simcloud.kvstore import Throttled
 from repro.simcloud.objectstore import (
     Bucket,
     NoSuchKey,
@@ -117,7 +119,13 @@ class ReplicationEngine:
             "tasks": 0, "inline": 0, "single": 0, "distributed": 0,
             "changelog_applied": 0, "changelog_fallback": 0, "aborted": 0,
             "deferred": 0, "skipped_done": 0, "deletes": 0, "retriggered": 0,
+            "lock_lost": 0, "orphaned_uploads": 0,
+            "kv_retries": 0, "kv_retry_exhausted": 0,
         }
+        self.retry_policy = config.retry_policy
+        # Backoff jitter draws on a dedicated stream: retry timing for a
+        # given seed must not shift with unrelated sampling.
+        self._retry_rng = cloud.rngs.stream(f"retry:{rule_id}")
         # Control state lives in serverless databases, matching §7:
         # locks + done markers beside the orchestrator (source region),
         # part pools beside the replicators (execution region).  State is
@@ -150,6 +158,89 @@ class ReplicationEngine:
     def _state_table(self, loc_key: str):
         return self.cloud.kv_table(loc_key, f"{_STATE_TABLE}-{self.rule_id}")
 
+    # -- hardened control-plane plumbing ----------------------------------------
+
+    def _kv(self, ctx, make):
+        """Process: one control-plane KV operation under the retry policy.
+
+        ``make`` is a zero-argument factory returning either a KV
+        request (yieldable directly) or a single-operation process such
+        as a lock or pool primitive; a factory — not the operation
+        itself — because a :class:`Throttled` rejection consumes the
+        attempt and the retry needs a fresh one.  Rejections happen
+        before any mutation applies, so in-place retry with jittered
+        backoff is always safe and far cheaper than failing the whole
+        function.  Past the attempt cap the error propagates: the
+        platform's own retry/DLQ machinery takes over.
+        """
+        attempt = 0
+        while True:
+            try:
+                op = make()
+                if type(op) is GeneratorType:
+                    return (yield from op)
+                return (yield op)
+            except Throttled:
+                if attempt >= self.retry_policy.max_attempts:
+                    self.stats["kv_retry_exhausted"] += 1
+                    raise
+                self.stats["kv_retries"] += 1
+                yield ctx.sleep(self.retry_policy.backoff_s(attempt,
+                                                            self._retry_rng))
+                attempt += 1
+
+    def _fence_ok(self, ctx, key: str, task_id: str,
+                  fence: Optional[int], lock_at: Optional[float]):
+        """Process: re-validate the task's fencing token before an
+        irreversible destination write.
+
+        A holder whose lease was stolen mid-task (a zombie writer — it
+        stalled, it did not die) must abort rather than finalize a
+        stale version over the thief's newer one.  A steal is
+        impossible while the lease is young, so the common case skips
+        the verification read entirely and costs nothing.
+        """
+        if fence is None:
+            return True
+        if (lock_at is not None
+                and ctx.now - lock_at <= self.locks.lease_s * 0.5):
+            return True
+        ok = yield from self._kv(
+            ctx, lambda: self.locks.verify(key, task_id, fence))
+        if not ok:
+            self.stats["lock_lost"] += 1
+        return ok
+
+    def _mark_done(self, ctx, key: str, etag: str, seq: int, time: float):
+        """Process: advance the key's done marker, monotonically in seq.
+
+        An unconditional put would let a zombie writer (or any delayed
+        straggler) clobber a newer marker with an older version's; the
+        conditional advance makes the marker a high-water mark.
+        """
+        def advance(item):
+            if item is not None and item.get("seq", -1) >= seq:
+                return item
+            return {"etag": etag, "seq": seq, "time": time}
+
+        yield from self._kv(
+            ctx, lambda: self._lock_table.update_item(f"done:{key}", advance))
+
+    def _abort_upload(self, upload_id: str) -> None:
+        """Best-effort multipart abort on the destination.
+
+        A failed abort (e.g. the destination store refusing requests)
+        leaves a part-billing upload behind — count it so the audit
+        command can report the leak instead of the failure vanishing
+        into a bare except.  Never raises; never call it with a yield
+        inside the guarded region (a swallowed Interrupt would let a
+        crashed function keep running).
+        """
+        try:
+            self.dst_bucket.abort_multipart(upload_id)
+        except Exception:
+            self.stats["orphaned_uploads"] += 1
+
     # -- entry point (the cloud notification) ------------------------------------
 
     def handle_event(self, event: ObjectEvent) -> None:
@@ -175,15 +266,18 @@ class ReplicationEngine:
         # orchestrator re-enters its own lock and resumes its own pool
         # instead of deadlocking against its crashed predecessor.
         task_id = f"{self.rule_id}:{key}:{payload['seq']}:{payload['kind']}"
-        outcome = yield from self.locks.lock(key, payload["etag"],
-                                             payload["seq"], owner=task_id)
+        outcome = yield from self._kv(
+            ctx, lambda: self.locks.lock(key, payload["etag"],
+                                         payload["seq"], owner=task_id))
         if not outcome.acquired:
             # A task is in flight; our version is registered as pending
             # (or an even newer one already is) — Algorithm 2's LOCK.
             self.stats["deferred"] += 1
             return
+        lock_at = ctx.now
         if payload["kind"] == "deleted":
-            yield from self._handle_delete(ctx, payload, task_id)
+            yield from self._handle_delete(ctx, payload, task_id,
+                                           outcome.fence, lock_at)
             return
         # Re-read the source: replicate the *current* version (it covers
         # this event and any newer ones), and skip when a newer-or-equal
@@ -196,7 +290,8 @@ class ReplicationEngine:
             # this event — close the measurement here, because nobody
             # else will.  Otherwise the DELETE event is still in flight
             # and its own visibility report subsumes this sequencer.
-            done = yield self._lock_table.get_item(f"done:{key}")
+            done = yield from self._kv(
+                ctx, lambda: self._lock_table.get_item(f"done:{key}"))
             if done is not None and done["seq"] >= payload["seq"]:
                 self.stats["skipped_done"] += 1
                 self.recorder.record_visible(TaskResult(
@@ -209,7 +304,8 @@ class ReplicationEngine:
                 ))
             yield from self._finish(ctx, task_id, key, None)
             return
-        done = yield self._lock_table.get_item(f"done:{key}")
+        done = yield from self._kv(
+            ctx, lambda: self._lock_table.get_item(f"done:{key}"))
         if done is not None and (done["seq"] >= current.sequencer
                                  or done["etag"] == current.etag):
             # Already replicated: a prior task shipped this version (or
@@ -220,11 +316,9 @@ class ReplicationEngine:
             self.stats["skipped_done"] += 1
             effective_seq = max(done["seq"], current.sequencer)
             if effective_seq > done["seq"]:
-                yield self._lock_table.put_item(
-                    f"done:{key}", {"etag": done["etag"],
-                                    "seq": effective_seq,
-                                    "time": done.get("time", ctx.now)},
-                )
+                yield from self._mark_done(ctx, key, done["etag"],
+                                           effective_seq,
+                                           done.get("time", ctx.now))
             self.recorder.record_visible(TaskResult(
                 key=key, etag=done["etag"], seq=effective_seq,
                 event_time=payload["event_time"],
@@ -244,6 +338,10 @@ class ReplicationEngine:
             "seq": current.sequencer,
             "size": current.size,
             "event_time": payload["event_time"],
+            # Fencing state: replicators and finalizers re-validate the
+            # token before destination finalize (see _fence_ok).
+            "fence": outcome.fence,
+            "lock_at": lock_at,
         }
         # Content short-circuit: if the destination already holds this
         # exact content (an earlier rule run, a user pre-seed, or the
@@ -261,10 +359,8 @@ class ReplicationEngine:
                 dst_current = None
         if dst_current is not None and dst_current.etag == current.etag:
             self.stats["content_skipped"] = self.stats.get("content_skipped", 0) + 1
-            yield self._lock_table.put_item(
-                f"done:{key}",
-                {"etag": current.etag, "seq": current.sequencer, "time": ctx.now},
-            )
+            yield from self._mark_done(ctx, key, current.etag,
+                                       current.sequencer, ctx.now)
             self.recorder.record_visible(TaskResult(
                 key=key, etag=current.etag, seq=current.sequencer,
                 event_time=payload["event_time"], visible_time=ctx.now,
@@ -325,10 +421,11 @@ class ReplicationEngine:
 
     # -- deletes ---------------------------------------------------------------------
 
-    def _handle_delete(self, ctx, payload, task_id):
+    def _handle_delete(self, ctx, payload, task_id, fence=None, lock_at=None):
         key = payload["key"]
         # Ordering guards: never let a stale DELETE clobber newer state.
-        done = yield self._lock_table.get_item(f"done:{key}")
+        done = yield from self._kv(
+            ctx, lambda: self._lock_table.get_item(f"done:{key}"))
         if done is not None and done["seq"] >= payload["seq"]:
             self.stats["skipped_done"] += 1
             self.recorder.record_visible(TaskResult(
@@ -349,12 +446,22 @@ class ReplicationEngine:
             # PUT's task supersedes us ("or its subsequent versions").
             yield from self._finish(ctx, task_id, key, None)
             return
+        ok = yield from self._fence_ok(ctx, key, task_id, fence, lock_at)
+        if not ok:
+            # Lease stolen while we deliberated.  Unlike a PUT zombie —
+            # whose thief re-reads the source and converges the content —
+            # a thief handling an older event sees NoSuchKey at the
+            # source and touches nothing, so if no newer PUT superseded
+            # this delete, nobody else would ever propagate it.  Hand the
+            # event to a fresh task (fresh lock, fresh fence) instead.
+            self.stats["retriggered"] += 1
+            self._faas_at(self.src_bucket.region.key).invoke_and_forget(
+                self._orch_name, dict(payload))
+            return
         self.stats["deletes"] += 1
         yield from ctx.delete_object(self.dst_bucket, key)
-        yield self._lock_table.put_item(
-            f"done:{key}",
-            {"etag": payload["etag"], "seq": payload["seq"], "time": ctx.now},
-        )
+        yield from self._mark_done(ctx, key, payload["etag"], payload["seq"],
+                                   ctx.now)
         self.recorder.record_visible(TaskResult(
             key=key, etag=payload["etag"], seq=payload["seq"],
             event_time=payload["event_time"], visible_time=ctx.now,
@@ -366,7 +473,8 @@ class ReplicationEngine:
 
     def _try_changelog(self, ctx, task):
         """Process: returns True when the changelog path completed the task."""
-        entry = yield from self.changelog.lookup(task["key"], task["etag"])
+        entry = yield from self._kv(
+            ctx, lambda: self.changelog.lookup(task["key"], task["etag"]))
         if entry is None:
             return False
         payload = {
@@ -399,6 +507,10 @@ class ReplicationEngine:
         """
         task, entry = payload["task"], payload["entry"]
         key = task["key"]
+        ok = yield from self._fence_ok(ctx, key, task["task_id"],
+                                       task.get("fence"), task.get("lock_at"))
+        if not ok:
+            return {"applied": False}
         for src_key, src_etag in entry["sources"]:
             if self.dst_bucket.current_etag(src_key) != src_etag:
                 return {"applied": False}
@@ -479,6 +591,14 @@ class ReplicationEngine:
         task = dict(task, etag=version.etag, seq=version.sequencer,
                     size=version.size)
         if version.size <= part:
+            # Fencing (§5.2 hardening): if our lease was stolen during
+            # the download, the thief has already (or will) put a newer
+            # version — a stale PUT here would clobber it.
+            ok = yield from self._fence_ok(ctx, key, task["task_id"],
+                                           task.get("fence"),
+                                           task.get("lock_at"))
+            if not ok:
+                return
             yield from ctx.put_object(self.dst_bucket, key, blob)
             yield from self._finish_replicated(ctx, task, version)
             return
@@ -493,6 +613,15 @@ class ReplicationEngine:
                 yield from ctx.upload_part(self.dst_bucket, upload_id, i + 1,
                                            blob.slice(offset, length),
                                            pipelined=i > 0)
+            # The zombie-writer check: a slow transfer can outlive the
+            # lease, and completing the multipart would then publish
+            # this stale version over the new holder's newer one.
+            ok = yield from self._fence_ok(ctx, key, task["task_id"],
+                                           task.get("fence"),
+                                           task.get("lock_at"))
+            if not ok:
+                self._abort_upload(upload_id)
+                return
             dst_version = yield from ctx.complete_multipart(self.dst_bucket,
                                                             upload_id)
         except BaseException:
@@ -501,7 +630,7 @@ class ReplicationEngine:
             # would leak and keep billing its parts.  Abort it on the way
             # out — this is the "function" dying, so no further simulated
             # requests are issued.
-            self.dst_bucket.abort_multipart(upload_id)
+            self._abort_upload(upload_id)
             raise
         yield from self._finish_replicated(ctx, task, dst_version)
 
@@ -533,17 +662,18 @@ class ReplicationEngine:
         # workers are still uploading parts against it.
         state_table = self._state_table(plan.loc_key)
         try:
-            created = yield state_table.put_if_absent(
+            created = yield from self._kv(ctx, lambda: state_table.put_if_absent(
                 f"pool:{task['task_id']}",
                 {"num_parts": num_parts, "claimed": 0, "completed": 0,
                  "aborted": False, "task": dict(task)},
-            )
+            ))
             if not created:
                 # Resuming a predecessor's task: adopt its upload and abort
                 # the one we just opened (it would otherwise leak and bill).
-                existing = yield state_table.get_item(f"pool:{task['task_id']}")
+                existing = yield from self._kv(
+                    ctx, lambda: state_table.get_item(f"pool:{task['task_id']}"))
                 yield ctx.sleep(0.0)
-                self.dst_bucket.abort_multipart(upload_id)
+                self._abort_upload(upload_id)
                 task = dict(existing["task"])
         except BaseException:
             # Crashing before the pool record points at our upload means
@@ -551,7 +681,7 @@ class ReplicationEngine:
             # parts don't bill forever.  Once the record is durable the
             # retried orchestrator adopts the same id instead.
             if task.get("upload_id") == upload_id:
-                self.dst_bucket.abort_multipart(upload_id)
+                self._abort_upload(upload_id)
             raise
         faas = self._faas_at(plan.loc_key)
         for i in range(n):
@@ -590,7 +720,7 @@ class ReplicationEngine:
             if part_indices is not None:
                 idx = next(part_indices, None)
             else:
-                idx = yield from pool.claim()
+                idx = yield from self._kv(ctx, pool.claim)
             if idx is None:
                 self.worker_spans[worker_key] = (start, ctx.now)
                 if part_indices is None:
@@ -621,12 +751,22 @@ class ReplicationEngine:
             # us; parts from different versions must never mix.
             yield from self._abort_task(ctx, task)
             return None
-        yield from ctx.upload_part(self.dst_bucket, task["upload_id"],
-                                   idx + 1, blob,
-                                   concurrency=task["plan_n"])
+        try:
+            yield from ctx.upload_part(self.dst_bucket, task["upload_id"],
+                                       idx + 1, blob,
+                                       concurrency=task["plan_n"])
+        except NoSuchUpload:
+            # The upload vanished under us: a fencing-loss (or abort)
+            # cleanup ran elsewhere while this part was in flight.
+            # Confirm and stand down quietly instead of failing the
+            # whole attempt into the platform retry path.
+            aborted = yield from self._kv(ctx, pool.is_aborted)
+            if aborted:
+                return None
+            raise
         self.worker_parts[worker_key] += 1
         self.worker_spans[worker_key] = (start, ctx.now)
-        finished = yield from pool.complete(idx)
+        finished = yield from self._kv(ctx, lambda: pool.complete(idx))
         if finished:
             yield from self._try_finalize(ctx, task)
             self.worker_spans[worker_key] = (start, ctx.now)
@@ -645,14 +785,21 @@ class ReplicationEngine:
         Returns True for the claimant.  Re-entrant per ``owner`` — a
         platform-retried function resumes its own role — and a holder
         whose lease expired (crashed mid-role) is superseded.
+
+        ``now`` is advisory only: lease expiry is evaluated against the
+        clock *at admission time* inside the closure, because under
+        injected KV admission delay the round-trip itself consumes
+        lease time (the same stale-clock hazard as
+        ``ReplicationLockManager.lock``).
         """
         state = {"won": False}
 
         def attempt(item):
+            at = table.sim.now
             if (item is None or item.get("owner") == owner
-                    or now - item["at"] > lease_s):
+                    or at - item["at"] > lease_s):
                 state["won"] = True
-                return {"at": now, "owner": owner}
+                return {"at": at, "owner": owner}
             return item
 
         yield table.update_item(item_key, attempt)
@@ -666,10 +813,24 @@ class ReplicationEngine:
         """Process: complete the multipart upload and finish the task,
         guarded by a leased claim so exactly one live function
         finalizes, and a crashed finalizer can be superseded."""
-        won = yield from self._claim_lease(
+        won = yield from self._kv(ctx, lambda: self._claim_lease(
             self._state_table(ctx.region.key), f"finalize:{task['task_id']}",
-            ctx.now, self.finalize_lease_s, self._worker_identity(task))
+            ctx.now, self.finalize_lease_s, self._worker_identity(task)))
         if not won:
+            return
+        # The zombie-writer check, distributed flavour: all parts may be
+        # uploaded, but if the task's lease was stolen meanwhile, the
+        # assembled object is stale — completing it would publish it
+        # over the thief's newer version.  Abort the upload and mark the
+        # pool so janitor workers stop resurrecting it.
+        ok = yield from self._fence_ok(ctx, task["key"], task["task_id"],
+                                       task.get("fence"),
+                                       task.get("lock_at"))
+        if not ok:
+            pool = PartPool(self._state_table(ctx.region.key),
+                            task["task_id"], task["num_parts"])
+            yield from self._kv(ctx, pool.abort)
+            self._abort_upload(task["upload_id"])
             return
         try:
             version = yield from ctx.complete_multipart(self.dst_bucket,
@@ -690,10 +851,10 @@ class ReplicationEngine:
         mid-execution would otherwise never complete.  After a grace
         period, a surviving replicator that drained the pool re-claims
         any still-missing parts and replicates them itself."""
-        aborted = yield from pool.is_aborted()
+        aborted = yield from self._kv(ctx, pool.is_aborted)
         if aborted:
             return
-        missing = yield from pool.missing_parts()
+        missing = yield from self._kv(ctx, pool.missing_parts)
         if not missing:
             yield from self._recover_finalization(ctx, task)
             return
@@ -702,10 +863,10 @@ class ReplicationEngine:
         # task on a slow link must not keep n-1 instances waiting).  The
         # claim is leased: a crashed janitor is superseded by the next
         # worker that comes through (e.g. a platform retry).
-        janitor = yield from self._claim_lease(
+        janitor = yield from self._kv(ctx, lambda: self._claim_lease(
             self._state_table(ctx.region.key), f"janitor:{task['task_id']}",
             ctx.now, self.recovery_grace_s * 3 + self.finalize_lease_s,
-            self._worker_identity(task))
+            self._worker_identity(task)))
         if not janitor:
             return
         # Poll with backoff: in the common case the missing parts are
@@ -716,13 +877,13 @@ class ReplicationEngine:
         while ctx.now < deadline:
             yield ctx.sleep(min(backoff, max(0.0, deadline - ctx.now)))
             backoff *= 2
-            missing = yield from pool.missing_parts()
+            missing = yield from self._kv(ctx, pool.missing_parts)
             if not missing:
                 yield from self._recover_finalization(ctx, task)
                 return
         for idx in missing:
-            won = yield from pool.try_reclaim(idx, self._worker_identity(task),
-                                              ctx.now)
+            won = yield from self._kv(ctx, lambda i=idx: pool.try_reclaim(
+                i, self._worker_identity(task), ctx.now))
             if not won:
                 continue
             self.stats["recovered_parts"] = self.stats.get("recovered_parts", 0) + 1
@@ -735,11 +896,13 @@ class ReplicationEngine:
         """Process: if all parts are done but nobody recorded the task —
         the finalizer crashed — take over finalization after its lease
         expires."""
-        done = yield self._lock_table.get_item(f"done:{task['key']}")
+        done = yield from self._kv(
+            ctx, lambda: self._lock_table.get_item(f"done:{task['key']}"))
         if done is not None and done["seq"] >= task["seq"]:
             return
-        fin = yield self._state_table(ctx.region.key).get_item(
-            f"finalize:{task['task_id']}")
+        fin = yield from self._kv(
+            ctx, lambda: self._state_table(ctx.region.key).get_item(
+                f"finalize:{task['task_id']}"))
         if fin is not None and ctx.now - fin["at"] <= self.finalize_lease_s:
             return  # a live finalizer owns it
         if fin is not None:
@@ -750,16 +913,18 @@ class ReplicationEngine:
     def _abort_task(self, ctx, task):
         pool = PartPool(self._state_table(ctx.region.key), task["task_id"],
                         task["num_parts"])
-        first = yield from pool.abort()
+        first = yield from self._kv(ctx, pool.abort)
         if not first:
             return
         self.stats["aborted"] += 1
         self.recorder.record_abort(task["key"], task["etag"])
-        try:
-            yield ctx.sleep(0.0)
-            self.dst_bucket.abort_multipart(task["upload_id"])
-        except Exception:  # pragma: no cover - abort is best effort
-            pass
+        # The yield must sit *outside* any exception guard: an Interrupt
+        # (chaos crash, watchdog) delivered here must kill this function
+        # so the platform retries it — a bare except swallowing it would
+        # leave a crashed worker running on as a zombie.  The abort
+        # itself is best-effort with failures counted (_abort_upload).
+        yield ctx.sleep(0.0)
+        self._abort_upload(task["upload_id"])
         # Release the lock and re-trigger so the newest version is
         # replicated by a fresh task ("we expect a retry will go
         # through", §5.2).
@@ -770,10 +935,8 @@ class ReplicationEngine:
 
     def _finish_replicated(self, ctx, task, version: ObjectVersion,
                            kind: str = "created"):
-        yield self._lock_table.put_item(
-            f"done:{task['key']}",
-            {"etag": task["etag"], "seq": task["seq"], "time": ctx.now},
-        )
+        yield from self._mark_done(ctx, task["key"], task["etag"],
+                                   task["seq"], ctx.now)
         plan = None
         if "plan_n" in task:
             plan = Plan(
@@ -797,7 +960,17 @@ class ReplicationEngine:
                 retrigger_if_unreplicated: bool = False):
         """Unlock and re-trigger replication of any newer pending version
         (Algorithm 2's UNLOCK)."""
-        pending = yield from self.locks.unlock(key, owner=task_id)
+        outcome = yield from self._kv(
+            ctx, lambda: self.locks.release(key, owner=task_id))
+        if not outcome.released:
+            # The lease was stolen while we worked: the record (and any
+            # pending registration on it) now belongs to the thief, who
+            # owns this key's convergence.  Surface the loss instead of
+            # silently no-oping — it is the observable trace of every
+            # zombie-writer interleaving.
+            self.stats["lock_lost"] += 1
+            return
+        pending = outcome.pending
         needs_retrigger = False
         if pending is not None:
             if replicated_seq is None or pending.seq > replicated_seq:

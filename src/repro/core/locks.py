@@ -9,6 +9,17 @@ newest, by sequencer).  On release, the unlocker compares the pending
 ETag with the ETag it just replicated; a mismatch re-triggers
 replication so the newest version is never lost — this is what makes
 eventual consistency hold without bucket versioning.
+
+Leases alone are not enough for safety: a holder whose lease expired
+(a *zombie* — stalled, not dead) may still be mid-upload when the next
+claimant takes over, and without further protection it would finalize
+its stale version at the destination *after* the new holder wrote a
+newer one.  Each lock record therefore carries a monotonically
+increasing **fencing token**, bumped on every change of ownership; a
+holder re-validates its token (:meth:`verify`) before any destination
+finalize, and :meth:`release` reports whether the caller still owned
+the lock so the engine can surface the loss instead of silently
+no-oping.
 """
 
 from __future__ import annotations
@@ -18,7 +29,8 @@ from typing import Optional
 
 from repro.simcloud.kvstore import KvTable
 
-__all__ = ["LockOutcome", "PendingVersion", "ReplicationLockManager"]
+__all__ = ["LockOutcome", "PendingVersion", "UnlockOutcome",
+           "ReplicationLockManager"]
 
 
 @dataclass(frozen=True)
@@ -29,6 +41,10 @@ class LockOutcome:
     #: When not acquired: True if this version was recorded as pending,
     #: False if a newer version was already pending (we can just quit).
     registered_pending: bool = False
+    #: The fencing token of the acquired lock (0 when not acquired).
+    #: Stable across a holder's re-entrant re-acquisitions — a
+    #: platform-retried function resumes with its original token.
+    fence: int = 0
 
 
 @dataclass(frozen=True)
@@ -37,6 +53,16 @@ class PendingVersion:
 
     etag: str
     seq: int
+
+
+@dataclass(frozen=True)
+class UnlockOutcome:
+    """Result of a release attempt."""
+
+    #: False when the caller no longer owned the lock (lease stolen) —
+    #: the zombie-writer signal; nothing was released in that case.
+    released: bool
+    pending: Optional[PendingVersion] = None
 
 
 class ReplicationLockManager:
@@ -63,10 +89,16 @@ class ReplicationLockManager:
         pair is recorded as pending iff it is newer than any pending
         version already registered.
         """
-        state = {"registered": False, "acquired": False}
-        now = self.table.sim.now
+        state = {"registered": False, "acquired": False, "fence": 0}
 
         def attempt(item):
+            # The clock must be read *inside* the closure: the KV store
+            # applies it at admission, which under injected admission
+            # delay is later than the call.  A timestamp captured before
+            # the round-trip would judge a lease unexpired with a stale
+            # clock — and symmetrically stamp acquired_at in the past,
+            # shortening the new holder's own lease.
+            now = self.table.sim.now
             expired = (item is not None
                        and now - item.get("acquired_at", now) > self.lease_s)
             reentrant = item is not None and item.get("owner") == owner
@@ -77,9 +109,17 @@ class ReplicationLockManager:
                 # so a retry resumes rather than deadlocks on itself).
                 pending_etag = item.get("pending_etag") if item else None
                 pending_seq = item.get("pending_seq") if item else None
+                # The fence bumps only on ownership *change*.  A retried
+                # holder re-entering its own lock keeps its token —
+                # state it persisted before crashing (e.g. a distributed
+                # task descriptor) stays valid for the retry.
+                fence = (item.get("fence", 0) if reentrant
+                         else item.get("fence", 0) + 1 if item is not None
+                         else 1)
                 state["acquired"] = True
+                state["fence"] = fence
                 return {"owner": owner, "held_etag": etag, "held_seq": seq,
-                        "acquired_at": now,
+                        "acquired_at": now, "fence": fence,
                         "pending_etag": pending_etag, "pending_seq": pending_seq}
             pending_seq = item.get("pending_seq")
             if pending_seq is None or pending_seq < seq:
@@ -89,30 +129,60 @@ class ReplicationLockManager:
             return item
 
         yield self.table.update_item(self._key(obj_key), attempt)
-        return LockOutcome(state["acquired"], state["registered"])
+        return LockOutcome(state["acquired"], state["registered"],
+                           state["fence"])
 
-    def unlock(self, obj_key: str, owner: str):
+    def verify(self, obj_key: str, owner: str, fence: int):
+        """Process: does ``owner`` still hold the lock with ``fence``?
+
+        The fencing check a holder performs before irreversible
+        destination writes: False means the lease was stolen (or the
+        record is gone) and the caller must abort instead of finalizing
+        a now-stale version.
+        """
+        item = yield self.table.get_item(self._key(obj_key))
+        return (item is not None and item.get("owner") == owner
+                and item.get("fence", 0) == fence)
+
+    def release(self, obj_key: str, owner: str):
         """Process implementing Algorithm 2's UNLOCK.
 
-        Releases the lock and returns the newest :class:`PendingVersion`
-        registered during the critical section, or None.  The caller
-        (the replication engine) compares the pending ETag with the one
-        it just replicated and re-triggers the orchestrator on mismatch.
+        Returns an :class:`UnlockOutcome`: ``released`` is False when
+        the caller no longer owned the lock (its lease was stolen while
+        it worked — the engine surfaces this as ``lock_lost`` instead of
+        silently ignoring it); ``pending`` carries the newest
+        :class:`PendingVersion` registered during the critical section.
+        The caller compares the pending ETag with the one it just
+        replicated and re-triggers the orchestrator on mismatch.
         """
-        captured: dict[str, Optional[object]] = {"etag": None, "seq": None}
+        captured: dict[str, Optional[object]] = {
+            "etag": None, "seq": None, "released": False}
 
-        def release(item):
+        def attempt(item):
             if item is None or item.get("owner") != owner:
-                # Lost/expired lock: nothing to release.
+                # Lost/expired lock: nothing to release; the new owner's
+                # record must not be deleted.
                 return item
+            captured["released"] = True
             captured["etag"] = item.get("pending_etag")
             captured["seq"] = item.get("pending_seq")
             return None  # delete the lock record
 
-        yield self.table.update_item(self._key(obj_key), release)
-        if captured["etag"] is None:
-            return None
-        return PendingVersion(str(captured["etag"]), int(captured["seq"]))  # type: ignore[arg-type]
+        yield self.table.update_item(self._key(obj_key), attempt)
+        pending = None
+        if captured["etag"] is not None:
+            pending = PendingVersion(str(captured["etag"]),
+                                     int(captured["seq"]))  # type: ignore[arg-type]
+        return UnlockOutcome(bool(captured["released"]), pending)
+
+    def unlock(self, obj_key: str, owner: str):
+        """Process: release and return just the pending version.
+
+        Thin compatibility wrapper over :meth:`release` for callers that
+        only care about Algorithm 2's pending-version hand-off.
+        """
+        outcome = yield from self.release(obj_key, owner)
+        return outcome.pending
 
     def is_locked(self, obj_key: str) -> bool:
         """Zero-cost probe for tests/metrics."""

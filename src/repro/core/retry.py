@@ -1,0 +1,60 @@
+"""Engine-side retry/backoff policy.
+
+The platform already retries whole *invocations* (``faas.py``: two
+auto-retries with backoff, then the dead-letter queue).  This policy
+governs the layer below that: individual control-plane operations —
+lock writes, part-pool claims, done-marker updates — that a throttled
+serverless database rejects.  Retrying them in place with jittered
+exponential backoff is far cheaper than failing the whole function and
+paying a platform retry (cold start, repeated data transfer), and the
+jitter de-synchronizes the herd of replicators a throttling episode
+creates.  The same schedule paces operator-level dead-letter redrives
+between convergence rounds (``service.run_to_convergence``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Jittered exponential backoff with a per-operation attempt cap.
+
+    Attempt ``k`` (zero-based) sleeps ``min(cap_s, base_s *
+    multiplier**k)``, scaled down by up to ``jitter`` uniformly at
+    random.  After ``max_attempts`` failed retries the error propagates
+    to the platform layer, whose own retry/DLQ machinery takes over —
+    the cap is what keeps a persistently-throttled operation from
+    pinning a billed function instance forever.
+    """
+
+    base_s: float = 0.05
+    multiplier: float = 2.0
+    cap_s: float = 5.0
+    max_attempts: int = 8
+    #: Fraction of the raw backoff that jitter may remove (0 = none,
+    #: 1 = full jitter down to zero).
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.base_s <= 0:
+            raise ValueError("base_s must be positive")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if self.cap_s < self.base_s:
+            raise ValueError("cap_s must be >= base_s")
+        if self.max_attempts < 0:
+            raise ValueError("max_attempts must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def backoff_s(self, attempt: int, rng=None) -> float:
+        """Sleep before retry number ``attempt`` (zero-based)."""
+        raw = min(self.cap_s, self.base_s * self.multiplier ** attempt)
+        if self.jitter <= 0 or rng is None:
+            return raw
+        low = raw * (1.0 - self.jitter)
+        return float(low + (raw - low) * rng.random())

@@ -1,0 +1,117 @@
+"""Unified fault injection across the simulated substrates.
+
+The paper's consistency argument (§5.2, §6) is that *any* single
+failure — a crashed function, a lost notification, a throttled database
+write, a stalled WAN link — leaves replication recoverable: the system
+either retries its way through or converges once the operator redrives
+the dead-letter queue.  One seeded :class:`ChaosConfig` drives fault
+injection in all four substrates so that claim can be tested as a
+whole rather than one mechanism at a time:
+
+* **FaaS** (`simcloud/faas.py`) — any attempt may crash after an
+  exponentially-distributed execution time and takes the platform's
+  normal failure path (auto-retry, then dead-letter queue);
+* **notifications** (`simcloud/notifications.py`) — deliveries may be
+  dropped (redelivered later: real buses are at-least-once, never
+  at-most-once), duplicated, or reordered past later events;
+* **serverless KV** (`simcloud/kvstore.py`) — writes may be throttled
+  (rejected *before* any mutation applies, like a DynamoDB
+  ``ProvisionedThroughputExceededException``) and any operation may
+  see its admission delayed;
+* **WAN** (`simcloud/network.py`) — transfers may hit transient stalls,
+  and configured blackout windows hold up every cross-region transfer
+  that starts inside them.
+
+All draws come from dedicated ``chaos:*`` RNG streams, so a given seed
+produces the same fault schedule regardless of how many samples the
+latency machinery consumed — and a config whose probabilities are all
+zero installs no hooks at all (the hot paths stay a single ``is None``
+check).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ChaosConfig"]
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """One seeded fault schedule spanning all substrates.
+
+    Every ``*_prob`` is a per-event probability in ``[0, 1)``; the
+    matching ``*_s`` knobs shape the injected delays.  Probabilities
+    must stay below 1 so that geometric retries (notification
+    redelivery, KV backoff) terminate with probability one.
+    """
+
+    # -- FaaS: attempt crashes (the platform failure path) --------------
+    crash_prob: float = 0.0
+    crash_mean_delay_s: float = 2.0
+
+    # -- notifications: at-least-once delivery faults -------------------
+    notif_drop_prob: float = 0.0
+    notif_dup_prob: float = 0.0
+    notif_reorder_prob: float = 0.0
+    #: Mean lag before the bus redelivers a dropped notification.
+    notif_redelivery_s: float = 30.0
+    #: Mean lag of a duplicate behind its original.
+    notif_dup_lag_s: float = 1.0
+    #: A reordered event is held back uniformly within this window.
+    notif_reorder_spread_s: float = 5.0
+
+    # -- serverless KV: throttling and slow admission -------------------
+    kv_reject_prob: float = 0.0
+    kv_delay_prob: float = 0.0
+    kv_delay_mean_s: float = 0.05
+
+    # -- WAN: transient stalls and blackout windows ---------------------
+    wan_stall_prob: float = 0.0
+    wan_stall_mean_s: float = 5.0
+    #: ``(start_s, duration_s)`` windows during which every cross-region
+    #: transfer that begins waits for the window to close first.
+    wan_blackout_windows: tuple[tuple[float, float], ...] = field(
+        default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        for name in ("crash_prob", "notif_drop_prob", "notif_dup_prob",
+                     "notif_reorder_prob", "kv_reject_prob",
+                     "kv_delay_prob", "wan_stall_prob"):
+            p = getattr(self, name)
+            if not 0.0 <= p < 1.0:
+                raise ValueError(f"{name} must be in [0, 1), got {p}")
+        for name in ("crash_mean_delay_s", "notif_redelivery_s",
+                     "notif_dup_lag_s", "notif_reorder_spread_s",
+                     "kv_delay_mean_s", "wan_stall_mean_s"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        for window in self.wan_blackout_windows:
+            start, duration = window
+            if start < 0 or duration <= 0:
+                raise ValueError(f"bad blackout window {window!r}")
+
+    # -- which hooks does this config need? -----------------------------
+
+    @property
+    def faas_enabled(self) -> bool:
+        return self.crash_prob > 0
+
+    @property
+    def notifications_enabled(self) -> bool:
+        return (self.notif_drop_prob > 0 or self.notif_dup_prob > 0
+                or self.notif_reorder_prob > 0)
+
+    @property
+    def kv_enabled(self) -> bool:
+        return self.kv_reject_prob > 0 or self.kv_delay_prob > 0
+
+    @property
+    def wan_enabled(self) -> bool:
+        return self.wan_stall_prob > 0 or bool(self.wan_blackout_windows)
+
+    @property
+    def enabled(self) -> bool:
+        """True when any substrate has a fault to inject."""
+        return (self.faas_enabled or self.notifications_enabled
+                or self.kv_enabled or self.wan_enabled)

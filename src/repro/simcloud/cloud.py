@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.simcloud.chaos import ChaosConfig
 from repro.simcloud.cost import CostLedger
 from repro.simcloud.faas import FaasProfile, FaasRegion
 from repro.simcloud.kvstore import KvProfile, KvTable
@@ -50,7 +51,8 @@ class Cloud:
     """All three providers' services over one shared simulator."""
 
     def __init__(self, seed: int = 0, profiles: Optional[CloudProfiles] = None,
-                 keep_cost_entries: bool = False):
+                 keep_cost_entries: bool = False,
+                 chaos: Optional[ChaosConfig] = None):
         self.sim = Simulator()
         self.rngs = RngFactory(seed)
         self.profiles = profiles or CloudProfiles()
@@ -64,6 +66,9 @@ class Cloud:
         self._kv: dict[tuple[str, str], KvTable] = {}
         self._vms: dict[str, VmFleet] = {}
         self._timers: dict[str, WorkflowTimers] = {}
+        self.chaos: Optional[ChaosConfig] = None
+        if chaos is not None:
+            self.apply_chaos(chaos)
 
     # -- region helpers --------------------------------------------------------
 
@@ -87,20 +92,26 @@ class Cloud:
     def faas(self, region_key: str) -> FaasRegion:
         region = get_region(region_key)
         if region.key not in self._faas:
-            self._faas[region.key] = FaasRegion(
+            faas = FaasRegion(
                 self.sim, region, self.fabric, self.prices, self.ledger,
                 self.rngs, self.profiles.faas,
             )
+            if self.chaos is not None:
+                faas.configure_chaos(self.chaos)
+            self._faas[region.key] = faas
         return self._faas[region.key]
 
     def kv_table(self, region_key: str, name: str) -> KvTable:
         region = get_region(region_key)
         cache_key = (region.key, name)
         if cache_key not in self._kv:
-            self._kv[cache_key] = KvTable(
+            table = KvTable(
                 self.sim, name, region, self.prices, self.ledger, self.rngs,
                 self.profiles.kv,
             )
+            if self.chaos is not None:
+                table.set_chaos(self.chaos, self._kv_chaos_rng(region, name))
+            self._kv[cache_key] = table
         return self._kv[cache_key]
 
     def vm_fleet(self, region_key: str) -> VmFleet:
@@ -119,6 +130,42 @@ class Cloud:
         return self._timers[region.key]
 
     # -- fault injection ---------------------------------------------------------
+
+    def _kv_chaos_rng(self, region: Region, name: str):
+        return self.rngs.stream(f"chaos:kv:{region.key}:{name}")
+
+    def apply_chaos(self, chaos: Optional[ChaosConfig]) -> None:
+        """Install (or clear, with None) one fault schedule everywhere.
+
+        Covers every substrate already instantiated *and* any created
+        afterwards.  Each substrate only arms the hooks its part of the
+        config actually needs — an all-zero config is a full clear, so
+        chaos-off hot paths keep their single ``is None`` check.
+        """
+        if chaos is not None and not chaos.enabled:
+            chaos = None
+        self.chaos = chaos
+        self.fabric.set_chaos(chaos, self.rngs.stream("chaos:wan"),
+                              clock=lambda: self.sim.now)
+        self.notifications.set_chaos(chaos, self.rngs.stream("chaos:notif"))
+        for faas in self._faas.values():
+            faas.configure_chaos(chaos)
+        for (region_key, name), table in self._kv.items():
+            table.set_chaos(chaos, self._kv_chaos_rng(get_region(region_key),
+                                                      name))
+
+    def chaos_stats(self) -> dict[str, int]:
+        """Aggregate injected-fault counters across every substrate."""
+        return {
+            "faas_crashes": sum(f.chaos_crashes for f in self._faas.values()),
+            "notifications_dropped": self.notifications.chaos_dropped,
+            "notifications_duplicated": self.notifications.chaos_duplicated,
+            "notifications_reordered": self.notifications.chaos_reordered,
+            "kv_rejected": sum(t.chaos_rejected for t in self._kv.values()),
+            "kv_delayed": sum(t.chaos_delayed for t in self._kv.values()),
+            "wan_stalls": self.fabric.chaos_stalls,
+            "wan_blackout_hits": self.fabric.chaos_blackouts,
+        }
 
     def inject_outage(self, region_key: str, duration_s: float) -> None:
         """Take every bucket in ``region_key`` offline for ``duration_s``

@@ -225,6 +225,13 @@ class FaasRegion:
         self.chaos_mean_delay_s = 2.0
         self.chaos_crashes = 0
 
+    def configure_chaos(self, chaos) -> None:
+        """Adopt the FaaS knobs of a :class:`~repro.simcloud.chaos.ChaosConfig`
+        (or clear them when ``chaos`` is None)."""
+        self.chaos_crash_prob = chaos.crash_prob if chaos is not None else 0.0
+        if chaos is not None:
+            self.chaos_mean_delay_s = chaos.crash_mean_delay_s
+
     @property
     def provider(self) -> str:
         return self.region.provider
@@ -534,7 +541,10 @@ class FunctionContext:
             import numpy as np
 
             factor *= float(np.exp(fabric._rng.normal(-extra_sigma**2 / 2, extra_sigma)))
-        return nbytes * 8 / (mbps * 1e6) * divisor / factor
+        seconds = nbytes * 8 / (mbps * 1e6) * divisor / factor
+        if fabric._chaos is not None and peer.key != self.region.key:
+            seconds += fabric.chaos_penalty_s(self.now)
+        return seconds
 
     # -- object storage data path -----------------------------------------------
 

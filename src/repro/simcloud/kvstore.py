@@ -24,17 +24,27 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
+from repro.simcloud.chaos import ChaosConfig
 from repro.simcloud.cost import CostCategory, CostLedger
 from repro.simcloud.pricing import PriceBook
 from repro.simcloud.regions import Provider, Region
 from repro.simcloud.rng import BufferedSampler, Dist, RngFactory, normal
-from repro.simcloud.sim import DeferredResult, Simulator
+from repro.simcloud.sim import DeferredResult, Future, Simulator
 
-__all__ = ["KvProfile", "KvTable", "ConditionFailed"]
+__all__ = ["KvProfile", "KvTable", "ConditionFailed", "Throttled"]
 
 
 class ConditionFailed(RuntimeError):
     """A conditional write's condition evaluated to false."""
+
+
+class Throttled(RuntimeError):
+    """A write was rejected by capacity throttling (chaos injection).
+
+    Mirrors DynamoDB's ``ProvisionedThroughputExceededException``: the
+    request was refused *before* any mutation applied, so retrying it
+    is always safe.
+    """
 
 
 @dataclass(frozen=True)
@@ -78,6 +88,66 @@ class KvTable:
         price = prices.kv[region.provider]
         self._op_cost = {"read": price.read, "write": price.write}
         self._op_detail = {"read": f"kv:read:{name}", "write": f"kv:write:{name}"}
+        # Fault injection: None keeps every operation on the inline
+        # admission fast path (a single check per call).
+        self._chaos: Optional[ChaosConfig] = None
+        self._chaos_rng = None
+        self.chaos_rejected = 0
+        self.chaos_delayed = 0
+
+    # -- fault injection ---------------------------------------------------
+
+    def set_chaos(self, chaos: Optional[ChaosConfig], rng) -> None:
+        """Install (or clear) the table's fault schedule.
+
+        ``rng`` must be a dedicated chaos stream so a seed's rejection
+        pattern does not shift with unrelated latency sampling.
+        """
+        self._chaos = chaos if chaos is not None and chaos.kv_enabled else None
+        self._chaos_rng = rng
+
+    def _chaos_admit(self, kind: str,
+                     apply: Callable[[], Any]) -> DeferredResult | Future:
+        """Admission under chaos: maybe reject, maybe delay, else apply.
+
+        Writes may be thrown away with :class:`Throttled` *before* the
+        mutation runs (throttling never half-applies).  Delayed
+        operations defer the mutation itself to the admission instant —
+        the serialization point moves with the delay, preserving
+        linearizability while making "the clock advanced during the
+        round-trip" a real phenomenon lock clients must survive.
+        """
+        chaos, rng = self._chaos, self._chaos_rng
+        if (kind == "write" and chaos.kv_reject_prob
+                and rng.random() < chaos.kv_reject_prob):
+            self.chaos_rejected += 1
+            # Refused requests are not billed (DynamoDB does not charge
+            # throttled writes) and never reach the item store.
+            return DeferredResult(self._latency(), None,
+                                  Throttled(f"{self.name}: {kind} throttled"))
+        if chaos.kv_delay_prob and rng.random() < chaos.kv_delay_prob:
+            self.chaos_delayed += 1
+            extra = float(rng.exponential(chaos.kv_delay_mean_s))
+            fut = Future(self.sim)
+
+            def admit(_a: Any, _b: Any) -> None:
+                try:
+                    value = apply()
+                except Exception as exc:  # ConditionFailed etc.
+                    fut.fail(exc)
+                    return
+                self.op_counts[kind] += 1
+                self._ledger.charge(self.sim.now, CostCategory.KV_OPS,
+                                    self._op_cost[kind], self._op_detail[kind])
+                fut.resolve(value)
+
+            self.sim.schedule_call(extra + self._latency(), admit)
+            return fut
+        try:
+            value = apply()
+        except Exception as exc:
+            return self._respond(kind, error=exc)
+        return self._respond(kind, value)
 
     # -- internals ---------------------------------------------------------
 
@@ -95,15 +165,21 @@ class KvTable:
 
     def get_item(self, key: str) -> DeferredResult:
         """Read an item; resolves with a copy of the dict or None."""
+        if self._chaos is not None:
+            return self._chaos_admit("read", lambda: self._do_get(key))
         item = self._items.get(key)
         return self._respond("read", dict(item) if item is not None else None)
 
     def put_item(self, key: str, item: dict[str, Any]) -> DeferredResult:
         """Unconditional upsert."""
+        if self._chaos is not None:
+            return self._chaos_admit("write", lambda: self._do_put(key, item))
         self._items[key] = dict(item)
         return self._respond("write", None)
 
     def delete_item(self, key: str) -> DeferredResult:
+        if self._chaos is not None:
+            return self._chaos_admit("write", lambda: self._do_delete(key))
         self._items.pop(key, None)
         return self._respond("write", None)
 
@@ -119,6 +195,9 @@ class KvTable:
         :class:`ConditionFailed` otherwise (mirroring DynamoDB's
         ``ConditionalCheckFailedException``).
         """
+        if self._chaos is not None:
+            return self._chaos_admit(
+                "write", lambda: self._do_conditional_put(key, item, condition))
         current = self._items.get(key)
         if not condition(dict(current) if current is not None else None):
             return self._respond("write", error=ConditionFailed(key))
@@ -127,6 +206,9 @@ class KvTable:
 
     def put_if_absent(self, key: str, item: dict[str, Any]) -> DeferredResult:
         """Create the item only if the key does not exist; bool result."""
+        if self._chaos is not None:
+            return self._chaos_admit(
+                "write", lambda: self._do_put_if_absent(key, item))
         if key in self._items:
             return self._respond("write", False)
         self._items[key] = dict(item)
@@ -139,7 +221,12 @@ class KvTable:
 
         ``fn`` receives a copy of the current item (or None) and returns
         the new item, or None to delete.  Resolves with the new item.
+        ``fn`` runs at the admission instant — under injected admission
+        delay that is *later* than the call, which is why lock-style
+        closures must read clocks inside ``fn``, not before the call.
         """
+        if self._chaos is not None:
+            return self._chaos_admit("write", lambda: self._do_update(key, fn))
         current = self._items.get(key)
         updated = fn(dict(current) if current is not None else None)
         if updated is None:
@@ -150,9 +237,51 @@ class KvTable:
 
     def increment(self, key: str, field_name: str, by: int = 1) -> DeferredResult:
         """Atomic counter; creates the item/field at 0 when missing."""
+        if self._chaos is not None:
+            return self._chaos_admit(
+                "write", lambda: self._do_increment(key, field_name, by))
         item = self._items.setdefault(key, {})
         item[field_name] = item.get(field_name, 0) + by
         return self._respond("write", item[field_name])
+
+    # -- the mutations themselves (chaos path; mirrors the inline code) ------
+
+    def _do_get(self, key: str) -> Optional[dict[str, Any]]:
+        item = self._items.get(key)
+        return dict(item) if item is not None else None
+
+    def _do_put(self, key: str, item: dict[str, Any]) -> None:
+        self._items[key] = dict(item)
+
+    def _do_delete(self, key: str) -> None:
+        self._items.pop(key, None)
+
+    def _do_conditional_put(self, key, item, condition) -> bool:
+        current = self._items.get(key)
+        if not condition(dict(current) if current is not None else None):
+            raise ConditionFailed(key)
+        self._items[key] = dict(item)
+        return True
+
+    def _do_put_if_absent(self, key: str, item: dict[str, Any]) -> bool:
+        if key in self._items:
+            return False
+        self._items[key] = dict(item)
+        return True
+
+    def _do_update(self, key, fn) -> Optional[dict[str, Any]]:
+        current = self._items.get(key)
+        updated = fn(dict(current) if current is not None else None)
+        if updated is None:
+            self._items.pop(key, None)
+        else:
+            self._items[key] = dict(updated)
+        return dict(updated) if updated is not None else None
+
+    def _do_increment(self, key: str, field_name: str, by: int) -> int:
+        item = self._items.setdefault(key, {})
+        item[field_name] = item.get(field_name, 0) + by
+        return item[field_name]
 
     # -- test/debug helpers ---------------------------------------------------
 

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.simcloud.chaos import ChaosConfig
 from repro.simcloud.regions import Provider, Region
 from repro.simcloud.rng import BufferedSampler, Dist, RngFactory, normal
 
@@ -218,6 +219,46 @@ class NetworkFabric:
         self._mbps_memo: dict[tuple, float] = {}
         self._congestion_memo: dict[tuple[str, int], tuple[float, float]] = {}
         self._startup_samplers: dict[str, BufferedSampler] = {}
+        # Fault injection: None keeps transfers on the chaos-free path.
+        self._chaos: ChaosConfig | None = None
+        self._chaos_rng = None
+        self._clock = None
+        self.chaos_stalls = 0
+        self.chaos_blackouts = 0
+
+    # -- fault injection --------------------------------------------------
+
+    def set_chaos(self, chaos: ChaosConfig | None, rng, clock=None) -> None:
+        """Install (or clear) WAN fault injection.
+
+        ``clock`` is a zero-argument callable returning simulated time
+        (needed to test transfer starts against blackout windows; the
+        fabric itself is clockless).
+        """
+        self._chaos = chaos if chaos is not None and chaos.wan_enabled else None
+        self._chaos_rng = rng
+        self._clock = clock
+
+    def chaos_penalty_s(self, now: float) -> float:
+        """Extra seconds a cross-region transfer starting ``now`` pays.
+
+        A transfer that begins inside a blackout window waits for the
+        window to close; independently it may hit a transient stall
+        (routing flap, throttled NAT) with an exponential duration.
+        Only called when a chaos config with WAN faults is installed.
+        """
+        chaos = self._chaos
+        extra = 0.0
+        for start, duration in chaos.wan_blackout_windows:
+            if start <= now < start + duration:
+                self.chaos_blackouts += 1
+                extra += (start + duration) - now
+                break
+        if (chaos.wan_stall_prob
+                and self._chaos_rng.random() < chaos.wan_stall_prob):
+            self.chaos_stalls += 1
+            extra += float(self._chaos_rng.exponential(chaos.wan_stall_mean_s))
+        return extra
 
     # -- deterministic mean bandwidths ----------------------------------
 
@@ -318,4 +359,8 @@ class NetworkFabric:
         factor = channel.next_factor()
         if extra_sigma > 0:
             factor *= float(np.exp(self._rng.normal(-extra_sigma**2 / 2, extra_sigma)))
-        return base * divisor / factor
+        seconds = base * divisor / factor
+        if (self._chaos is not None and self._clock is not None
+                and (exec_region.key != src.key or exec_region.key != dst.key)):
+            seconds += self.chaos_penalty_s(self._clock())
+        return seconds

@@ -10,8 +10,9 @@ budget, so the delivery delay distribution is part of the substrate.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Optional
 
+from repro.simcloud.chaos import ChaosConfig
 from repro.simcloud.objectstore import Bucket, ObjectEvent
 from repro.simcloud.regions import Provider
 from repro.simcloud.rng import BufferedSampler, Dist, RngFactory, normal
@@ -42,6 +43,28 @@ class NotificationBus:
         self.profile = profile or NotificationProfile()
         self._rng = rngs.stream("notifications")
         self.delivered = 0
+        # Fault injection: None keeps delivery on the single-schedule
+        # fast path (one check per event).
+        self._chaos: Optional[ChaosConfig] = None
+        self._chaos_rng = None
+        self.chaos_dropped = 0
+        self.chaos_duplicated = 0
+        self.chaos_reordered = 0
+
+    def set_chaos(self, chaos: Optional[ChaosConfig], rng) -> None:
+        """Install (or clear) delivery fault injection.
+
+        Real cloud buses are *at-least-once*: a "dropped" notification
+        is one whose prompt delivery is lost and that the bus retries
+        much later from its internal queue — it is never silently gone
+        (that would make convergence impossible and does not model any
+        real service).  Each redelivery may be dropped again with the
+        same probability, so delivery happens eventually with
+        probability one (``notif_drop_prob < 1``).
+        """
+        active = chaos is not None and chaos.notifications_enabled
+        self._chaos = chaos if active else None
+        self._chaos_rng = rng
 
     def connect(self, bucket: Bucket,
                 handler: Callable[[ObjectEvent], None]) -> None:
@@ -51,9 +74,34 @@ class NotificationBus:
         schedule_call = self.sim.schedule_call
 
         def on_event(event: ObjectEvent) -> None:
-            schedule_call(sampler.sample(), self._deliver, handler, event)
+            delay = sampler.sample()
+            if self._chaos is not None:
+                delay = self._chaos_delivery(delay, handler, event)
+            schedule_call(delay, self._deliver, handler, event)
 
         bucket.subscribe(on_event)
+
+    def _chaos_delivery(self, delay: float, handler, event) -> float:
+        """Apply the fault schedule to one delivery; returns its delay.
+
+        Duplicates are scheduled here as extra deliveries; drops and
+        reorders stretch the primary delivery's delay.
+        """
+        chaos, rng = self._chaos, self._chaos_rng
+        if chaos.notif_reorder_prob and rng.random() < chaos.notif_reorder_prob:
+            # Held back long enough to land behind later events.
+            self.chaos_reordered += 1
+            delay += float(rng.uniform(0.0, chaos.notif_reorder_spread_s))
+        if chaos.notif_dup_prob and rng.random() < chaos.notif_dup_prob:
+            self.chaos_duplicated += 1
+            self.sim.schedule_call(
+                delay + float(rng.exponential(chaos.notif_dup_lag_s)),
+                self._deliver, handler, event)
+        while chaos.notif_drop_prob and rng.random() < chaos.notif_drop_prob:
+            # Lost delivery; the bus redelivers from its queue later.
+            self.chaos_dropped += 1
+            delay += float(rng.exponential(chaos.notif_redelivery_s))
+        return delay
 
     def _deliver(self, handler: Callable[[ObjectEvent], None],
                  event: ObjectEvent) -> None:

@@ -272,3 +272,86 @@ class TestReplicationLock:
 
         run(cloud, main())
         assert sum(outcomes) == 1
+
+
+class TestFencing:
+    def test_fence_bumps_only_on_ownership_change(self, cloud, table):
+        mgr = ReplicationLockManager(table, lease_s=10.0)
+
+        def main():
+            first = yield from mgr.lock("k", "e1", 1, owner="a")
+            # A platform-retried holder re-enters its own lock: same
+            # token, even after the lease lapsed (nobody stole it).
+            again = yield from mgr.lock("k", "e1", 1, owner="a")
+            yield cloud.sim.sleep(11.0)
+            expired = yield from mgr.lock("k", "e1", 1, owner="a")
+            yield cloud.sim.sleep(11.0)
+            stolen = yield from mgr.lock("k", "e2", 2, owner="b")
+            return first, again, expired, stolen
+
+        first, again, expired, stolen = run(cloud, main())
+        assert first.fence == again.fence == expired.fence == 1
+        assert stolen.acquired and stolen.fence == 2
+
+    def test_verify_detects_steal_and_release(self, cloud, table):
+        mgr = ReplicationLockManager(table, lease_s=10.0)
+
+        def main():
+            a = yield from mgr.lock("k", "e1", 1, owner="a")
+            ok_before = yield from mgr.verify("k", "a", a.fence)
+            yield cloud.sim.sleep(11.0)
+            b = yield from mgr.lock("k", "e2", 2, owner="b")
+            ok_after = yield from mgr.verify("k", "a", a.fence)
+            ok_thief = yield from mgr.verify("k", "b", b.fence)
+            yield from mgr.unlock("k", owner="b")
+            ok_gone = yield from mgr.verify("k", "b", b.fence)
+            return ok_before, ok_after, ok_thief, ok_gone
+
+        ok_before, ok_after, ok_thief, ok_gone = run(cloud, main())
+        assert ok_before and ok_thief
+        assert not ok_after and not ok_gone
+
+    def test_release_reports_loss_and_spares_thief_record(self, cloud, table):
+        mgr = ReplicationLockManager(table, lease_s=10.0)
+
+        def main():
+            yield from mgr.lock("k", "e1", 1, owner="a")
+            yield cloud.sim.sleep(11.0)
+            yield from mgr.lock("k", "e2", 2, owner="b")
+            zombie = yield from mgr.release("k", owner="a")
+            owner = yield from mgr.release("k", owner="b")
+            return zombie, owner
+
+        zombie, owner = run(cloud, main())
+        assert not zombie.released
+        assert owner.released
+        assert not table.peek("lock:k")
+
+    def test_lease_expiry_judged_at_admission_time(self, cloud, table):
+        """Regression: expiry must be evaluated against the clock at KV
+        *admission*, not at the call.  Under injected admission delay a
+        steal attempt issued while the lease is young lands after it has
+        lapsed; judging it with the stale pre-round-trip timestamp would
+        wrongly deny the takeover (and, symmetrically, backdate the new
+        holder's own lease)."""
+        from repro.simcloud.chaos import ChaosConfig
+
+        table.set_chaos(ChaosConfig(kv_delay_prob=0.95, kv_delay_mean_s=5.0),
+                        cloud.rngs.stream("test-lock-delay"))
+        mgr = ReplicationLockManager(table, lease_s=0.05)
+        steals = []
+
+        def main():
+            for i in range(10):
+                key = f"k{i}"
+                yield from mgr.lock(key, "e1", 1, owner="a")
+                # Issued immediately — well inside the lease at call time
+                # — but admitted seconds later, far past it.
+                outcome = yield from mgr.lock(key, "e2", 2, owner="b")
+                steals.append(outcome.acquired)
+
+        run(cloud, main())
+        assert any(steals)
+        for i, stolen in enumerate(steals):
+            if stolen:
+                assert table.peek(f"lock:k{i}")["owner"] == "b"

@@ -1,0 +1,102 @@
+"""Regression tests for the zombie-writer consistency hole (§5.2).
+
+A replication task whose lease expires mid-transfer is not necessarily
+dead — it may simply be slow (the *zombie writer*).  Once another task
+steals the lease and ships a newer version, the zombie must abort its
+destination finalize instead of publishing its stale version over the
+thief's, and the loss must surface in the engine's stats rather than
+vanish in a silent unlock no-op.
+"""
+
+from repro.core.audit import ReplicationAuditor
+from repro.core.config import ReplicaConfig
+from repro.core.service import AReplicaService
+from repro.simcloud.cloud import Cloud, CloudProfiles
+from repro.simcloud.network import NetworkProfile
+from repro.simcloud.objectstore import Blob
+
+MB = 1024 * 1024
+
+
+def build_throttled(seed):
+    """A rule whose src→dst upload leg crawls at 40 Mbps, so a multipart
+    transfer of a large object far outlives a short lease."""
+    profiles = CloudProfiles(network=NetworkProfile(pair_overrides={
+        ("aws", "aws:us-east-1", "aws:us-east-2"): 40.0,
+    }))
+    cloud = Cloud(seed=seed, profiles=profiles)
+    config = ReplicaConfig(profile_samples=4, mc_samples=300)
+    svc = AReplicaService(cloud, config)
+    src = cloud.bucket("aws:us-east-1", "src")
+    dst = cloud.bucket("aws:us-east-2", "dst")
+    rule = svc.add_rule(src, dst)
+    rule.engine.forced_plan = (1, "aws:us-east-1")
+    rule.engine.locks.lease_s = 3.0
+    return cloud, svc, src, dst, rule
+
+
+def test_zombie_writer_cannot_clobber_the_thief():
+    """The canonical interleaving: v1's task stalls past its lease while
+    uploading; v2's task steals the lock and replicates; the zombie's
+    complete_multipart must abort on the stolen fence."""
+    cloud, svc, src, dst, rule = build_throttled(seed=11)
+    blob1 = Blob.fresh(64 * MB)
+    blob2 = Blob.fresh(MB)
+    src.put_object("k", blob1, cloud.now)
+    cloud.sim.call_later(
+        4.0, lambda: src.put_object("k", blob2, cloud.sim.now))
+    cloud.run()
+
+    # The thief's (newer) version survives at the destination.
+    assert dst.head("k").etag == blob2.etag
+    # The zombie noticed the stolen fence instead of silently no-oping.
+    assert rule.engine.stats["lock_lost"] >= 1
+    # It cleaned up after itself: no leaked multipart upload, and every
+    # measurement closed (the thief's report covers v1's sequencer).
+    assert not dst.pending_uploads()
+    assert svc.pending_count() == 0
+    report = ReplicationAuditor(svc).audit(quiescent=True)
+    assert report.clean, report.render()
+
+
+def test_zombie_abort_leaves_quiescent_state_for_later_writes():
+    """After the zombie aborts, subsequent normal writes replicate as if
+    nothing happened — the stolen lock was fully released."""
+    cloud, svc, src, dst, rule = build_throttled(seed=13)
+    blob1 = Blob.fresh(64 * MB)
+    blob2 = Blob.fresh(MB)
+    src.put_object("k", blob1, cloud.now)
+    cloud.sim.call_later(
+        4.0, lambda: src.put_object("k", blob2, cloud.sim.now))
+    cloud.run()
+    blob3 = Blob.fresh(2 * MB)
+    src.put_object("k", blob3, cloud.now)
+    cloud.run()
+
+    assert dst.head("k").etag == blob3.etag
+    assert svc.pending_count() == 0
+    report = ReplicationAuditor(svc).audit(quiescent=True)
+    assert report.clean, report.render()
+
+
+def test_failed_abort_is_counted_and_audited_not_swallowed():
+    """Best-effort upload aborts used to swallow every exception bare;
+    a destination refusing the abort must now surface in the engine's
+    ``orphaned_uploads`` stat and as an upload-leak audit finding."""
+    cloud, svc, src, dst, rule = build_throttled(seed=17)
+
+    def refusing_abort(upload_id):
+        raise RuntimeError("destination refusing requests")
+
+    dst.abort_multipart = refusing_abort
+    blob1 = Blob.fresh(64 * MB)
+    blob2 = Blob.fresh(MB)
+    src.put_object("k", blob1, cloud.now)
+    cloud.sim.call_later(
+        4.0, lambda: src.put_object("k", blob2, cloud.sim.now))
+    cloud.run()
+
+    assert dst.head("k").etag == blob2.etag
+    assert rule.engine.stats["orphaned_uploads"] >= 1
+    report = ReplicationAuditor(svc).audit(quiescent=True)
+    assert report.by_kind("upload-leak"), report.render()

@@ -83,3 +83,12 @@ class TestCommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert "S3 RTC" not in out and "AZ Rep" not in out
+
+    @pytest.mark.chaos
+    def test_chaos_soak_converges(self, capsys):
+        rc = main(["chaos-soak", "--requests", "150",
+                   "--dst", "aws:us-east-2", "--profile-samples", "4"])
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "RESULT: CONVERGED" in out
+        assert "injected faults:" in out
