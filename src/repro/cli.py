@@ -7,6 +7,7 @@ Mirrors the published LambdaReplica CLI against the simulated clouds:
     areplica profile   --src aws:us-east-1 --dst azure:eastus
     areplica trace     --requests 5000 --slo 10
     areplica compare   --src aws:us-east-1 --dst aws:us-east-2 --size 1MB
+    areplica outage-drill --outage-start 600 --outage-duration 600
 
 All commands accept ``--seed`` for reproducibility.
 """
@@ -122,6 +123,26 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def _machine_report(cloud, service, rule, extra=None) -> dict:
+    """The machine-checkable drill report shared by --json commands."""
+    report = {
+        "summary": service.summary(),
+        "chaos_stats": cloud.chaos_stats(),
+        "health": service.health_snapshot(),
+        "engine_stats": dict(rule.engine.stats),
+        "parked_backlog": service.backlog_count(),
+    }
+    if extra:
+        report.update(extra)
+    return report
+
+
+def _print_json(report: dict) -> None:
+    import json
+
+    print(json.dumps(report, indent=2, sort_keys=True, default=str))
+
+
 def cmd_trace(args) -> int:
     from repro.traces.ibm_cos import IbmCosTraceGenerator
     from repro.traces.replay import TraceReplayer
@@ -129,9 +150,16 @@ def cmd_trace(args) -> int:
     cloud, service, src, dst, rule = _build_service(args, slo=args.slo)
     trace = IbmCosTraceGenerator(seed=args.seed).busy_hour(
         total_requests=args.requests)
-    print(f"replaying {len(trace)} requests over one hour "
-          f"({args.src} -> {args.dst}, SLO={args.slo or 'fastest'}) ...")
+    if not args.json:
+        print(f"replaying {len(trace)} requests over one hour "
+              f"({args.src} -> {args.dst}, SLO={args.slo or 'fastest'}) ...")
     stats = TraceReplayer(cloud, src).replay_all(trace)
+    if args.json:
+        _print_json(_machine_report(cloud, service, rule, {
+            "requests": stats.requests,
+            "bytes_written": stats.bytes_written,
+        }))
+        return 0
     delays = np.asarray(service.delays())
     print(f"  puts={stats.puts} deletes={stats.deletes} "
           f"bytes={stats.bytes_written / 1e9:.2f} GB")
@@ -195,8 +223,26 @@ def cmd_chaos_soak(args) -> int:
     injected = cloud.chaos_stats()
     # The storm passes; whatever it broke must now self-heal.
     cloud.apply_chaos(None)
-    rounds = service.run_to_convergence()
+    convergence = service.run_to_convergence()
     report = ReplicationAuditor(service).audit(quiescent=True)
+    pending = service.pending_count()
+    clean = report.clean and pending == 0 and convergence.converged
+
+    if args.json:
+        _print_json(_machine_report(cloud, service, rule, {
+            "requests": stats.requests,
+            "convergence": {
+                "converged": convergence.converged,
+                "rounds": convergence.rounds,
+                "redriven": convergence.redriven,
+                "residual_dead_letters": convergence.residual_dead_letters,
+                "parked_backlog": convergence.parked_backlog,
+            },
+            "audit_clean": report.clean,
+            "pending_measurements": pending,
+            "result": "CONVERGED" if clean else "DIVERGED",
+        }))
+        return 0 if clean else 1
 
     print(f"replayed {stats.requests} requests "
           f"({stats.bytes_written / 1e9:.2f} GB)")
@@ -206,14 +252,105 @@ def cmd_chaos_soak(args) -> int:
     engine = rule.engine.stats
     print("engine recovery:")
     for name in ("lock_lost", "orphaned_uploads", "kv_retries",
-                 "kv_retry_exhausted", "aborted", "retriggered"):
+                 "kv_retry_exhausted", "kv_retry_deadline", "aborted",
+                 "retriggered", "parked", "drained"):
         print(f"  {name:<26} {engine[name]}")
-    print(f"  {'dlq_redrive_rounds':<26} {rounds}")
-    pending = service.pending_count()
+    print("dead-letter drain: " + convergence.render())
     print(f"convergence audit ({pending} pending measurement(s)):")
     print(report.render())
-    clean = report.clean and pending == 0
     print("RESULT: " + ("CONVERGED" if clean else "DIVERGED"))
+    return 0 if clean else 1
+
+
+def cmd_outage_drill(args) -> int:
+    """Sustained regional outage drill: every substrate in one region
+    goes dark mid-trace.  The drill passes only if the service degrades
+    by *parking* work (not dropping it), drains the backlog after
+    recovery, and a quiescent audit plus anti-entropy scan find zero
+    divergence."""
+    from repro.core.audit import ReplicationAuditor
+    from repro.core.repair import AntiEntropyScanner
+    from repro.simcloud.chaos import ChaosConfig
+    from repro.traces.ibm_cos import IbmCosTraceGenerator
+    from repro.traces.replay import TraceReplayer
+
+    cloud, service, src, dst, rule = _build_service(args, slo=args.slo)
+    region = args.outage_region or args.src
+    window = ((region, args.outage_start, args.outage_duration),)
+    # Black out every substrate at once: functions fast-fail, the KV
+    # store throttles unconditionally, and WAN legs touching the region
+    # stall until the window closes.
+    cloud.apply_chaos(ChaosConfig(faas_outages=window, kv_outages=window,
+                                  wan_outages=window))
+    trace = IbmCosTraceGenerator(seed=args.seed).busy_hour(
+        total_requests=args.requests)
+    if not args.json:
+        print(f"drilling {len(trace)} requests with {region} dark from "
+              f"t={args.outage_start:.0f}s for {args.outage_duration:.0f}s ...")
+    stats = TraceReplayer(cloud, src).replay_all(trace)
+    injected = cloud.chaos_stats()
+    cloud.apply_chaos(None)
+    convergence = service.run_to_convergence()
+    audit = ReplicationAuditor(service).audit(quiescent=True)
+    repair = AntiEntropyScanner(service).scan(rule, redrive=True)
+    if repair.redriven:
+        # Repairs flow through the normal orchestration path; let them
+        # complete, then prove the diff is gone.
+        convergence = service.run_to_convergence()
+        audit = ReplicationAuditor(service).audit(quiescent=True)
+        repair = AntiEntropyScanner(service).scan(rule, redrive=False)
+    pending = service.pending_count()
+    engine = rule.engine
+    degraded = engine.stats["parked"] > 0
+    clean = (degraded and convergence.converged and audit.clean
+             and repair.clean and pending == 0)
+
+    if args.json:
+        _print_json(_machine_report(cloud, service, rule, {
+            "requests": stats.requests,
+            "outage": {"region": region, "start_s": args.outage_start,
+                       "duration_s": args.outage_duration},
+            "degradation_engaged": degraded,
+            "backlog_drained_at_s": engine.backlog_drained_at,
+            "health_transitions": len(service.health.transitions)
+            if service.health is not None else 0,
+            "convergence": {
+                "converged": convergence.converged,
+                "rounds": convergence.rounds,
+                "redriven": convergence.redriven,
+                "residual_dead_letters": convergence.residual_dead_letters,
+                "parked_backlog": convergence.parked_backlog,
+            },
+            "audit_clean": audit.clean,
+            "repair": repair.to_dict(),
+            "pending_measurements": pending,
+            "result": "PASS" if clean else "FAIL",
+        }))
+        return 0 if clean else 1
+
+    print(f"replayed {stats.requests} requests "
+          f"({stats.bytes_written / 1e9:.2f} GB)")
+    print("injected faults:")
+    for name, count in injected.items():
+        if count:
+            print(f"  {name:<26} {count}")
+    print("degraded operation:")
+    for name in ("parked", "drained", "probes", "failover",
+                 "backlog_kv_failed", "kv_retry_deadline"):
+        print(f"  {name:<26} {engine.stats[name]}")
+    if service.health is not None:
+        print(f"  {'breaker_transitions':<26} "
+              f"{len(service.health.transitions)}")
+    if engine.backlog_drained_at is not None:
+        print(f"  backlog drained at t={engine.backlog_drained_at:.1f}s")
+    print("recovery: " + convergence.render())
+    print(f"quiescent audit ({pending} pending measurement(s)):")
+    print(audit.render())
+    print(repair.render())
+    print("RESULT: " + ("PASS" if clean else "FAIL"))
+    if not degraded:
+        print("  (outage never engaged the degraded path — lengthen the "
+              "window or raise --requests)", file=sys.stderr)
     return 0 if clean else 1
 
 
@@ -407,6 +544,8 @@ def build_parser() -> argparse.ArgumentParser:
     trace = sub.add_parser("trace", help="replay a synthetic IBM COS hour")
     common(trace, with_size=False)
     trace.add_argument("--requests", type=int, default=5000)
+    trace.add_argument("--json", action="store_true",
+                       help="emit the machine-readable report instead of text")
     common(sub.add_parser("compare", help="compare against the baselines"))
     cost = sub.add_parser("cost", help="project monthly replication cost")
     common(cost, with_size=False)
@@ -437,6 +576,22 @@ def build_parser() -> argparse.ArgumentParser:
                       help="KV admission-delay probability")
     soak.add_argument("--wan-stall", type=float, default=0.02,
                       help="per-transfer WAN stall probability")
+    soak.add_argument("--json", action="store_true",
+                      help="emit the machine-readable report instead of text")
+    drill = sub.add_parser("outage-drill",
+                           help="replay a workload through a sustained "
+                                "regional outage and verify degradation, "
+                                "recovery, and repair")
+    common(drill, with_size=False)
+    drill.add_argument("--requests", type=int, default=400)
+    drill.add_argument("--outage-region", default=None,
+                       help="region to black out (default: the source)")
+    drill.add_argument("--outage-start", type=float, default=600.0,
+                       help="outage start, seconds into the trace")
+    drill.add_argument("--outage-duration", type=float, default=600.0,
+                       help="outage length in seconds")
+    drill.add_argument("--json", action="store_true",
+                       help="emit the machine-readable report instead of text")
     bench = sub.add_parser("bench-perf",
                            help="run the hot-path microbenchmarks")
     bench.add_argument("--scale", type=float, default=1.0,
@@ -468,6 +623,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         "regions": cmd_regions,
         "audit": cmd_audit,
         "chaos-soak": cmd_chaos_soak,
+        "outage-drill": cmd_outage_drill,
         "bench-perf": cmd_bench_perf,
     }
     return handlers[args.command](args)

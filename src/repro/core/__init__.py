@@ -21,15 +21,30 @@ Modules:
 * :mod:`repro.core.batching` — SLO-bounded batching (Algorithm 4).
 * :mod:`repro.core.logger` — runtime drift detection and model
   re-calibration (§4 "Logger").
+* :mod:`repro.core.health` — per-substrate circuit breakers driving
+  outage-aware degraded routing.
+* :mod:`repro.core.repair` — anti-entropy scanner re-driving
+  source/destination divergence.
 * :mod:`repro.core.service` — the end-to-end AReplica service facade.
 """
 
 from repro.core.audit import ReplicationAuditor
 from repro.core.client import ReplicatedBucketClient
 from repro.core.config import ReplicaConfig
+from repro.core.health import (
+    BreakerConfig,
+    BreakerState,
+    HealthTracker,
+    NoRouteAvailable,
+)
 from repro.core.model import NormalParam, PerformanceModel
 from repro.core.planner import Plan, StrategyPlanner
-from repro.core.service import AReplicaService, ReplicationRecord
+from repro.core.repair import AntiEntropyScanner, RepairReport
+from repro.core.service import (
+    AReplicaService,
+    ConvergenceReport,
+    ReplicationRecord,
+)
 from repro.core.topology import ReplicationTopology
 
 __all__ = [
@@ -39,8 +54,15 @@ __all__ = [
     "Plan",
     "StrategyPlanner",
     "AReplicaService",
+    "ConvergenceReport",
     "ReplicationRecord",
     "ReplicationAuditor",
     "ReplicatedBucketClient",
     "ReplicationTopology",
+    "BreakerConfig",
+    "BreakerState",
+    "HealthTracker",
+    "NoRouteAvailable",
+    "AntiEntropyScanner",
+    "RepairReport",
 ]

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.health import BreakerConfig
 from repro.core.retry import RetryPolicy
 
 __all__ = ["ReplicaConfig", "MB", "DEFAULT_PART_SIZE"]
@@ -59,7 +60,20 @@ class ReplicaConfig:
     retry_policy:
         Jittered exponential backoff applied by the engine to throttled
         control-plane (KV) operations before escalating to the
-        platform's own retry-then-DLQ ladder.
+        platform's own retry-then-DLQ ladder.  The default deadline of
+        150 s (half the 300 s replication-lock lease) bounds billed
+        retry time during sustained KV outages.
+    health_enabled:
+        Track per-(substrate, region) health with circuit breakers and
+        degrade routing around open circuits (parking tasks in a
+        durable backlog when no route remains).  Disabling restores
+        the pre-health behaviour: every fault is retried in place.
+    breaker:
+        Circuit-breaker tuning shared by every health target.
+    outage_catchup_concurrency:
+        How many parked tasks the engine re-dispatches per batch while
+        draining the backlog after recovery — the cap that keeps the
+        catch-up burst from re-browning-out a freshly recovered region.
     """
 
     slo_seconds: float = 0.0
@@ -74,7 +88,11 @@ class ReplicaConfig:
     mc_samples: int = 2000
     gumbel_threshold: int = 64
     profile_samples: int = 10
-    retry_policy: RetryPolicy = field(default_factory=RetryPolicy)
+    retry_policy: RetryPolicy = field(
+        default_factory=lambda: RetryPolicy(deadline_s=150.0))
+    health_enabled: bool = True
+    breaker: BreakerConfig = field(default_factory=BreakerConfig)
+    outage_catchup_concurrency: int = 8
 
     def __post_init__(self) -> None:
         if self.slo_seconds < 0:
@@ -87,6 +105,8 @@ class ReplicaConfig:
             raise ValueError("max_parallelism must be >= 1")
         if self.local_threshold > self.distributed_threshold:
             raise ValueError("local_threshold cannot exceed distributed_threshold")
+        if self.outage_catchup_concurrency < 1:
+            raise ValueError("outage_catchup_concurrency must be >= 1")
 
     @property
     def slo_enabled(self) -> bool:

@@ -23,12 +23,14 @@ from __future__ import annotations
 
 import itertools
 import math
+from collections import deque
 from dataclasses import dataclass
 from types import GeneratorType
 from typing import Optional, Protocol
 
 from repro.core.changelog import ChangelogOp, ChangelogStore
 from repro.core.config import ReplicaConfig
+from repro.core.health import BreakerState, HealthTracker, NoRouteAvailable
 from repro.core.locks import ReplicationLockManager
 from repro.core.partpool import FairAssignment, PartPool
 from repro.core.planner import Plan, StrategyPlanner
@@ -98,6 +100,7 @@ class ReplicationEngine:
         recorder: Optional[TaskRecorder] = None,
         rule_id: str = "r0",
         scheduling: str = "pool",
+        health: Optional[HealthTracker] = None,
     ):
         if scheduling not in ("pool", "fair"):
             raise ValueError("scheduling must be 'pool' or 'fair'")
@@ -120,7 +123,9 @@ class ReplicationEngine:
             "changelog_applied": 0, "changelog_fallback": 0, "aborted": 0,
             "deferred": 0, "skipped_done": 0, "deletes": 0, "retriggered": 0,
             "lock_lost": 0, "orphaned_uploads": 0,
-            "kv_retries": 0, "kv_retry_exhausted": 0,
+            "kv_retries": 0, "kv_retry_exhausted": 0, "kv_retry_deadline": 0,
+            "parked": 0, "drained": 0, "probes": 0, "failover": 0,
+            "backlog_kv_failed": 0,
         }
         self.retry_policy = config.retry_policy
         # Backoff jitter draws on a dedicated stream: retry timing for a
@@ -140,6 +145,23 @@ class ReplicationEngine:
         self._orch_name = f"areplica-orch-{rule_id}"
         self._rep_name = f"areplica-rep-{rule_id}"
         self._applier_name = f"areplica-apply-{rule_id}"
+        # -- outage-aware degradation state --------------------------------
+        #: Substrate-health ledger; None disables degraded routing
+        #: entirely (every check below gates on it).
+        self.health = health
+        #: Tasks whose every route was dark when they arrived, FIFO.
+        #: The in-memory deque is the operational queue; each entry is
+        #: also mirrored (best-effort) into the durable lock table under
+        #: ``backlog:`` so an operator can reconstruct it after a
+        #: process loss — the anti-entropy scanner backstops the rest.
+        self._backlog: deque[tuple[int, dict]] = deque()
+        self._backlog_seq = itertools.count(1)
+        #: Simulated time the backlog last fully drained (None until the
+        #: first drain) — the outage drill's recovery-time statistic.
+        self.backlog_drained_at: Optional[float] = None
+        self._draining = False
+        if health is not None:
+            health.subscribe(self._on_health_transition)
         self._deploy()
 
     # -- deployment -----------------------------------------------------------
@@ -147,8 +169,12 @@ class ReplicationEngine:
     def _deploy(self) -> None:
         src_faas = self.cloud.faas(self.src_bucket.region.key)
         dst_faas = self.cloud.faas(self.dst_bucket.region.key)
-        src_faas.deploy(self._orch_name, self._orchestrator, timeout_s=300.0)
+        # The orchestrator deploys at *both* ends: during a source-side
+        # FaaS outage the engine fails events over to the destination
+        # platform (the lock table stays at the source — orchestration
+        # moves, the consistency protocol's home does not).
         for faas in {src_faas, dst_faas}:
+            faas.deploy(self._orch_name, self._orchestrator, timeout_s=300.0)
             faas.deploy(self._rep_name, self._replicator)
         dst_faas.deploy(self._applier_name, self._applier, timeout_s=300.0)
 
@@ -174,6 +200,7 @@ class ReplicationEngine:
         platform's own retry/DLQ machinery takes over.
         """
         attempt = 0
+        deadline = None
         while True:
             try:
                 op = make()
@@ -184,9 +211,20 @@ class ReplicationEngine:
                 if attempt >= self.retry_policy.max_attempts:
                     self.stats["kv_retry_exhausted"] += 1
                     raise
+                backoff = self.retry_policy.backoff_s(attempt, self._retry_rng)
+                if self.retry_policy.deadline_s is not None:
+                    # Total-time cap, anchored at the first rejection: a
+                    # sustained outage must not pin a billed function
+                    # for the whole backoff sum (nor let a retry outlive
+                    # its lock lease) — escalate to the platform's
+                    # retry/DLQ ladder instead of sleeping past it.
+                    if deadline is None:
+                        deadline = ctx.now + self.retry_policy.deadline_s
+                    elif ctx.now + backoff > deadline:
+                        self.stats["kv_retry_deadline"] += 1
+                        raise
                 self.stats["kv_retries"] += 1
-                yield ctx.sleep(self.retry_policy.backoff_s(attempt,
-                                                            self._retry_rng))
+                yield ctx.sleep(backoff)
                 attempt += 1
 
     def _fence_ok(self, ctx, key: str, task_id: str,
@@ -241,6 +279,166 @@ class ReplicationEngine:
         except Exception:
             self.stats["orphaned_uploads"] += 1
 
+    # -- degraded-mode routing and the parked-task backlog -----------------------
+
+    def _route(self) -> Optional[str]:
+        """Execution region for a new orchestration, or None (no route).
+
+        Healthy fast path: one ``is None`` / one integer check.  In
+        degraded mode the rule is: the consistency substrates — the
+        source lock table and both object stores — are location-pinned,
+        so a dark one parks the task outright; the orchestrator itself
+        fails over to the destination platform when only the source
+        FaaS is dark.
+        """
+        health = self.health
+        src_key = self.src_bucket.region.key
+        if health is None or not health.any_open:
+            return src_key
+        if not health.available(("kv", src_key)):
+            return None
+        if not health.available(("store", src_key)):
+            return None
+        dst_key = self.dst_bucket.region.key
+        if not health.available(("store", dst_key)):
+            return None
+        if health.available(("faas", src_key)):
+            return src_key
+        if dst_key != src_key and health.available(("faas", dst_key)):
+            return dst_key
+        return None
+
+    def _dispatch_event(self, payload: dict) -> None:
+        """Route ``payload`` to an orchestrator, or park it."""
+        route = self._route()
+        if route is None:
+            self._park(payload)
+            return
+        if route != self.src_bucket.region.key:
+            self.stats["failover"] += 1
+        self._faas_at(route).invoke_and_forget(self._orch_name, payload)
+
+    def redrive_event(self, payload: dict) -> None:
+        """Inject a synthetic replication event (anti-entropy repair).
+
+        Takes the same degraded-routing path as live notifications, so
+        a repair during an ongoing outage parks rather than burns.
+        """
+        self._dispatch_event(dict(payload))
+
+    def _park(self, payload: dict) -> None:
+        """Queue a task no route can serve; drained on recovery."""
+        self.stats["parked"] += 1
+        backlog_id = next(self._backlog_seq)
+        self._backlog.append((backlog_id, payload))
+        self._persist_parked(backlog_id, payload)
+
+    def _persist_parked(self, backlog_id: int, payload: dict) -> None:
+        """Best-effort durable mirror of one parked task.
+
+        The mirror write itself races the outage that caused the park
+        (the lock table may be the dark substrate) — failures are
+        counted, not retried: the in-memory queue keeps operating and
+        the anti-entropy scanner is the backstop for a lost process.
+        """
+        item_key = f"backlog:{backlog_id:08d}"
+
+        def persist():
+            try:
+                yield self._lock_table.put_item(
+                    item_key, {"payload": dict(payload),
+                               "at": self.cloud.sim.now})
+            except Throttled:
+                self.stats["backlog_kv_failed"] += 1
+
+        self.cloud.sim.spawn(persist())
+
+    def _unpersist_parked(self, backlog_id: int) -> None:
+        item_key = f"backlog:{backlog_id:08d}"
+
+        def unpersist():
+            try:
+                yield self._lock_table.delete_item(item_key)
+            except Throttled:
+                self.stats["backlog_kv_failed"] += 1
+
+        self.cloud.sim.spawn(unpersist())
+
+    def backlog_size(self) -> int:
+        return len(self._backlog)
+
+    def _on_health_transition(self, target, state: str) -> None:
+        if state == BreakerState.HALF_OPEN:
+            self._probe_backlog()
+        elif state == BreakerState.CLOSED:
+            self._maybe_drain()
+
+    def _probe_backlog(self) -> None:
+        """Half-open probe: re-dispatch a *copy* of the oldest parked
+        task through the normal route.  The entry stays queued — a
+        failed probe must not lose it, and a successful duplicate is
+        absorbed by the done marker — so the probe's only side effect
+        is the traffic the breaker needs for its verdict."""
+        if not self._backlog or self._draining:
+            return
+        route = self._route()
+        if route is None:
+            return
+        self.stats["probes"] += 1
+        if route != self.src_bucket.region.key:
+            self.stats["failover"] += 1
+        _bid, payload = self._backlog[0]
+        self._faas_at(route).invoke_and_forget(self._orch_name, dict(payload))
+
+    def _maybe_drain(self) -> None:
+        if self._draining or not self._backlog or self._route() is None:
+            return
+        self._draining = True
+        self.cloud.sim.spawn(self._drain_backlog())
+
+    def _drain_backlog(self):
+        """Process: re-dispatch parked tasks FIFO after recovery.
+
+        Batches of ``outage_catchup_concurrency`` run to completion
+        before the next batch starts — the cap that keeps the catch-up
+        burst from re-browning-out a freshly recovered region.  If the
+        route goes dark again mid-drain, the remainder stays parked for
+        the next recovery.
+        """
+        cap = self.config.outage_catchup_concurrency
+        try:
+            while self._backlog:
+                route = self._route()
+                if route is None:
+                    return
+                batch = [self._backlog.popleft()
+                         for _ in range(min(cap, len(self._backlog)))]
+                faas = self._faas_at(route)
+                if route != self.src_bucket.region.key:
+                    self.stats["failover"] += len(batch)
+                invocations = [faas.invoke_and_forget(self._orch_name, payload)
+                               for _bid, payload in batch]
+                for backlog_id, _payload in batch:
+                    self.stats["drained"] += 1
+                    self._unpersist_parked(backlog_id)
+                # Await sequentially with individual guards: a single
+                # dead-lettered invocation (fails its Future) must not
+                # abandon the rest of the drain — the DLQ redrive owns
+                # that task now.
+                for invocation in invocations:
+                    try:
+                        yield invocation
+                    except Exception:
+                        pass
+            self.backlog_drained_at = self.cloud.sim.now
+        finally:
+            self._draining = False
+        # Tasks parked while the last batch ran (route flapped) get a
+        # fresh drain only on the next close transition; kick once more
+        # in case the flap already resolved.
+        if self._backlog:
+            self._maybe_drain()
+
     # -- entry point (the cloud notification) ------------------------------------
 
     def handle_event(self, event: ObjectEvent) -> None:
@@ -253,15 +451,20 @@ class ReplicationEngine:
             "size": event.size,
             "event_time": event.event_time,
         }
-        self._faas_at(self.src_bucket.region.key).invoke_and_forget(
-            self._orch_name, payload
-        )
+        self._dispatch_event(payload)
 
     # -- orchestrator function -------------------------------------------------------
 
     def _orchestrator(self, ctx, payload):
         self.stats["tasks"] += 1
         key = payload["key"]
+        if (self.health is not None and self.health.any_open
+                and self._route() is None):
+            # An outage opened between dispatch and execution (or this
+            # is a platform retry riding out one): park before burning
+            # lock-write retries against a dark substrate.
+            self._park(dict(payload))
+            return
         # Deterministic per object version: a platform-retried
         # orchestrator re-enters its own lock and resumes its own pool
         # instead of deadlocking against its crashed predecessor.
@@ -306,13 +509,18 @@ class ReplicationEngine:
             return
         done = yield from self._kv(
             ctx, lambda: self._lock_table.get_item(f"done:{key}"))
-        if done is not None and (done["seq"] >= current.sequencer
-                                 or done["etag"] == current.etag):
+        if (done is not None and not payload.get("repair")
+                and (done["seq"] >= current.sequencer
+                     or done["etag"] == current.etag)):
             # Already replicated: a prior task shipped this version (or
             # a newer one) — possibly under an older sequencer when the
             # same *content* was re-written, e.g. by the reverse rule of
             # a bidirectional pair.  Report visibility at the recorded
-            # time so the event's delay measurement closes.
+            # time so the event's delay measurement closes.  Repair
+            # events skip this short-circuit: anti-entropy exists to
+            # heal divergence *behind* a valid done marker (the
+            # destination lost or corrupted bytes after the marker was
+            # written), so the marker cannot vouch for them.
             self.stats["skipped_done"] += 1
             effective_seq = max(done["seq"], current.sequencer)
             if effective_seq > done["seq"]:
@@ -372,7 +580,15 @@ class ReplicationEngine:
             applied = yield from self._try_changelog(ctx, task)
             if applied:
                 return
-        plan = self._plan(task, ctx.now)
+        try:
+            plan = self._plan(task, ctx.now)
+        except NoRouteAvailable:
+            # Every candidate execution location is behind an open
+            # circuit: park the original event and release the lock so
+            # the drained task starts clean.
+            self._park(dict(payload))
+            yield from self._finish(ctx, task_id, key, None)
+            return
         task["plan_n"] = plan.n
         task["loc_key"] = plan.loc_key
         task["predicted_s"] = plan.predicted_s
@@ -455,8 +671,7 @@ class ReplicationEngine:
             # this delete, nobody else would ever propagate it.  Hand the
             # event to a fresh task (fresh lock, fresh fence) instead.
             self.stats["retriggered"] += 1
-            self._faas_at(self.src_bucket.region.key).invoke_and_forget(
-                self._orch_name, dict(payload))
+            self._dispatch_event(dict(payload))
             return
         self.stats["deletes"] += 1
         yield from ctx.delete_object(self.dst_bucket, key)
@@ -935,6 +1150,12 @@ class ReplicationEngine:
 
     def _finish_replicated(self, ctx, task, version: ObjectVersion,
                            kind: str = "created"):
+        if self.health is not None:
+            # A completed replication read the source and wrote the
+            # destination: both stores answered — the successes that
+            # walk a half-open ("store", region) breaker closed.
+            self.health.record(("store", self.src_bucket.region.key), True)
+            self.health.record(("store", self.dst_bucket.region.key), True)
         yield from self._mark_done(ctx, task["key"], task["etag"],
                                    task["seq"], ctx.now)
         plan = None
@@ -992,23 +1213,17 @@ class ReplicationEngine:
                 # else will converge the destination: propagate the
                 # deletion (idempotent with the DELETE event's own task).
                 self.stats["retriggered"] += 1
-                self._faas_at(self.src_bucket.region.key).invoke_and_forget(
-                    self._orch_name,
-                    {
-                        "kind": "deleted", "key": key, "etag": pending.etag,
-                        "seq": pending.seq, "size": 0,
-                        "event_time": ctx.now,
-                    },
-                )
+                self._dispatch_event({
+                    "kind": "deleted", "key": key, "etag": pending.etag,
+                    "seq": pending.seq, "size": 0,
+                    "event_time": ctx.now,
+                })
             return
         if replicated_seq is not None and current.sequencer <= replicated_seq:
             return
         self.stats["retriggered"] += 1
-        self._faas_at(self.src_bucket.region.key).invoke_and_forget(
-            self._orch_name,
-            {
-                "kind": "created", "key": key, "etag": current.etag,
-                "seq": current.sequencer, "size": current.size,
-                "event_time": current.put_time,
-            },
-        )
+        self._dispatch_event({
+            "kind": "created", "key": key, "etag": current.etag,
+            "seq": current.sequencer, "size": current.size,
+            "event_time": current.put_time,
+        })

@@ -1,0 +1,293 @@
+"""Outage-aware health tracking (degraded-mode routing, §6 extended).
+
+The paper's planner (§5.3, Algorithm 3) assumes every execution
+location is live; PR 2's retries and fencing cover *transient* faults
+but a sustained outage — a FaaS platform, a regional KV database, or a
+WAN path dark for minutes — just burns retry budget and piles up dead
+letters.  This module is the substrate-health ledger the rest of the
+system consults to degrade gracefully instead:
+
+* a :class:`CircuitBreaker` per health *target* — ``("faas", region)``,
+  ``("kv", region)``, ``("store", region)``, or a replication path —
+  with the classic closed → open → half-open state machine, opened by
+  either a consecutive-failure run or a sustained EWMA error rate;
+* a :class:`HealthTracker` that owns the breakers, notifies
+  subscribers on every transition (the engine parks/probes/drains off
+  these), and schedules the open → half-open cooldown on the *sim
+  clock* so that recovery is deterministic and happens even when the
+  outage has scared all traffic away.
+
+Everything is driven off recorded successes/failures — there is no
+background prober; the half-open probe is the engine re-dispatching one
+parked task.  All timestamps come from the injected ``clock`` (the
+simulator), never the wall clock, so a seeded run replays exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable, Optional
+
+__all__ = ["BreakerConfig", "BreakerState", "CircuitBreaker",
+           "HealthTracker", "NoRouteAvailable"]
+
+#: A health target: ("faas"|"kv"|"store"|"path", key...).  Any hashable
+#: tuple works; the first element names the substrate.
+Target = tuple
+
+
+class NoRouteAvailable(RuntimeError):
+    """Every candidate execution location sits behind an open circuit.
+
+    Raised by the planner when degraded-mode filtering leaves no ladder
+    candidate; the engine catches it and parks the task in the backlog
+    instead of dispatching into a known-dark region.
+    """
+
+
+class BreakerState:
+    """The three circuit states, as stable string constants."""
+
+    CLOSED = "closed"          # healthy: traffic flows, failures counted
+    OPEN = "open"              # dark: no traffic routed until cooldown
+    HALF_OPEN = "half-open"    # probing: limited traffic decides the verdict
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Per-target circuit-breaker tuning (one config for all targets).
+
+    A breaker opens on either signal: ``failure_threshold`` consecutive
+    failures (a hard outage fails everything immediately), or an EWMA
+    error rate above ``ewma_threshold`` once ``ewma_min_samples``
+    results have been seen (a brown-out fails *most* things).  The
+    consecutive threshold is deliberately high enough that a background
+    chaos storm (crash_prob ≈ 0.1) essentially never strings together a
+    run by luck: 0.1**8 ≈ 1e-8 per attempt.
+    """
+
+    failure_threshold: int = 8
+    ewma_alpha: float = 0.2
+    ewma_threshold: float = 0.9
+    ewma_min_samples: int = 25
+    #: Seconds an open circuit waits before admitting a half-open probe.
+    cooldown_s: float = 30.0
+    #: Cooldown growth per re-open within one incident (a failed probe
+    #: re-opens with a longer wait), capped at ``cooldown_max_s``.
+    cooldown_backoff: float = 2.0
+    cooldown_max_s: float = 480.0
+    #: Successes required in half-open before the circuit closes.
+    half_open_successes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        if not 0.0 < self.ewma_threshold <= 1.0:
+            raise ValueError("ewma_threshold must be in (0, 1]")
+        if self.ewma_min_samples < 1:
+            raise ValueError("ewma_min_samples must be >= 1")
+        if self.cooldown_s <= 0:
+            raise ValueError("cooldown_s must be positive")
+        if self.cooldown_backoff < 1.0:
+            raise ValueError("cooldown_backoff must be >= 1")
+        if self.cooldown_max_s < self.cooldown_s:
+            raise ValueError("cooldown_max_s must be >= cooldown_s")
+        if self.half_open_successes < 1:
+            raise ValueError("half_open_successes must be >= 1")
+
+
+class CircuitBreaker:
+    """One target's state machine; transitions are applied by the tracker."""
+
+    __slots__ = ("state", "consecutive_failures", "ewma", "samples",
+                 "opens_total", "streak_opens", "opened_seq", "open_until",
+                 "half_open_successes", "last_failure_at", "last_success_at")
+
+    def __init__(self) -> None:
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.ewma = 0.0
+        self.samples = 0
+        #: Lifetime open count (observability).
+        self.opens_total = 0
+        #: Opens within the current incident — drives cooldown backoff,
+        #: reset when the circuit finally closes.
+        self.streak_opens = 0
+        #: Monotonic guard for scheduled half-open timers: a timer fires
+        #: only if the breaker is still in the OPEN epoch it was armed in.
+        self.opened_seq = 0
+        self.open_until = 0.0
+        self.half_open_successes = 0
+        self.last_failure_at: Optional[float] = None
+        self.last_success_at: Optional[float] = None
+
+
+class HealthTracker:
+    """Per-target circuit breakers over the sim clock.
+
+    ``clock`` is a zero-argument callable returning simulated time;
+    ``schedule(delay_s, fn)`` (optional, normally ``sim.call_later``)
+    arms the open → half-open cooldown timer so recovery fires even
+    with zero ongoing traffic.  Without ``schedule`` the transition
+    happens lazily on the next :meth:`state`/:meth:`available` query.
+    """
+
+    def __init__(self, clock: Callable[[], float],
+                 schedule: Optional[Callable[[float, Callable[[], None]], object]] = None,
+                 config: Optional[BreakerConfig] = None):
+        self._clock = clock
+        self._schedule = schedule
+        self.config = config or BreakerConfig()
+        self._breakers: dict[Target, CircuitBreaker] = {}
+        self._open_count = 0
+        self._subscribers: list[Callable[[Target, str], None]] = []
+        #: Every state transition as ``(sim_time, target, new_state)`` —
+        #: the drill's recovery-time stats and the determinism tests
+        #: read this log.
+        self.transitions: list[tuple[float, Target, str]] = []
+
+    # -- recording -----------------------------------------------------------
+
+    def record(self, target: Target, ok: bool) -> None:
+        """Fold one operation outcome into ``target``'s breaker."""
+        cfg = self.config
+        b = self._breakers.get(target)
+        if b is None:
+            b = self._breakers[target] = CircuitBreaker()
+        now = self._clock()
+        if b.state == BreakerState.OPEN:
+            # No traffic is *supposed* to reach an open target; results
+            # that still arrive (in-flight stragglers) are ignored so a
+            # straggler's success cannot short-circuit the cooldown.
+            return
+        if ok:
+            b.last_success_at = now
+            b.samples += 1
+            b.consecutive_failures = 0
+            b.ewma += cfg.ewma_alpha * (0.0 - b.ewma)
+            if b.state == BreakerState.HALF_OPEN:
+                b.half_open_successes += 1
+                if b.half_open_successes >= cfg.half_open_successes:
+                    self._close(target, b)
+            return
+        b.last_failure_at = now
+        b.samples += 1
+        b.consecutive_failures += 1
+        b.ewma += cfg.ewma_alpha * (1.0 - b.ewma)
+        if b.state == BreakerState.HALF_OPEN:
+            self._open(target, b, now)
+        elif (b.consecutive_failures >= cfg.failure_threshold
+                or (b.samples >= cfg.ewma_min_samples
+                    and b.ewma >= cfg.ewma_threshold)):
+            self._open(target, b, now)
+
+    def record_success(self, target: Target) -> None:
+        self.record(target, True)
+
+    def record_failure(self, target: Target) -> None:
+        self.record(target, False)
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def any_open(self) -> bool:
+        """Cheap hot-path gate: is any circuit currently open?
+
+        The count is maintained on transitions, so the healthy case is
+        one integer compare.  It stays conservatively True between the
+        cooldown expiring and the (scheduled or lazy) half-open
+        transition — callers then take the filtering path, whose
+        per-target :meth:`available` checks apply lazy transitions.
+        """
+        return self._open_count > 0
+
+    def state(self, target: Target) -> str:
+        """Current state; absent targets are healthy (closed)."""
+        b = self._breakers.get(target)
+        if b is None:
+            return BreakerState.CLOSED
+        if (b.state == BreakerState.OPEN
+                and self._clock() >= b.open_until):
+            # Lazy cooldown expiry (backup for trackers without a
+            # scheduler, and for queries racing the timer).
+            self._half_open(target, b)
+        return b.state
+
+    def available(self, target: Target) -> bool:
+        """Routable?  Closed and half-open both admit traffic."""
+        return self.state(target) != BreakerState.OPEN
+
+    def snapshot(self) -> dict[str, dict]:
+        """JSON-friendly per-target state (CLI/machine-checkable drills)."""
+        out: dict[str, dict] = {}
+        for target in sorted(self._breakers, key=str):
+            b = self._breakers[target]
+            out[":".join(str(part) for part in target)] = {
+                "state": b.state,
+                "ewma_error_rate": round(b.ewma, 4),
+                "consecutive_failures": b.consecutive_failures,
+                "samples": b.samples,
+                "opens": b.opens_total,
+            }
+        return out
+
+    def open_targets(self) -> list[Target]:
+        return [t for t, b in self._breakers.items()
+                if b.state == BreakerState.OPEN]
+
+    # -- subscriptions ---------------------------------------------------------
+
+    def subscribe(self, fn: Callable[[Target, str], None]) -> None:
+        """``fn(target, new_state)`` on every transition, synchronously,
+        in subscription order (determinism matters: the engine drains
+        backlogs from these callbacks)."""
+        self._subscribers.append(fn)
+
+    # -- transitions -----------------------------------------------------------
+
+    def _notify(self, target: Target, state: str) -> None:
+        self.transitions.append((self._clock(), target, state))
+        for fn in list(self._subscribers):
+            fn(target, state)
+
+    def _open(self, target: Target, b: CircuitBreaker, now: float) -> None:
+        cfg = self.config
+        if b.state != BreakerState.OPEN:
+            self._open_count += 1
+        b.state = BreakerState.OPEN
+        b.opens_total += 1
+        b.streak_opens += 1
+        b.opened_seq += 1
+        b.half_open_successes = 0
+        cooldown = min(cfg.cooldown_max_s,
+                       cfg.cooldown_s
+                       * cfg.cooldown_backoff ** (b.streak_opens - 1))
+        b.open_until = now + cooldown
+        self._notify(target, BreakerState.OPEN)
+        if self._schedule is not None:
+            seq = b.opened_seq
+
+            def try_half_open() -> None:
+                if (b.state == BreakerState.OPEN and b.opened_seq == seq
+                        and self._clock() >= b.open_until):
+                    self._half_open(target, b)
+
+            self._schedule(cooldown, try_half_open)
+
+    def _half_open(self, target: Target, b: CircuitBreaker) -> None:
+        self._open_count -= 1
+        b.state = BreakerState.HALF_OPEN
+        b.half_open_successes = 0
+        self._notify(target, BreakerState.HALF_OPEN)
+
+    def _close(self, target: Target, b: CircuitBreaker) -> None:
+        b.state = BreakerState.CLOSED
+        b.consecutive_failures = 0
+        # A recovered target starts with a clean slate: the pre-outage
+        # error history must not re-trip the EWMA on the first hiccup.
+        b.ewma = 0.0
+        b.samples = 0
+        b.streak_opens = 0
+        self._notify(target, BreakerState.CLOSED)

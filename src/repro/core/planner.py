@@ -28,6 +28,7 @@ from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.core.config import ReplicaConfig
+from repro.core.health import HealthTracker, NoRouteAvailable
 from repro.core.model import PathKey, PerformanceModel
 
 __all__ = ["Plan", "PlanCache", "StrategyPlanner"]
@@ -107,10 +108,16 @@ class PlanCache:
 class StrategyPlanner:
     """Algorithm 3 over a fitted :class:`PerformanceModel`."""
 
-    def __init__(self, model: PerformanceModel, config: ReplicaConfig):
+    def __init__(self, model: PerformanceModel, config: ReplicaConfig,
+                 health: Optional[HealthTracker] = None):
         self.model = model
         self.config = config
+        #: Optional substrate-health ledger; while any circuit is open,
+        #: ladder candidates whose execution location is dark are
+        #: skipped (degraded-mode routing).
+        self.health = health
         self.plans_generated = 0
+        self.degraded_plans = 0
         self.cache = PlanCache()
         # Fastest-mode selection ignores the SLO budget, so the chosen
         # Plan itself (frozen, safely shared) can be memoized on top of
@@ -212,6 +219,21 @@ class StrategyPlanner:
             raise RuntimeError(
                 f"no profiled path between {src_key} and {dst_key}"
             )
+        health = self.health
+        if health is not None and health.any_open:
+            # Degraded mode: drop candidates whose execution location's
+            # FaaS platform sits behind an open circuit.  Filtering
+            # happens on a copy — the cache stays health-agnostic so
+            # recovery needs no invalidation.
+            filtered = [c for c in candidates
+                        if health.available(("faas", c[1]))]
+            if not filtered:
+                raise NoRouteAvailable(
+                    f"every execution location for {src_key}->{dst_key} "
+                    f"is behind an open circuit")
+            if len(filtered) != len(candidates):
+                self.degraded_plans += 1
+            candidates = filtered
         # Replay Algorithm 3 against this call's SLO budget: walk the
         # ladder, keep the global best, stop at the first level whose
         # best plan complies.
@@ -239,6 +261,11 @@ class StrategyPlanner:
 
     def fastest(self, size: int, src_key: str, dst_key: str) -> Plan:
         """SLO = 0 mode (§8.1): scan everything, return the fastest."""
+        if self.health is not None and self.health.any_open:
+            # The memoized Plan may route into a dark region; bypass it
+            # (without poisoning it) until every circuit closes.
+            return self.generate(size, src_key, dst_key,
+                                 slo_remaining=-math.inf)
         key = (src_key, dst_key, self.config.percentile,
                self.model.num_chunks(size), size <= self.config.local_threshold,
                size >= self.config.distributed_threshold)

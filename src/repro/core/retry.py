@@ -15,13 +15,14 @@ between convergence rounds (``service.run_to_convergence``).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 __all__ = ["RetryPolicy"]
 
 
 @dataclass(frozen=True)
 class RetryPolicy:
-    """Jittered exponential backoff with a per-operation attempt cap.
+    """Jittered exponential backoff with per-operation attempt/time caps.
 
     Attempt ``k`` (zero-based) sleeps ``min(cap_s, base_s *
     multiplier**k)``, scaled down by up to ``jitter`` uniformly at
@@ -29,6 +30,15 @@ class RetryPolicy:
     to the platform layer, whose own retry/DLQ machinery takes over —
     the cap is what keeps a persistently-throttled operation from
     pinning a billed function instance forever.
+
+    ``deadline_s`` additionally bounds the total wall time one
+    operation may spend retrying, measured from its *first* failure:
+    a retry whose backoff would overshoot the deadline escalates
+    immediately instead of sleeping.  During a sustained KV outage the
+    attempt cap alone keeps a function alive for the full backoff sum;
+    the deadline is what bounds billed time (and keeps retries well
+    inside the 300 s replication-lock lease, so a fenced-out retry
+    can never resume against a stolen lock).
     """
 
     base_s: float = 0.05
@@ -38,6 +48,9 @@ class RetryPolicy:
     #: Fraction of the raw backoff that jitter may remove (0 = none,
     #: 1 = full jitter down to zero).
     jitter: float = 0.5
+    #: Total retry budget in seconds from the first failure; None
+    #: disables the cap (attempt count alone governs).
+    deadline_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.base_s <= 0:
@@ -50,6 +63,8 @@ class RetryPolicy:
             raise ValueError("max_attempts must be >= 0")
         if not 0.0 <= self.jitter <= 1.0:
             raise ValueError("jitter must be in [0, 1]")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline_s must be positive (or None)")
 
     def backoff_s(self, attempt: int, rng=None) -> float:
         """Sleep before retry number ``attempt`` (zero-based)."""

@@ -23,6 +23,7 @@ from repro.core.batching import BatchingBuffer
 from repro.core.changelog import ChangelogStore
 from repro.core.config import ReplicaConfig
 from repro.core.engine import ReplicationEngine, TaskResult
+from repro.core.health import HealthTracker
 from repro.core.logger import RuntimeLogger
 from repro.core.model import PerformanceModel
 from repro.core.planner import StrategyPlanner
@@ -30,7 +31,8 @@ from repro.core.profiler import PerformanceProfiler
 from repro.simcloud.cloud import Cloud
 from repro.simcloud.objectstore import Bucket, ObjectEvent
 
-__all__ = ["AReplicaService", "ReplicationRecord", "ReplicationRule"]
+__all__ = ["AReplicaService", "ConvergenceReport", "ReplicationRecord",
+           "ReplicationRule"]
 
 _CHANGELOG_TABLE = "areplica-changelog"
 
@@ -59,6 +61,36 @@ class ReplicationRecord:
     @property
     def replication_seconds(self) -> float:
         return self.visible_time - self.started
+
+
+@dataclass(frozen=True)
+class ConvergenceReport:
+    """Outcome of one :meth:`AReplicaService.run_to_convergence` call.
+
+    ``converged`` means every dead-letter queue drained and no task
+    remains parked in an outage backlog — the destination holds (or
+    will trivially hold) every source version.  A False report carries
+    the residuals so the operator sees *what* is still owed instead of
+    an opaque exception.
+    """
+
+    converged: bool
+    #: Dead-letter redrive rounds used.
+    rounds: int
+    #: Total dead-lettered events re-enqueued across those rounds.
+    redriven: int
+    #: Dead letters still queued when the loop gave up (0 on success).
+    residual_dead_letters: int
+    #: Tasks still parked in engine backlogs (0 unless a route is dark).
+    parked_backlog: int
+
+    def render(self) -> str:
+        if self.converged:
+            return (f"converged after {self.rounds} redrive round(s), "
+                    f"{self.redriven} event(s) redriven")
+        return (f"NOT converged: {self.residual_dead_letters} dead "
+                f"letter(s), {self.parked_backlog} parked task(s) after "
+                f"{self.rounds} round(s)")
 
 
 @dataclass
@@ -108,7 +140,16 @@ class AReplicaService:
         )
         self.profiler = PerformanceProfiler(cloud, self.model,
                                             samples=self.config.profile_samples)
-        self.planner = StrategyPlanner(self.model, self.config)
+        self.health: Optional[HealthTracker] = None
+        if self.config.health_enabled:
+            self.health = HealthTracker(
+                clock=lambda: cloud.sim.now,
+                schedule=cloud.sim.call_later,
+                config=self.config.breaker,
+            )
+            cloud.set_health(self.health)
+        self.planner = StrategyPlanner(self.model, self.config,
+                                       health=self.health)
         self.logger = RuntimeLogger(self.model)
         self.rules: dict[str, ReplicationRule] = {}
         self.records: list[ReplicationRecord] = []
@@ -140,7 +181,7 @@ class AReplicaService:
             self.cloud, self.config, src_bucket, dst_bucket, self.planner,
             changelog=changelog if self.config.enable_changelog else None,
             recorder=_Recorder(self, rule_id), rule_id=rule_id,
-            scheduling=scheduling,
+            scheduling=scheduling, health=self.health,
         )
         rule = ReplicationRule(rule_id, src_bucket, dst_bucket, engine, changelog)
         if self.config.slo_enabled and self.config.enable_batching:
@@ -232,6 +273,14 @@ class AReplicaService:
         return sum(len(v) for rule in self.rules.values()
                    for v in rule.outstanding.values())
 
+    def backlog_count(self) -> int:
+        """Tasks parked across every rule's outage backlog."""
+        return sum(rule.engine.backlog_size() for rule in self.rules.values())
+
+    def health_snapshot(self) -> dict:
+        """Per-target breaker state, empty when health is disabled."""
+        return self.health.snapshot() if self.health is not None else {}
+
     def run_until_quiet(self, max_time: Optional[float] = None) -> None:
         """Drain the simulation (bounded by ``max_time`` if given)."""
         self.cloud.run(until=max_time)
@@ -254,6 +303,8 @@ class AReplicaService:
             "total_cost_usd": self.cloud.ledger.total(),
             "cost_breakdown": self.cloud.ledger.breakdown(),
             "plans_generated": self.planner.plans_generated,
+            "degraded_plans": self.planner.degraded_plans,
+            "parked_backlog": self.backlog_count(),
             "plan_cache_hits": self.planner.cache.hits,
             "plan_cache_misses": self.planner.cache.misses,
             "model_corrections": sum(
@@ -270,22 +321,40 @@ class AReplicaService:
             regions.add(rule.dst_bucket.region.key)
         return sum(self.cloud.faas(r).redrive_dead_letters() for r in regions)
 
-    def run_to_convergence(self, max_redrives: int = 10) -> int:
+    def _dead_letter_count(self) -> int:
+        regions = set()
+        for rule in self.rules.values():
+            regions.add(rule.src_bucket.region.key)
+            regions.add(rule.dst_bucket.region.key)
+        return sum(len(self.cloud.faas(r).dead_letters) for r in regions)
+
+    def run_to_convergence(self, max_redrives: int = 10) -> ConvergenceReport:
         """Drain the simulation, redriving dead letters until none remain.
 
         Tasks that exhausted their platform retries during a fault storm
         land in per-region DLQs; an operator (here: this loop) redrives
         them once the storm passes and the retried task — re-entering
-        its own lock reentrantly — converges the object.  Returns the
-        number of redrive rounds used; raises if the DLQs refuse to
-        drain within ``max_redrives`` rounds (a genuinely wedged task).
+        its own lock reentrantly — converges the object.  Returns a
+        :class:`ConvergenceReport`; a run whose DLQs refuse to drain
+        within ``max_redrives`` rounds (or whose backlog stays parked
+        behind a still-open circuit) reports ``converged=False`` with
+        the residuals rather than raising — the caller decides whether
+        a degraded-but-intact state is an error.
         """
         self.cloud.run()
         rounds = 0
-        while self.redrive_dead_letters() > 0:
+        redriven = 0
+        while rounds < max_redrives:
+            n = self.redrive_dead_letters()
+            if n == 0:
+                break
+            redriven += n
             rounds += 1
-            if rounds > max_redrives:
-                raise RuntimeError(
-                    f"dead letters still queued after {max_redrives} redrives")
             self.cloud.run()
-        return rounds
+        residual = self._dead_letter_count()
+        parked = self.backlog_count()
+        return ConvergenceReport(
+            converged=residual == 0 and parked == 0,
+            rounds=rounds, redriven=redriven,
+            residual_dead_letters=residual, parked_backlog=parked,
+        )

@@ -22,6 +22,14 @@ whole rather than one mechanism at a time:
   and configured blackout windows hold up every cross-region transfer
   that starts inside them.
 
+Beyond the probabilistic faults, the config carries a **sustained
+outage schedule**: per-region blackout windows during which a FaaS
+platform refuses every attempt, a KV database throttles every
+operation, or the WAN drops every transfer touching the region.  These
+are the deterministic "region dark for minutes" scenarios the
+outage-aware degradation machinery (``core/health.py``) is drilled
+against — probabilities model flakiness, windows model incidents.
+
 All draws come from dedicated ``chaos:*`` RNG streams, so a given seed
 produces the same fault schedule regardless of how many samples the
 latency machinery consumed — and a config whose probabilities are all
@@ -74,6 +82,21 @@ class ChaosConfig:
     wan_blackout_windows: tuple[tuple[float, float], ...] = field(
         default_factory=tuple)
 
+    # -- sustained regional outages: (region_key, start_s, duration_s) --
+    #: The region's FaaS control plane fast-fails every attempt started
+    #: inside the window (no instance acquired, nothing billed).
+    faas_outages: tuple[tuple[str, float, float], ...] = field(
+        default_factory=tuple)
+    #: Every KV operation on tables in the region is rejected with
+    #: ``Throttled`` inside the window (reads included — the database
+    #: itself is dark, not merely over capacity).
+    kv_outages: tuple[tuple[str, float, float], ...] = field(
+        default_factory=tuple)
+    #: Cross-region transfers touching the region as either endpoint
+    #: stall until the window closes.
+    wan_outages: tuple[tuple[str, float, float], ...] = field(
+        default_factory=tuple)
+
     def __post_init__(self) -> None:
         for name in ("crash_prob", "notif_drop_prob", "notif_dup_prob",
                      "notif_reorder_prob", "kv_reject_prob",
@@ -90,12 +113,18 @@ class ChaosConfig:
             start, duration = window
             if start < 0 or duration <= 0:
                 raise ValueError(f"bad blackout window {window!r}")
+        for name in ("faas_outages", "kv_outages", "wan_outages"):
+            for window in getattr(self, name):
+                region_key, start, duration = window
+                if (not isinstance(region_key, str) or not region_key
+                        or start < 0 or duration <= 0):
+                    raise ValueError(f"bad {name} window {window!r}")
 
     # -- which hooks does this config need? -----------------------------
 
     @property
     def faas_enabled(self) -> bool:
-        return self.crash_prob > 0
+        return self.crash_prob > 0 or bool(self.faas_outages)
 
     @property
     def notifications_enabled(self) -> bool:
@@ -104,11 +133,13 @@ class ChaosConfig:
 
     @property
     def kv_enabled(self) -> bool:
-        return self.kv_reject_prob > 0 or self.kv_delay_prob > 0
+        return (self.kv_reject_prob > 0 or self.kv_delay_prob > 0
+                or bool(self.kv_outages))
 
     @property
     def wan_enabled(self) -> bool:
-        return self.wan_stall_prob > 0 or bool(self.wan_blackout_windows)
+        return (self.wan_stall_prob > 0 or bool(self.wan_blackout_windows)
+                or bool(self.wan_outages))
 
     @property
     def enabled(self) -> bool:

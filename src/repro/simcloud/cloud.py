@@ -67,6 +67,9 @@ class Cloud:
         self._vms: dict[str, VmFleet] = {}
         self._timers: dict[str, WorkflowTimers] = {}
         self.chaos: Optional[ChaosConfig] = None
+        #: Optional HealthTracker every substrate reports outcomes to
+        #: (installed by the AReplica service when health is enabled).
+        self.health = None
         if chaos is not None:
             self.apply_chaos(chaos)
 
@@ -83,7 +86,9 @@ class Cloud:
         region = get_region(region_key)
         cache_key = (region.key, name)
         if cache_key not in self._buckets:
-            self._buckets[cache_key] = Bucket(name, region, versioning=versioning)
+            bucket = Bucket(name, region, versioning=versioning)
+            bucket.health_sink = self.health
+            self._buckets[cache_key] = bucket
         bucket = self._buckets[cache_key]
         if versioning and not bucket.versioning:
             raise ValueError(f"bucket {name!r} exists without versioning")
@@ -98,6 +103,7 @@ class Cloud:
             )
             if self.chaos is not None:
                 faas.configure_chaos(self.chaos)
+            faas.health_sink = self.health
             self._faas[region.key] = faas
         return self._faas[region.key]
 
@@ -111,6 +117,8 @@ class Cloud:
             )
             if self.chaos is not None:
                 table.set_chaos(self.chaos, self._kv_chaos_rng(region, name))
+            if self.health is not None:
+                table.set_health(self.health)
             self._kv[cache_key] = table
         return self._kv[cache_key]
 
@@ -154,17 +162,36 @@ class Cloud:
             table.set_chaos(chaos, self._kv_chaos_rng(get_region(region_key),
                                                       name))
 
+    def set_health(self, tracker) -> None:
+        """Install (or clear, with None) one health tracker everywhere.
+
+        Covers substrates already instantiated and any created later
+        (the factories consult ``self.health``).
+        """
+        self.health = tracker
+        for faas in self._faas.values():
+            faas.health_sink = tracker
+        for table in self._kv.values():
+            table.set_health(tracker)
+        for bucket in self._buckets.values():
+            bucket.health_sink = tracker
+
     def chaos_stats(self) -> dict[str, int]:
         """Aggregate injected-fault counters across every substrate."""
         return {
             "faas_crashes": sum(f.chaos_crashes for f in self._faas.values()),
+            "faas_outage_failures": sum(f.chaos_outage_failures
+                                        for f in self._faas.values()),
             "notifications_dropped": self.notifications.chaos_dropped,
             "notifications_duplicated": self.notifications.chaos_duplicated,
             "notifications_reordered": self.notifications.chaos_reordered,
             "kv_rejected": sum(t.chaos_rejected for t in self._kv.values()),
             "kv_delayed": sum(t.chaos_delayed for t in self._kv.values()),
+            "kv_outage_rejections": sum(t.chaos_outage_rejections
+                                        for t in self._kv.values()),
             "wan_stalls": self.fabric.chaos_stalls,
             "wan_blackout_hits": self.fabric.chaos_blackouts,
+            "wan_outage_hits": self.fabric.chaos_region_outage_hits,
         }
 
     def inject_outage(self, region_key: str, duration_s: float) -> None:

@@ -44,7 +44,7 @@ from repro.simcloud.network import (
     InstanceChannel,
     NetworkFabric,
 )
-from repro.simcloud.objectstore import Blob, Bucket
+from repro.simcloud.objectstore import Blob, Bucket, ServiceUnavailable
 from repro.simcloud.pricing import PriceBook
 from repro.simcloud.regions import Provider, Region
 from repro.simcloud.rng import BufferedSampler, Dist, RngFactory, normal
@@ -224,6 +224,13 @@ class FaasRegion:
         self.chaos_crash_prob = 0.0
         self.chaos_mean_delay_s = 2.0
         self.chaos_crashes = 0
+        #: Sustained-outage schedule: ``(start, end)`` windows during
+        #: which the regional control plane refuses every new attempt.
+        self.chaos_outage_windows: tuple[tuple[float, float], ...] = ()
+        self.chaos_outage_failures = 0
+        #: Optional :class:`~repro.core.health.HealthTracker` fed one
+        #: ``("faas", region)`` result per finished attempt.
+        self.health_sink = None
 
     def configure_chaos(self, chaos) -> None:
         """Adopt the FaaS knobs of a :class:`~repro.simcloud.chaos.ChaosConfig`
@@ -231,6 +238,19 @@ class FaasRegion:
         self.chaos_crash_prob = chaos.crash_prob if chaos is not None else 0.0
         if chaos is not None:
             self.chaos_mean_delay_s = chaos.crash_mean_delay_s
+            self.chaos_outage_windows = tuple(
+                (start, start + duration)
+                for region_key, start, duration in chaos.faas_outages
+                if region_key == self.region.key)
+        else:
+            self.chaos_outage_windows = ()
+
+    def _outage_active(self) -> bool:
+        now = self.sim.now
+        for start, end in self.chaos_outage_windows:
+            if start <= now < end:
+                return True
+        return False
 
     @property
     def provider(self) -> str:
@@ -371,6 +391,20 @@ class FaasRegion:
                        name=f"faas:{self.region.key}:{invocation.name}")
 
     def _run_attempt(self, dep: _Deployment, invocation: Invocation):
+        if self.chaos_outage_windows and self._outage_active():
+            # Regional platform outage: the control plane refuses the
+            # attempt before any instance starts — nothing runs, nothing
+            # bills — and the caller sees the platform's normal failure
+            # path (auto-retry with backoff, then the dead-letter queue).
+            try:
+                yield SleepRequest(0.05)
+            finally:
+                self._release_slot()
+            self.chaos_outage_failures += 1
+            self._settle_attempt(
+                dep, invocation, None,
+                ServiceUnavailable(f"faas outage in {self.region.key}"))
+            return
         try:
             inst, cold = yield self.sim.spawn(self._acquire_instance(dep))
             dep.stats["cold_starts" if cold else "warm_starts"] += 1
@@ -417,6 +451,16 @@ class FaasRegion:
             dep.warm_pool.append(inst)
         finally:
             self._release_slot()
+        self._settle_attempt(dep, invocation, result, error)
+
+    def _settle_attempt(self, dep: _Deployment, invocation: Invocation,
+                        result: Any, error: Optional[BaseException]) -> None:
+        """Resolve, retry, or dead-letter one finished attempt, and
+        report its outcome to the health sink (per attempt, not per
+        invocation — the circuit breaker should see every refusal an
+        outage produces, not one failure after the retries drain)."""
+        if self.health_sink is not None:
+            self.health_sink.record(("faas", self.region.key), error is None)
         if error is None:
             invocation.resolve(result)
             return
@@ -543,7 +587,8 @@ class FunctionContext:
             factor *= float(np.exp(fabric._rng.normal(-extra_sigma**2 / 2, extra_sigma)))
         seconds = nbytes * 8 / (mbps * 1e6) * divisor / factor
         if fabric._chaos is not None and peer.key != self.region.key:
-            seconds += fabric.chaos_penalty_s(self.now)
+            seconds += fabric.chaos_penalty_s(self.now, self.region.key,
+                                              peer.key)
         return seconds
 
     # -- object storage data path -----------------------------------------------

@@ -94,6 +94,15 @@ class KvTable:
         self._chaos_rng = None
         self.chaos_rejected = 0
         self.chaos_delayed = 0
+        #: Sustained-outage schedule: ``(start, end)`` windows during
+        #: which every operation (reads included) is rejected with
+        #: :class:`Throttled` — the regional database is dark.
+        self._outage_windows: tuple[tuple[float, float], ...] = ()
+        self.chaos_outage_rejections = 0
+        # Optional HealthTracker fed one ("kv", region) result per
+        # operation; None keeps the hot path at a single check.
+        self._health = None
+        self._health_target = ("kv", region.key)
 
     # -- fault injection ---------------------------------------------------
 
@@ -105,6 +114,17 @@ class KvTable:
         """
         self._chaos = chaos if chaos is not None and chaos.kv_enabled else None
         self._chaos_rng = rng
+        if self._chaos is not None:
+            self._outage_windows = tuple(
+                (start, start + duration)
+                for region_key, start, duration in self._chaos.kv_outages
+                if region_key == self.region.key)
+        else:
+            self._outage_windows = ()
+
+    def set_health(self, tracker) -> None:
+        """Report per-operation outcomes to ``tracker`` (None clears)."""
+        self._health = tracker
 
     def _chaos_admit(self, kind: str,
                      apply: Callable[[], Any]) -> DeferredResult | Future:
@@ -118,9 +138,24 @@ class KvTable:
         round-trip" a real phenomenon lock clients must survive.
         """
         chaos, rng = self._chaos, self._chaos_rng
+        if self._outage_windows:
+            now = self.sim.now
+            for start, end in self._outage_windows:
+                if start <= now < end:
+                    # Regional database outage: everything — reads
+                    # included — is refused before any mutation applies.
+                    self.chaos_outage_rejections += 1
+                    if self._health is not None:
+                        self._health.record(self._health_target, False)
+                    return DeferredResult(
+                        self._latency(), None,
+                        Throttled(f"{self.name}: {self.region.key} "
+                                  f"KV outage"))
         if (kind == "write" and chaos.kv_reject_prob
                 and rng.random() < chaos.kv_reject_prob):
             self.chaos_rejected += 1
+            if self._health is not None:
+                self._health.record(self._health_target, False)
             # Refused requests are not billed (DynamoDB does not charge
             # throttled writes) and never reach the item store.
             return DeferredResult(self._latency(), None,
@@ -131,6 +166,10 @@ class KvTable:
             fut = Future(self.sim)
 
             def admit(_a: Any, _b: Any) -> None:
+                if self._health is not None:
+                    # The database answered (even a ConditionFailed is
+                    # a healthy, linearizable response).
+                    self._health.record(self._health_target, True)
                 try:
                     value = apply()
                 except Exception as exc:  # ConditionFailed etc.
@@ -159,6 +198,11 @@ class KvTable:
         self.op_counts[kind] += 1
         self._ledger.charge(self.sim.now, CostCategory.KV_OPS,
                             self._op_cost[kind], self._op_detail[kind])
+        if self._health is not None:
+            # Any admitted response — ConditionFailed included — means
+            # the database is up; only rejections (which bypass this
+            # path) count against the region's health.
+            self._health.record(self._health_target, True)
         return DeferredResult(self._latency(), value, error)
 
     # -- point operations ----------------------------------------------------

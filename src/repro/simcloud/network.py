@@ -225,6 +225,10 @@ class NetworkFabric:
         self._clock = None
         self.chaos_stalls = 0
         self.chaos_blackouts = 0
+        #: Regional outage windows keyed by region: transfers touching
+        #: the region as any endpoint wait out the window.
+        self._outage_by_region: dict[str, tuple[tuple[float, float], ...]] = {}
+        self.chaos_region_outage_hits = 0
 
     # -- fault injection --------------------------------------------------
 
@@ -238,11 +242,19 @@ class NetworkFabric:
         self._chaos = chaos if chaos is not None and chaos.wan_enabled else None
         self._chaos_rng = rng
         self._clock = clock
+        self._outage_by_region = {}
+        if self._chaos is not None:
+            for region_key, start, duration in self._chaos.wan_outages:
+                windows = self._outage_by_region.setdefault(region_key, ())
+                self._outage_by_region[region_key] = windows + (
+                    (start, start + duration),)
 
-    def chaos_penalty_s(self, now: float) -> float:
+    def chaos_penalty_s(self, now: float, *region_keys: str) -> float:
         """Extra seconds a cross-region transfer starting ``now`` pays.
 
-        A transfer that begins inside a blackout window waits for the
+        A transfer that begins inside a global blackout window, or a
+        regional outage window touching any of ``region_keys`` (the
+        transfer's endpoints and executing region), waits for the
         window to close; independently it may hit a transient stall
         (routing flap, throttled NAT) with an exponential duration.
         Only called when a chaos config with WAN faults is installed.
@@ -254,6 +266,17 @@ class NetworkFabric:
                 self.chaos_blackouts += 1
                 extra += (start + duration) - now
                 break
+        if self._outage_by_region and region_keys:
+            # The transfer resumes once every touched region is back:
+            # wait until the latest end among currently-active windows.
+            until = 0.0
+            for key in region_keys:
+                for start, end in self._outage_by_region.get(key, ()):
+                    if start <= now < end:
+                        until = max(until, end)
+            if until > now:
+                self.chaos_region_outage_hits += 1
+                extra += until - now
         if (chaos.wan_stall_prob
                 and self._chaos_rng.random() < chaos.wan_stall_prob):
             self.chaos_stalls += 1
@@ -362,5 +385,6 @@ class NetworkFabric:
         seconds = base * divisor / factor
         if (self._chaos is not None and self._clock is not None
                 and (exec_region.key != src.key or exec_region.key != dst.key)):
-            seconds += self.chaos_penalty_s(self._clock())
+            seconds += self.chaos_penalty_s(self._clock(), exec_region.key,
+                                            src.key, dst.key)
         return seconds

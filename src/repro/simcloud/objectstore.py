@@ -222,9 +222,16 @@ class Bucket:
         #: Injected-fault flag: while True, every data-plane operation
         #: raises :class:`ServiceUnavailable` (a region-wide outage).
         self.in_outage = False
+        #: Optional HealthTracker told about every outage rejection;
+        #: healthy calls are not recorded here (the data plane is too
+        #: hot) — store breakers close via the engine's transfer-success
+        #: reports instead.
+        self.health_sink = None
 
     def _check_available(self) -> None:
         if self.in_outage:
+            if self.health_sink is not None:
+                self.health_sink.record(("store", self.region.key), False)
             raise ServiceUnavailable(
                 f"{self.region.key}/{self.name} is unavailable (outage)")
 

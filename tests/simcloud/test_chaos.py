@@ -215,8 +215,9 @@ class TestCloudFanout:
         cloud = build_default_cloud(seed=7)
         stats = cloud.chaos_stats()
         assert set(stats) == {
-            "faas_crashes", "notifications_dropped",
+            "faas_crashes", "faas_outage_failures", "notifications_dropped",
             "notifications_duplicated", "notifications_reordered",
-            "kv_rejected", "kv_delayed", "wan_stalls", "wan_blackout_hits",
+            "kv_rejected", "kv_delayed", "kv_outage_rejections",
+            "wan_stalls", "wan_blackout_hits", "wan_outage_hits",
         }
         assert all(v == 0 for v in stats.values())

@@ -92,3 +92,30 @@ class TestCommands:
         assert rc == 0, out
         assert "RESULT: CONVERGED" in out
         assert "injected faults:" in out
+        assert "dead-letter drain: converged" in out
+
+    @pytest.mark.outage
+    def test_outage_drill_passes(self, capsys):
+        rc = main(["outage-drill", "--seed", "0", "--requests", "150",
+                   "--profile-samples", "4"])
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "RESULT: PASS" in out
+        assert "degraded operation:" in out
+        assert "repair scan rule1: clean" in out
+
+    @pytest.mark.outage
+    def test_outage_drill_json_report(self, capsys):
+        import json
+
+        rc = main(["outage-drill", "--seed", "0", "--requests", "150",
+                   "--profile-samples", "4", "--json"])
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        report = json.loads(out)
+        assert report["result"] == "PASS"
+        assert report["degradation_engaged"] is True
+        assert report["convergence"]["converged"] is True
+        assert report["repair"]["clean"] is True
+        assert report["parked_backlog"] == 0
+        assert "health" in report and "engine_stats" in report
