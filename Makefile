@@ -1,0 +1,31 @@
+# Developer entry points.  Everything runs against the in-tree sources
+# (PYTHONPATH=src), matching the CI tier-1 invocation.
+
+PY ?= python
+export PYTHONPATH := src
+
+.PHONY: test trace-tests chaos-tests perf coverage
+
+## tier-1: the full default suite (perf benchmarks excluded via addopts)
+test:
+	$(PY) -m pytest -x -q
+
+## just the causal-tracing / trace-oracle suites
+trace-tests:
+	$(PY) -m pytest -q -m trace
+
+## just the fault-injection and outage drills
+chaos-tests:
+	$(PY) -m pytest -q -m "chaos or outage"
+
+## wall-clock benchmarks (compare against BENCH_PR1.json with bench-perf)
+perf:
+	$(PY) -m pytest -q -m perf
+
+## line coverage over src/repro; requires the dev extras (pytest-cov).
+## Gated so environments without pytest-cov fail with a message instead
+## of an unknown-option error from pytest.
+coverage:
+	@$(PY) -c "import pytest_cov" 2>/dev/null || \
+		{ echo "pytest-cov is not installed; run: pip install -e .[dev]"; exit 1; }
+	$(PY) -m pytest -q --cov=repro --cov-report=term-missing --cov-fail-under=60

@@ -41,14 +41,15 @@ def parse_size(text: str) -> int:
         raise argparse.ArgumentTypeError(f"cannot parse size {text!r}") from None
 
 
-def _build_service(args, slo: float = 0.0):
+def _build_service(args, slo: float = 0.0, tracing: bool = False):
     from repro.core.config import ReplicaConfig
     from repro.core.service import AReplicaService
     from repro.simcloud.cloud import build_default_cloud
 
     cloud = build_default_cloud(seed=args.seed)
     config = ReplicaConfig(slo_seconds=slo, percentile=args.percentile,
-                           profile_samples=args.profile_samples)
+                           profile_samples=args.profile_samples,
+                           tracing_enabled=tracing)
     service = AReplicaService(cloud, config)
     src = cloud.bucket(args.src, "src")
     dst = cloud.bucket(args.dst, "dst")
@@ -147,17 +148,28 @@ def cmd_trace(args) -> int:
     from repro.traces.ibm_cos import IbmCosTraceGenerator
     from repro.traces.replay import TraceReplayer
 
-    cloud, service, src, dst, rule = _build_service(args, slo=args.slo)
+    cloud, service, src, dst, rule = _build_service(
+        args, slo=args.slo, tracing=args.trace_out is not None)
     trace = IbmCosTraceGenerator(seed=args.seed).busy_hour(
         total_requests=args.requests)
     if not args.json:
         print(f"replaying {len(trace)} requests over one hour "
               f"({args.src} -> {args.dst}, SLO={args.slo or 'fastest'}) ...")
     stats = TraceReplayer(cloud, src).replay_all(trace)
+    extra = {}
+    if args.trace_out is not None:
+        service.tracer.export_chrome(args.trace_out)
+        extra = {
+            "trace_out": args.trace_out,
+            "trace_spans": len(service.tracer.spans),
+            "trace_events": len(service.tracer.events),
+            "delay_breakdown": service.tracer.delay_breakdown(),
+        }
     if args.json:
         _print_json(_machine_report(cloud, service, rule, {
             "requests": stats.requests,
             "bytes_written": stats.bytes_written,
+            **extra,
         }))
         return 0
     delays = np.asarray(service.delays())
@@ -167,6 +179,10 @@ def cmd_trace(args) -> int:
                      ("p99.99", 0.9999)):
         print(f"  {label:<7} replication delay: {np.quantile(delays, q):8.2f} s")
     print(f"  total cost: ${cloud.ledger.total():.4f}")
+    if args.trace_out is not None:
+        print(f"\nper-phase delay breakdown "
+              f"(Chrome trace written to {args.trace_out}):")
+        print(service.tracer.render_breakdown())
     return 0
 
 
@@ -195,6 +211,7 @@ def cmd_chaos_soak(args) -> int:
     """Replay a trace segment under a seeded fault schedule, then let the
     storm pass, drain retries/DLQs and assert full convergence."""
     from repro.core.audit import ReplicationAuditor
+    from repro.core.invariants import TraceChecker
     from repro.simcloud.chaos import ChaosConfig
     from repro.traces.ibm_cos import IbmCosTraceGenerator
     from repro.traces.replay import TraceReplayer
@@ -208,7 +225,8 @@ def cmd_chaos_soak(args) -> int:
         kv_delay_prob=args.kv_delay,
         wan_stall_prob=args.wan_stall,
     )
-    cloud, service, src, dst, rule = _build_service(args, slo=args.slo)
+    cloud, service, src, dst, rule = _build_service(args, slo=args.slo,
+                                                    tracing=True)
     # Chaos goes live only after onboarding: faults are injected into
     # the running service, not into the offline profiling step.
     cloud.apply_chaos(chaos)
@@ -225,8 +243,10 @@ def cmd_chaos_soak(args) -> int:
     cloud.apply_chaos(None)
     convergence = service.run_to_convergence()
     report = ReplicationAuditor(service).audit(quiescent=True)
+    trace_report = TraceChecker(service).check()
     pending = service.pending_count()
-    clean = report.clean and pending == 0 and convergence.converged
+    clean = (report.clean and trace_report.clean and pending == 0
+             and convergence.converged)
 
     if args.json:
         _print_json(_machine_report(cloud, service, rule, {
@@ -239,6 +259,9 @@ def cmd_chaos_soak(args) -> int:
                 "parked_backlog": convergence.parked_backlog,
             },
             "audit_clean": report.clean,
+            "trace_clean": trace_report.clean,
+            "trace_checked": trace_report.checked,
+            "trace_findings": [str(f) for f in trace_report.findings],
             "pending_measurements": pending,
             "result": "CONVERGED" if clean else "DIVERGED",
         }))
@@ -258,6 +281,7 @@ def cmd_chaos_soak(args) -> int:
     print("dead-letter drain: " + convergence.render())
     print(f"convergence audit ({pending} pending measurement(s)):")
     print(report.render())
+    print(trace_report.render())
     print("RESULT: " + ("CONVERGED" if clean else "DIVERGED"))
     return 0 if clean else 1
 
@@ -269,12 +293,14 @@ def cmd_outage_drill(args) -> int:
     recovery, and a quiescent audit plus anti-entropy scan find zero
     divergence."""
     from repro.core.audit import ReplicationAuditor
+    from repro.core.invariants import TraceChecker
     from repro.core.repair import AntiEntropyScanner
     from repro.simcloud.chaos import ChaosConfig
     from repro.traces.ibm_cos import IbmCosTraceGenerator
     from repro.traces.replay import TraceReplayer
 
-    cloud, service, src, dst, rule = _build_service(args, slo=args.slo)
+    cloud, service, src, dst, rule = _build_service(args, slo=args.slo,
+                                                    tracing=True)
     region = args.outage_region or args.src
     window = ((region, args.outage_start, args.outage_duration),)
     # Black out every substrate at once: functions fast-fail, the KV
@@ -300,10 +326,11 @@ def cmd_outage_drill(args) -> int:
         audit = ReplicationAuditor(service).audit(quiescent=True)
         repair = AntiEntropyScanner(service).scan(rule, redrive=False)
     pending = service.pending_count()
+    trace_report = TraceChecker(service).check()
     engine = rule.engine
     degraded = engine.stats["parked"] > 0
     clean = (degraded and convergence.converged and audit.clean
-             and repair.clean and pending == 0)
+             and repair.clean and trace_report.clean and pending == 0)
 
     if args.json:
         _print_json(_machine_report(cloud, service, rule, {
@@ -311,6 +338,9 @@ def cmd_outage_drill(args) -> int:
             "outage": {"region": region, "start_s": args.outage_start,
                        "duration_s": args.outage_duration},
             "degradation_engaged": degraded,
+            "trace_clean": trace_report.clean,
+            "trace_checked": trace_report.checked,
+            "trace_findings": [str(f) for f in trace_report.findings],
             "backlog_drained_at_s": engine.backlog_drained_at,
             "health_transitions": len(service.health.transitions)
             if service.health is not None else 0,
@@ -347,6 +377,7 @@ def cmd_outage_drill(args) -> int:
     print(f"quiescent audit ({pending} pending measurement(s)):")
     print(audit.render())
     print(repair.render())
+    print(trace_report.render())
     print("RESULT: " + ("PASS" if clean else "FAIL"))
     if not degraded:
         print("  (outage never engaged the degraded path — lengthen the "
@@ -546,6 +577,10 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--requests", type=int, default=5000)
     trace.add_argument("--json", action="store_true",
                        help="emit the machine-readable report instead of text")
+    trace.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="record a causal trace and write Chrome "
+                            "trace-event JSON here (also prints the "
+                            "per-phase N/I/D/P/S/C delay breakdown)")
     common(sub.add_parser("compare", help="compare against the baselines"))
     cost = sub.add_parser("cost", help="project monthly replication cost")
     common(cost, with_size=False)

@@ -93,6 +93,11 @@ class ReplicaConfig:
     health_enabled: bool = True
     breaker: BreakerConfig = field(default_factory=BreakerConfig)
     outage_catchup_concurrency: int = 8
+    #: Record a causal span/event trace for every replication task
+    #: (repro.core.tracing).  Off by default: the disabled path costs
+    #: one ``is not None`` check per emission site, preserving the
+    #: benchmarked hot-path numbers.
+    tracing_enabled: bool = False
 
     def __post_init__(self) -> None:
         if self.slo_seconds < 0:

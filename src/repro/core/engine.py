@@ -139,6 +139,10 @@ class ReplicationEngine:
         self._lock_table = cloud.kv_table(src_bucket.region.key,
                                           f"{_STATE_TABLE}-{rule_id}")
         self.locks = ReplicationLockManager(self._lock_table)
+        #: Optional causal tracer (installed via :meth:`set_tracer`);
+        #: every emission site below guards on one attribute read so
+        #: the disabled path stays free.
+        self.tracer = None
         #: Experiment hook: force every task onto (n, loc_key) instead of
         #: consulting the planner (the ablation studies pin strategies).
         self.forced_plan: Optional[tuple[int, str]] = None
@@ -180,6 +184,12 @@ class ReplicationEngine:
 
     def _faas_at(self, loc_key: str):
         return self.cloud.faas(loc_key)
+
+    def set_tracer(self, tracer) -> None:
+        """Install (or clear, with None) the causal tracer on the engine
+        and the control-plane primitives it owns."""
+        self.tracer = tracer
+        self.locks.tracer = tracer
 
     def _state_table(self, loc_key: str):
         return self.cloud.kv_table(loc_key, f"{_STATE_TABLE}-{self.rule_id}")
@@ -249,7 +259,8 @@ class ReplicationEngine:
             self.stats["lock_lost"] += 1
         return ok
 
-    def _mark_done(self, ctx, key: str, etag: str, seq: int, time: float):
+    def _mark_done(self, ctx, key: str, etag: str, seq: int, time: float,
+                   op: str = "put"):
         """Process: advance the key's done marker, monotonically in seq.
 
         An unconditional put would let a zombie writer (or any delayed
@@ -259,10 +270,25 @@ class ReplicationEngine:
         def advance(item):
             if item is not None and item.get("seq", -1) >= seq:
                 return item
-            return {"etag": etag, "seq": seq, "time": time}
+            if self.tracer is not None:
+                # Emitted inside the closure: only an advance that
+                # actually lands counts (the checker compares the
+                # newest marker against the destination bucket).
+                self.tracer.event("done-marker", "engine", None,
+                                  rule=self.rule_id, key=key, seq=seq,
+                                  etag=etag, op=op)
+            return {"etag": etag, "seq": seq, "time": time, "op": op}
 
         yield from self._kv(
             ctx, lambda: self._lock_table.update_item(f"done:{key}", advance))
+
+    def _record_visible(self, task_id: Optional[str],
+                        result: TaskResult) -> None:
+        """Report a visibility outcome, mirrored into the trace."""
+        if self.tracer is not None:
+            self.tracer.event("visible", "engine", task_id, key=result.key,
+                              seq=result.seq, kind=result.kind)
+        self.recorder.record_visible(result)
 
     def _abort_upload(self, upload_id: str) -> None:
         """Best-effort multipart abort on the destination.
@@ -310,6 +336,13 @@ class ReplicationEngine:
 
     def _dispatch_event(self, payload: dict) -> None:
         """Route ``payload`` to an orchestrator, or park it."""
+        if self.tracer is not None and "task" not in payload:
+            # Stamp the deterministic task id at dispatch so the FaaS
+            # substrate attributes the orchestrator invocation's own
+            # I/D/P/S/C spans to the task (replicator payloads already
+            # carry ``task_id``).
+            payload["task"] = (f"{self.rule_id}:{payload['key']}:"
+                               f"{payload['seq']}:{payload['kind']}")
         route = self._route()
         if route is None:
             self._park(payload)
@@ -330,6 +363,10 @@ class ReplicationEngine:
         """Queue a task no route can serve; drained on recovery."""
         self.stats["parked"] += 1
         backlog_id = next(self._backlog_seq)
+        if self.tracer is not None:
+            self.tracer.event("park", "engine", payload.get("task"),
+                              rule=self.rule_id, backlog_id=backlog_id,
+                              key=payload.get("key"))
         self._backlog.append((backlog_id, payload))
         self._persist_parked(backlog_id, payload)
 
@@ -388,6 +425,9 @@ class ReplicationEngine:
         if route != self.src_bucket.region.key:
             self.stats["failover"] += 1
         _bid, payload = self._backlog[0]
+        if self.tracer is not None:
+            self.tracer.event("probe", "engine", payload.get("task"),
+                              rule=self.rule_id, backlog_id=_bid)
         self._faas_at(route).invoke_and_forget(self._orch_name, dict(payload))
 
     def _maybe_drain(self) -> None:
@@ -420,6 +460,11 @@ class ReplicationEngine:
                                for _bid, payload in batch]
                 for backlog_id, _payload in batch:
                     self.stats["drained"] += 1
+                    if self.tracer is not None:
+                        self.tracer.event("drain", "engine",
+                                          _payload.get("task"),
+                                          rule=self.rule_id,
+                                          backlog_id=backlog_id)
                     self._unpersist_parked(backlog_id)
                 # Await sequentially with individual guards: a single
                 # dead-lettered invocation (fails its Future) must not
@@ -497,7 +542,7 @@ class ReplicationEngine:
                 ctx, lambda: self._lock_table.get_item(f"done:{key}"))
             if done is not None and done["seq"] >= payload["seq"]:
                 self.stats["skipped_done"] += 1
-                self.recorder.record_visible(TaskResult(
+                self._record_visible(task_id, TaskResult(
                     key=key, etag=done["etag"], seq=done["seq"],
                     event_time=payload["event_time"],
                     visible_time=max(done.get("time", ctx.now),
@@ -511,7 +556,8 @@ class ReplicationEngine:
             ctx, lambda: self._lock_table.get_item(f"done:{key}"))
         if (done is not None and not payload.get("repair")
                 and (done["seq"] >= current.sequencer
-                     or done["etag"] == current.etag)):
+                     or (done["etag"] == current.etag
+                         and done.get("op", "put") != "delete"))):
             # Already replicated: a prior task shipped this version (or
             # a newer one) — possibly under an older sequencer when the
             # same *content* was re-written, e.g. by the reverse rule of
@@ -520,14 +566,17 @@ class ReplicationEngine:
             # events skip this short-circuit: anti-entropy exists to
             # heal divergence *behind* a valid done marker (the
             # destination lost or corrupted bytes after the marker was
-            # written), so the marker cannot vouch for them.
+            # written), so the marker cannot vouch for them.  A *delete*
+            # marker's ETag is the deleted version's: identical content
+            # re-created after the delete is not at the destination, so
+            # only put markers may vouch by ETag.
             self.stats["skipped_done"] += 1
             effective_seq = max(done["seq"], current.sequencer)
             if effective_seq > done["seq"]:
                 yield from self._mark_done(ctx, key, done["etag"],
                                            effective_seq,
                                            done.get("time", ctx.now))
-            self.recorder.record_visible(TaskResult(
+            self._record_visible(task_id, TaskResult(
                 key=key, etag=done["etag"], seq=effective_seq,
                 event_time=payload["event_time"],
                 # When identical content was re-written, it was already
@@ -569,7 +618,7 @@ class ReplicationEngine:
             self.stats["content_skipped"] = self.stats.get("content_skipped", 0) + 1
             yield from self._mark_done(ctx, key, current.etag,
                                        current.sequencer, ctx.now)
-            self.recorder.record_visible(TaskResult(
+            self._record_visible(task_id, TaskResult(
                 key=key, etag=current.etag, seq=current.sequencer,
                 event_time=payload["event_time"], visible_time=ctx.now,
                 plan=None, kind="content-match", started=ctx.now,
@@ -580,6 +629,7 @@ class ReplicationEngine:
             applied = yield from self._try_changelog(ctx, task)
             if applied:
                 return
+        plan_from = ctx.now
         try:
             plan = self._plan(task, ctx.now)
         except NoRouteAvailable:
@@ -589,6 +639,11 @@ class ReplicationEngine:
             self._park(dict(payload))
             yield from self._finish(ctx, task_id, key, None)
             return
+        if self.tracer is not None:
+            self.tracer.span("plan", "engine", task_id, plan_from, ctx.now,
+                             n=plan.n, loc_key=plan.loc_key,
+                             inline=plan.inline, compliant=plan.compliant,
+                             predicted_s=plan.predicted_s)
         task["plan_n"] = plan.n
         task["loc_key"] = plan.loc_key
         task["predicted_s"] = plan.predicted_s
@@ -644,7 +699,7 @@ class ReplicationEngine:
             ctx, lambda: self._lock_table.get_item(f"done:{key}"))
         if done is not None and done["seq"] >= payload["seq"]:
             self.stats["skipped_done"] += 1
-            self.recorder.record_visible(TaskResult(
+            self._record_visible(task_id, TaskResult(
                 key=key, etag=done["etag"], seq=done["seq"],
                 event_time=payload["event_time"],
                 visible_time=done.get("time", ctx.now),
@@ -671,13 +726,20 @@ class ReplicationEngine:
             # this delete, nobody else would ever propagate it.  Hand the
             # event to a fresh task (fresh lock, fresh fence) instead.
             self.stats["retriggered"] += 1
+            if self.tracer is not None:
+                self.tracer.event("retrigger", "engine", task_id, key=key,
+                                  seq=payload["seq"], kind="deleted")
             self._dispatch_event(dict(payload))
             return
         self.stats["deletes"] += 1
         yield from ctx.delete_object(self.dst_bucket, key)
+        if self.tracer is not None:
+            self.tracer.event("finalize", "engine", task_id, key=key,
+                              seq=payload["seq"], etag=payload["etag"],
+                              fence=fence, op="delete")
         yield from self._mark_done(ctx, key, payload["etag"], payload["seq"],
-                                   ctx.now)
-        self.recorder.record_visible(TaskResult(
+                                   ctx.now, op="delete")
+        self._record_visible(task_id, TaskResult(
             key=key, etag=payload["etag"], seq=payload["seq"],
             event_time=payload["event_time"], visible_time=ctx.now,
             plan=None, kind="deleted",
@@ -1132,6 +1194,9 @@ class ReplicationEngine:
         if not first:
             return
         self.stats["aborted"] += 1
+        if self.tracer is not None:
+            self.tracer.event("abort", "engine", task["task_id"],
+                              key=task["key"], etag=task["etag"])
         self.recorder.record_abort(task["key"], task["etag"])
         # The yield must sit *outside* any exception guard: an Interrupt
         # (chaos crash, watchdog) delivered here must kill this function
@@ -1156,6 +1221,11 @@ class ReplicationEngine:
             # walk a half-open ("store", region) breaker closed.
             self.health.record(("store", self.src_bucket.region.key), True)
             self.health.record(("store", self.dst_bucket.region.key), True)
+        if self.tracer is not None:
+            self.tracer.event("finalize", "engine", task["task_id"],
+                              key=task["key"], seq=task["seq"],
+                              etag=task["etag"], fence=task.get("fence"),
+                              op="put")
         yield from self._mark_done(ctx, task["key"], task["etag"],
                                    task["seq"], ctx.now)
         plan = None
@@ -1169,7 +1239,7 @@ class ReplicationEngine:
                 compliant=True, inline=task.get("mode") is None,
                 predicted_median_s=task.get("predicted_median_s", 0.0),
             )
-        self.recorder.record_visible(TaskResult(
+        self._record_visible(task["task_id"], TaskResult(
             key=task["key"], etag=task["etag"], seq=task["seq"],
             event_time=task["event_time"], visible_time=ctx.now,
             plan=plan, kind=kind, started=task.get("started", task["event_time"]),
@@ -1190,6 +1260,8 @@ class ReplicationEngine:
             # silently no-oping — it is the observable trace of every
             # zombie-writer interleaving.
             self.stats["lock_lost"] += 1
+            if self.tracer is not None:
+                self.tracer.event("lock-lost", "engine", task_id, key=key)
             return
         pending = outcome.pending
         needs_retrigger = False
@@ -1213,6 +1285,10 @@ class ReplicationEngine:
                 # else will converge the destination: propagate the
                 # deletion (idempotent with the DELETE event's own task).
                 self.stats["retriggered"] += 1
+                if self.tracer is not None:
+                    self.tracer.event("retrigger", "engine", task_id,
+                                      key=key, seq=pending.seq,
+                                      kind="deleted")
                 self._dispatch_event({
                     "kind": "deleted", "key": key, "etag": pending.etag,
                     "seq": pending.seq, "size": 0,
@@ -1222,6 +1298,9 @@ class ReplicationEngine:
         if replicated_seq is not None and current.sequencer <= replicated_seq:
             return
         self.stats["retriggered"] += 1
+        if self.tracer is not None:
+            self.tracer.event("retrigger", "engine", task_id, key=key,
+                              seq=current.sequencer, kind="created")
         self._dispatch_event({
             "kind": "created", "key": key, "etag": current.etag,
             "seq": current.sequencer, "size": current.size,

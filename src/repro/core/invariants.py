@@ -1,0 +1,347 @@
+"""Trace-invariant oracle — ``fsck`` for a finished causal trace.
+
+Where the :class:`~repro.core.audit.ReplicationAuditor` inspects the
+*end state* of a rule (buckets, lock tables, measurements), the
+:class:`TraceChecker` validates the *execution itself*, offline, from
+the spans and events a :class:`~repro.core.tracing.Tracer` recorded:
+
+* **clock** — the recorder's times must be non-decreasing in record
+  order and every span must close after it opens (the kernel never
+  runs the clock backwards; a violation means an emission site used a
+  stale timestamp);
+* **lifecycle** — per task: lock acquisition precedes plan selection's
+  outcome, which precedes the fenced finalize, which precedes the
+  visibility report;
+* **unfenced-visible** — every destination-mutating visibility
+  (``created`` / ``changelog`` / ``deleted``) must be preceded by a
+  finalize event carrying a valid fencing token;
+* **superseded-fence** — no finalize may use a token that a later
+  lock acquisition had already superseded *before* the finalize ran
+  (the zombie-writer interleaving, §5.2);
+* **lock-order** — per key, lock events must replay through a legal
+  state machine: fresh acquisitions start at fence 1, re-entrant
+  re-acquisitions keep their token, lease takeovers bump it by one,
+  and only the current holder can successfully release;
+* **park-leak** — every parked task must eventually drain (chaos and
+  outage suites call the checker at quiescence);
+* **done-mismatch** — the newest done marker per key must agree with
+  the destination bucket (PUT ⇒ ETag match, DELETE ⇒ key absent);
+* **cost-gap / cost-orphan** — the charges mirrored through the
+  tracer's cost sink must sum to the ledger's growth since install,
+  and task-attributed charges must reference tasks the trace knows.
+
+A clean report turns every chaos/outage scenario into a *checked
+execution*: the oracle is the property, not a per-scenario assert.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.tracing import Tracer
+
+__all__ = ["TraceFinding", "TraceReport", "TraceChecker"]
+
+_EPS = 1e-9
+
+#: Visibility kinds that actually mutated the destination and therefore
+#: require a fenced finalize.  ``already-replicated``, ``content-match``
+#: and ``duplicate-delivery`` report visibility of work done earlier.
+_WRITING_KINDS = frozenset({"created", "changelog", "deleted"})
+
+
+@dataclass(frozen=True)
+class TraceFinding:
+    """One violated trace invariant."""
+
+    kind: str   # clock | lifecycle | unfenced-visible | superseded-fence
+                # | lock-order | park-leak | done-mismatch | cost-gap
+                # | cost-orphan
+    subject: str   # task id, object key, or backlog id
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.kind}] {self.subject}: {self.detail}"
+
+
+@dataclass
+class TraceReport:
+    """All findings from one checker pass."""
+
+    findings: list[TraceFinding] = field(default_factory=list)
+    #: How much work the pass validated (for "did it even look" asserts).
+    checked: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def by_kind(self, kind: str) -> list[TraceFinding]:
+        return [f for f in self.findings if f.kind == kind]
+
+    def render(self) -> str:
+        head = (f"trace: {len(self.findings)} finding(s), "
+                + ", ".join(f"{k}={v}" for k, v in sorted(self.checked.items())))
+        if self.clean:
+            return f"trace: clean ({head.split(', ', 1)[-1]})"
+        return "\n".join([head] + [f"  {f}" for f in self.findings])
+
+
+class TraceChecker:
+    """Validates lifecycle invariants from a finished trace.
+
+    Built on a service so the done-marker check can compare against the
+    live destination buckets; the trace itself defaults to the
+    service's installed tracer.
+    """
+
+    def __init__(self, service, tracer: Optional[Tracer] = None):
+        self.service = service
+        self.tracer = tracer if tracer is not None else service.tracer
+        if self.tracer is None:
+            raise ValueError("service has no tracer installed "
+                             "(ReplicaConfig.tracing_enabled)")
+
+    def check(self) -> TraceReport:
+        report = TraceReport()
+        tr = self.tracer
+        self._check_clock(tr, report)
+        self._check_locks(tr, report)
+        self._check_lifecycle(tr, report)
+        self._check_backlog(tr, report)
+        self._check_done_markers(tr, report)
+        self._check_costs(tr, report)
+        return report
+
+    # -- 1. clock sanity ---------------------------------------------------
+
+    def _check_clock(self, tr: Tracer, report: TraceReport) -> None:
+        report.checked["spans"] = len(tr.spans)
+        report.checked["events"] = len(tr.events)
+        prev = -math.inf
+        for s in tr.spans:
+            if s.end < s.start - _EPS:
+                report.findings.append(TraceFinding(
+                    "clock", s.task or s.name,
+                    f"span {s.name} closes before it opens "
+                    f"({s.start:.6f} -> {s.end:.6f})"))
+            if s.end < prev - _EPS:
+                report.findings.append(TraceFinding(
+                    "clock", s.task or s.name,
+                    f"span {s.name} recorded out of clock order"))
+            prev = max(prev, s.end)
+        prev = -math.inf
+        for e in tr.events:
+            if e.time < prev - _EPS:
+                report.findings.append(TraceFinding(
+                    "clock", e.task or e.name,
+                    f"event {e.name} recorded out of clock order"))
+            prev = max(prev, e.time)
+
+    # -- 2/3. fencing and lock state machine -------------------------------
+
+    def _check_locks(self, tr: Tracer, report: TraceReport) -> None:
+        # holder per (rule-scoped) key: (owner, fence) while locked.
+        holders: dict[str, tuple[str, int]] = {}
+        acquires = 0
+        for e in tr.events:
+            if e.cat != "lock":
+                continue
+            key = e.attrs["key"]
+            if e.name == "lock-acquire":
+                acquires += 1
+                owner, fence = e.attrs["owner"], e.attrs["fence"]
+                mode = e.attrs["mode"]
+                held = holders.get(key)
+                if mode == "fresh":
+                    if held is not None:
+                        report.findings.append(TraceFinding(
+                            "lock-order", key,
+                            f"fresh acquire by {owner!r} while "
+                            f"{held[0]!r} holds fence {held[1]}"))
+                    elif fence != 1:
+                        report.findings.append(TraceFinding(
+                            "lock-order", key,
+                            f"fresh acquire with fence {fence} != 1"))
+                elif mode == "reentrant":
+                    if held != (owner, fence):
+                        report.findings.append(TraceFinding(
+                            "lock-order", key,
+                            f"re-entrant acquire by {owner!r} fence {fence} "
+                            f"but holder is {held!r}"))
+                elif mode == "takeover":
+                    if held is None:
+                        report.findings.append(TraceFinding(
+                            "lock-order", key,
+                            f"takeover by {owner!r} of an unheld lock"))
+                    elif fence != held[1] + 1:
+                        report.findings.append(TraceFinding(
+                            "lock-order", key,
+                            f"takeover fence {fence} does not supersede "
+                            f"{held[1]}"))
+                holders[key] = (owner, fence)
+            elif e.name == "lock-release":
+                owner, released = e.attrs["owner"], e.attrs["released"]
+                held = holders.get(key)
+                if released:
+                    if held is None or held[0] != owner:
+                        report.findings.append(TraceFinding(
+                            "lock-order", key,
+                            f"{owner!r} released a lock held by "
+                            f"{held and held[0]!r}"))
+                    holders.pop(key, None)
+                elif held is not None and held[0] == owner:
+                    report.findings.append(TraceFinding(
+                        "lock-order", key,
+                        f"holder {owner!r} failed to release its own lock"))
+        report.checked["lock_acquires"] = acquires
+
+    # -- lifecycle ordering + fenced finalize before visible ----------------
+
+    def _check_lifecycle(self, tr: Tracer, report: TraceReport) -> None:
+        first_acquire: dict[str, float] = {}
+        finalizes: dict[str, list] = {}
+        acquires_by_key: dict[str, list[tuple[float, int]]] = {}
+        plan_end: dict[str, float] = {}
+        for e in tr.events:
+            if e.cat == "lock" and e.name == "lock-acquire":
+                task = e.attrs["owner"]
+                first_acquire.setdefault(task, e.time)
+                acquires_by_key.setdefault(e.attrs["key"], []).append(
+                    (e.time, e.attrs["fence"]))
+            elif e.cat == "engine" and e.name == "finalize":
+                if e.task is not None:
+                    finalizes.setdefault(e.task, []).append(e)
+        for s in tr.spans:
+            if s.cat == "engine" and s.name == "plan" and s.task is not None:
+                plan_end.setdefault(s.task, s.end)
+        visibles = 0
+        for e in tr.events:
+            if e.cat != "engine" or e.name != "visible":
+                continue
+            visibles += 1
+            task, kind = e.task, e.attrs["kind"]
+            if kind not in _WRITING_KINDS or task is None:
+                continue
+            cands = [f for f in finalizes.get(task, ())
+                     if f.time <= e.time + _EPS]
+            if not cands:
+                report.findings.append(TraceFinding(
+                    "unfenced-visible", task,
+                    f"{kind} visible at t={e.time:.3f} with no prior "
+                    f"finalize"))
+                continue
+            fin = cands[-1]
+            fence = fin.attrs.get("fence")
+            if not isinstance(fence, int) or fence < 1:
+                report.findings.append(TraceFinding(
+                    "unfenced-visible", task,
+                    f"finalize carries invalid fence {fence!r}"))
+                continue
+            # The zombie-writer interleaving: someone acquired this key
+            # with a higher token before our finalize ran.  The scan is
+            # bounded below by our own acquire: fences restart at 1
+            # whenever a release deletes the lock record, so an earlier
+            # *generation's* takeover token says nothing about ours.
+            lo = first_acquire.get(task, -math.inf)
+            for at, f2 in acquires_by_key.get(fin.attrs["key"], ()):
+                if f2 > fence and lo - _EPS <= at < fin.time - _EPS:
+                    report.findings.append(TraceFinding(
+                        "superseded-fence", task,
+                        f"finalize with fence {fence} at t={fin.time:.3f} "
+                        f"after fence {f2} was issued at t={at:.3f}"))
+                    break
+            if task in first_acquire and \
+                    first_acquire[task] > fin.time + _EPS:
+                report.findings.append(TraceFinding(
+                    "lifecycle", task,
+                    "finalize precedes the task's first lock acquire"))
+            if task in plan_end and plan_end[task] > fin.time + _EPS:
+                report.findings.append(TraceFinding(
+                    "lifecycle", task,
+                    "finalize precedes the task's plan selection"))
+        report.checked["visibles"] = visibles
+
+    # -- park/drain accounting ---------------------------------------------
+
+    def _check_backlog(self, tr: Tracer, report: TraceReport) -> None:
+        parked: dict[object, str] = {}
+        drained: set = set()
+        for e in tr.events:
+            if e.cat != "engine":
+                continue
+            if e.name == "park":
+                parked[(e.attrs["rule"], e.attrs["backlog_id"])] = \
+                    e.attrs.get("key", "?")
+            elif e.name == "drain":
+                ref = (e.attrs["rule"], e.attrs["backlog_id"])
+                if ref in drained:
+                    report.findings.append(TraceFinding(
+                        "park-leak", str(ref[1]),
+                        "backlog entry drained twice"))
+                if ref not in parked:
+                    report.findings.append(TraceFinding(
+                        "park-leak", str(ref[1]),
+                        "drain of a backlog entry never parked"))
+                drained.add(ref)
+        report.checked["parked"] = len(parked)
+        for ref, key in sorted(parked.items(), key=lambda kv: str(kv[0])):
+            if ref not in drained:
+                report.findings.append(TraceFinding(
+                    "park-leak", str(ref[1]),
+                    f"task for key {key!r} parked but never drained"))
+
+    # -- done marker vs destination state ----------------------------------
+
+    def _check_done_markers(self, tr: Tracer, report: TraceReport) -> None:
+        newest: dict[tuple[str, str], object] = {}
+        for e in tr.events:
+            if e.cat == "engine" and e.name == "done-marker":
+                ref = (e.attrs["rule"], e.attrs["key"])
+                cur = newest.get(ref)
+                if cur is None or e.attrs["seq"] >= cur.attrs["seq"]:
+                    newest[ref] = e
+        report.checked["done_markers"] = len(newest)
+        for (rule_id, key), e in newest.items():
+            rule = self.service.rules.get(rule_id)
+            if rule is None:
+                continue
+            dst = rule.dst_bucket
+            if e.attrs["op"] == "delete":
+                if key in dst:
+                    report.findings.append(TraceFinding(
+                        "done-mismatch", key,
+                        f"marker records deletion (seq {e.attrs['seq']}) "
+                        f"but key survives at destination"))
+            else:
+                if key not in dst:
+                    report.findings.append(TraceFinding(
+                        "done-mismatch", key,
+                        f"marker seq {e.attrs['seq']} but key missing at "
+                        f"destination"))
+                elif dst.head(key).etag != e.attrs["etag"]:
+                    report.findings.append(TraceFinding(
+                        "done-mismatch", key,
+                        f"marker etag {e.attrs['etag']} != destination "
+                        f"etag {dst.head(key).etag}"))
+
+    # -- attributed cost completeness --------------------------------------
+
+    def _check_costs(self, tr: Tracer, report: TraceReport) -> None:
+        recorded = tr.recorded_cost()
+        billed = tr.billed_delta()
+        report.checked["cost_records"] = len(tr.costs)
+        if not math.isclose(recorded, billed, rel_tol=1e-9, abs_tol=1e-9):
+            report.findings.append(TraceFinding(
+                "cost-gap", "ledger",
+                f"trace mirrors ${recorded:.9f} but the ledger grew "
+                f"${billed:.9f} since install"))
+        known = set(tr.tasks())
+        orphans = sorted({c.task for c in tr.costs
+                          if c.task is not None and c.task not in known})
+        for task in orphans:
+            report.findings.append(TraceFinding(
+                "cost-orphan", task,
+                "charge attributed to a task the trace never saw"))

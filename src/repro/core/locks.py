@@ -77,6 +77,12 @@ class ReplicationLockManager:
     def __init__(self, table: KvTable, lease_s: float = 300.0):
         self.table = table
         self.lease_s = lease_s
+        #: Optional :class:`~repro.core.tracing.Tracer`; acquire/release
+        #: events are emitted *inside* the KV admission closures so
+        #: their timestamps are the serialization points the fencing
+        #: oracle replays (under injected admission delay those are
+        #: later than the call).
+        self.tracer = None
 
     @staticmethod
     def _key(obj_key: str) -> str:
@@ -118,6 +124,13 @@ class ReplicationLockManager:
                          else 1)
                 state["acquired"] = True
                 state["fence"] = fence
+                if self.tracer is not None:
+                    self.tracer.event(
+                        "lock-acquire", "lock", owner, key=obj_key,
+                        owner=owner, fence=fence,
+                        mode=("reentrant" if reentrant
+                              else "takeover" if item is not None
+                              else "fresh"))
                 return {"owner": owner, "held_etag": etag, "held_seq": seq,
                         "acquired_at": now, "fence": fence,
                         "pending_etag": pending_etag, "pending_seq": pending_seq}
@@ -162,10 +175,18 @@ class ReplicationLockManager:
             if item is None or item.get("owner") != owner:
                 # Lost/expired lock: nothing to release; the new owner's
                 # record must not be deleted.
+                if self.tracer is not None:
+                    self.tracer.event("lock-release", "lock", owner,
+                                      key=obj_key, owner=owner,
+                                      released=False)
                 return item
             captured["released"] = True
             captured["etag"] = item.get("pending_etag")
             captured["seq"] = item.get("pending_seq")
+            if self.tracer is not None:
+                self.tracer.event("lock-release", "lock", owner, key=obj_key,
+                                  owner=owner, released=True,
+                                  fence=item.get("fence", 0))
             return None  # delete the lock record
 
         yield self.table.update_item(self._key(obj_key), attempt)

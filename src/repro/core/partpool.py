@@ -52,6 +52,9 @@ class PartPool:
         claimed = yield self.table.increment(self._key, "claimed")
         if claimed > self.num_parts:
             return None
+        if self.table.tracer is not None:
+            self.table.tracer.event("part-claim", "pool", self.task_id,
+                                    idx=claimed - 1)
         return claimed - 1
 
     def complete(self, part_index: int):
@@ -75,6 +78,10 @@ class PartPool:
             return item
 
         yield self.table.update_item(self._key, mark)
+        if self.table.tracer is not None:
+            self.table.tracer.event("part-complete", "pool", self.task_id,
+                                    idx=part_index,
+                                    finished=state["finished"])
         return state["finished"]
 
     def missing_parts(self):
@@ -120,7 +127,10 @@ class PartPool:
             return item
 
         item = yield self.table.update_item(self._key, flip)
-        return item["abort_claims"] == 1
+        first = item["abort_claims"] == 1
+        if first and self.table.tracer is not None:
+            self.table.tracer.event("pool-abort", "pool", self.task_id)
+        return first
 
     def is_aborted(self):
         """Process: read the abort flag."""

@@ -116,6 +116,10 @@ class StrategyPlanner:
         #: ladder candidates whose execution location is dark are
         #: skipped (degraded-mode routing).
         self.health = health
+        #: Optional :class:`~repro.core.tracing.Tracer`; only the
+        #: degraded-routing decisions emit (the per-plan span belongs to
+        #: the engine, which knows the task id).
+        self.tracer = None
         self.plans_generated = 0
         self.degraded_plans = 0
         self.cache = PlanCache()
@@ -228,11 +232,19 @@ class StrategyPlanner:
             filtered = [c for c in candidates
                         if health.available(("faas", c[1]))]
             if not filtered:
+                if self.tracer is not None:
+                    self.tracer.event("plan-no-route", "engine", None,
+                                      src=src_key, dst=dst_key)
                 raise NoRouteAvailable(
                     f"every execution location for {src_key}->{dst_key} "
                     f"is behind an open circuit")
             if len(filtered) != len(candidates):
                 self.degraded_plans += 1
+                if self.tracer is not None:
+                    self.tracer.event(
+                        "plan-degraded", "engine", None, src=src_key,
+                        dst=dst_key,
+                        dropped=len(candidates) - len(filtered))
             candidates = filtered
         # Replay Algorithm 3 against this call's SLO budget: walk the
         # ladder, keep the global best, stop at the first level whose

@@ -28,6 +28,7 @@ from repro.core.logger import RuntimeLogger
 from repro.core.model import PerformanceModel
 from repro.core.planner import StrategyPlanner
 from repro.core.profiler import PerformanceProfiler
+from repro.core.tracing import Tracer
 from repro.simcloud.cloud import Cloud
 from repro.simcloud.objectstore import Bucket, ObjectEvent
 
@@ -148,8 +149,15 @@ class AReplicaService:
                 config=self.config.breaker,
             )
             cloud.set_health(self.health)
+        #: Optional causal tracer (ReplicaConfig.tracing_enabled); wired
+        #: into every substrate via the cloud, mirroring set_health.
+        self.tracer: Optional[Tracer] = None
+        if self.config.tracing_enabled:
+            self.tracer = Tracer(cloud.sim)
+            cloud.set_tracer(self.tracer)
         self.planner = StrategyPlanner(self.model, self.config,
                                        health=self.health)
+        self.planner.tracer = self.tracer
         self.logger = RuntimeLogger(self.model)
         self.rules: dict[str, ReplicationRule] = {}
         self.records: list[ReplicationRecord] = []
@@ -183,6 +191,8 @@ class AReplicaService:
             recorder=_Recorder(self, rule_id), rule_id=rule_id,
             scheduling=scheduling, health=self.health,
         )
+        if self.tracer is not None:
+            engine.set_tracer(self.tracer)
         rule = ReplicationRule(rule_id, src_bucket, dst_bucket, engine, changelog)
         if self.config.slo_enabled and self.config.enable_batching:
             rule.batcher = BatchingBuffer(
@@ -215,12 +225,26 @@ class AReplicaService:
     # -- event & measurement flow ----------------------------------------------------
 
     def _on_event(self, rule: ReplicationRule, event: ObjectEvent) -> None:
+        if self.tracer is not None:
+            # The paper's N phase: source write completion → delivery of
+            # the notification at the service (Fig 18-19's first bar).
+            task = (f"{rule.rule_id}:{event.key}:{event.sequencer}:"
+                    f"{event.kind}")
+            self.tracer.span("N", "phase", task, event.event_time,
+                             self.cloud.sim.now, key=event.key,
+                             seq=event.sequencer, kind=event.kind)
         closed = rule.closed.get(event.key)
         if closed is not None and event.sequencer <= closed[0]:
             # A newer (or this very) version is already visible at the
             # destination: this delivery is a duplicate or a reordered
             # straggler.  Its measurement closed the moment that version
             # landed — record it as satisfied rather than re-opening it.
+            if self.tracer is not None:
+                self.tracer.event(
+                    "duplicate-delivery", "engine",
+                    f"{rule.rule_id}:{event.key}:{event.sequencer}:"
+                    f"{event.kind}",
+                    key=event.key, seq=event.sequencer, kind=event.kind)
             self.records.append(ReplicationRecord(
                 rule_id=rule.rule_id, key=event.key, seq=event.sequencer,
                 kind=event.kind, event_time=event.event_time,

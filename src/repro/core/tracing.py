@@ -1,0 +1,297 @@
+"""Causal task tracing on the simulation clock (§3, §5.3, Fig 18-19).
+
+Every replication task — one ``{rule}:{key}:{seq}:{kind}`` lifecycle —
+leaves a causal trace: notification delivery, dedup/sequencing, lock
+acquisition (with its fencing token), plan selection, FaaS invocation,
+per-part transfers, finalize/abort, and visibility.  Spans carry the
+paper's delay-decomposition phases as first-class categories:
+
+=====  ==============================================================
+phase  meaning
+=====  ==============================================================
+``N``  notification delivery delay (event time → engine receipt)
+``I``  invocation latency (request → platform accept)
+``D``  readiness delay (warm resume or cold start of an instance)
+``P``  scheduler postponement (waiting for a placement tick)
+``S``  client startup inside the function (SDK/auth/session)
+``C``  per-chunk transfer legs (download or upload of one part)
+=====  ==============================================================
+
+The recorder is deliberately dumb: append-only lists of spans, instant
+events and cost records, all timestamped from the simulation clock and
+in execution order (the kernel is deterministic, so two runs with the
+same seed produce byte-identical exports).  Every emission site in the
+engine and substrates is guarded by a single ``tracer is not None``
+check — the disabled path costs one attribute read, preserving the
+hot-path wins benchmarked in ``BENCH_PR1.json``.
+
+Offline consumers:
+
+* :meth:`Tracer.export_chrome` — Chrome trace-event JSON, loadable in
+  ``chrome://tracing`` / Perfetto (one row per task);
+* :meth:`Tracer.delay_breakdown` — the per-phase *I/D/P/S/C* split
+  comparable to the paper's Fig 18-19 delay decomposition;
+* :class:`repro.core.invariants.TraceChecker` — the lifecycle oracle
+  that validates a finished trace.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["Span", "Event", "CostRecord", "Tracer", "task_ref",
+           "PHASES", "PHASE_NAMES"]
+
+#: Delay-decomposition phases, in presentation order.
+PHASES = ("N", "I", "D", "P", "S", "C")
+
+PHASE_NAMES = {
+    "N": "notification delivery",
+    "I": "invocation latency",
+    "D": "readiness (warm/cold start)",
+    "P": "scheduler postponement",
+    "S": "client startup",
+    "C": "chunk transfer",
+}
+
+
+def task_ref(payload) -> Optional[str]:
+    """The task id a function invocation payload is working for.
+
+    The engine stamps orchestrator payloads with a ``task`` field;
+    replicator payloads already carry ``task_id``, and the changelog
+    applier nests the whole task dict under ``task``.  Attribution
+    degrades to ``None`` (an untasked row) rather than KeyError for
+    payloads outside the task lifecycle (probes, timers).
+    """
+    if isinstance(payload, dict):
+        ref = payload.get("task", payload.get("task_id"))
+        if isinstance(ref, dict):
+            ref = ref.get("task_id")
+        if ref is not None:
+            return str(ref)
+    return None
+
+
+@dataclass(frozen=True)
+class Span:
+    """A closed interval of simulated time attributed to one task."""
+
+    name: str          # phase letter for cat="phase", else a verb
+    cat: str           # phase | engine | faas | lock | pool | kv | net
+    task: Optional[str]
+    start: float
+    end: float
+    attrs: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Event:
+    """An instantaneous lifecycle fact (finalize, park, done-marker…)."""
+
+    name: str
+    cat: str
+    task: Optional[str]
+    time: float
+    attrs: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class CostRecord:
+    """One ledger charge observed through the tracer's cost sink."""
+
+    time: float
+    category: str
+    amount: float
+    task: Optional[str]
+    detail: str
+
+
+class Tracer:
+    """Append-only sim-clock span/event/cost recorder.
+
+    One tracer observes one :class:`~repro.simcloud.cloud.Cloud`; the
+    service installs it with ``cloud.set_tracer(tracer)`` which also
+    hooks the cost ledger's sink so every charge after installation is
+    mirrored (with task attribution where the charge site knows it).
+    """
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.spans: list[Span] = []
+        self.events: list[Event] = []
+        self.costs: list[CostRecord] = []
+        self._ledger = None
+        self._cost_baseline = 0.0
+
+    # -- recording ---------------------------------------------------------
+
+    def span(self, name: str, cat: str, task: Optional[str],
+             start: float, end: float, **attrs) -> None:
+        self.spans.append(Span(name, cat, task, start, end, attrs))
+
+    def event(self, name: str, cat: str, task: Optional[str],
+              **attrs) -> None:
+        self.events.append(Event(name, cat, task, self.sim.now, attrs))
+
+    # -- cost sink ---------------------------------------------------------
+
+    def install_cost_sink(self, ledger) -> None:
+        """Mirror every subsequent ledger charge into the trace.
+
+        The baseline snapshot makes completeness checkable: the sum of
+        recorded charges must equal the ledger's growth since install
+        (see TraceChecker's ``cost-gap`` invariant).
+        """
+        self._ledger = ledger
+        self._cost_baseline = ledger.total()
+        ledger.sink = self._on_cost
+
+    def _on_cost(self, time: float, category: str, amount: float,
+                 detail: str, task: Optional[str]) -> None:
+        self.costs.append(CostRecord(time, category, amount, task, detail))
+
+    def billed_delta(self) -> float:
+        """Ledger growth since the cost sink was installed."""
+        if self._ledger is None:
+            return 0.0
+        return self._ledger.total() - self._cost_baseline
+
+    def recorded_cost(self) -> float:
+        return sum(c.amount for c in self.costs)
+
+    def attributed_cost(self) -> dict[str, float]:
+        """Per-task cost totals (unattributed charges under ``None``)."""
+        out: dict = {}
+        for c in self.costs:
+            out[c.task] = out.get(c.task, 0.0) + c.amount
+        return out
+
+    # -- queries -----------------------------------------------------------
+
+    def tasks(self) -> list[str]:
+        """All task ids, in order of first appearance."""
+        seen: dict[str, None] = {}
+        for rec in self._merged():
+            if rec[0] is not None:
+                seen.setdefault(rec[0], None)
+        return list(seen)
+
+    def _merged(self):
+        """(task, time, record) triples in global record order.
+
+        Spans sort at their *end* (that is when they were recorded);
+        the kernel never moves the clock backwards, so record order is
+        execution order and the times are non-decreasing — an invariant
+        the checker relies on.
+        """
+        for s in self.spans:
+            yield (s.task, s.end, s)
+        for e in self.events:
+            yield (e.task, e.time, e)
+
+    def task_events(self, task: str) -> list[Event]:
+        return [e for e in self.events if e.task == task]
+
+    def task_spans(self, task: str) -> list[Span]:
+        return [s for s in self.spans if s.task == task]
+
+    # -- delay breakdown (Fig 18-19 shape) ---------------------------------
+
+    def delay_breakdown(self) -> dict[str, dict[str, float]]:
+        """Per-phase duration statistics for the *N/I/D/P/S/C* split."""
+        buckets: dict[str, list[float]] = {p: [] for p in PHASES}
+        for s in self.spans:
+            if s.cat == "phase" and s.name in buckets:
+                buckets[s.name].append(s.end - s.start)
+        out: dict[str, dict[str, float]] = {}
+        for phase in PHASES:
+            durs = sorted(buckets[phase])
+            n = len(durs)
+            if n == 0:
+                out[phase] = {"count": 0, "total_s": 0.0, "mean_s": 0.0,
+                              "p50_s": 0.0, "p99_s": 0.0, "max_s": 0.0}
+                continue
+            total = sum(durs)
+            out[phase] = {
+                "count": n,
+                "total_s": total,
+                "mean_s": total / n,
+                "p50_s": _quantile(durs, 0.50),
+                "p99_s": _quantile(durs, 0.99),
+                "max_s": durs[-1],
+            }
+        return out
+
+    def render_breakdown(self) -> str:
+        """Fixed-width text table of :meth:`delay_breakdown`."""
+        rows = self.delay_breakdown()
+        lines = [f"{'phase':<7}{'count':>7}{'total_s':>10}{'mean_ms':>10}"
+                 f"{'p50_ms':>9}{'p99_ms':>9}{'max_ms':>9}  meaning"]
+        for phase in PHASES:
+            r = rows[phase]
+            lines.append(
+                f"{phase:<7}{r['count']:>7}{r['total_s']:>10.3f}"
+                f"{r['mean_s'] * 1e3:>10.2f}{r['p50_s'] * 1e3:>9.2f}"
+                f"{r['p99_s'] * 1e3:>9.2f}{r['max_s'] * 1e3:>9.2f}"
+                f"  {PHASE_NAMES[phase]}")
+        return "\n".join(lines)
+
+    # -- Chrome trace-event export -----------------------------------------
+
+    def chrome_trace(self) -> dict:
+        """Trace-event JSON (``chrome://tracing`` / Perfetto format).
+
+        Deterministic by construction: thread ids are assigned by first
+        appearance, timestamps come from the sim clock in integer
+        microseconds, and records are emitted in recording order — the
+        golden test serializes this twice and compares bytes.
+        """
+        tids: dict[Optional[str], int] = {None: 0}
+        trace: list[dict] = []
+
+        def tid(task: Optional[str]) -> int:
+            if task not in tids:
+                tids[task] = len(tids)
+            return tids[task]
+
+        for s in self.spans:
+            trace.append({
+                "name": s.name, "cat": s.cat, "ph": "X", "pid": 1,
+                "tid": tid(s.task),
+                "ts": _us(s.start), "dur": max(0, _us(s.end) - _us(s.start)),
+                "args": dict(s.attrs),
+            })
+        for e in self.events:
+            trace.append({
+                "name": e.name, "cat": e.cat, "ph": "i", "s": "t", "pid": 1,
+                "tid": tid(e.task), "ts": _us(e.time),
+                "args": dict(e.attrs),
+            })
+        meta = [{"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+                 "args": {"name": "areplica"}}]
+        for task, t in tids.items():
+            meta.append({"name": "thread_name", "ph": "M", "pid": 1,
+                         "tid": t, "args": {"name": task or "(untasked)"}})
+        return {"traceEvents": meta + trace, "displayTimeUnit": "ms"}
+
+    def export_chrome(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.chrome_trace(), fh, sort_keys=True,
+                      separators=(",", ":"))
+            fh.write("\n")
+
+
+def _us(t: float) -> int:
+    return int(round(t * 1e6))
+
+
+def _quantile(sorted_vals: list[float], q: float) -> float:
+    """Nearest-rank quantile of an ascending list (deterministic)."""
+    n = len(sorted_vals)
+    idx = min(n - 1, max(0, int(q * n + 0.5) - 1) if q < 1.0 else n - 1)
+    # Nearest-rank keeps the value drawn from the data itself, so the
+    # breakdown stays bit-stable across platforms (no interpolation).
+    return sorted_vals[idx]

@@ -70,6 +70,9 @@ class Cloud:
         #: Optional HealthTracker every substrate reports outcomes to
         #: (installed by the AReplica service when health is enabled).
         self.health = None
+        #: Optional Tracer every substrate emits causal spans/events to
+        #: (installed by the AReplica service when tracing is enabled).
+        self.tracer = None
         if chaos is not None:
             self.apply_chaos(chaos)
 
@@ -104,6 +107,7 @@ class Cloud:
             if self.chaos is not None:
                 faas.configure_chaos(self.chaos)
             faas.health_sink = self.health
+            faas.tracer = self.tracer
             self._faas[region.key] = faas
         return self._faas[region.key]
 
@@ -119,6 +123,7 @@ class Cloud:
                 table.set_chaos(self.chaos, self._kv_chaos_rng(region, name))
             if self.health is not None:
                 table.set_health(self.health)
+            table.tracer = self.tracer
             self._kv[cache_key] = table
         return self._kv[cache_key]
 
@@ -175,6 +180,25 @@ class Cloud:
             table.set_health(tracker)
         for bucket in self._buckets.values():
             bucket.health_sink = tracker
+
+    def set_tracer(self, tracer) -> None:
+        """Install (or clear, with None) one causal tracer everywhere.
+
+        Mirrors :meth:`set_health`: covers substrates already
+        instantiated and any created later (the factories consult
+        ``self.tracer``), and hooks the cost ledger's sink so every
+        subsequent charge lands in the trace.
+        """
+        self.tracer = tracer
+        for faas in self._faas.values():
+            faas.tracer = tracer
+        for table in self._kv.values():
+            table.tracer = tracer
+        self.fabric.tracer = tracer
+        if tracer is not None:
+            tracer.install_cost_sink(self.ledger)
+        else:
+            self.ledger.sink = None
 
     def chaos_stats(self) -> dict[str, int]:
         """Aggregate injected-fault counters across every substrate."""

@@ -74,8 +74,14 @@ class CostLedger:
     keep_entries: bool = False
     entries: list[CostEntry] = field(default_factory=list)
     _totals: dict[str, float] = field(default_factory=lambda: defaultdict(float))
+    #: Optional observer called with every charge — the tracing layer
+    #: installs one to mirror charges (with task attribution where the
+    #: charging site knows it) into the causal trace.  None by default:
+    #: the hot path pays a single identity check.
+    sink: object = None
 
-    def charge(self, time: float, category: str, amount: float, detail: str = "") -> None:
+    def charge(self, time: float, category: str, amount: float,
+               detail: str = "", task: str | None = None) -> None:
         if amount < 0:
             raise ValueError(f"negative charge {amount} ({category}: {detail})")
         if category not in CostCategory.ALL:
@@ -83,6 +89,8 @@ class CostLedger:
         self._totals[category] += amount
         if self.keep_entries:
             self.entries.append(CostEntry(time, category, amount, detail))
+        if self.sink is not None:
+            self.sink(time, category, amount, detail, task)
 
     def total(self, category: str | None = None) -> float:
         if category is None:

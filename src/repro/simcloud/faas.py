@@ -66,6 +66,18 @@ __all__ = [
 ]
 
 
+def _task_ref(payload) -> Optional[str]:
+    """Task attribution for tracing (mirrors repro.core.tracing.task_ref;
+    duplicated so the substrate layer never imports the core package)."""
+    if isinstance(payload, dict):
+        ref = payload.get("task", payload.get("task_id"))
+        if isinstance(ref, dict):
+            ref = ref.get("task_id")
+        if ref is not None:
+            return str(ref)
+    return None
+
+
 class FunctionTimeout(RuntimeError):
     """Raised inside an invocation that exceeded its time limit."""
 
@@ -231,6 +243,9 @@ class FaasRegion:
         #: Optional :class:`~repro.core.health.HealthTracker` fed one
         #: ``("faas", region)`` result per finished attempt.
         self.health_sink = None
+        #: Optional :class:`~repro.core.tracing.Tracer` receiving the
+        #: platform's I/D/P spans and attempt/dead-letter records.
+        self.tracer = None
 
     def configure_chaos(self, chaos) -> None:
         """Adopt the FaaS knobs of a :class:`~repro.simcloud.chaos.ChaosConfig`
@@ -307,8 +322,15 @@ class FaasRegion:
             latency += float(self.profile.cross_provider_invoke_s.sample(self._rng))
         invocation = Invocation(self.sim, name, payload)
         accepted = Future(self.sim)
+        requested_at = self.sim.now
 
         def accept() -> None:
+            if self.tracer is not None:
+                # The caller-side invocation latency I(loc), paid per
+                # request (T_func = I·n + D + P in the model).
+                self.tracer.span("I", "phase", _task_ref(payload),
+                                 requested_at, self.sim.now,
+                                 fn=name, region=self.region.key)
             accepted.resolve(invocation)
             self._admit(invocation)
 
@@ -357,7 +379,7 @@ class FaasRegion:
             return 0.0
         return period - math.fmod(self.sim.now, period)
 
-    def _acquire_instance(self, dep: _Deployment):
+    def _acquire_instance(self, dep: _Deployment, task: Optional[str] = None):
         """Process: obtain a warm or cold instance; returns (_Instance, cold)."""
         now = self.sim.now
         while dep.warm_pool:
@@ -366,10 +388,20 @@ class FaasRegion:
                 yield SleepRequest(
                     self._sample(self.profile.warm_start_s[self.provider])
                 )
+                if self.tracer is not None:
+                    self.tracer.span("D", "phase", task, now, self.sim.now,
+                                     kind="warm", region=self.region.key,
+                                     instance=inst.instance_id)
                 return inst, False
         postponement = self._next_scheduler_tick()
         if postponement > 0:
             yield SleepRequest(postponement)
+            if self.tracer is not None:
+                # P(loc): the batch-scheduler postponement a cold
+                # invocation waits out before its instance is created.
+                self.tracer.span("P", "phase", task, now, self.sim.now,
+                                 region=self.region.key)
+        cold_from = self.sim.now
         yield SleepRequest(
             self._sample(self.profile.cold_start_s[self.provider])
         )
@@ -379,6 +411,10 @@ class FaasRegion:
             last_used=self.sim.now,
             cold_started_at=self.sim.now,
         )
+        if self.tracer is not None:
+            self.tracer.span("D", "phase", task, cold_from, self.sim.now,
+                             kind="cold", region=self.region.key,
+                             instance=inst.instance_id)
         return inst, True
 
     def _start_attempt(self, invocation: Invocation) -> None:
@@ -391,6 +427,8 @@ class FaasRegion:
                        name=f"faas:{self.region.key}:{invocation.name}")
 
     def _run_attempt(self, dep: _Deployment, invocation: Invocation):
+        tracer = self.tracer
+        task = _task_ref(invocation.payload) if tracer is not None else None
         if self.chaos_outage_windows and self._outage_active():
             # Regional platform outage: the control plane refuses the
             # attempt before any instance starts — nothing runs, nothing
@@ -401,16 +439,21 @@ class FaasRegion:
             finally:
                 self._release_slot()
             self.chaos_outage_failures += 1
+            if tracer is not None:
+                tracer.event("faas-outage-reject", "faas", task,
+                             fn=invocation.name, region=self.region.key)
             self._settle_attempt(
                 dep, invocation, None,
                 ServiceUnavailable(f"faas outage in {self.region.key}"))
             return
+        attempt_from = self.sim.now
         try:
-            inst, cold = yield self.sim.spawn(self._acquire_instance(dep))
+            inst, cold = yield self.sim.spawn(self._acquire_instance(dep, task))
             dep.stats["cold_starts" if cold else "warm_starts"] += 1
             if invocation.started_at is None:
                 invocation.started_at = self.sim.now
             ctx = FunctionContext(self, dep, inst, deadline=self.sim.now + dep.timeout_s)
+            ctx._trace_task = task
             body = self.sim.spawn(dep.handler(ctx, invocation.payload),
                                   name=f"body:{dep.name}")
             watchdog_fired = [False]
@@ -446,9 +489,24 @@ class FaasRegion:
             if chaos_timer is not None:
                 chaos_timer.cancel()
             duration = self.sim.now - started
-            self._bill(dep, duration)
+            billed = self._bill(dep, duration, task)
             inst.last_used = self.sim.now
             dep.warm_pool.append(inst)
+            if tracer is not None:
+                if error is None:
+                    outcome = "ok"
+                elif isinstance(error, FunctionTimeout):
+                    outcome = "timeout"
+                elif isinstance(error, Interrupt):
+                    outcome = "crash"
+                else:
+                    outcome = "error"
+                tracer.span("attempt", "faas", task, attempt_from,
+                            self.sim.now, fn=dep.name,
+                            region=self.region.key,
+                            instance=inst.instance_id,
+                            attempt=invocation.attempts, outcome=outcome,
+                            compute_cost=billed)
         finally:
             self._release_slot()
         self._settle_attempt(dep, invocation, result, error)
@@ -474,20 +532,28 @@ class FaasRegion:
             self.sim.call_later(delay, lambda: self._admit_retry(invocation))
         else:
             self.dead_letters.append((invocation.name, invocation.payload, repr(error)))
+            if self.tracer is not None:
+                self.tracer.event("dead-letter", "faas",
+                                  _task_ref(invocation.payload),
+                                  fn=invocation.name, region=self.region.key,
+                                  error=repr(error))
             invocation.fail(InvocationFailed(f"{invocation.name}: {error!r}"))
 
     def _admit_retry(self, invocation: Invocation) -> None:
         self._admit(invocation)
 
-    def _bill(self, dep: _Deployment, duration_s: float) -> None:
+    def _bill(self, dep: _Deployment, duration_s: float,
+              task: Optional[str] = None) -> float:
         cost = self.prices.faas_compute_cost(
             self.provider, dep.config.memory_mb, dep.config.vcpus, duration_s
         )
+        per_request = self.prices.faas[self.provider].per_request
         self.ledger.charge(self.sim.now, CostCategory.FAAS_COMPUTE, cost,
-                           f"{self.region.key}:{dep.name}")
+                           f"{self.region.key}:{dep.name}", task=task)
         self.ledger.charge(self.sim.now, CostCategory.FAAS_REQUESTS,
-                           self.prices.faas[self.provider].per_request,
-                           f"{self.region.key}:{dep.name}")
+                           per_request, f"{self.region.key}:{dep.name}",
+                           task=task)
+        return cost + per_request
 
 
 class FunctionContext:
@@ -510,6 +576,9 @@ class FunctionContext:
         self._client_ready = False
         self.bytes_downloaded = 0
         self.bytes_uploaded = 0
+        #: Task attribution for spans and ledger charges issued from
+        #: this context (stamped per attempt by the platform).
+        self._trace_task: Optional[str] = None
 
     # -- basics ---------------------------------------------------------------
 
@@ -560,19 +629,27 @@ class FunctionContext:
         price = self._faas.prices.store[bucket.region.provider]
         amount = price.put if kind == "put" else price.get
         self._faas.ledger.charge(self.now, CostCategory.STORAGE_REQUESTS, amount,
-                                 f"{bucket.region.key}:{bucket.name}:{kind}")
+                                 f"{bucket.region.key}:{bucket.name}:{kind}",
+                                 task=self._trace_task)
 
     def _charge_egress(self, src: Region, dst: Region, nbytes: int) -> None:
         cost = self._faas.prices.egress_cost(src, dst, nbytes)
         if cost > 0:
             self._faas.ledger.charge(self.now, CostCategory.EGRESS, cost,
-                                     f"{src.key}->{dst.key}")
+                                     f"{src.key}->{dst.key}",
+                                     task=self._trace_task)
 
     def _client_startup(self):
         """First data-path call per invocation pays the S overhead."""
         if not self._client_ready:
             self._client_ready = True
+            startup_from = self.now
             yield SleepRequest(self._faas.fabric.sample_startup(self.region.provider))
+            if self._faas.tracer is not None:
+                self._faas.tracer.span(
+                    "S", "phase", self._trace_task, startup_from, self.now,
+                    region=self.region.key,
+                    instance=self.instance.instance_id)
 
     def _leg_seconds(self, bucket: Bucket, nbytes: int, upload: bool,
                      concurrency: int) -> float:
@@ -591,6 +668,17 @@ class FunctionContext:
                                               peer.key)
         return seconds
 
+    def _trace_leg(self, op: str, bucket: Bucket, nbytes: int,
+                   started: float) -> None:
+        """One C span: a single chunk's transfer leg, with the observed
+        effective bandwidth as an attribute."""
+        seconds = self.now - started
+        self._faas.tracer.span(
+            "C", "phase", self._trace_task, started, self.now,
+            op=op, bytes=nbytes, region=bucket.region.key,
+            instance=self.instance.instance_id,
+            mbps=nbytes * 8 / seconds / 1e6 if seconds > 0 else 0.0)
+
     # -- object storage data path -----------------------------------------------
 
     def get_object(self, bucket: Bucket, key: str, offset: int = 0,
@@ -600,8 +688,11 @@ class FunctionContext:
         yield SleepRequest(self._request_latency(bucket))
         blob, version = bucket.get_object(key, offset, length)
         self._charge_request(bucket, "get")
+        leg_from = self.now
         yield SleepRequest(self._leg_seconds(bucket, blob.size, upload=False,
                                            concurrency=concurrency))
+        if self._faas.tracer is not None:
+            self._trace_leg("get", bucket, blob.size, leg_from)
         self._charge_egress(bucket.region, self.region, blob.size)
         self.bytes_downloaded += blob.size
         return blob, version
@@ -617,8 +708,11 @@ class FunctionContext:
         """Upload ``blob`` from local storage to ``bucket/key``."""
         yield from self._client_startup()
         yield SleepRequest(self._request_latency(bucket))
+        leg_from = self.now
         yield SleepRequest(self._leg_seconds(bucket, blob.size, upload=True,
                                            concurrency=concurrency))
+        if self._faas.tracer is not None:
+            self._trace_leg("put", bucket, blob.size, leg_from)
         version = bucket.put_object(key, blob, self.now, if_match=if_match)
         self._charge_request(bucket, "put")
         self._charge_egress(self.region, bucket.region, blob.size)
@@ -660,8 +754,11 @@ class FunctionContext:
         yield from self._client_startup()
         if not pipelined:
             yield SleepRequest(self._request_latency(bucket))
+        leg_from = self.now
         yield SleepRequest(self._leg_seconds(bucket, blob.size, upload=True,
                                            concurrency=concurrency))
+        if self._faas.tracer is not None:
+            self._trace_leg("upload-part", bucket, blob.size, leg_from)
         etag = bucket.upload_part(upload_id, part_number, blob)
         self._charge_request(bucket, "put")
         self._charge_egress(self.region, bucket.region, blob.size)

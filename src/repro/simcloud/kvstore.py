@@ -103,6 +103,12 @@ class KvTable:
         # operation; None keeps the hot path at a single check.
         self._health = None
         self._health_target = ("kv", region.key)
+        #: Optional :class:`~repro.core.tracing.Tracer`.  Only the chaos
+        #: rejection/outage paths emit — the admitted-op hot path stays
+        #: untouched (KV round trips dominate control-plane event
+        #: counts; per-op spans would double the trace for no oracle
+        #: value, and charges already flow through the ledger sink).
+        self.tracer = None
 
     # -- fault injection ---------------------------------------------------
 
@@ -147,6 +153,10 @@ class KvTable:
                     self.chaos_outage_rejections += 1
                     if self._health is not None:
                         self._health.record(self._health_target, False)
+                    if self.tracer is not None:
+                        self.tracer.event("kv-outage-reject", "kv", None,
+                                          table=self.name,
+                                          region=self.region.key, op=kind)
                     return DeferredResult(
                         self._latency(), None,
                         Throttled(f"{self.name}: {self.region.key} "
@@ -156,6 +166,9 @@ class KvTable:
             self.chaos_rejected += 1
             if self._health is not None:
                 self._health.record(self._health_target, False)
+            if self.tracer is not None:
+                self.tracer.event("kv-reject", "kv", None, table=self.name,
+                                  region=self.region.key, op=kind)
             # Refused requests are not billed (DynamoDB does not charge
             # throttled writes) and never reach the item store.
             return DeferredResult(self._latency(), None,
@@ -163,6 +176,10 @@ class KvTable:
         if chaos.kv_delay_prob and rng.random() < chaos.kv_delay_prob:
             self.chaos_delayed += 1
             extra = float(rng.exponential(chaos.kv_delay_mean_s))
+            if self.tracer is not None:
+                self.tracer.event("kv-delay", "kv", None, table=self.name,
+                                  region=self.region.key, op=kind,
+                                  seconds=extra)
             fut = Future(self.sim)
 
             def admit(_a: Any, _b: Any) -> None:

@@ -229,6 +229,10 @@ class NetworkFabric:
         #: the region as any endpoint wait out the window.
         self._outage_by_region: dict[str, tuple[tuple[float, float], ...]] = {}
         self.chaos_region_outage_hits = 0
+        #: Optional :class:`~repro.core.tracing.Tracer` receiving
+        #: wan-stall / wan-blackout / wan-outage-wait events (only
+        #: consulted on the chaos path; the clean path never checks it).
+        self.tracer = None
 
     # -- fault injection --------------------------------------------------
 
@@ -264,6 +268,9 @@ class NetworkFabric:
         for start, duration in chaos.wan_blackout_windows:
             if start <= now < start + duration:
                 self.chaos_blackouts += 1
+                if self.tracer is not None:
+                    self.tracer.event("wan-blackout-wait", "net", None,
+                                      seconds=(start + duration) - now)
                 extra += (start + duration) - now
                 break
         if self._outage_by_region and region_keys:
@@ -276,11 +283,19 @@ class NetworkFabric:
                         until = max(until, end)
             if until > now:
                 self.chaos_region_outage_hits += 1
+                if self.tracer is not None:
+                    self.tracer.event("wan-outage-wait", "net", None,
+                                      regions=list(region_keys),
+                                      seconds=until - now)
                 extra += until - now
         if (chaos.wan_stall_prob
                 and self._chaos_rng.random() < chaos.wan_stall_prob):
             self.chaos_stalls += 1
-            extra += float(self._chaos_rng.exponential(chaos.wan_stall_mean_s))
+            stall = float(self._chaos_rng.exponential(chaos.wan_stall_mean_s))
+            if self.tracer is not None:
+                self.tracer.event("wan-stall", "net", None,
+                                  regions=list(region_keys), seconds=stall)
+            extra += stall
         return extra
 
     # -- deterministic mean bandwidths ----------------------------------

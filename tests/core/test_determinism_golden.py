@@ -7,8 +7,12 @@ variation: two simulations built from the same seed have to produce
 These tests run each scenario twice in-process and compare exactly.
 """
 
+import itertools
+import json
+
 from repro.core.config import ReplicaConfig
 from repro.core.service import AReplicaService
+from repro.simcloud import objectstore
 from repro.simcloud.cloud import build_default_cloud
 from repro.simcloud.objectstore import Blob
 from repro.simcloud.sim import Simulator
@@ -80,6 +84,47 @@ class TestSeededReproducibility:
     def test_different_seeds_differ(self):
         # Sanity check that the comparisons above can actually fail.
         assert _fig23_slice(seed=7)[0] != _fig23_slice(seed=8)[0]
+
+
+def _traced_export(seed: int, path):
+    """A traced Fig-12-shaped run, exported as Chrome trace JSON."""
+    # Blob content ids come from one process-global counter (the only
+    # cross-run state in the simulator); resetting it lets two in-process
+    # runs mint identical ids.  The counter stays monotonic afterwards,
+    # so uniqueness within every later scenario is preserved.
+    objectstore._fresh_counter = itertools.count()
+    cloud = build_default_cloud(seed=seed)
+    config = ReplicaConfig(slo_seconds=0.0, profile_samples=5,
+                           mc_samples=300, tracing_enabled=True)
+    svc = AReplicaService(cloud, config)
+    src = cloud.bucket("aws:us-east-1", "src")
+    dst = cloud.bucket("azure:eastus", "dst")
+    svc.add_rule(src, dst)
+    src.put_object("big", Blob.fresh(256 * MB), cloud.now)
+    for i in range(4):
+        src.put_object(f"small-{i}", Blob.fresh((i + 1) * 64 * 1024),
+                       cloud.now + 0.2 * i)
+    cloud.run()
+    svc.run_to_convergence()
+    svc.tracer.export_chrome(str(path))
+    return path.read_bytes()
+
+
+class TestGoldenTraceExport:
+    def test_traced_run_exports_byte_identical_json(self, tmp_path):
+        first = _traced_export(42, tmp_path / "a.json")
+        second = _traced_export(42, tmp_path / "b.json")
+        assert first == second
+        events = json.loads(first)["traceEvents"]
+        assert events, "export carries no events"
+        assert {e["ph"] for e in events} <= {"M", "X", "i"}
+        phases = {e["name"] for e in events if e.get("cat") == "phase"}
+        assert {"N", "I", "D", "S", "C"} <= phases
+
+    def test_different_seeds_export_differently(self, tmp_path):
+        # Sanity check that the byte comparison above can actually fail.
+        assert _traced_export(42, tmp_path / "a.json") != \
+            _traced_export(43, tmp_path / "b.json")
 
 
 class TestKernelOrderingDeterminism:

@@ -1,0 +1,53 @@
+"""Contract test: the engine's stats counters are a closed, tested set.
+
+``ReplicationEngine.stats`` is the observable surface most tests (and
+the CLI's chaos/outage reports) assert against.  This contract keeps it
+honest in both directions:
+
+* a counter added to the engine without updating the documented set
+  below fails ``test_engine_stats_keys_are_the_documented_set``;
+* a documented counter that no test ever references fails
+  ``test_every_stats_counter_is_exercised_by_some_test`` — every key
+  must be asserted somewhere in the suite.
+"""
+
+import re
+from pathlib import Path
+
+import repro.core.engine as engine_mod
+
+ENGINE_SRC = Path(engine_mod.__file__)
+TESTS_DIR = Path(__file__).resolve().parents[1]
+
+#: Every counter the engine maintains, whether eagerly initialised or
+#: created on first use via ``stats.get``/setdefault-style access.
+EXPECTED_KEYS = frozenset({
+    "tasks", "inline", "single", "distributed",
+    "changelog_applied", "changelog_fallback",
+    "aborted", "deferred", "skipped_done", "deletes", "retriggered",
+    "lock_lost", "orphaned_uploads",
+    "kv_retries", "kv_retry_exhausted", "kv_retry_deadline",
+    "parked", "drained", "probes", "failover", "backlog_kv_failed",
+    "content_skipped", "quota_clamped",
+    "recovered_parts", "recovered_finalize",
+})
+
+_KEY_RE = re.compile(r"""stats(?:\.get\(|\[)\s*["']([a-z_]+)["']""")
+
+
+def _keys_in_engine_source():
+    return frozenset(_KEY_RE.findall(ENGINE_SRC.read_text()))
+
+
+def test_engine_stats_keys_are_the_documented_set():
+    assert _keys_in_engine_source() == EXPECTED_KEYS
+
+
+def test_every_stats_counter_is_exercised_by_some_test():
+    me = Path(__file__).resolve()
+    corpus = "\n".join(
+        p.read_text() for p in sorted(TESTS_DIR.rglob("test_*.py"))
+        if p.resolve() != me)
+    missing = [k for k in sorted(EXPECTED_KEYS)
+               if f'"{k}"' not in corpus and f"'{k}'" not in corpus]
+    assert not missing, f"stats counters no test references: {missing}"

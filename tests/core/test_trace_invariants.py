@@ -1,0 +1,550 @@
+"""The trace-invariant oracle, as a property over chaos/outage runs.
+
+Two layers:
+
+* **Soaks** — any seeded storm or outage schedule, run with tracing
+  enabled, must converge with a *checker-clean* trace: the oracle (not
+  per-scenario asserts) is the property.
+* **Synthetic traces** — every finding kind the checker can emit is
+  proven to actually fire by feeding hand-built event sequences into a
+  bare tracer, plus positive cases proving legal lifecycles (including
+  the fence-generation restart) stay clean.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import ReplicaConfig
+from repro.core.invariants import TraceChecker
+from repro.core.service import AReplicaService
+from repro.core.tracing import PHASES, Tracer, task_ref
+from repro.simcloud.chaos import ChaosConfig
+from repro.simcloud.cloud import build_default_cloud
+from repro.simcloud.cost import CostCategory, CostLedger
+from repro.simcloud.objectstore import Blob
+
+pytestmark = pytest.mark.trace
+
+KB = 1024
+MB = 1024 * 1024
+SRC = "aws:us-east-1"
+DST = "azure:eastus"
+
+STORM = ChaosConfig(
+    crash_prob=0.08,
+    notif_drop_prob=0.08, notif_dup_prob=0.08, notif_reorder_prob=0.08,
+    notif_redelivery_s=20.0,
+    kv_reject_prob=0.08, kv_delay_prob=0.08,
+    wan_stall_prob=0.03,
+)
+
+
+def traced_soak(seed: int, chaos: ChaosConfig = STORM):
+    """The chaos-convergence soak workload, with the tracer recording."""
+    cloud = build_default_cloud(seed=seed)
+    config = ReplicaConfig(profile_samples=4, mc_samples=300,
+                           tracing_enabled=True)
+    svc = AReplicaService(cloud, config)
+    src = cloud.bucket(SRC, "src")
+    dst = cloud.bucket(DST, "dst")
+    rule = svc.add_rule(src, dst)
+    cloud.apply_chaos(chaos)
+
+    rng = cloud.rngs.stream("chaos-workload")
+    keys = [f"obj{i}" for i in range(6)]
+    t = 1.0
+    for _ in range(25):
+        t += float(rng.exponential(2.0))
+        key = keys[int(rng.integers(len(keys)))]
+        if rng.random() < 0.2:
+            cloud.sim.call_later(t, lambda k=key: (
+                k in src and src.delete_object(k, cloud.sim.now)))
+        else:
+            size = int(rng.integers(1, 64)) * KB
+            cloud.sim.call_later(t, lambda k=key, s=size: src.put_object(
+                k, Blob.fresh(s), cloud.sim.now))
+    cloud.sim.call_later(t / 2, lambda: src.put_object(
+        "obj-big", Blob.fresh(48 * MB), cloud.sim.now))
+    cloud.run()
+
+    cloud.apply_chaos(None)
+    svc.run_to_convergence()
+    return cloud, svc, src, dst, rule
+
+
+# ---------------------------------------------------------------------------
+# soaks: the oracle is the property
+# ---------------------------------------------------------------------------
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=6, deadline=None)
+def test_any_seeded_storm_leaves_a_clean_trace(seed):
+    cloud, svc, src, dst, rule = traced_soak(seed)
+    report = TraceChecker(svc).check()
+    assert report.clean, f"seed {seed}:\n{report.render()}"
+    # The pass actually looked at work, not an empty trace.
+    assert report.checked["visibles"] > 0
+    assert report.checked["lock_acquires"] > 0
+    assert report.checked["done_markers"] > 0
+    assert report.checked["cost_records"] > 0
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=3, deadline=None)
+def test_randomized_chaos_mix_leaves_a_clean_trace(seed):
+    """Chaos *parameters* are drawn from the seed too — including an
+    optional sustained KV outage window over the workload."""
+    rng = np.random.default_rng(seed)
+    windows = ()
+    if rng.random() < 0.5:
+        start = float(rng.uniform(0.0, 20.0))
+        windows = ((SRC, start, float(rng.uniform(30.0, 120.0))),)
+    chaos = ChaosConfig(
+        crash_prob=float(rng.uniform(0.0, 0.1)),
+        notif_drop_prob=float(rng.uniform(0.0, 0.1)),
+        notif_dup_prob=float(rng.uniform(0.0, 0.1)),
+        notif_reorder_prob=float(rng.uniform(0.0, 0.1)),
+        notif_redelivery_s=20.0,
+        kv_reject_prob=float(rng.uniform(0.0, 0.1)),
+        kv_delay_prob=float(rng.uniform(0.0, 0.1)),
+        wan_stall_prob=float(rng.uniform(0.0, 0.04)),
+        kv_outages=windows,
+    )
+    cloud, svc, src, dst, rule = traced_soak(seed, chaos)
+    report = TraceChecker(svc).check()
+    assert report.clean, f"seed {seed} chaos {chaos}:\n{report.render()}"
+    for key in src.keys():
+        assert dst.head(key).etag == src.head(key).etag
+
+
+def test_fixed_seed_storm_trace_and_stats_well_formed():
+    cloud, svc, src, dst, rule = traced_soak(1234)
+    report = TraceChecker(svc).check()
+    assert report.clean, report.render()
+    stats = rule.engine.stats
+    assert stats["kv_retries"] > 0
+    # Counters this storm may or may not trip must still be well-formed
+    # non-negative integers (the stats-contract test pins the key set).
+    for key in ("retriggered", "backlog_kv_failed", "recovered_parts",
+                "recovered_finalize", "probes", "failover"):
+        value = stats.get(key, 0)
+        assert isinstance(value, int) and value >= 0, key
+
+
+def test_sustained_kv_outage_parks_probes_and_drains_clean():
+    cloud = build_default_cloud(seed=901)
+    config = ReplicaConfig(profile_samples=5, mc_samples=300,
+                           tracing_enabled=True)
+    svc = AReplicaService(cloud, config)
+    src = cloud.bucket(SRC, "src")
+    dst = cloud.bucket(DST, "dst")
+    rule = svc.add_rule(src, dst)
+    cloud.apply_chaos(ChaosConfig(kv_outages=((SRC, 0.0, 600.0),)))
+
+    def driver():
+        for i in range(12):
+            src.put_object(f"k{i}", Blob.fresh(MB), cloud.now)
+            yield cloud.sim.sleep(30.0)
+
+    cloud.sim.run_process(driver())
+    convergence = svc.run_to_convergence()
+    assert convergence.converged
+    report = TraceChecker(svc).check()
+    assert report.clean, report.render()
+    # Degradation ran: the park-leak invariant was checked over real
+    # parked entries, and the backlog probe loop actually probed.
+    assert report.checked["parked"] > 0
+    assert rule.engine.stats["parked"] > 0
+    assert rule.engine.stats["drained"] == rule.engine.stats["parked"]
+    assert rule.engine.stats["probes"] > 0
+    parks = [e for e in svc.tracer.events if e.name == "park"]
+    drains = [e for e in svc.tracer.events if e.name == "drain"]
+    assert len(drains) == len(parks) > 0
+
+
+# ---------------------------------------------------------------------------
+# differential: one workload, single-function vs distributed plans
+# ---------------------------------------------------------------------------
+
+def _run_forced(seed: int, plan):
+    cloud = build_default_cloud(seed=seed)
+    config = ReplicaConfig(profile_samples=4, mc_samples=300,
+                           tracing_enabled=True)
+    svc = AReplicaService(cloud, config)
+    src = cloud.bucket(SRC, "src")
+    dst = cloud.bucket(DST, "dst")
+    rule = svc.add_rule(src, dst)
+    rule.engine.forced_plan = plan
+    for i in range(6):
+        size = (i % 3 + 1) * 12 * MB
+        cloud.sim.call_later(1.0 + 2.0 * i, lambda k=f"d{i}", s=size:
+                             src.put_object(k, Blob.fresh(s), cloud.sim.now))
+    cloud.sim.call_later(16.0, lambda: (
+        "d1" in src and src.delete_object("d1", cloud.sim.now)))
+    cloud.run()
+    svc.run_to_convergence()
+    report = TraceChecker(svc).check()
+    visible = sorted({e.task for e in svc.tracer.events
+                      if e.name == "visible" and e.task})
+    dst_state = {k: dst.head(k).etag for k in dst.keys()}
+    src_state = {k: src.head(k).etag for k in src.keys()}
+    return dst_state, src_state, visible, report, rule.engine.stats
+
+
+def test_single_vs_distributed_modes_converge_identically():
+    """Differential: the same workload pushed through forced 1-function
+    plans and forced 8-way distributed plans must reach the same final
+    bucket state, see the same task lifecycle, and both trace clean."""
+    s_dst, s_src, s_visible, s_report, s_stats = _run_forced(4242, (1, SRC))
+    d_dst, d_src, d_visible, d_report, d_stats = _run_forced(4242, (8, SRC))
+    assert s_dst == s_src and d_dst == d_src
+    assert set(s_dst) == set(d_dst)
+    assert s_visible == d_visible and s_visible
+    assert s_report.clean, s_report.render()
+    assert d_report.clean, d_report.render()
+    assert s_stats["single"] + s_stats["inline"] > 0
+    assert s_stats["distributed"] == 0
+    assert d_stats["distributed"] > 0
+
+
+# ---------------------------------------------------------------------------
+# tracer surface: breakdown, export, attribution helpers
+# ---------------------------------------------------------------------------
+
+def _traced_healthy(seed: int = 7):
+    cloud = build_default_cloud(seed=seed)
+    config = ReplicaConfig(profile_samples=4, mc_samples=300,
+                           tracing_enabled=True)
+    svc = AReplicaService(cloud, config)
+    src = cloud.bucket(SRC, "src")
+    dst = cloud.bucket(DST, "dst")
+    rule = svc.add_rule(src, dst)
+    src.put_object("a", Blob.fresh(256 * KB), cloud.now)
+    src.put_object("b", Blob.fresh(24 * MB), cloud.now + 0.5)
+    cloud.run()
+    svc.run_to_convergence()
+    return cloud, svc, rule
+
+
+def test_healthy_run_populates_the_delay_phases():
+    cloud, svc, rule = _traced_healthy()
+    breakdown = svc.tracer.delay_breakdown()
+    assert set(breakdown) == set(PHASES)
+    for phase in ("N", "I", "D", "S", "C"):
+        assert breakdown[phase]["count"] > 0, phase
+    for row in breakdown.values():
+        if row["count"]:
+            assert row["mean_s"] * row["count"] == pytest.approx(row["total_s"])
+            assert row["p50_s"] <= row["p99_s"] <= row["max_s"]
+    table = svc.tracer.render_breakdown()
+    assert table.splitlines()[0].startswith("phase")
+    assert len(table.splitlines()) == 1 + len(PHASES)
+
+
+def test_chrome_trace_structure_and_queries():
+    cloud, svc, rule = _traced_healthy()
+    tr = svc.tracer
+    doc = tr.chrome_trace()
+    events = doc["traceEvents"]
+    assert events[0] == {"name": "process_name", "ph": "M", "pid": 1,
+                         "tid": 0, "args": {"name": "areplica"}}
+    assert {e["ph"] for e in events} <= {"M", "X", "i"}
+    for e in events:
+        if "ts" in e:
+            assert isinstance(e["ts"], int)
+    tasks = tr.tasks()
+    assert tasks
+    some = tasks[0]
+    assert tr.task_spans(some) and tr.task_events(some)
+    attributed = tr.attributed_cost()
+    assert any(task is not None for task in attributed)
+    assert sum(attributed.values()) == pytest.approx(tr.recorded_cost())
+
+
+def test_task_ref_handles_every_payload_shape():
+    assert task_ref({"task": "t1"}) == "t1"
+    assert task_ref({"task_id": "t2"}) == "t2"
+    assert task_ref({"task": {"task_id": "t3"}}) == "t3"
+    assert task_ref({"task": {"key": "k"}}) is None
+    assert task_ref({"other": 1}) is None
+    assert task_ref(None) is None
+
+
+def test_checker_requires_a_tracer():
+    class _NoTracer:
+        tracer = None
+        rules = {}
+
+    with pytest.raises(ValueError):
+        TraceChecker(_NoTracer())
+
+
+# ---------------------------------------------------------------------------
+# synthetic traces: every finding kind provably fires
+# ---------------------------------------------------------------------------
+
+class _FakeSim:
+    def __init__(self):
+        self.now = 0.0
+
+
+class _Obj:
+    def __init__(self, etag):
+        self.etag = etag
+
+
+class _Bucket:
+    def __init__(self, objs=None):
+        self._objs = dict(objs or {})
+
+    def __contains__(self, key):
+        return key in self._objs
+
+    def head(self, key):
+        return self._objs[key]
+
+
+class _Rule:
+    def __init__(self, dst):
+        self.dst_bucket = dst
+
+
+class _Svc:
+    def __init__(self, tracer, rules=None):
+        self.tracer = tracer
+        self.rules = rules or {}
+
+
+def bare():
+    tr = Tracer(_FakeSim())
+    return tr, _Svc(tr)
+
+
+def emit(tr, t, name, cat, task, **attrs):
+    tr.sim.now = t
+    tr.event(name, cat, task, **attrs)
+
+
+def acquire(tr, t, key, owner, fence, mode):
+    emit(tr, t, "lock-acquire", "lock", owner,
+         key=key, owner=owner, fence=fence, mode=mode)
+
+
+def release(tr, t, key, owner, released, fence=0):
+    emit(tr, t, "lock-release", "lock", owner,
+         key=key, owner=owner, released=released, fence=fence)
+
+
+def finalize(tr, t, task, key, fence, op="put", etag="e1", seq=1):
+    emit(tr, t, "finalize", "engine", task,
+         key=key, seq=seq, etag=etag, fence=fence, op=op)
+
+
+def visible(tr, t, task, key, kind="created", seq=1):
+    emit(tr, t, "visible", "engine", task, key=key, seq=seq, kind=kind)
+
+
+def kinds(report):
+    return {f.kind for f in report.findings}
+
+
+class TestSyntheticViolations:
+    def test_span_closing_before_it_opens(self):
+        tr, svc = bare()
+        tr.span("plan", "engine", "t1", 5.0, 4.0)
+        assert kinds(TraceChecker(svc).check()) == {"clock"}
+
+    def test_records_out_of_clock_order(self):
+        tr, svc = bare()
+        tr.span("plan", "engine", "t1", 0.0, 5.0)
+        tr.span("plan", "engine", "t2", 1.0, 2.0)
+        emit(tr, 5.0, "park", "engine", None, rule="r", backlog_id=1, key="k")
+        emit(tr, 1.0, "drain", "engine", None, rule="r", backlog_id=1)
+        report = TraceChecker(svc).check()
+        assert len(report.by_kind("clock")) == 2
+
+    def test_fresh_acquire_while_held(self):
+        tr, svc = bare()
+        acquire(tr, 0.0, "k", "tA", 1, "fresh")
+        acquire(tr, 1.0, "k", "tB", 1, "fresh")
+        assert kinds(TraceChecker(svc).check()) == {"lock-order"}
+
+    def test_fresh_acquire_with_wrong_fence(self):
+        tr, svc = bare()
+        acquire(tr, 0.0, "k", "tA", 3, "fresh")
+        assert kinds(TraceChecker(svc).check()) == {"lock-order"}
+
+    def test_takeover_of_unheld_lock(self):
+        tr, svc = bare()
+        acquire(tr, 0.0, "k", "tA", 2, "takeover")
+        assert kinds(TraceChecker(svc).check()) == {"lock-order"}
+
+    def test_takeover_that_does_not_supersede(self):
+        tr, svc = bare()
+        acquire(tr, 0.0, "k", "tA", 1, "fresh")
+        acquire(tr, 1.0, "k", "tB", 3, "takeover")
+        assert kinds(TraceChecker(svc).check()) == {"lock-order"}
+
+    def test_reentrant_acquire_by_non_holder(self):
+        tr, svc = bare()
+        acquire(tr, 0.0, "k", "tA", 1, "fresh")
+        acquire(tr, 1.0, "k", "tB", 1, "reentrant")
+        assert kinds(TraceChecker(svc).check()) == {"lock-order"}
+
+    def test_release_by_non_holder(self):
+        tr, svc = bare()
+        acquire(tr, 0.0, "k", "tA", 1, "fresh")
+        release(tr, 1.0, "k", "tB", released=True)
+        assert kinds(TraceChecker(svc).check()) == {"lock-order"}
+
+    def test_holder_failing_to_release_its_own_lock(self):
+        tr, svc = bare()
+        acquire(tr, 0.0, "k", "tA", 1, "fresh")
+        release(tr, 1.0, "k", "tA", released=False)
+        assert kinds(TraceChecker(svc).check()) == {"lock-order"}
+
+    def test_visible_without_any_finalize(self):
+        tr, svc = bare()
+        visible(tr, 1.0, "t1", "k")
+        assert kinds(TraceChecker(svc).check()) == {"unfenced-visible"}
+
+    def test_finalize_with_invalid_fence(self):
+        tr, svc = bare()
+        finalize(tr, 1.0, "t1", "k", fence=0)
+        visible(tr, 2.0, "t1", "k")
+        assert kinds(TraceChecker(svc).check()) == {"unfenced-visible"}
+
+    def test_zombie_writer_superseded_fence(self):
+        tr, svc = bare()
+        acquire(tr, 0.0, "k", "tA", 1, "fresh")
+        acquire(tr, 1.0, "k", "tB", 2, "takeover")
+        finalize(tr, 2.0, "tA", "k", fence=1)
+        visible(tr, 3.0, "tA", "k")
+        assert "superseded-fence" in kinds(TraceChecker(svc).check())
+
+    def test_finalize_before_first_acquire(self):
+        tr, svc = bare()
+        finalize(tr, 2.0, "tA", "k", fence=1)
+        acquire(tr, 5.0, "k", "tA", 1, "fresh")
+        visible(tr, 6.0, "tA", "k")
+        assert "lifecycle" in kinds(TraceChecker(svc).check())
+
+    def test_finalize_before_plan_selection(self):
+        tr, svc = bare()
+        acquire(tr, 1.0, "k", "tA", 1, "fresh")
+        finalize(tr, 2.0, "tA", "k", fence=1)
+        tr.span("plan", "engine", "tA", 3.0, 4.0)
+        visible(tr, 5.0, "tA", "k")
+        assert "lifecycle" in kinds(TraceChecker(svc).check())
+
+    def test_parked_entry_never_drained(self):
+        tr, svc = bare()
+        emit(tr, 0.0, "park", "engine", None, rule="r", backlog_id=9, key="k")
+        report = TraceChecker(svc).check()
+        assert kinds(report) == {"park-leak"}
+        assert report.checked["parked"] == 1
+
+    def test_drain_of_an_entry_never_parked(self):
+        tr, svc = bare()
+        emit(tr, 0.0, "drain", "engine", None, rule="r", backlog_id=9)
+        assert kinds(TraceChecker(svc).check()) == {"park-leak"}
+
+    def test_double_drain(self):
+        tr, svc = bare()
+        emit(tr, 0.0, "park", "engine", None, rule="r", backlog_id=9, key="k")
+        emit(tr, 1.0, "drain", "engine", None, rule="r", backlog_id=9)
+        emit(tr, 2.0, "drain", "engine", None, rule="r", backlog_id=9)
+        assert kinds(TraceChecker(svc).check()) == {"park-leak"}
+
+    def test_done_marker_for_a_missing_destination_key(self):
+        tr, _ = bare()
+        svc = _Svc(tr, {"r": _Rule(_Bucket())})
+        emit(tr, 0.0, "done-marker", "engine", "t1",
+             rule="r", key="k", seq=1, etag="e1", op="put")
+        assert kinds(TraceChecker(svc).check()) == {"done-mismatch"}
+
+    def test_done_marker_etag_disagreement(self):
+        tr, _ = bare()
+        svc = _Svc(tr, {"r": _Rule(_Bucket({"k": _Obj("other")}))})
+        emit(tr, 0.0, "done-marker", "engine", "t1",
+             rule="r", key="k", seq=1, etag="e1", op="put")
+        assert kinds(TraceChecker(svc).check()) == {"done-mismatch"}
+
+    def test_delete_marker_but_key_survives(self):
+        tr, _ = bare()
+        svc = _Svc(tr, {"r": _Rule(_Bucket({"k": _Obj("e1")}))})
+        emit(tr, 0.0, "done-marker", "engine", "t1",
+             rule="r", key="k", seq=2, etag="e1", op="delete")
+        assert kinds(TraceChecker(svc).check()) == {"done-mismatch"}
+
+    def test_ledger_charge_missing_from_the_trace(self):
+        tr, svc = bare()
+        ledger = CostLedger()
+        tr.install_cost_sink(ledger)
+        ledger.charge(0.0, CostCategory.EGRESS, 1.0, "seen")
+        ledger.sink = None  # a charge slips past the sink
+        ledger.charge(0.0, CostCategory.EGRESS, 0.5, "hidden")
+        assert kinds(TraceChecker(svc).check()) == {"cost-gap"}
+
+    def test_charge_attributed_to_an_unknown_task(self):
+        tr, svc = bare()
+        tr._on_cost(0.0, CostCategory.EGRESS, 0.0, "", "ghost-task")
+        assert kinds(TraceChecker(svc).check()) == {"cost-orphan"}
+
+
+class TestSyntheticLegalTraces:
+    def test_full_legal_lifecycle_is_clean(self):
+        tr, _ = bare()
+        svc = _Svc(tr, {"r": _Rule(_Bucket({"k": _Obj("e1")}))})
+        ledger = CostLedger()
+        tr.install_cost_sink(ledger)
+        acquire(tr, 0.0, "k", "tA", 1, "fresh")
+        tr.sim.now = 0.5
+        tr.span("plan", "engine", "tA", 0.2, 0.5)
+        ledger.charge(0.7, CostCategory.EGRESS, 0.25, "leg", task="tA")
+        finalize(tr, 1.0, "tA", "k", fence=1)
+        emit(tr, 1.1, "done-marker", "engine", "tA",
+             rule="r", key="k", seq=1, etag="e1", op="put")
+        visible(tr, 1.2, "tA", "k")
+        release(tr, 1.3, "k", "tA", released=True, fence=1)
+        report = TraceChecker(svc).check()
+        assert report.clean, report.render()
+        assert report.checked["visibles"] == 1
+        assert "clean" in report.render()
+
+    def test_reentrant_and_takeover_sequences_are_legal(self):
+        tr, svc = bare()
+        acquire(tr, 0.0, "k", "tA", 1, "fresh")
+        acquire(tr, 1.0, "k", "tA", 1, "reentrant")
+        acquire(tr, 2.0, "k", "tB", 2, "takeover")
+        finalize(tr, 3.0, "tB", "k", fence=2)
+        visible(tr, 4.0, "tB", "k")
+        release(tr, 5.0, "k", "tB", released=True, fence=2)
+        report = TraceChecker(svc).check()
+        assert report.clean, report.render()
+
+    def test_fence_generation_restart_is_not_a_zombie(self):
+        """Release deletes the lock record, so fences restart at 1 for
+        the next generation: an old generation's takeover token must not
+        flag a later generation's fence-1 finalize (regression for the
+        checker's bounded superseded-fence scan)."""
+        tr, svc = bare()
+        acquire(tr, 0.0, "k", "tA", 1, "fresh")
+        acquire(tr, 1.0, "k", "tB", 2, "takeover")
+        finalize(tr, 2.0, "tB", "k", fence=2)
+        visible(tr, 3.0, "tB", "k")
+        release(tr, 4.0, "k", "tB", released=True, fence=2)
+        acquire(tr, 5.0, "k", "tC", 1, "fresh")
+        finalize(tr, 6.0, "tC", "k", fence=1, seq=2, etag="e2")
+        visible(tr, 7.0, "tC", "k", seq=2)
+        release(tr, 8.0, "k", "tC", released=True, fence=1)
+        report = TraceChecker(svc).check()
+        assert report.clean, report.render()
+
+    def test_non_writing_visibility_needs_no_finalize(self):
+        tr, svc = bare()
+        visible(tr, 1.0, "t1", "k", kind="already-replicated")
+        report = TraceChecker(svc).check()
+        assert report.clean, report.render()
