@@ -4,7 +4,7 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test trace-tests chaos-tests perf coverage
+.PHONY: test trace-tests chaos-tests scrub-tests corruption-drill perf coverage
 
 ## tier-1: the full default suite (perf benchmarks excluded via addopts)
 test:
@@ -17,6 +17,15 @@ trace-tests:
 ## just the fault-injection and outage drills
 chaos-tests:
 	$(PY) -m pytest -q -m "chaos or outage"
+
+## just the silent-corruption / quarantine / deep-scrub suites
+scrub-tests:
+	$(PY) -m pytest -q -m scrub
+
+## end-to-end data-integrity drill: corruption storm -> detect/quarantine
+## -> deep scrub -> converge checker-clean (machine-readable)
+corruption-drill:
+	$(PY) -m repro.cli corruption-drill --seed 0 --json
 
 ## wall-clock benchmarks (compare against BENCH_PR1.json with bench-perf)
 perf:

@@ -14,6 +14,12 @@ harness runs against any revision of the codebase:
 * **e2e** — a scaled-down Fig 23 busy-hour replay through the full
   notification → planner → engine path (requests/s of simulated
   workload processed per wall-clock second).
+* **integrity** — the same replay with the end-to-end verification
+  machinery on vs off (``verify_after_finalize``), as a wall-time
+  ratio.  The design claim is that integrity is near-zero-cost on the
+  clean path — checksums reuse the stores' cached ETags, no per-part
+  hashing — and ``check_regression`` enforces the ratio absolutely
+  (no reference file needed).
 
 ``run_all`` returns a flat ``{metric: value}`` dict; ``emit`` writes
 the ``BENCH_*.json`` trajectory file; ``check_regression`` compares a
@@ -36,6 +42,7 @@ __all__ = [
     "bench_planner",
     "bench_tracegen",
     "bench_e2e",
+    "bench_integrity",
     "run_all",
     "emit",
     "latest_bench_file",
@@ -232,6 +239,46 @@ def bench_e2e(requests: int = 3_000, repeat: int = 1) -> tuple[float, float]:
     return best_seconds, best_rate
 
 
+def bench_integrity(requests: int = 1_200, repeat: int = 2) -> float:
+    """Wall-time ratio of the e2e replay with verification on vs off.
+
+    ~1.0 means the integrity machinery (per-part checksum comparison,
+    verify-after-finalize) costs nothing measurable when corruption
+    faults are disabled — the clean path compares cached hash strings
+    and symbolic segment tuples, never re-hashing bytes.
+    """
+    from repro.core.config import ReplicaConfig
+    from repro.core.service import AReplicaService
+    from repro.simcloud.cloud import build_default_cloud
+    from repro.traces.ibm_cos import IbmCosTraceGenerator
+    from repro.traces.replay import TraceReplayer
+
+    gen = IbmCosTraceGenerator(seed=3)
+    if hasattr(gen, "busy_hour_batches"):
+        trace = gen.busy_hour_batches(total_requests=requests)
+    else:
+        trace = gen.busy_hour(total_requests=requests)
+
+    def best_seconds(verify: bool) -> float:
+        best = math.inf
+        for _ in range(max(1, repeat)):
+            cloud = build_default_cloud(seed=3)
+            service = AReplicaService(cloud, ReplicaConfig(
+                profile_samples=8, verify_after_finalize=verify))
+            src = cloud.bucket("aws:us-east-1", "src")
+            dst = cloud.bucket("azure:eastus", "dst")
+            service.add_rule(src, dst)
+            replayer = TraceReplayer(cloud, src)
+            run = getattr(replayer, "replay_all_batches",
+                          replayer.replay_all)
+            t0 = time.perf_counter()
+            run(trace)
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    return best_seconds(True) / max(best_seconds(False), 1e-12)
+
+
 # -- orchestration ------------------------------------------------------------
 
 
@@ -255,6 +302,9 @@ def run_all(scale: float = 1.0, repeat: int = 3,
     note("e2e: scaled-down Fig 23 replay ...")
     seconds, rate = bench_e2e(requests=scaled(3_000, 100),
                               repeat=max(1, repeat - 1))
+    note("integrity: verification-on vs -off replay ...")
+    integrity = bench_integrity(requests=scaled(1_200, 100),
+                                repeat=max(1, repeat - 1))
     return {
         "kernel_events_per_s": kernel,
         "planner_cold_plans_per_s": cold,
@@ -262,6 +312,7 @@ def run_all(scale: float = 1.0, repeat: int = 3,
         "tracegen_reqs_per_s": tracegen,
         "e2e_seconds": seconds,
         "e2e_reqs_per_s": rate,
+        "integrity_overhead_ratio": integrity,
     }
 
 
@@ -292,10 +343,19 @@ def check_regression(current: dict[str, float], reference: dict,
     """Warnings for throughput metrics > ``tolerance`` below reference.
 
     ``reference`` is a previously emitted document (its ``current``
-    section is the bar to clear).
+    section is the bar to clear).  The integrity-overhead ratio is
+    checked *absolutely* against ``1 + tolerance`` (older reference
+    files predate the metric, and the claim — verification is free on
+    the clean path — holds regardless of the machine).
     """
     bar = reference.get("current", reference)
     warnings = []
+    ratio = current.get("integrity_overhead_ratio")
+    if ratio is not None and ratio > 1.0 + tolerance:
+        warnings.append(
+            f"integrity_overhead_ratio: verification-on replay is "
+            f"{ratio - 1:.0%} slower than verification-off "
+            f"(tolerance {tolerance:.0%})")
     for metric in THROUGHPUT_METRICS:
         ref = bar.get(metric)
         cur = current.get(metric)

@@ -8,6 +8,7 @@ Mirrors the published LambdaReplica CLI against the simulated clouds:
     areplica trace     --requests 5000 --slo 10
     areplica compare   --src aws:us-east-1 --dst aws:us-east-2 --size 1MB
     areplica outage-drill --outage-start 600 --outage-duration 600
+    areplica corruption-drill --seed 0 --json
 
 All commands accept ``--seed`` for reproducibility.
 """
@@ -385,6 +386,130 @@ def cmd_outage_drill(args) -> int:
     return 0 if clean else 1
 
 
+def cmd_corruption_drill(args) -> int:
+    """End-to-end data-integrity drill under a silent-corruption storm.
+
+    Replays a workload while the chaos layer flips bits on WAN
+    transfers and lies on bucket reads (rot, truncation, wrong ETags),
+    lets the storm pass and the service converge, then durably rots a
+    few replicated destination objects — the silent bit rot only a
+    byte-level deep scrub can see — and proves the scrub detects and
+    heals them.  The drill passes only when every injected corruption
+    was detected, the trace oracle (including the verified-finalize and
+    silent-corruption invariants) is clean, and a quiescent audit finds
+    zero divergence: zero silent finalizes, ever.
+    """
+    from repro.core.audit import ReplicationAuditor
+    from repro.core.invariants import TraceChecker
+    from repro.core.repair import AntiEntropyScanner
+    from repro.simcloud.chaos import ChaosConfig
+    from repro.traces.ibm_cos import IbmCosTraceGenerator
+    from repro.traces.replay import TraceReplayer
+
+    chaos = ChaosConfig(
+        corrupt_get_prob=args.corrupt_get,
+        corrupt_put_prob=args.corrupt_put,
+        corrupt_at_rest_prob=args.at_rest,
+        corrupt_truncate_prob=args.truncate,
+        corrupt_wrong_etag_prob=args.wrong_etag,
+    )
+    cloud, service, src, dst, rule = _build_service(args, slo=args.slo,
+                                                    tracing=True)
+    cloud.apply_chaos(chaos)
+    trace = IbmCosTraceGenerator(seed=args.seed).busy_hour(
+        total_requests=args.requests)
+    if not args.json:
+        print(f"corrupting {len(trace)} requests "
+              f"(get={chaos.corrupt_get_prob}, put={chaos.corrupt_put_prob}, "
+              f"at-rest={chaos.corrupt_at_rest_prob}, "
+              f"truncate={chaos.corrupt_truncate_prob}, "
+              f"wrong-etag={chaos.corrupt_wrong_etag_prob}) ...")
+    stats = TraceReplayer(cloud, src).replay_all(trace)
+    # The storm passes; quarantined parts and dead-lettered tasks must
+    # now heal through the ordinary redrive machinery.
+    cloud.apply_chaos(None)
+    convergence = service.run_to_convergence()
+
+    # Durable silent rot: the destination's bytes decay *after* a
+    # verified finalize, while HEAD keeps reporting the old ETag.  Only
+    # the byte-level scrub can see this.
+    scanner = AntiEntropyScanner(service)
+    rot_keys = [k for k in dst.keys() if dst.head(k).size > 0]
+    rot_keys = rot_keys[:args.rot_keys]
+    for key in rot_keys:
+        dst.rot_object(key)
+    scrub = scanner.scan(rule, redrive=True, scrub=True)
+    if scrub.redriven:
+        convergence = service.run_to_convergence()
+    rescrub = scanner.scan(rule, redrive=False, scrub=True)
+
+    audit = ReplicationAuditor(service).audit(quiescent=True)
+    trace_report = TraceChecker(service).check()
+    integrity = service.integrity_snapshot()
+    trace_integrity = service.tracer.integrity_summary()
+    pending = service.pending_count()
+
+    # Reconcile offense and defense: every fault the chaos layer
+    # injected (including the deterministic rot) must have been caught
+    # by a verifying reader — the engine per part, the scrub per
+    # object.  A shortfall means a corruption slipped through unseen.
+    injected = integrity["injected"]
+    detected = (integrity["corrupt_detected"]
+                + len(scrub.by_kind("corrupt")) + scrub.transient_anomalies)
+    accounted = detected >= injected
+    clean = (accounted and convergence.converged and audit.clean
+             and rescrub.clean and trace_report.clean and pending == 0
+             and len(scrub.by_kind("corrupt")) == len(rot_keys))
+
+    if args.json:
+        _print_json(_machine_report(cloud, service, rule, {
+            "requests": stats.requests,
+            "injected_corruptions": injected,
+            "detected_corruptions": detected,
+            "accounted": accounted,
+            "integrity": integrity,
+            "trace_integrity": trace_integrity,
+            "rotted_keys": rot_keys,
+            "scrub": scrub.to_dict(),
+            "rescrub_clean": rescrub.clean,
+            "convergence": {
+                "converged": convergence.converged,
+                "rounds": convergence.rounds,
+                "redriven": convergence.redriven,
+                "residual_dead_letters": convergence.residual_dead_letters,
+                "parked_backlog": convergence.parked_backlog,
+            },
+            "audit_clean": audit.clean,
+            "trace_clean": trace_report.clean,
+            "trace_checked": trace_report.checked,
+            "trace_findings": [str(f) for f in trace_report.findings],
+            "pending_measurements": pending,
+            "result": "PASS" if clean else "FAIL",
+        }))
+        return 0 if clean else 1
+
+    print(f"replayed {stats.requests} requests "
+          f"({stats.bytes_written / 1e9:.2f} GB)")
+    print("injected corruption:")
+    for name, count in cloud.chaos_stats().items():
+        if name.startswith("corrupt") and count:
+            print(f"  {name:<26} {count}")
+    print("defense response:")
+    for name, count in integrity.items():
+        print(f"  {name:<26} {count}")
+    print(f"  {'detected_total':<26} {detected} "
+          f"({'accounted' if accounted else 'SHORTFALL'})")
+    print("dead-letter drain: " + convergence.render())
+    print(f"deep scrub ({len(rot_keys)} key(s) durably rotted):")
+    print(scrub.render())
+    print(rescrub.render())
+    print(f"quiescent audit ({pending} pending measurement(s)):")
+    print(audit.render())
+    print(trace_report.render())
+    print("RESULT: " + ("PASS" if clean else "FAIL"))
+    return 0 if clean else 1
+
+
 def cmd_regions(args) -> int:
     """List the region catalog and the egress price matrix."""
     from repro.simcloud.pricing import PriceBook
@@ -627,6 +752,28 @@ def build_parser() -> argparse.ArgumentParser:
                        help="outage length in seconds")
     drill.add_argument("--json", action="store_true",
                        help="emit the machine-readable report instead of text")
+    corrupt = sub.add_parser("corruption-drill",
+                             help="replay a workload under silent-corruption "
+                                  "faults and verify detection, quarantine, "
+                                  "and deep-scrub repair")
+    common(corrupt, with_size=False)
+    corrupt.add_argument("--requests", type=int, default=400)
+    corrupt.add_argument("--corrupt-get", type=float, default=0.15,
+                         help="in-flight bit-flip probability per WAN GET")
+    corrupt.add_argument("--corrupt-put", type=float, default=0.10,
+                         help="in-flight bit-flip probability per WAN PUT")
+    corrupt.add_argument("--at-rest", type=float, default=0.05,
+                         help="transient at-rest rot probability per read")
+    corrupt.add_argument("--truncate", type=float, default=0.05,
+                         help="truncated-read probability per read")
+    corrupt.add_argument("--wrong-etag", type=float, default=0.05,
+                         help="wrong-ETag response probability per read")
+    corrupt.add_argument("--rot-keys", type=int, default=3,
+                         help="replicated objects to durably rot before "
+                              "the deep scrub")
+    corrupt.add_argument("--json", action="store_true",
+                         help="emit the machine-readable report instead of "
+                              "text")
     bench = sub.add_parser("bench-perf",
                            help="run the hot-path microbenchmarks")
     bench.add_argument("--scale", type=float, default=1.0,
@@ -659,6 +806,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         "audit": cmd_audit,
         "chaos-soak": cmd_chaos_soak,
         "outage-drill": cmd_outage_drill,
+        "corruption-drill": cmd_corruption_drill,
         "bench-perf": cmd_bench_perf,
     }
     return handlers[args.command](args)

@@ -5,6 +5,10 @@ control state and reports every violated invariant:
 
 * **divergence** — a source object missing or byte-different at the
   destination, or a destination object surviving its source's deletion;
+* **silent-divergence** — the destination *reports* the source's ETag
+  but its stored bytes differ (bit rot lying to HEAD): the corruption
+  an ETag-only diff cannot see, checked here against the stores' true
+  content hashes;
 * **stale locks** — replication locks still held past their lease
   (a dead task nobody superseded yet);
 * **done-marker drift** — a done marker recording a sequencer above
@@ -32,7 +36,8 @@ __all__ = ["AuditFinding", "AuditReport", "ReplicationAuditor"]
 class AuditFinding:
     """One violated invariant."""
 
-    kind: str  # divergence | stale-lock | leaked-lock | done-drift | upload-leak | gap
+    kind: str  # divergence | silent-divergence | stale-lock | leaked-lock
+               # | done-drift | upload-leak | gap
     key: str
     detail: str
 
@@ -96,6 +101,14 @@ class ReplicationAuditor:
                 if dst.head(key).etag != src.head(key).etag:
                     report.findings.append(AuditFinding(
                         "divergence", key, "destination content differs"))
+                elif dst.head(key).blob.etag != src.head(key).blob.etag:
+                    # Reported ETags agree but the stored bytes do not:
+                    # exactly what deep scrub exists to catch.  Both
+                    # sides are cached hashes, so the check is free.
+                    report.findings.append(AuditFinding(
+                        "silent-divergence", key,
+                        "destination bytes differ behind a matching "
+                        "reported ETag"))
             else:
                 report.findings.append(AuditFinding(
                     "divergence", key, "missing at destination"))

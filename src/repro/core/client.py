@@ -11,6 +11,15 @@ arrives.  Plain reads/writes pass straight through.
 The client is a DES process API: every method is a generator to be
 driven with ``yield from`` inside a simulation process (or via
 :meth:`run` for one-off calls from test/driver code).
+
+The client is also the *end* of the end-to-end integrity chain: the
+checksums the engine verifies per part originate from (and are finally
+re-checked against) the user-visible content here.  A write returns
+the store's ETag, which :meth:`put` compares against the local blob's
+hash before reporting success, and :meth:`verified_get` re-reads an
+object byte-for-byte — retrying once through a transient read fault —
+raising :class:`ClientIntegrityError` when the bytes the store serves
+do not match what it claims to hold.
 """
 
 from __future__ import annotations
@@ -19,7 +28,11 @@ from repro.core.changelog import ChangelogStore
 from repro.simcloud.cloud import Cloud
 from repro.simcloud.objectstore import Blob, Bucket, ObjectVersion
 
-__all__ = ["ReplicatedBucketClient"]
+__all__ = ["ReplicatedBucketClient", "ClientIntegrityError"]
+
+
+class ClientIntegrityError(RuntimeError):
+    """The store's content or ETag failed client-side verification."""
 
 
 class ReplicatedBucketClient:
@@ -30,7 +43,8 @@ class ReplicatedBucketClient:
         self.bucket = bucket
         self.changelog = changelog
         self.stats = {"puts": 0, "copies": 0, "concats": 0, "appends": 0,
-                      "patches": 0}
+                      "patches": 0, "verified_gets": 0,
+                      "integrity_retries": 0, "integrity_failures": 0}
 
     # -- driving helper ----------------------------------------------------
 
@@ -41,14 +55,51 @@ class ReplicatedBucketClient:
     # -- plain operations ----------------------------------------------------
 
     def put(self, key: str, blob: Blob):
-        """Process: ordinary PUT (no hint — full replication)."""
+        """Process: ordinary PUT (no hint — full replication).
+
+        The returned ETag is checked against the local blob's hash —
+        the write-side anchor of the end-to-end integrity chain (a
+        store acknowledging a mangled write must not look like
+        success).  Free on the clean path: both sides are cached hash
+        strings.
+        """
         self.stats["puts"] += 1
         yield self.cloud.sim.sleep(0.0)
-        return self.bucket.put_object(key, blob, self.cloud.now)
+        version = self.bucket.put_object(key, blob, self.cloud.now)
+        if version.etag != blob.etag:
+            self.stats["integrity_failures"] += 1
+            raise ClientIntegrityError(
+                f"PUT {key}: store acknowledged etag {version.etag}, "
+                f"client computed {blob.etag}")
+        return version
 
     def get(self, key: str) -> ObjectVersion:
         """Zero-cost metadata read (client-side)."""
         return self.bucket.head(key)
+
+    def verified_get(self, key: str):
+        """Process: byte-verified read of the current version.
+
+        Reads the full object through the store's (possibly
+        chaos-wrapped) data path and checks both the payload bytes and
+        the reported ETag against each other.  One re-read absorbs a
+        transient medium fault; a persistent mismatch raises
+        :class:`ClientIntegrityError` — the caller-facing surfacing of
+        silent corruption (never a quietly-wrong payload).
+        """
+        self.stats["verified_gets"] += 1
+        yield self.cloud.sim.sleep(0.0)
+        for attempt in range(2):
+            payload, version = self.bucket.get_object(key)
+            if (payload.size == version.size
+                    and payload.etag == version.etag):
+                return payload, version
+            if attempt == 0:
+                self.stats["integrity_retries"] += 1
+        self.stats["integrity_failures"] += 1
+        raise ClientIntegrityError(
+            f"GET {key}: payload hash {payload.etag} != reported etag "
+            f"{version.etag} after re-read")
 
     def delete(self, key: str):
         yield self.cloud.sim.sleep(0.0)

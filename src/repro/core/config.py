@@ -74,6 +74,17 @@ class ReplicaConfig:
         How many parked tasks the engine re-dispatches per batch while
         draining the backlog after recovery — the cap that keeps the
         catch-up burst from re-browning-out a freshly recovered region.
+    retransfer_budget:
+        How many times a part whose payload fails checksum verification
+        is re-fetched (or re-uploaded) in place before the part is
+        quarantined — escalated straight to the dead-letter queue with
+        a ``corrupted`` disposition instead of burning platform
+        retries against the same poisoned transfer.
+    verify_after_finalize:
+        Re-check the destination's ETag against the task's expected
+        content hash after the finalize write, *before* the done marker
+        is advanced — the end-to-end guard that keeps a corrupted
+        assembly from being vouched for forever.
     """
 
     slo_seconds: float = 0.0
@@ -93,6 +104,8 @@ class ReplicaConfig:
     health_enabled: bool = True
     breaker: BreakerConfig = field(default_factory=BreakerConfig)
     outage_catchup_concurrency: int = 8
+    retransfer_budget: int = 2
+    verify_after_finalize: bool = True
     #: Record a causal span/event trace for every replication task
     #: (repro.core.tracing).  Off by default: the disabled path costs
     #: one ``is not None`` check per emission site, preserving the
@@ -112,6 +125,8 @@ class ReplicaConfig:
             raise ValueError("local_threshold cannot exceed distributed_threshold")
         if self.outage_catchup_concurrency < 1:
             raise ValueError("outage_catchup_concurrency must be >= 1")
+        if self.retransfer_budget < 0:
+            raise ValueError("retransfer_budget must be >= 0")
 
     @property
     def slo_enabled(self) -> bool:

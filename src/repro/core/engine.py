@@ -44,9 +44,22 @@ from repro.simcloud.objectstore import (
     ObjectVersion,
 )
 
-__all__ = ["ReplicationEngine", "TaskRecorder", "TaskResult"]
+__all__ = ["ReplicationEngine", "TaskRecorder", "TaskResult",
+           "PartQuarantined"]
 
 _STATE_TABLE = "areplica-state"
+
+
+class PartQuarantined(RuntimeError):
+    """A transfer failed checksum verification past the retransfer budget.
+
+    Platform retries would re-run the whole attempt against the same
+    poisoned transfer, so the failure escalates straight to the
+    dead-letter queue: the FaaS layer reads ``dlq_disposition`` off the
+    error and skips its auto-retry ladder for this class.
+    """
+
+    dlq_disposition = "corrupted"
 
 
 @dataclass(frozen=True)
@@ -126,6 +139,8 @@ class ReplicationEngine:
             "kv_retries": 0, "kv_retry_exhausted": 0, "kv_retry_deadline": 0,
             "parked": 0, "drained": 0, "probes": 0, "failover": 0,
             "backlog_kv_failed": 0,
+            "corrupt_detected": 0, "retransfers": 0, "quarantined": 0,
+            "finalize_verify_failed": 0,
         }
         self.retry_policy = config.retry_policy
         # Backoff jitter draws on a dedicated stream: retry timing for a
@@ -304,6 +319,56 @@ class ReplicationEngine:
             self.dst_bucket.abort_multipart(upload_id)
         except Exception:
             self.stats["orphaned_uploads"] += 1
+
+    # -- end-to-end integrity: per-part verification and quarantine ---------------
+
+    def _verify_download(self, task, version, blob, offset: int, length: int,
+                         stage: str, part: Optional[int] = None) -> str:
+        """Classify one downloaded range: ``ok`` | ``corrupt`` | ``stale``.
+
+        The checksums reuse the platform's existing identities — on the
+        clean path this is two string/tuple equality checks against
+        already-cached values, no per-part hashing.  ``stale`` means the
+        source genuinely moved on (the §5.2 optimistic-validation
+        abort); everything else that mismatches is silent corruption:
+        a flipped transfer, at-rest rot, a truncated read, or a store
+        misreporting its ETag.
+        """
+        expected_etag = task["etag"]
+        if version.etag == expected_etag:
+            expected = version.blob.slice(offset, length)
+            if blob.size == length and blob.segments == expected.segments:
+                return "ok"
+            kind = "truncated" if blob.size != length else "payload"
+        elif version.blob.etag == expected_etag:
+            # The content is the version we expect but the reported
+            # ETag is not its hash: the store is lying about metadata.
+            kind = "wrong-etag"
+        else:
+            return "stale"
+        self._record_corruption(task, stage, kind, part)
+        return "corrupt"
+
+    def _record_corruption(self, task, stage: str, kind: str,
+                           part: Optional[int] = None) -> None:
+        self.stats["corrupt_detected"] += 1
+        if self.tracer is not None:
+            self.tracer.event("corrupt-detected", "engine", task["task_id"],
+                              key=task["key"], stage=stage, kind=kind,
+                              part=part)
+
+    def _quarantine(self, task, stage: str, part: Optional[int] = None):
+        """Escalate a poison transfer: count, trace, and raise the
+        no-platform-retry error that dead-letters this invocation with
+        the ``corrupted`` disposition.  A later DLQ redrive — after the
+        fault clears — re-runs the task and completes the part."""
+        self.stats["quarantined"] += 1
+        if self.tracer is not None:
+            self.tracer.event("quarantine", "engine", task["task_id"],
+                              key=task["key"], stage=stage, part=part)
+        raise PartQuarantined(
+            f"{task['task_id']}: {stage} checksum mismatch persisted "
+            f"past retransfer budget (part={part})")
 
     # -- degraded-mode routing and the parked-task backlog -----------------------
 
@@ -609,7 +674,12 @@ class ReplicationEngine:
         # itself on objects whose transfer dwarfs a cross-region
         # round-trip, so small objects skip straight to replication.
         dst_current = None
-        if current.size > self.config.local_threshold:
+        if (current.size > self.config.local_threshold
+                and not payload.get("repair")):
+            # Repair events never take this shortcut: deep scrub re-drives
+            # a key precisely when the destination's self-reported ETag
+            # cannot be trusted (silent bit rot behind a truthful-looking
+            # HEAD), so the ETag match proves nothing.
             try:
                 dst_current = yield from ctx.head_object(self.dst_bucket, key)
             except NoSuchKey:
@@ -860,11 +930,30 @@ class ReplicationEngine:
         """
         key = task["key"]
         part = self.config.part_size
-        try:
-            blob, version = yield from ctx.get_object(self.src_bucket, key)
-        except NoSuchKey:
-            yield from self._finish(ctx, task["task_id"], key, None)
-            return
+        retransfers = 0
+        while True:
+            try:
+                blob, version = yield from ctx.get_object(self.src_bucket, key)
+            except NoSuchKey:
+                yield from self._finish(ctx, task["task_id"], key, None)
+                return
+            # The single path adopts whatever version its snapshot GET
+            # returned, so verification is self-consistency: the payload
+            # against the version's own content identity, the reported
+            # ETag against its hash (both cached — no extra hashing).
+            if (blob.size == version.blob.size
+                    and blob.segments == version.blob.segments
+                    and version.etag == version.blob.etag):
+                break
+            kind = ("truncated" if blob.size != version.blob.size
+                    else "wrong-etag"
+                    if blob.segments == version.blob.segments
+                    else "payload")
+            self._record_corruption(task, "single-get", kind)
+            if retransfers >= self.config.retransfer_budget:
+                self._quarantine(task, "single-get")
+            retransfers += 1
+            self.stats["retransfers"] += 1
         task = dict(task, etag=version.etag, seq=version.sequencer,
                     size=version.size)
         if version.size <= part:
@@ -876,8 +965,19 @@ class ReplicationEngine:
                                            task.get("lock_at"))
             if not ok:
                 return
-            yield from ctx.put_object(self.dst_bucket, key, blob)
-            yield from self._finish_replicated(ctx, task, version)
+            while True:
+                dst_version = yield from ctx.put_object(self.dst_bucket, key,
+                                                        blob)
+                if dst_version.etag == blob.etag:
+                    break
+                # The store durably recorded some other payload under
+                # our key (a miswritten PUT); re-send it in place.
+                self._record_corruption(task, "put", "payload")
+                if retransfers >= self.config.retransfer_budget:
+                    self._quarantine(task, "put")
+                retransfers += 1
+                self.stats["retransfers"] += 1
+            yield from self._finish_replicated(ctx, task, dst_version)
             return
         upload_id = yield from ctx.initiate_multipart(self.dst_bucket, key)
         num_parts = math.ceil(version.size / part)
@@ -885,11 +985,23 @@ class ReplicationEngine:
             for i in range(num_parts):
                 offset = i * part
                 length = min(part, version.size - offset)
-                # Parts after the first stream back-to-back: the request
-                # handshake overlaps the preceding part's transfer.
-                yield from ctx.upload_part(self.dst_bucket, upload_id, i + 1,
-                                           blob.slice(offset, length),
-                                           pipelined=i > 0)
+                piece = blob.slice(offset, length)
+                part_retransfers = 0
+                while True:
+                    # Parts after the first stream back-to-back: the
+                    # request handshake overlaps the preceding part's
+                    # transfer.
+                    part_etag = yield from ctx.upload_part(
+                        self.dst_bucket, upload_id, i + 1, piece,
+                        pipelined=i > 0)
+                    if part_etag == piece.etag:
+                        break
+                    self._record_corruption(task, "part-put", "payload",
+                                            part=i)
+                    if part_retransfers >= self.config.retransfer_budget:
+                        self._quarantine(task, "part-put", part=i)
+                    part_retransfers += 1
+                    self.stats["retransfers"] += 1
             # The zombie-writer check: a slow transfer can outlive the
             # lease, and completing the multipart would then publish
             # this stale version over the new holder's newer one.
@@ -1012,35 +1124,67 @@ class ReplicationEngine:
                 return  # this worker finished the task
 
     def _replicate_part(self, ctx, task, pool, worker_key, start, idx):
-        """Process: move one part; True = task finished, None = aborted."""
+        """Process: move one part; True = task finished, None = aborted.
+
+        Every part is verified end to end before it enters the done
+        set: the downloaded range against the source version's content
+        (a corrupted part must never be uploaded), and the store's
+        part-ETag response against the uploaded payload (a miswritten
+        part must never be assembled).  Either mismatch re-transfers in
+        place under ``retransfer_budget``; a poison part — one that
+        keeps failing — is quarantined to the DLQ instead of burning
+        platform retries.
+        """
         offset = idx * task["part_size"]
         length = min(task["part_size"], task["size"] - offset)
-        try:
-            blob, version = yield from ctx.get_object(
-                self.src_bucket, task["key"], offset, length,
-                concurrency=task["plan_n"],
-            )
-        except (NoSuchKey, ValueError):
-            yield from self._abort_task(ctx, task)
-            return None
-        if version.etag != task["etag"]:
-            # Optimistic validation (§5.2): the source changed under
-            # us; parts from different versions must never mix.
-            yield from self._abort_task(ctx, task)
-            return None
-        try:
-            yield from ctx.upload_part(self.dst_bucket, task["upload_id"],
-                                       idx + 1, blob,
-                                       concurrency=task["plan_n"])
-        except NoSuchUpload:
-            # The upload vanished under us: a fencing-loss (or abort)
-            # cleanup ran elsewhere while this part was in flight.
-            # Confirm and stand down quietly instead of failing the
-            # whole attempt into the platform retry path.
-            aborted = yield from self._kv(ctx, pool.is_aborted)
-            if aborted:
+        retransfers = 0
+        while True:
+            try:
+                blob, version = yield from ctx.get_object(
+                    self.src_bucket, task["key"], offset, length,
+                    concurrency=task["plan_n"],
+                )
+            except (NoSuchKey, ValueError):
+                yield from self._abort_task(ctx, task)
                 return None
-            raise
+            verdict = self._verify_download(task, version, blob, offset,
+                                            length, "part-get", part=idx)
+            if verdict == "stale":
+                # Optimistic validation (§5.2): the source changed under
+                # us; parts from different versions must never mix.
+                yield from self._abort_task(ctx, task)
+                return None
+            if verdict == "ok":
+                break
+            if retransfers >= self.config.retransfer_budget:
+                yield from self._kv(ctx, lambda: pool.mark_quarantined(idx))
+                self._quarantine(task, "part-get", part=idx)
+            retransfers += 1
+            self.stats["retransfers"] += 1
+        while True:
+            try:
+                part_etag = yield from ctx.upload_part(
+                    self.dst_bucket, task["upload_id"], idx + 1, blob,
+                    concurrency=task["plan_n"])
+            except NoSuchUpload:
+                # The upload vanished under us: a fencing-loss (or abort)
+                # cleanup ran elsewhere while this part was in flight.
+                # Confirm and stand down quietly instead of failing the
+                # whole attempt into the platform retry path.
+                aborted = yield from self._kv(ctx, pool.is_aborted)
+                if aborted:
+                    return None
+                raise
+            if part_etag == blob.etag:
+                break
+            # The store durably recorded a payload other than the one
+            # we sent (a miswritten part); re-upload it in place.
+            self._record_corruption(task, "part-put", "payload", part=idx)
+            if retransfers >= self.config.retransfer_budget:
+                yield from self._kv(ctx, lambda: pool.mark_quarantined(idx))
+                self._quarantine(task, "part-put", part=idx)
+            retransfers += 1
+            self.stats["retransfers"] += 1
         self.worker_parts[worker_key] += 1
         self.worker_spans[worker_key] = (start, ctx.now)
         finished = yield from self._kv(ctx, lambda: pool.complete(idx))
@@ -1109,19 +1253,24 @@ class ReplicationEngine:
             yield from self._kv(ctx, pool.abort)
             self._abort_upload(task["upload_id"])
             return
+        own_write = True
         try:
             version = yield from ctx.complete_multipart(self.dst_bucket,
                                                         task["upload_id"])
         except NoSuchUpload:
             # A previous finalizer completed the upload, then crashed
             # before recording; the object is already at the
-            # destination — pick it up and record it.
+            # destination — pick it up and record it.  Not our write:
+            # on an ETag mismatch the object may be a newer task's, so
+            # the verify failure must stand down, never delete.
+            own_write = False
             try:
                 version = yield from ctx.head_object(self.dst_bucket,
                                                      task["key"])
             except NoSuchKey:
                 return
-        yield from self._finish_replicated(ctx, task, version)
+        yield from self._finish_replicated(ctx, task, version,
+                                           own_write=own_write)
 
     def _recover_orphaned_parts(self, ctx, task, pool, worker_key, start):
         """Fault tolerance (§6): parts claimed by a replicator that died
@@ -1214,7 +1363,38 @@ class ReplicationEngine:
     # -- completion plumbing ------------------------------------------------------------------
 
     def _finish_replicated(self, ctx, task, version: ObjectVersion,
-                           kind: str = "created"):
+                           kind: str = "created", own_write: bool = True):
+        if self.config.verify_after_finalize:
+            # Verify-after-finalize: the destination's ETag must match
+            # the content the task set out to replicate *before* the
+            # done marker vouches for it forever.  On the clean path
+            # both sides are already-cached hash strings.
+            verify_from = ctx.now
+            verified = version.etag == task["etag"]
+            if self.tracer is not None:
+                self.tracer.span("verify", "engine", task["task_id"],
+                                 verify_from, ctx.now, key=task["key"],
+                                 expected=task["etag"], actual=version.etag,
+                                 ok=verified)
+            if not verified:
+                self.stats["finalize_verify_failed"] += 1
+                if own_write:
+                    # Our own assembly is poisoned: count it, withdraw
+                    # it (the destination must not serve bytes nobody
+                    # vouches for), and hand the key to a fresh task.
+                    # A mismatch on an *adopted* object (the crashed-
+                    # finalizer fallback) is a newer task's write, not
+                    # corruption — stand down without deleting.
+                    self._record_corruption(task, "finalize", "payload")
+                    yield ctx.sleep(0.0)
+                    try:
+                        self.dst_bucket.delete_object(task["key"], ctx.now,
+                                                      notify=False)
+                    except Exception:
+                        pass
+                yield from self._finish(ctx, task["task_id"], task["key"],
+                                        None, retrigger_if_unreplicated=True)
+                return
         if self.health is not None:
             # A completed replication read the source and wrote the
             # destination: both stores answered — the successes that
@@ -1225,7 +1405,8 @@ class ReplicationEngine:
             self.tracer.event("finalize", "engine", task["task_id"],
                               key=task["key"], seq=task["seq"],
                               etag=task["etag"], fence=task.get("fence"),
-                              op="put")
+                              op="put",
+                              verified=self.config.verify_after_finalize)
         yield from self._mark_done(ctx, task["key"], task["etag"],
                                    task["seq"], ctx.now)
         plan = None

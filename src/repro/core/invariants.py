@@ -26,6 +26,13 @@ the spans and events a :class:`~repro.core.tracing.Tracer` recorded:
   outage suites call the checker at quiescence);
 * **done-mismatch** — the newest done marker per key must agree with
   the destination bucket (PUT ⇒ ETag match, DELETE ⇒ key absent);
+* **unverified-finalize** — every destination PUT finalize must carry
+  the verify-after-finalize verdict: no visibility without a verified
+  finalize;
+* **silent-corruption** — every corruption the engine detected must be
+  either repaired (a later verified finalize of the task) or surfaced
+  (quarantine, dead-letter, abort/retrigger, park) — never silently
+  marked done;
 * **cost-gap / cost-orphan** — the charges mirrored through the
   tracer's cost sink must sum to the ledger's growth since install,
   and task-attributed charges must reference tasks the trace knows.
@@ -58,7 +65,7 @@ class TraceFinding:
 
     kind: str   # clock | lifecycle | unfenced-visible | superseded-fence
                 # | lock-order | park-leak | done-mismatch | cost-gap
-                # | cost-orphan
+                # | cost-orphan | unverified-finalize | silent-corruption
     subject: str   # task id, object key, or backlog id
     detail: str
 
@@ -112,6 +119,7 @@ class TraceChecker:
         self._check_lifecycle(tr, report)
         self._check_backlog(tr, report)
         self._check_done_markers(tr, report)
+        self._check_integrity(tr, report)
         self._check_costs(tr, report)
         return report
 
@@ -326,6 +334,65 @@ class TraceChecker:
                         "done-mismatch", key,
                         f"marker etag {e.attrs['etag']} != destination "
                         f"etag {dst.head(key).etag}"))
+
+    # -- end-to-end integrity: verified finalizes, surfaced corruption ------
+
+    def _check_integrity(self, tr: Tracer, report: TraceReport) -> None:
+        """No visibility without verification; no corruption goes silent.
+
+        Every destination PUT finalize must carry ``verified=True`` (the
+        engine re-read the destination ETag before the done marker).
+        Every ``corrupt-detected`` must be *resolved*: either a later
+        verified finalize of the same task (the retransfer healed it) or
+        an explicit surfacing — quarantine, dead-letter, abort,
+        retrigger, lock-lost, or park — that hands the key to recovery.
+        A detection with neither is a silent finalize, the exact failure
+        mode the integrity machinery exists to rule out.
+        """
+        verified_finalizes = 0
+        last_verified_fin: dict[str, float] = {}
+        last_corrupt: dict[str, float] = {}
+        surfaced: set[str] = set()
+        detections = 0
+        for e in tr.events:
+            if e.cat == "engine" and e.name == "finalize":
+                if e.attrs.get("op") == "put":
+                    if e.attrs.get("verified"):
+                        verified_finalizes += 1
+                        if e.task is not None:
+                            last_verified_fin[e.task] = e.time
+                    else:
+                        report.findings.append(TraceFinding(
+                            "unverified-finalize", e.task or "?",
+                            f"put finalize at t={e.time:.3f} without a "
+                            f"destination verification verdict"))
+                elif e.task is not None:
+                    # Deletes leave nothing to verify; their finalize
+                    # still resolves any corruption the task observed.
+                    last_verified_fin[e.task] = e.time
+            elif (e.cat == "engine" and e.name == "corrupt-detected"
+                    and e.task is not None):
+                detections += 1
+                last_corrupt[e.task] = max(
+                    last_corrupt.get(e.task, -math.inf), e.time)
+            elif (e.name in ("quarantine", "abort", "retrigger",
+                             "lock-lost", "park") and e.task is not None):
+                surfaced.add(e.task)
+            elif e.name == "dead-letter" and e.task is not None:
+                surfaced.add(e.task)
+        report.checked["verified_finalizes"] = verified_finalizes
+        report.checked["corruption_detections"] = detections
+        for task in sorted(last_corrupt):
+            t_corrupt = last_corrupt[task]
+            t_fin = last_verified_fin.get(task)
+            if t_fin is not None and t_fin >= t_corrupt - _EPS:
+                continue
+            if task in surfaced:
+                continue
+            report.findings.append(TraceFinding(
+                "silent-corruption", task,
+                f"corruption detected at t={t_corrupt:.3f} was neither "
+                f"re-verified by a later finalize nor surfaced"))
 
     # -- attributed cost completeness --------------------------------------
 

@@ -84,6 +84,31 @@ class PartPool:
                                     finished=state["finished"])
         return state["finished"]
 
+    def mark_quarantined(self, part_index: int):
+        """Process: record that ``part_index`` was poison-quarantined.
+
+        The part stays *missing* — a later redrive (after the fault
+        clears) re-claims and completes it — but the durable record
+        lets operators and the corruption drill see which parts burned
+        their retransfer budget, and janitor workers deprioritize them.
+        """
+        def mark(item):
+            item = item or {}
+            quarantined = item.setdefault("quarantined_parts", [])
+            if part_index not in quarantined:
+                quarantined.append(part_index)
+            return item
+
+        yield self.table.update_item(self._key, mark)
+        if self.table.tracer is not None:
+            self.table.tracer.event("part-quarantine", "pool", self.task_id,
+                                    idx=part_index)
+
+    def quarantined_parts(self):
+        """Process: part indices recorded as poison-quarantined."""
+        item = yield self.table.get_item(self._key)
+        return sorted(item.get("quarantined_parts", [])) if item else []
+
     def missing_parts(self):
         """Process: part indices not yet recorded as done (recovery)."""
         item = yield self.table.get_item(self._key)

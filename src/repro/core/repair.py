@@ -16,11 +16,24 @@ traffic.  Three divergence kinds are detected:
 
 * **missing** — a source object absent at the destination;
 * **stale** — present but byte-different (ETag mismatch);
-* **lingering** — a destination object whose source was deleted.
+* **lingering** — a destination object whose source was deleted;
+* **corrupt** — (deep scrub only) the destination *reports* the right
+  ETag but its stored bytes differ from the source: silent bit rot that
+  lies to HEAD and therefore to the shallow diff above.  Scrub re-reads
+  every ETag-matching destination object byte-for-byte, re-reading once
+  on anomaly so a transient medium fault (injected read rot) is not
+  escalated to a repair.
 
 Re-driven deletes are stamped with the source's current top sequencer,
 so a repaired marker can never exceed anything the source issued (the
 auditor's done-drift invariant holds across repairs).
+
+Anti-entropy is not free, and the cost model says so: every scan
+charges its LIST pages and per-finding done-marker reads to the
+ledger, and deep scrub additionally pays the GET request plus egress
+for each destination object it re-reads — so cost reports reflect the
+repair overhead instead of pretending background verification rides
+for free.
 """
 
 from __future__ import annotations
@@ -29,8 +42,12 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.core.service import AReplicaService, ReplicationRule
+from repro.simcloud.cost import CostCategory
 
 __all__ = ["RepairFinding", "RepairReport", "AntiEntropyScanner"]
+
+#: Keys returned per metered LIST page (the S3/GCS/Azure page size).
+_LIST_PAGE = 1000
 
 
 @dataclass(frozen=True)
@@ -38,7 +55,7 @@ class RepairFinding:
     """One detected source/destination divergence."""
 
     rule_id: str
-    kind: str  # missing | stale | lingering
+    kind: str  # missing | stale | lingering | corrupt
     key: str
     detail: str
 
@@ -57,6 +74,11 @@ class RepairReport:
     #: Synthetic events dispatched to heal the findings (0 when the
     #: scan ran in detect-only mode).
     redriven: int = 0
+    #: Destination objects byte-verified by deep scrub.
+    scrubbed: int = 0
+    #: Scrub anomalies that vanished on re-read (transient medium
+    #: faults, not durable rot) — observed, but not repair findings.
+    transient_anomalies: int = 0
 
     @property
     def clean(self) -> bool:
@@ -72,14 +94,18 @@ class RepairReport:
             "missing": len(self.by_kind("missing")),
             "stale": len(self.by_kind("stale")),
             "lingering": len(self.by_kind("lingering")),
+            "corrupt": len(self.by_kind("corrupt")),
+            "scrubbed": self.scrubbed,
+            "transient_anomalies": self.transient_anomalies,
             "redriven": self.redriven,
             "clean": self.clean,
         }
 
     def render(self) -> str:
         if self.clean:
+            scrub = (f", {self.scrubbed} scrubbed" if self.scrubbed else "")
             return (f"repair scan {self.rule_id}: clean "
-                    f"({self.scanned} key(s) examined)")
+                    f"({self.scanned} key(s) examined{scrub})")
         lines = [f"repair scan {self.rule_id}: {len(self.findings)} "
                  f"divergence(s), {self.redriven} re-driven"]
         lines += [f"  {f}" for f in self.findings]
@@ -93,27 +119,93 @@ class AntiEntropyScanner:
         self.service = service
 
     def scan(self, rule: Optional[ReplicationRule] = None,
-             redrive: bool = True) -> RepairReport:
+             redrive: bool = True, scrub: bool = False) -> RepairReport:
         """Scan ``rule`` (or every rule) and return a :class:`RepairReport`.
 
         With ``redrive=True`` each finding is handed back to the
         engine as a synthetic event (parked like live traffic if the
         route is still down); run the simulation afterwards to let the
         repairs complete.  The scan itself consumes no simulated time —
-        it is the operator-side listing pass, not a workload.
+        it is the operator-side listing pass, not a workload — but its
+        metered operations (LIST pages, done-marker reads, and scrub
+        GETs/egress) are charged to the ledger.
+
+        With ``scrub=True`` every destination object whose reported
+        ETag matches the source is additionally re-read byte-for-byte:
+        the deep pass that catches silent bit rot hiding behind a
+        truthful-looking HEAD (finding kind ``corrupt``).
         """
         rules = [rule] if rule is not None else list(self.service.rules.values())
         report = RepairReport("+".join(r.rule_id for r in rules))
         for r in rules:
-            self._scan_rule(r, report, redrive)
+            self._scan_rule(r, report, redrive, scrub)
         return report
 
+    # -- metered-operation charging ----------------------------------------
+
+    def _charge_list(self, bucket, num_keys: int) -> None:
+        cloud = self.service.cloud
+        pages = max(1, -(-num_keys // _LIST_PAGE))
+        price = cloud.prices.store[bucket.region.provider]
+        # LIST bills at the PUT/mutating request tier on all three clouds.
+        cloud.ledger.charge(cloud.now, CostCategory.STORAGE_REQUESTS,
+                            pages * price.put,
+                            f"repair:list:{bucket.region.key}")
+
+    def _charge_marker_read(self, rule: ReplicationRule) -> None:
+        cloud = self.service.cloud
+        price = cloud.prices.kv[rule.dst_bucket.region.provider]
+        cloud.ledger.charge(cloud.now, CostCategory.KV_OPS, price.read,
+                            "repair:marker")
+
+    def _scrub_read(self, rule: ReplicationRule, key: str):
+        """One metered byte-level read of a destination object."""
+        cloud = self.service.cloud
+        dst = rule.dst_bucket
+        price = cloud.prices.store[dst.region.provider]
+        payload, obj = dst.get_object(key)
+        cloud.ledger.charge(cloud.now, CostCategory.STORAGE_REQUESTS,
+                            price.get, "repair:scrub-get")
+        cloud.ledger.charge(
+            cloud.now, CostCategory.EGRESS,
+            cloud.prices.egress_cost(dst.region, rule.src_bucket.region,
+                                     payload.size),
+            "repair:scrub-bytes")
+        return payload, obj
+
+    def _scrub_key(self, rule: ReplicationRule, key: str, current,
+                   report: RepairReport) -> Optional[RepairFinding]:
+        """Byte-verify one ETag-matching destination object.
+
+        Reads pass through the bucket's chaos layer, so a transient
+        medium fault can surface here too; one verifying re-read keeps
+        those from being escalated to (harmless but costly) repairs.
+        Returns a ``corrupt`` finding only when the anomaly persists.
+        """
+        report.scrubbed += 1
+        for attempt in range(2):
+            payload, dst_obj = self._scrub_read(rule, key)
+            if (payload.size == current.size
+                    and payload.segments == current.blob.segments
+                    and dst_obj.etag == current.etag):
+                if attempt:
+                    report.transient_anomalies += 1
+                return None
+        return RepairFinding(
+            rule.rule_id, "corrupt", key,
+            "destination bytes differ behind a matching reported ETag")
+
+    # -- the diff itself ----------------------------------------------------
+
     def _scan_rule(self, rule: ReplicationRule, report: RepairReport,
-                   redrive: bool) -> None:
+                   redrive: bool, scrub: bool) -> None:
         src, dst = rule.src_bucket, rule.dst_bucket
         now = self.service.cloud.now
         engine = rule.engine
         src_keys = set(src.keys())
+        dst_keys = dst.keys()
+        self._charge_list(src, len(src_keys))
+        self._charge_list(dst, len(dst_keys))
         for key in sorted(src_keys):
             report.scanned += 1
             current = src.head(key)
@@ -123,8 +215,13 @@ class AntiEntropyScanner:
             elif dst.head(key).etag != current.etag:
                 finding = RepairFinding(rule.rule_id, "stale", key,
                                         "destination content differs")
+            elif scrub:
+                finding = self._scrub_key(rule, key, current, report)
+                if finding is None:
+                    continue
             else:
                 continue
+            self._charge_marker_read(rule)
             report.findings.append(finding)
             if redrive:
                 # The "repair" flag bypasses the engine's done-marker
@@ -136,10 +233,11 @@ class AntiEntropyScanner:
                     "event_time": now, "repair": True,
                 })
                 report.redriven += 1
-        for key in dst.keys():
+        for key in dst_keys:
             if key in src_keys:
                 continue
             report.scanned += 1
+            self._charge_marker_read(rule)
             report.findings.append(RepairFinding(
                 rule.rule_id, "lingering", key,
                 "survives at destination after source delete"))

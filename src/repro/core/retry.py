@@ -8,8 +8,10 @@ serverless database rejects.  Retrying them in place with jittered
 exponential backoff is far cheaper than failing the whole function and
 paying a platform retry (cold start, repeated data transfer), and the
 jitter de-synchronizes the herd of replicators a throttling episode
-creates.  The same schedule paces operator-level dead-letter redrives
-between convergence rounds (``service.run_to_convergence``).
+creates.  Because that de-synchronization is the point, a policy with
+``jitter > 0`` *requires* the caller's seeded RNG: silently falling
+back to the raw schedule would re-align the herd exactly when it
+matters, so :meth:`RetryPolicy.backoff_s` refuses instead.
 """
 
 from __future__ import annotations
@@ -66,10 +68,25 @@ class RetryPolicy:
         if self.deadline_s is not None and self.deadline_s <= 0:
             raise ValueError("deadline_s must be positive (or None)")
 
+    def nominal_s(self, attempt: int) -> float:
+        """The un-jittered schedule value for ``attempt`` (zero-based)."""
+        return min(self.cap_s, self.base_s * self.multiplier ** attempt)
+
     def backoff_s(self, attempt: int, rng=None) -> float:
-        """Sleep before retry number ``attempt`` (zero-based)."""
-        raw = min(self.cap_s, self.base_s * self.multiplier ** attempt)
-        if self.jitter <= 0 or rng is None:
+        """Sleep before retry number ``attempt`` (zero-based).
+
+        With ``jitter > 0`` the caller must supply its seeded ``rng``;
+        omitting it used to silently return the raw schedule, which
+        re-synchronized every replicator's retries and defeated the
+        jitter precisely during the throttling herds it exists for.
+        """
+        raw = self.nominal_s(attempt)
+        if self.jitter <= 0:
             return raw
+        if rng is None:
+            raise ValueError(
+                "RetryPolicy has jitter > 0 but backoff_s() was called "
+                "without the caller's seeded rng; use nominal_s() for "
+                "the raw schedule")
         low = raw * (1.0 - self.jitter)
         return float(low + (raw - low) * rng.random())

@@ -305,6 +305,30 @@ class AReplicaService:
         """Per-target breaker state, empty when health is disabled."""
         return self.health.snapshot() if self.health is not None else {}
 
+    def integrity_snapshot(self) -> dict:
+        """End-to-end integrity counters across every rule and platform.
+
+        ``injected`` is the chaos layer's ground truth; the remaining
+        counters are the defense's response — a corruption drill
+        asserts the two sides reconcile (nothing injected goes both
+        undetected and visible).
+        """
+        snap = {"injected": self.cloud.corruption_injected(),
+                "corrupt_detected": 0, "retransfers": 0, "quarantined": 0,
+                "finalize_verify_failed": 0, "quarantined_dead_letters": 0}
+        for rule in self.rules.values():
+            stats = rule.engine.stats
+            for key in ("corrupt_detected", "retransfers", "quarantined",
+                        "finalize_verify_failed"):
+                snap[key] += stats.get(key, 0)
+        regions = set()
+        for rule in self.rules.values():
+            regions.add(rule.src_bucket.region.key)
+            regions.add(rule.dst_bucket.region.key)
+        snap["quarantined_dead_letters"] = sum(
+            self.cloud.faas(r).quarantined_dead_letters for r in regions)
+        return snap
+
     def run_until_quiet(self, max_time: Optional[float] = None) -> None:
         """Drain the simulation (bounded by ``max_time`` if given)."""
         self.cloud.run(until=max_time)
@@ -333,6 +357,7 @@ class AReplicaService:
             "plan_cache_misses": self.planner.cache.misses,
             "model_corrections": sum(
                 self.logger.corrections(p) for p in self.model.path_params),
+            "integrity": self.integrity_snapshot(),
         }
 
     def redrive_dead_letters(self) -> int:

@@ -25,6 +25,12 @@ engine and substrates is guarded by a single ``tracer is not None``
 check — the disabled path costs one attribute read, preserving the
 hot-path wins benchmarked in ``BENCH_PR1.json``.
 
+Beyond the phase letters, the engine emits a ``verify`` span (cat
+``engine``) for every verify-after-finalize check, and the integrity
+machinery emits ``chaos-corrupt`` (an injected fault),
+``corrupt-detected``, and ``quarantine`` events — the records the
+TraceChecker's integrity invariants and the corruption drill audit.
+
 Offline consumers:
 
 * :meth:`Tracer.export_chrome` — Chrome trace-event JSON, loadable in
@@ -194,6 +200,24 @@ class Tracer:
 
     def task_events(self, task: str) -> list[Event]:
         return [e for e in self.events if e.task == task]
+
+    def integrity_summary(self) -> dict[str, int]:
+        """Corruption bookkeeping visible in this trace: injected
+        faults, engine detections, quarantines, and verify outcomes."""
+        out = {"injected": 0, "detected": 0, "quarantined": 0,
+               "verify_ok": 0, "verify_failed": 0}
+        for e in self.events:
+            if e.name == "chaos-corrupt":
+                out["injected"] += 1
+            elif e.name == "corrupt-detected":
+                out["detected"] += 1
+            elif e.name == "quarantine":
+                out["quarantined"] += 1
+        for s in self.spans:
+            if s.name == "verify" and s.cat == "engine":
+                out["verify_ok" if s.attrs.get("ok") else
+                    "verify_failed"] += 1
+        return out
 
     def task_spans(self, task: str) -> list[Span]:
         return [s for s in self.spans if s.task == task]

@@ -82,6 +82,22 @@ class ChaosConfig:
     wan_blackout_windows: tuple[tuple[float, float], ...] = field(
         default_factory=tuple)
 
+    # -- silent corruption: bit flips, bit rot, truncation, bad ETags ----
+    #: A ranged GET served to a replicator arrives with flipped bits
+    #: (the payload differs from what the store holds).
+    corrupt_get_prob: float = 0.0
+    #: A part PUT is miswritten in flight: the store durably records a
+    #: payload other than the one the client uploaded.
+    corrupt_put_prob: float = 0.0
+    #: A stored object rots at rest when read: the store itself now
+    #: holds (and serves) corrupted content under the original key.
+    corrupt_at_rest_prob: float = 0.0
+    #: A read returns only a prefix of the requested range.
+    corrupt_truncate_prob: float = 0.0
+    #: The store misreports an object's ETag on a read while the
+    #: payload itself is intact.
+    corrupt_wrong_etag_prob: float = 0.0
+
     # -- sustained regional outages: (region_key, start_s, duration_s) --
     #: The region's FaaS control plane fast-fails every attempt started
     #: inside the window (no instance acquired, nothing billed).
@@ -100,7 +116,10 @@ class ChaosConfig:
     def __post_init__(self) -> None:
         for name in ("crash_prob", "notif_drop_prob", "notif_dup_prob",
                      "notif_reorder_prob", "kv_reject_prob",
-                     "kv_delay_prob", "wan_stall_prob"):
+                     "kv_delay_prob", "wan_stall_prob",
+                     "corrupt_get_prob", "corrupt_put_prob",
+                     "corrupt_at_rest_prob", "corrupt_truncate_prob",
+                     "corrupt_wrong_etag_prob"):
             p = getattr(self, name)
             if not 0.0 <= p < 1.0:
                 raise ValueError(f"{name} must be in [0, 1), got {p}")
@@ -142,7 +161,25 @@ class ChaosConfig:
                 or bool(self.wan_outages))
 
     @property
+    def corruption_transfer_enabled(self) -> bool:
+        """In-flight faults on the FaaS client data path."""
+        return self.corrupt_get_prob > 0 or self.corrupt_put_prob > 0
+
+    @property
+    def corruption_at_rest_enabled(self) -> bool:
+        """Faults the object store itself injects on reads."""
+        return (self.corrupt_at_rest_prob > 0
+                or self.corrupt_truncate_prob > 0
+                or self.corrupt_wrong_etag_prob > 0)
+
+    @property
+    def corruption_enabled(self) -> bool:
+        return (self.corruption_transfer_enabled
+                or self.corruption_at_rest_enabled)
+
+    @property
     def enabled(self) -> bool:
         """True when any substrate has a fault to inject."""
         return (self.faas_enabled or self.notifications_enabled
-                or self.kv_enabled or self.wan_enabled)
+                or self.kv_enabled or self.wan_enabled
+                or self.corruption_enabled)

@@ -91,6 +91,9 @@ class Cloud:
         if cache_key not in self._buckets:
             bucket = Bucket(name, region, versioning=versioning)
             bucket.health_sink = self.health
+            if self.chaos is not None:
+                bucket.set_chaos(self.chaos,
+                                 self._bucket_chaos_rng(region, name))
             self._buckets[cache_key] = bucket
         bucket = self._buckets[cache_key]
         if versioning and not bucket.versioning:
@@ -147,6 +150,9 @@ class Cloud:
     def _kv_chaos_rng(self, region: Region, name: str):
         return self.rngs.stream(f"chaos:kv:{region.key}:{name}")
 
+    def _bucket_chaos_rng(self, region: Region, name: str):
+        return self.rngs.stream(f"chaos:store:{region.key}:{name}")
+
     def apply_chaos(self, chaos: Optional[ChaosConfig]) -> None:
         """Install (or clear, with None) one fault schedule everywhere.
 
@@ -166,6 +172,10 @@ class Cloud:
         for (region_key, name), table in self._kv.items():
             table.set_chaos(chaos, self._kv_chaos_rng(get_region(region_key),
                                                       name))
+        for (region_key, name), bucket in self._buckets.items():
+            bucket.set_chaos(chaos,
+                             self._bucket_chaos_rng(get_region(region_key),
+                                                    name))
 
     def set_health(self, tracker) -> None:
         """Install (or clear, with None) one health tracker everywhere.
@@ -216,7 +226,24 @@ class Cloud:
             "wan_stalls": self.fabric.chaos_stalls,
             "wan_blackout_hits": self.fabric.chaos_blackouts,
             "wan_outage_hits": self.fabric.chaos_region_outage_hits,
+            "corrupt_get": sum(f.chaos_corrupt_gets
+                               for f in self._faas.values()),
+            "corrupt_put": sum(f.chaos_corrupt_puts
+                               for f in self._faas.values()),
+            "corrupt_at_rest": sum(b.chaos_counters["at_rest_rot"]
+                                   for b in self._buckets.values()),
+            "corrupt_truncated": sum(b.chaos_counters["truncated_reads"]
+                                     for b in self._buckets.values()),
+            "corrupt_wrong_etag": sum(b.chaos_counters["wrong_etag"]
+                                      for b in self._buckets.values()),
         }
+
+    def corruption_injected(self) -> int:
+        """Total silent-corruption faults injected so far (all kinds)."""
+        stats = self.chaos_stats()
+        return (stats["corrupt_get"] + stats["corrupt_put"]
+                + stats["corrupt_at_rest"] + stats["corrupt_truncated"]
+                + stats["corrupt_wrong_etag"])
 
     def inject_outage(self, region_key: str, duration_s: float) -> None:
         """Take every bucket in ``region_key`` offline for ``duration_s``

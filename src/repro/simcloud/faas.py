@@ -229,6 +229,9 @@ class FaasRegion:
         self.peak_running = 0
         self._queue: deque[Callable[[], None]] = deque()
         self.dead_letters: list[tuple[str, Any, str]] = []
+        #: How many dead-letter entries carried the ``corrupted``
+        #: disposition (poison parts quarantined past their budget).
+        self.quarantined_dead_letters = 0
         #: Fault injection: probability that any attempt crashes after
         #: an Exp(chaos_mean_delay_s)-distributed execution time.  The
         #: crash takes the platform's normal failure path (§6: auto-
@@ -240,6 +243,14 @@ class FaasRegion:
         #: which the regional control plane refuses every new attempt.
         self.chaos_outage_windows: tuple[tuple[float, float], ...] = ()
         self.chaos_outage_failures = 0
+        #: In-flight silent corruption on this platform's client data
+        #: path: a WAN ranged GET arrives with flipped bits, or a part
+        #: PUT is miswritten on the wire (the store durably records a
+        #: payload other than the one uploaded).  Off by default.
+        self.chaos_corrupt_get_prob = 0.0
+        self.chaos_corrupt_put_prob = 0.0
+        self.chaos_corrupt_gets = 0
+        self.chaos_corrupt_puts = 0
         #: Optional :class:`~repro.core.health.HealthTracker` fed one
         #: ``("faas", region)`` result per finished attempt.
         self.health_sink = None
@@ -257,8 +268,12 @@ class FaasRegion:
                 (start, start + duration)
                 for region_key, start, duration in chaos.faas_outages
                 if region_key == self.region.key)
+            self.chaos_corrupt_get_prob = chaos.corrupt_get_prob
+            self.chaos_corrupt_put_prob = chaos.corrupt_put_prob
         else:
             self.chaos_outage_windows = ()
+            self.chaos_corrupt_get_prob = 0.0
+            self.chaos_corrupt_put_prob = 0.0
 
     def _outage_active(self) -> bool:
         now = self.sim.now
@@ -526,17 +541,26 @@ class FaasRegion:
             dep.stats["timeouts"] += 1
         else:
             dep.stats["errors"] += 1
-        if invocation.attempts <= self.profile.max_retries:
+        # Errors carrying a ``dlq_disposition`` (e.g. a quarantined
+        # poison part) skip the auto-retry ladder: retrying would re-run
+        # the whole attempt against the same poisoned transfer, so they
+        # park immediately under their distinct disposition, awaiting an
+        # operator redrive.
+        disposition = getattr(error, "dlq_disposition", None)
+        if disposition is None and invocation.attempts <= self.profile.max_retries:
             dep.stats["retries"] += 1
             delay = self.profile.retry_backoff_s * (2 ** (invocation.attempts - 1))
             self.sim.call_later(delay, lambda: self._admit_retry(invocation))
         else:
+            if disposition == "corrupted":
+                self.quarantined_dead_letters += 1
             self.dead_letters.append((invocation.name, invocation.payload, repr(error)))
             if self.tracer is not None:
                 self.tracer.event("dead-letter", "faas",
                                   _task_ref(invocation.payload),
                                   fn=invocation.name, region=self.region.key,
-                                  error=repr(error))
+                                  error=repr(error),
+                                  disposition=disposition or "failed")
             invocation.fail(InvocationFailed(f"{invocation.name}: {error!r}"))
 
     def _admit_retry(self, invocation: Invocation) -> None:
@@ -681,12 +705,37 @@ class FunctionContext:
 
     # -- object storage data path -----------------------------------------------
 
+    def _flip_in_flight(self, op: str, bucket: Bucket, blob: Blob) -> Blob:
+        """Injected fault: flip bits of one WAN transfer's payload.
+
+        Only cross-region transfers are exposed (the WAN is the
+        unreliable medium the end-to-end argument targets); the chaos
+        RNG stream keeps the flip schedule deterministic per seed.
+        """
+        faas = self._faas
+        prob = (faas.chaos_corrupt_get_prob if op == "get"
+                else faas.chaos_corrupt_put_prob)
+        if (prob <= 0 or blob.size == 0
+                or bucket.region.key == self.region.key
+                or faas._chaos_rng.random() >= prob):
+            return blob
+        if op == "get":
+            faas.chaos_corrupt_gets += 1
+        else:
+            faas.chaos_corrupt_puts += 1
+        if faas.tracer is not None:
+            faas.tracer.event("chaos-corrupt", "chaos", self._trace_task,
+                              kind=op, bytes=blob.size,
+                              region=bucket.region.key)
+        return Blob.fresh(blob.size, tag=f"flip:{op}")
+
     def get_object(self, bucket: Bucket, key: str, offset: int = 0,
                    length: Optional[int] = None, concurrency: int = 1):
         """Download a (range of an) object into local storage."""
         yield from self._client_startup()
         yield SleepRequest(self._request_latency(bucket))
         blob, version = bucket.get_object(key, offset, length)
+        blob = self._flip_in_flight("get", bucket, blob)
         self._charge_request(bucket, "get")
         leg_from = self.now
         yield SleepRequest(self._leg_seconds(bucket, blob.size, upload=False,
@@ -713,7 +762,8 @@ class FunctionContext:
                                            concurrency=concurrency))
         if self._faas.tracer is not None:
             self._trace_leg("put", bucket, blob.size, leg_from)
-        version = bucket.put_object(key, blob, self.now, if_match=if_match)
+        version = bucket.put_object(key, self._flip_in_flight("put", bucket, blob),
+                                    self.now, if_match=if_match)
         self._charge_request(bucket, "put")
         self._charge_egress(self.region, bucket.region, blob.size)
         self.bytes_uploaded += blob.size
@@ -759,7 +809,8 @@ class FunctionContext:
                                            concurrency=concurrency))
         if self._faas.tracer is not None:
             self._trace_leg("upload-part", bucket, blob.size, leg_from)
-        etag = bucket.upload_part(upload_id, part_number, blob)
+        etag = bucket.upload_part(upload_id, part_number,
+                                  self._flip_in_flight("put", bucket, blob))
         self._charge_request(bucket, "put")
         self._charge_egress(self.region, bucket.region, blob.size)
         self.bytes_uploaded += blob.size

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import hashlib
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from functools import cached_property
 from typing import Callable, Iterable, Optional
 
@@ -170,6 +170,9 @@ class ObjectVersion:
     version_id: str
     put_time: float
     sequencer: int
+    #: Injected-fault override: a store that misreports an ETag on a
+    #: read hands back metadata whose hash does not match the payload.
+    reported_etag: Optional[str] = None
 
     @property
     def size(self) -> int:
@@ -177,7 +180,8 @@ class ObjectVersion:
 
     @property
     def etag(self) -> str:
-        return self.blob.etag
+        return self.reported_etag if self.reported_etag is not None \
+            else self.blob.etag
 
 
 @dataclass(frozen=True)
@@ -227,6 +231,78 @@ class Bucket:
         #: hot) — store breakers close via the engine's transfer-success
         #: reports instead.
         self.health_sink = None
+        #: Silent-corruption fault injection (see :meth:`set_chaos`).
+        self._chaos = None
+        self._chaos_rng = None
+        #: Per-bucket injected-corruption tally, aggregated into
+        #: ``Cloud.chaos_stats``.
+        self.chaos_counters = {
+            "at_rest_rot": 0, "truncated_reads": 0, "wrong_etag": 0,
+        }
+
+    def set_chaos(self, chaos, rng) -> None:
+        """Install (or clear) at-rest corruption faults on this bucket.
+
+        ``chaos`` is a :class:`~repro.simcloud.chaos.ChaosConfig` (or
+        None); ``rng`` a dedicated seeded stream.  Only the at-rest
+        knobs apply here — in-flight flips live on the FaaS client data
+        path — and a config without them installs nothing, keeping the
+        clean read path a single ``is None`` check.
+        """
+        if chaos is not None and chaos.corruption_at_rest_enabled:
+            self._chaos = chaos
+            self._chaos_rng = rng
+        else:
+            self._chaos = None
+            self._chaos_rng = None
+
+    def _chaos_read(self, key: str, payload: Blob,
+                    obj: ObjectVersion) -> tuple[Blob, ObjectVersion]:
+        """Apply injected read faults: rot, truncation, wrong ETag.
+
+        Rot and truncation are *medium* faults — the stored bytes stay
+        good, this read returned bad data — so a verified re-read
+        recovers.  Durable rot is injected via :meth:`rot_object`.
+        """
+        chaos, rng = self._chaos, self._chaos_rng
+        # One draw, cumulative thresholds: at most one fault per read,
+        # so every injected corruption maps to exactly one detectable
+        # anomaly (the accounting the corruption drill audits).
+        draw = rng.random()
+        if draw < chaos.corrupt_at_rest_prob:
+            self.chaos_counters["at_rest_rot"] += 1
+            payload = Blob.fresh(payload.size, tag=f"rot:{key}")
+            return payload, obj
+        draw -= chaos.corrupt_at_rest_prob
+        if draw < chaos.corrupt_truncate_prob and payload.size > 1:
+            self.chaos_counters["truncated_reads"] += 1
+            return payload.slice(0, max(1, payload.size // 2)), obj
+        draw -= chaos.corrupt_truncate_prob
+        if draw < chaos.corrupt_wrong_etag_prob:
+            self.chaos_counters["wrong_etag"] += 1
+            obj = replace(
+                obj, reported_etag=f"bogus{int(rng.integers(1 << 32)):08x}")
+        return payload, obj
+
+    def rot_object(self, key: str) -> tuple[str, str]:
+        """Durably rot the current version's stored content (bit rot).
+
+        The object silently now holds garbage of the original size — no
+        event, no new sequencer, and HEAD keeps reporting the *pre-rot*
+        ETag (object-store ETags are computed at write time, so decayed
+        media lies until something re-reads the bytes).  Only a
+        byte-level deep scrub can catch this — exactly the divergence
+        the shallow ETag diff cannot.  Deterministic hook for scrub
+        drills and tests.  Returns ``(reported_etag, true_etag)``.
+        """
+        obj = self.head(key)
+        if obj.size == 0:
+            return obj.etag, obj.etag
+        rotten = Blob.fresh(obj.size, tag=f"rot:{key}")
+        self._objects[key] = replace(obj, blob=rotten,
+                                     reported_etag=obj.etag)
+        self.chaos_counters["at_rest_rot"] += 1
+        return obj.etag, rotten.etag
 
     def _check_available(self) -> None:
         if self.in_outage:
@@ -390,7 +466,10 @@ class Bucket:
         obj = self.head(key)
         if length is None:
             length = obj.size - offset
-        return obj.blob.slice(offset, length), obj
+        payload = obj.blob.slice(offset, length)
+        if self._chaos is not None and payload.size > 0:
+            payload, obj = self._chaos_read(key, payload, obj)
+        return payload, obj
 
     # -- multipart upload -----------------------------------------------------
 

@@ -1,0 +1,306 @@
+"""End-to-end data-integrity suites: silent corruption, quarantine, scrub.
+
+Offense: the chaos layer flips bits on WAN transfers, rots stored
+objects, truncates reads and misreports ETags.  Defense: the engine
+verifies every part before it enters the part pool, retransfers under a
+bounded budget, quarantines poison parts to the DLQ, and verifies the
+destination before the done marker; deep scrub re-verifies bytes behind
+matching reported ETags; the client re-checks what it reads.
+
+The property under test: **no injected corruption is ever silently
+finalized** — every fault is either detected-and-repaired in place,
+surfaced through quarantine/DLQ, or caught later by scrub; the trace
+checker and the quiescent audit both come back clean once the storm
+passes.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.audit import ReplicationAuditor
+from repro.core.client import ClientIntegrityError, ReplicatedBucketClient
+from repro.core.config import ReplicaConfig
+from repro.core.invariants import TraceChecker
+from repro.core.repair import AntiEntropyScanner
+from repro.core.service import AReplicaService
+from repro.simcloud.chaos import ChaosConfig
+from repro.simcloud.cloud import build_default_cloud
+from repro.simcloud.cost import CostCategory
+from repro.simcloud.objectstore import Blob
+
+pytestmark = pytest.mark.scrub
+
+KB = 1024
+MB = 1024 * 1024
+SRC = "aws:us-east-1"
+DST = "azure:eastus"
+
+#: Corruption-only storm: every fault lands on a data path the engine
+#: verifies, so detections must account for every single injection.
+CORRUPTION_STORM = ChaosConfig(
+    corrupt_get_prob=0.15, corrupt_put_prob=0.10,
+    corrupt_at_rest_prob=0.05, corrupt_truncate_prob=0.05,
+    corrupt_wrong_etag_prob=0.05,
+)
+
+#: Corruption mixed into the full chaos-convergence storm (crashes,
+#: notification faults, KV throttling, WAN stalls) — the satellite-3
+#: requirement.  Crashes can sever an injection from its verifying
+#: read, so this storm asserts *outcomes* (clean audit, clean trace,
+#: byte-identical buckets), not exact fault accounting.
+MIXED_STORM = ChaosConfig(
+    crash_prob=0.05,
+    notif_drop_prob=0.06, notif_dup_prob=0.06, notif_reorder_prob=0.06,
+    notif_redelivery_s=20.0,
+    kv_reject_prob=0.06, kv_delay_prob=0.06,
+    wan_stall_prob=0.02,
+    corrupt_get_prob=0.10, corrupt_put_prob=0.06,
+    corrupt_at_rest_prob=0.04, corrupt_truncate_prob=0.04,
+    corrupt_wrong_etag_prob=0.04,
+)
+
+
+def corrupted_soak(seed: int, chaos: ChaosConfig, **config_kw):
+    """The chaos-convergence soak workload under corruption faults,
+    with the tracer recording so the integrity oracle can judge it."""
+    cloud = build_default_cloud(seed=seed)
+    config = ReplicaConfig(profile_samples=4, mc_samples=300,
+                           tracing_enabled=True, **config_kw)
+    svc = AReplicaService(cloud, config)
+    src = cloud.bucket(SRC, "src")
+    dst = cloud.bucket(DST, "dst")
+    rule = svc.add_rule(src, dst)
+    cloud.apply_chaos(chaos)
+
+    rng = cloud.rngs.stream("chaos-workload")
+    keys = [f"obj{i}" for i in range(6)]
+    t = 1.0
+    for _ in range(25):
+        t += float(rng.exponential(2.0))
+        key = keys[int(rng.integers(len(keys)))]
+        if rng.random() < 0.2:
+            cloud.sim.call_later(t, lambda k=key: (
+                k in src and src.delete_object(k, cloud.sim.now)))
+        else:
+            size = int(rng.integers(1, 64)) * KB
+            cloud.sim.call_later(t, lambda k=key, s=size: src.put_object(
+                k, Blob.fresh(s), cloud.sim.now))
+    # One large multipart transfer so per-part verification, retransfer
+    # budgets and quarantine all run under the storm.
+    cloud.sim.call_later(t / 2, lambda: src.put_object(
+        "obj-big", Blob.fresh(48 * MB), cloud.sim.now))
+    cloud.run()
+
+    cloud.apply_chaos(None)
+    svc.run_to_convergence()
+    return cloud, svc, src, dst, rule
+
+
+def assert_byte_identical(src, dst):
+    """Stronger than the usual ETag diff: compare the *stored* content
+    hashes, which a lying reported ETag cannot mask."""
+    for key in src.keys():
+        assert dst.head(key).blob.etag == src.head(key).blob.etag, key
+
+
+# ---------------------------------------------------------------------------
+# corruption-only storm: exact fault accounting
+# ---------------------------------------------------------------------------
+
+def test_pure_corruption_storm_accounts_for_every_fault():
+    cloud, svc, src, dst, rule = corrupted_soak(4321, CORRUPTION_STORM)
+    report = ReplicationAuditor(svc).audit(quiescent=True)
+    assert report.clean, report.render()
+    assert svc.pending_count() == 0
+    assert_byte_identical(src, dst)
+
+    injected = cloud.corruption_injected()
+    assert injected > 0, "storm injected nothing — probabilities too low"
+    integrity = svc.integrity_snapshot()
+    # Without crashes every faulted read reaches a verifying consumer,
+    # so detections must account for every injection (1:1 by design:
+    # one fault per read, one verdict per read).
+    assert integrity["corrupt_detected"] >= injected
+    assert rule.engine.stats["corrupt_detected"] == \
+        integrity["corrupt_detected"]
+    # The bounded-budget re-fetch path actually ran.
+    assert rule.engine.stats["retransfers"] > 0
+    # The snapshot's shape is part of the CLI contract (corruption-drill
+    # serializes it verbatim).
+    assert set(integrity) == {
+        "injected", "corrupt_detected", "retransfers", "quarantined",
+        "finalize_verify_failed", "quarantined_dead_letters",
+    }
+
+    trace = TraceChecker(svc).check()
+    assert trace.clean, trace.render()
+    assert trace.checked["verified_finalizes"] > 0
+    assert trace.checked["corruption_detections"] > 0
+
+
+# ---------------------------------------------------------------------------
+# mixed storm: corruption + crashes + notification/KV/WAN chaos
+# ---------------------------------------------------------------------------
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=6, deadline=None)
+def test_mixed_chaos_and_corruption_storm_converges_clean(seed):
+    cloud, svc, src, dst, rule = corrupted_soak(seed, MIXED_STORM)
+    report = ReplicationAuditor(svc).audit(quiescent=True)
+    # A clean quiescent audit includes zero silent-divergence findings:
+    # no undetected corruption survives in the destination.
+    assert report.clean, f"seed {seed}:\n{report.render()}"
+    assert svc.pending_count() == 0
+    trace = TraceChecker(svc).check()
+    assert trace.clean, f"seed {seed}:\n{trace.render()}"
+    assert_byte_identical(src, dst)
+
+
+def test_fixed_seed_mixed_storm_smoke():
+    """Deterministic tier-1 smoke: one seed that demonstrably injects
+    corruption alongside the legacy fault classes and still converges."""
+    cloud, svc, src, dst, rule = corrupted_soak(1234, MIXED_STORM)
+    assert ReplicationAuditor(svc).audit(quiescent=True).clean
+    stats = cloud.chaos_stats()
+    assert cloud.corruption_injected() > 0
+    assert stats["faas_crashes"] + stats["notifications_dropped"] > 0
+    assert rule.engine.stats["corrupt_detected"] > 0
+
+
+# ---------------------------------------------------------------------------
+# quarantine: poison parts under an exhausted retransfer budget
+# ---------------------------------------------------------------------------
+
+def test_exhausted_budget_quarantines_then_redrive_heals():
+    """With a zero retransfer budget every detected corruption is a
+    poison part: the task must dead-letter with the ``corrupted``
+    disposition instead of burning platform retries, and the post-storm
+    redrive must heal it completely."""
+    cloud, svc, src, dst, rule = corrupted_soak(
+        99, ChaosConfig(corrupt_get_prob=0.5, corrupt_put_prob=0.3),
+        retransfer_budget=0)
+
+    assert rule.engine.stats["quarantined"] > 0
+    assert rule.engine.stats["retransfers"] == 0     # budget is zero
+    integrity = svc.integrity_snapshot()
+    assert integrity["quarantined_dead_letters"] > 0
+
+    # corrupted_soak already cleared the storm and ran the DLQ redrive:
+    # the quarantined tasks must have healed, not leaked.
+    assert ReplicationAuditor(svc).audit(quiescent=True).clean
+    assert svc.pending_count() == 0
+    assert_byte_identical(src, dst)
+    trace = TraceChecker(svc).check()
+    assert trace.clean, trace.render()
+
+
+# ---------------------------------------------------------------------------
+# deep scrub: durable bit rot behind a truthful-looking HEAD
+# ---------------------------------------------------------------------------
+
+class TestDeepScrub:
+    def _replicated(self, seed=505):
+        cloud = build_default_cloud(seed=seed)
+        config = ReplicaConfig(profile_samples=4, mc_samples=300,
+                               tracing_enabled=True)
+        svc = AReplicaService(cloud, config)
+        src = cloud.bucket(SRC, "src")
+        dst = cloud.bucket(DST, "dst")
+        rule = svc.add_rule(src, dst)
+        for i in range(6):
+            src.put_object(f"k{i}", Blob.fresh(MB), cloud.now)
+        cloud.run()
+        assert svc.pending_count() == 0
+        return cloud, svc, src, dst, rule
+
+    def test_scrub_catches_rot_a_shallow_scan_cannot(self):
+        cloud, svc, src, dst, rule = self._replicated()
+        reported, true_etag = dst.rot_object("k2")
+        assert reported != true_etag          # the HEAD now lies
+
+        scanner = AntiEntropyScanner(svc)
+        # The shallow ETag diff is blind to silent rot ...
+        assert scanner.scan(rule, redrive=False).clean
+        # ... the quiescent audit's byte-level cross-check is not ...
+        audit = ReplicationAuditor(svc).audit(quiescent=True)
+        assert {f.kind for f in audit.findings} == {"silent-divergence"}
+        # ... and deep scrub both finds and names it.
+        found = scanner.scan(rule, redrive=False, scrub=True)
+        assert [f.key for f in found.by_kind("corrupt")] == ["k2"]
+        assert found.scrubbed == 6
+
+        healed = scanner.scan(rule, redrive=True, scrub=True)
+        assert healed.redriven == 1
+        cloud.run()
+        assert dst.head("k2").blob.etag == src.head("k2").blob.etag
+        assert scanner.scan(rule, redrive=False, scrub=True).clean
+        assert ReplicationAuditor(svc).audit(quiescent=True).clean
+        trace = TraceChecker(svc).check()
+        assert trace.clean, trace.render()
+
+    def test_scrub_work_is_charged_to_the_cost_model(self):
+        cloud, svc, src, dst, rule = self._replicated(seed=506)
+        before_store = cloud.ledger.total(CostCategory.STORAGE_REQUESTS)
+        before_egress = cloud.ledger.total(CostCategory.EGRESS)
+        before_kv = cloud.ledger.total(CostCategory.KV_OPS)
+
+        dst.rot_object("k0")
+        AntiEntropyScanner(svc).scan(rule, redrive=False, scrub=True)
+        # LIST pages + per-key scrub GETs land on storage requests, the
+        # scrubbed bytes on egress, the marker lookup on KV ops.
+        assert cloud.ledger.total(CostCategory.STORAGE_REQUESTS) > \
+            before_store
+        assert cloud.ledger.total(CostCategory.EGRESS) > before_egress
+        assert cloud.ledger.total(CostCategory.KV_OPS) > before_kv
+
+
+# ---------------------------------------------------------------------------
+# client: the user-facing end of the integrity chain
+# ---------------------------------------------------------------------------
+
+class TestClientVerification:
+    def _client(self, seed=601):
+        cloud = build_default_cloud(seed=seed)
+        svc = AReplicaService(cloud, ReplicaConfig(profile_samples=4,
+                                                   mc_samples=300))
+        src = cloud.bucket(SRC, "src")
+        rule = svc.add_rule(src, cloud.bucket(DST, "dst"))
+        client = ReplicatedBucketClient(cloud, src, rule.changelog)
+        return cloud, src, client
+
+    def test_verified_get_clean_path(self):
+        cloud, src, client = self._client()
+        blob = Blob.fresh(MB)
+        client.run(client.put("k", blob))
+        payload, version = client.run(client.verified_get("k"))
+        assert payload.etag == blob.etag
+        assert client.stats["verified_gets"] == 1
+        assert client.stats["integrity_retries"] == 0
+
+    def test_verified_get_surfaces_durable_rot(self):
+        cloud, src, client = self._client(seed=602)
+        client.run(client.put("k", Blob.fresh(MB)))
+        src.rot_object("k")
+        with pytest.raises(ClientIntegrityError):
+            client.run(client.verified_get("k"))
+        assert client.stats["integrity_failures"] == 1
+
+    def test_verified_get_retries_through_transient_faults(self):
+        cloud, src, client = self._client(seed=603)
+        client.run(client.put("k", Blob.fresh(MB)))
+        cloud.run()
+        cloud.apply_chaos(ChaosConfig(corrupt_at_rest_prob=0.4))
+        outcomes = {"ok": 0, "failed": 0}
+        for _ in range(25):
+            try:
+                client.run(client.verified_get("k"))
+                outcomes["ok"] += 1
+            except ClientIntegrityError:
+                outcomes["failed"] += 1
+        cloud.apply_chaos(None)
+        # Transient medium faults: a single re-read absorbed some of
+        # them, and the stored object itself never actually rotted.
+        assert client.stats["integrity_retries"] > 0
+        assert outcomes["ok"] > 0
+        assert src.head("k").blob.etag == src.head("k").etag

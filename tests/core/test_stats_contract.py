@@ -30,6 +30,8 @@ EXPECTED_KEYS = frozenset({
     "parked", "drained", "probes", "failover", "backlog_kv_failed",
     "content_skipped", "quota_clamped",
     "recovered_parts", "recovered_finalize",
+    "corrupt_detected", "retransfers", "quarantined",
+    "finalize_verify_failed",
 })
 
 _KEY_RE = re.compile(r"""stats(?:\.get\(|\[)\s*["']([a-z_]+)["']""")

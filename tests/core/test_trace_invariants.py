@@ -337,9 +337,11 @@ def release(tr, t, key, owner, released, fence=0):
          key=key, owner=owner, released=released, fence=fence)
 
 
-def finalize(tr, t, task, key, fence, op="put", etag="e1", seq=1):
+def finalize(tr, t, task, key, fence, op="put", etag="e1", seq=1,
+             verified=True):
     emit(tr, t, "finalize", "engine", task,
-         key=key, seq=seq, etag=etag, fence=fence, op=op)
+         key=key, seq=seq, etag=etag, fence=fence, op=op,
+         verified=verified)
 
 
 def visible(tr, t, task, key, kind="created", seq=1):
@@ -478,6 +480,41 @@ class TestSyntheticViolations:
         emit(tr, 0.0, "done-marker", "engine", "t1",
              rule="r", key="k", seq=2, etag="e1", op="delete")
         assert kinds(TraceChecker(svc).check()) == {"done-mismatch"}
+
+    def test_put_finalize_without_verification_verdict(self):
+        tr, svc = bare()
+        acquire(tr, 0.0, "k", "tA", 1, "fresh")
+        finalize(tr, 1.0, "tA", "k", fence=1, verified=False)
+        visible(tr, 2.0, "tA", "k")
+        release(tr, 3.0, "k", "tA", released=True, fence=1)
+        assert "unverified-finalize" in kinds(TraceChecker(svc).check())
+
+    def test_detected_corruption_never_resolved(self):
+        tr, svc = bare()
+        emit(tr, 1.0, "corrupt-detected", "engine", "tA",
+             key="k", stage="part-get", kind="payload", part=0)
+        assert "silent-corruption" in kinds(TraceChecker(svc).check())
+
+    def test_corruption_resolved_by_later_verified_finalize(self):
+        tr, svc = bare()
+        acquire(tr, 0.0, "k", "tA", 1, "fresh")
+        emit(tr, 1.0, "corrupt-detected", "engine", "tA",
+             key="k", stage="part-get", kind="payload", part=0)
+        finalize(tr, 2.0, "tA", "k", fence=1)
+        visible(tr, 3.0, "tA", "k")
+        release(tr, 4.0, "k", "tA", released=True, fence=1)
+        report = TraceChecker(svc).check()
+        assert report.clean, report.render()
+        assert report.checked["corruption_detections"] == 1
+
+    def test_corruption_surfaced_by_quarantine_is_not_silent(self):
+        tr, svc = bare()
+        emit(tr, 1.0, "corrupt-detected", "engine", "tA",
+             key="k", stage="part-get", kind="payload", part=0)
+        emit(tr, 2.0, "quarantine", "engine", "tA",
+             key="k", stage="part-get", part=0)
+        report = TraceChecker(svc).check()
+        assert report.clean, report.render()
 
     def test_ledger_charge_missing_from_the_trace(self):
         tr, svc = bare()

@@ -54,10 +54,20 @@ class TestRetryPolicy:
                              jitter=0.5)
         rng = build_default_cloud(seed=0).rngs.stream("jitter-test")
         for attempt in range(5):
-            raw = policy.backoff_s(attempt)
+            raw = policy.nominal_s(attempt)
             for _ in range(20):
                 got = policy.backoff_s(attempt, rng)
                 assert raw * 0.5 <= got <= raw
+
+    def test_jittered_policy_refuses_missing_rng(self):
+        # The old behavior fell back to the raw schedule, silently
+        # re-synchronizing the retry herd the jitter exists to spread.
+        policy = RetryPolicy(jitter=0.5)
+        with pytest.raises(ValueError):
+            policy.backoff_s(0)
+        # A jitter-free policy never needed an rng and still doesn't.
+        assert RetryPolicy(jitter=0.0).backoff_s(0) == \
+            RetryPolicy(jitter=0.0).nominal_s(0)
 
     def test_validation(self):
         with pytest.raises(ValueError):
@@ -219,5 +229,7 @@ class TestCloudFanout:
             "notifications_duplicated", "notifications_reordered",
             "kv_rejected", "kv_delayed", "kv_outage_rejections",
             "wan_stalls", "wan_blackout_hits", "wan_outage_hits",
+            "corrupt_get", "corrupt_put", "corrupt_at_rest",
+            "corrupt_truncated", "corrupt_wrong_etag",
         }
         assert all(v == 0 for v in stats.values())
