@@ -4,7 +4,7 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test trace-tests chaos-tests scrub-tests corruption-drill perf coverage
+.PHONY: test trace-tests chaos-tests scrub-tests corruption-drill perf bench-smoke coverage
 
 ## tier-1: the full default suite (perf benchmarks excluded via addopts)
 test:
@@ -30,6 +30,15 @@ corruption-drill:
 ## wall-clock benchmarks (compare against BENCH_PR1.json with bench-perf)
 perf:
 	$(PY) -m pytest -q -m perf
+
+## seconds-long perf smoke: tiny-scale bench-perf checked against the
+## committed scale-0.05 reference.  Rates are not scale-invariant, so
+## the full-scale BENCH_PR*.json files cannot be the bar here — the
+## scale guard in bench-perf --check would (correctly) refuse them.
+## Wider tolerance: tiny work sizes amplify machine noise.
+bench-smoke:
+	$(PY) -m repro.cli bench-perf --scale 0.05 --repeat 2 --check \
+		--baseline tests/baselines/BENCH_SMOKE.json --tolerance 0.5
 
 ## line coverage over src/repro; requires the dev extras (pytest-cov).
 ## Gated so environments without pytest-cov fail with a message instead

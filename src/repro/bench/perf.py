@@ -219,10 +219,18 @@ def bench_e2e(requests: int = 3_000, repeat: int = 1) -> tuple[float, float]:
         trace = gen.busy_hour(total_requests=requests)
         n_requests = len(trace)
 
+    # The replay opts into fused small-object transfers (no chaos or
+    # tracing is armed here); older revisions predate the knob.
+    config_kwargs: dict = dict(profile_samples=8, fuse_small_transfers=True)
+    try:
+        ReplicaConfig(**config_kwargs)
+    except TypeError:
+        config_kwargs = dict(profile_samples=8)
+
     best_rate, best_seconds = 0.0, math.inf
     for _ in range(max(1, repeat)):
         cloud = build_default_cloud(seed=0)
-        service = AReplicaService(cloud, ReplicaConfig(profile_samples=8))
+        service = AReplicaService(cloud, ReplicaConfig(**config_kwargs))
         src = cloud.bucket("aws:us-east-1", "src")
         dst = cloud.bucket("azure:eastus", "dst")
         service.add_rule(src, dst)
@@ -339,7 +347,8 @@ def latest_bench_file(root: str | pathlib.Path = ".") -> Optional[pathlib.Path]:
 
 
 def check_regression(current: dict[str, float], reference: dict,
-                     tolerance: float = 0.30) -> list[str]:
+                     tolerance: float = 0.30,
+                     scale: Optional[float] = None) -> list[str]:
     """Warnings for throughput metrics > ``tolerance`` below reference.
 
     ``reference`` is a previously emitted document (its ``current``
@@ -347,7 +356,21 @@ def check_regression(current: dict[str, float], reference: dict,
     checked *absolutely* against ``1 + tolerance`` (older reference
     files predate the metric, and the claim — verification is free on
     the clean path — holds regardless of the machine).
+
+    ``scale`` is the scale the ``current`` metrics were measured at.
+    Rates are not scale-invariant (fixed per-run setup amortizes
+    differently), so comparing a small-scale run against a full-scale
+    reference would silently "pass" — the comparison is refused when
+    the reference records a different ``meta.scale``.
     """
+    ref_scale = reference.get("meta", {}).get("scale")
+    if (scale is not None and ref_scale is not None
+            and not math.isclose(float(scale), float(ref_scale),
+                                 rel_tol=1e-9)):
+        raise ValueError(
+            f"scale mismatch: current run measured at scale {scale:g} but "
+            f"the reference was recorded at scale {ref_scale:g}; rerun with "
+            f"--scale {ref_scale:g} (or record a new reference) to compare")
     bar = reference.get("current", reference)
     warnings = []
     ratio = current.get("integrity_overhead_ratio")

@@ -626,27 +626,48 @@ def cmd_bench_perf(args) -> int:
 
     from repro.bench import perf
 
-    reference_path = None
+    reference_path = reference = None
     if args.check:
-        # Resolve the reference before spending minutes benchmarking.
+        # Resolve the reference — and refuse a scale mismatch — before
+        # spending minutes benchmarking.
         reference_path = (pathlib.Path(args.baseline) if args.baseline
                           else perf.latest_bench_file())
         if reference_path is None or not reference_path.exists():
             print("bench-perf --check: no BENCH_*.json reference found",
                   file=sys.stderr)
             return 1
+        reference = json.loads(reference_path.read_text())
+        try:
+            perf.check_regression({}, reference, tolerance=args.tolerance,
+                                  scale=args.scale)
+        except ValueError as exc:
+            print(f"bench-perf --check: {exc}", file=sys.stderr)
+            return 1
 
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     results = perf.run_all(scale=args.scale, repeat=args.repeat,
                            progress=lambda msg: print(f"  {msg}", file=sys.stderr))
+    if profiler is not None:
+        import pstats
+
+        profiler.disable()
+        print("\ntop 20 by cumulative time:", file=sys.stderr)
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative").print_stats(20)
     print(f"{'metric':<28} {'value':>16}")
     for metric, value in results.items():
         unit = "s" if metric.endswith("_seconds") else "/s"
         print(f"  {metric:<26} {value:>14,.2f} {unit}")
 
     if args.check:
-        reference = json.loads(reference_path.read_text())
         warnings = perf.check_regression(results, reference,
-                                         tolerance=args.tolerance)
+                                         tolerance=args.tolerance,
+                                         scale=args.scale)
         if warnings:
             print(f"\nperformance regressions vs {reference_path}:",
                   file=sys.stderr)
@@ -790,6 +811,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "on regression (nonzero exit)")
     bench.add_argument("--tolerance", type=float, default=0.30,
                        help="allowed fractional throughput drop for --check")
+    bench.add_argument("--profile", action="store_true",
+                       help="run under cProfile and print the top 20 "
+                            "functions by cumulative time")
     return parser
 
 

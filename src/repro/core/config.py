@@ -111,6 +111,14 @@ class ReplicaConfig:
     #: one ``is not None`` check per emission site, preserving the
     #: benchmarked hot-path numbers.
     tracing_enabled: bool = False
+    #: Fuse the request-handshake and data-transfer legs of the
+    #: small-object (single-PUT) pipeline into one kernel event per
+    #: direction.  Only takes effect when nothing can observe the
+    #: intermediate instants — no chaos/corruption hooks armed, no
+    #: tracer recording, neither endpoint in an outage window (the
+    #: engine re-checks eligibility per task).  Off by default so
+    #: drills and differential tests exercise the un-fused path.
+    fuse_small_transfers: bool = False
 
     def __post_init__(self) -> None:
         if self.slo_seconds < 0:

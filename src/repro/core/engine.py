@@ -914,6 +914,21 @@ class ReplicationEngine:
 
     # -- single-function replication ---------------------------------------------------
 
+    def _fusion_ok(self) -> bool:
+        """Eligibility for fused small-object transfers.
+
+        Fusing the handshake and data legs into one kernel event is
+        only allowed when nothing can observe the intermediate
+        instants: no chaos/corruption hooks armed, no tracer recording
+        spans, and neither endpoint inside an outage window.
+        """
+        cloud = self.cloud
+        return (self.config.fuse_small_transfers
+                and cloud.chaos is None
+                and cloud.tracer is None
+                and not self.src_bucket.in_outage
+                and not self.dst_bucket.in_outage)
+
     def _run_single(self, ctx, task, plan: Optional[Plan] = None):
         """Single-function replication (orchestrator inline, or one
         remote replicator).
@@ -930,10 +945,16 @@ class ReplicationEngine:
         """
         key = task["key"]
         part = self.config.part_size
+        fused = self._fusion_ok()
         retransfers = 0
         while True:
             try:
-                blob, version = yield from ctx.get_object(self.src_bucket, key)
+                if fused and task.get("size", part + 1) <= part:
+                    blob, version = yield from ctx.get_object_fused(
+                        self.src_bucket, key)
+                else:
+                    blob, version = yield from ctx.get_object(
+                        self.src_bucket, key)
             except NoSuchKey:
                 yield from self._finish(ctx, task["task_id"], key, None)
                 return
@@ -966,8 +987,12 @@ class ReplicationEngine:
             if not ok:
                 return
             while True:
-                dst_version = yield from ctx.put_object(self.dst_bucket, key,
-                                                        blob)
+                if fused:
+                    dst_version = yield from ctx.put_object_fused(
+                        self.dst_bucket, key, blob)
+                else:
+                    dst_version = yield from ctx.put_object(self.dst_bucket,
+                                                            key, blob)
                 if dst_version.etag == blob.etag:
                     break
                 # The store durably recorded some other payload under

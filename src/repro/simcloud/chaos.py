@@ -41,7 +41,64 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["ChaosConfig"]
+__all__ = ["ChaosConfig", "ChaosDraws"]
+
+
+class ChaosDraws:
+    """Blocked scalar draws from one chaos stream.
+
+    Drop-in for the ``random()`` / ``exponential()`` / ``normal()``
+    calls the fault-injection hot paths make against a
+    ``numpy.random.Generator``, but served out of vectorized blocks:
+    per-call NumPy dispatch costs ~µs, and a busy-hour replay consults
+    the chaos schedule on every attempt and transfer.
+
+    Draw-order contract: a block of ``n`` draws consumes exactly the
+    same stream values, in the same order, as ``n`` scalar calls would
+    (NumPy fills arrays from the bit stream sequentially), so the fault
+    schedule for a seed is independent of the block size.  Exponential
+    draws buffer *unit-scale* variates and multiply by the requested
+    mean, which keeps one shared block correct for any mix of means.
+    """
+
+    __slots__ = ("_rng", "_block", "_u", "_ui", "_e", "_ei", "_n", "_ni")
+
+    def __init__(self, rng, block: int = 256):
+        self._rng = rng
+        self._block = block
+        self._u: list[float] = []
+        self._ui = 0
+        self._e: list[float] = []
+        self._ei = 0
+        self._n: list[float] = []
+        self._ni = 0
+
+    def random(self) -> float:
+        """Uniform draw on [0, 1)."""
+        i = self._ui
+        if i >= len(self._u):
+            self._u = self._rng.random(self._block).tolist()
+            i = 0
+        self._ui = i + 1
+        return self._u[i]
+
+    def exponential(self, mean: float = 1.0) -> float:
+        """Exponential draw with the given mean."""
+        i = self._ei
+        if i >= len(self._e):
+            self._e = self._rng.standard_exponential(self._block).tolist()
+            i = 0
+        self._ei = i + 1
+        return self._e[i] * mean
+
+    def normal(self, loc: float = 0.0, scale: float = 1.0) -> float:
+        """Normal draw with the given location and scale."""
+        i = self._ni
+        if i >= len(self._n):
+            self._n = self._rng.standard_normal(self._block).tolist()
+            i = 0
+        self._ni = i + 1
+        return loc + scale * self._n[i]
 
 
 @dataclass(frozen=True)

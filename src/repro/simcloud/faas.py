@@ -37,6 +37,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Optional
 
+from repro.simcloud.chaos import ChaosDraws
 from repro.simcloud.cost import CostCategory, CostLedger
 from repro.simcloud.network import (
     BEST_CONFIGS,
@@ -213,10 +214,17 @@ class FaasRegion:
         # Fault injection draws from its own stream: crash patterns for
         # a given seed depend only on the attempt sequence, not on how
         # many latency samples other machinery happened to consume.
-        self._chaos_rng = rngs.stream(f"faas-chaos:{region.key}")
+        # Served in vectorized blocks (ChaosDraws) — every attempt
+        # consults the crash schedule, every WAN leg the corruption one.
+        self._chaos_rng = ChaosDraws(rngs.stream(f"faas-chaos:{region.key}"))
         self._req_latency_samplers: dict[str, BufferedSampler] = {}
         # Deterministic WAN round-trip surcharge per remote region key.
         self._wan_surcharges: dict[str, float] = {}
+        # (bucket, kind) -> (amount, detail) so the per-request ledger
+        # charge does not rebuild the same f-string on every data-path op.
+        self._req_charge_cache: dict[tuple, tuple] = {}
+        # (src_key, dst_key) -> detail string for egress charges.
+        self._egress_detail_cache: dict[tuple, str] = {}
         # Scalar platform-latency draws (invoke, warm start, cold start)
         # served from vectorized blocks; keyed by the Dist itself so a
         # post-construction profile swap transparently gets fresh
@@ -438,8 +446,12 @@ class FaasRegion:
         dep = self._deployments[invocation.name]
         dep.stats["invocations"] += 1
         invocation.attempts += 1
+        # Eager: the attempt's first segment (instance acquisition up to
+        # its first sleep) runs synchronously, saving one zero-delay
+        # kernel event per invocation on the hottest control path.
         self.sim.spawn(self._run_attempt(dep, invocation),
-                       name=f"faas:{self.region.key}:{invocation.name}")
+                       name=f"faas:{self.region.key}:{invocation.name}",
+                       eager=True)
 
     def _run_attempt(self, dep: _Deployment, invocation: Invocation):
         tracer = self.tracer
@@ -463,14 +475,17 @@ class FaasRegion:
             return
         attempt_from = self.sim.now
         try:
-            inst, cold = yield self.sim.spawn(self._acquire_instance(dep, task))
+            # Inlined (yield from) rather than spawned: acquisition is
+            # strictly sequential within the attempt, so a child process
+            # only added a spawn event plus a join per invocation.
+            inst, cold = yield from self._acquire_instance(dep, task)
             dep.stats["cold_starts" if cold else "warm_starts"] += 1
             if invocation.started_at is None:
                 invocation.started_at = self.sim.now
             ctx = FunctionContext(self, dep, inst, deadline=self.sim.now + dep.timeout_s)
             ctx._trace_task = task
             body = self.sim.spawn(dep.handler(ctx, invocation.payload),
-                                  name=f"body:{dep.name}")
+                                  name=f"body:{dep.name}", eager=True)
             watchdog_fired = [False]
 
             def watchdog() -> None:
@@ -650,18 +665,26 @@ class FunctionContext:
         return base
 
     def _charge_request(self, bucket: Bucket, kind: str) -> None:
-        price = self._faas.prices.store[bucket.region.provider]
-        amount = price.put if kind == "put" else price.get
-        self._faas.ledger.charge(self.now, CostCategory.STORAGE_REQUESTS, amount,
-                                 f"{bucket.region.key}:{bucket.name}:{kind}",
-                                 task=self._trace_task)
+        faas = self._faas
+        cached = faas._req_charge_cache.get((bucket, kind))
+        if cached is None:
+            price = faas.prices.store[bucket.region.provider]
+            cached = faas._req_charge_cache[(bucket, kind)] = (
+                price.put if kind == "put" else price.get,
+                f"{bucket.region.key}:{bucket.name}:{kind}")
+        faas.ledger.charge(self.now, CostCategory.STORAGE_REQUESTS, cached[0],
+                           cached[1], task=self._trace_task)
 
     def _charge_egress(self, src: Region, dst: Region, nbytes: int) -> None:
-        cost = self._faas.prices.egress_cost(src, dst, nbytes)
+        faas = self._faas
+        cost = faas.prices.egress_cost(src, dst, nbytes)
         if cost > 0:
-            self._faas.ledger.charge(self.now, CostCategory.EGRESS, cost,
-                                     f"{src.key}->{dst.key}",
-                                     task=self._trace_task)
+            cache = faas._egress_detail_cache
+            detail = cache.get((src.key, dst.key))
+            if detail is None:
+                detail = cache[(src.key, dst.key)] = f"{src.key}->{dst.key}"
+            faas.ledger.charge(self.now, CostCategory.EGRESS, cost, detail,
+                               task=self._trace_task)
 
     def _client_startup(self):
         """First data-path call per invocation pays the S overhead."""
@@ -683,9 +706,7 @@ class FunctionContext:
         divisor, extra_sigma = fabric.congestion_scale(self.region.provider, concurrency)
         factor = self.instance.channel.next_factor()
         if extra_sigma > 0:
-            import numpy as np
-
-            factor *= float(np.exp(fabric._rng.normal(-extra_sigma**2 / 2, extra_sigma)))
+            factor *= fabric.congestion_jitter(extra_sigma)
         seconds = nbytes * 8 / (mbps * 1e6) * divisor / factor
         if fabric._chaos is not None and peer.key != self.region.key:
             seconds += fabric.chaos_penalty_s(self.now, self.region.key,
@@ -751,6 +772,57 @@ class FunctionContext:
         yield SleepRequest(self._request_latency(bucket))
         self._charge_request(bucket, "get")
         return bucket.head(key)
+
+    def get_object_fused(self, bucket: Bucket, key: str,
+                         concurrency: int = 1):
+        """Small-object GET with handshake and data legs fused.
+
+        Pays the same total latency as :meth:`get_object` (the same
+        draws, in the same per-stream order) but yields once instead
+        of twice, halving the kernel events of the dominant small-PUT
+        pipeline.  The caller is responsible for eligibility: no chaos
+        or corruption hooks armed and no tracer recording.  The one
+        observable difference is that the snapshot read is issued at
+        request time rather than after the request round-trip, so its
+        visibility window opens one request-latency earlier (plus the
+        client-startup overhead S when this is the invocation's first
+        data-path call — S is folded into the same fused sleep).
+        """
+        extra = 0.0
+        if not self._client_ready:
+            self._client_ready = True
+            extra = self._faas.fabric.sample_startup(self.region.provider)
+        latency = self._request_latency(bucket)
+        blob, version = bucket.get_object(key)
+        self._charge_request(bucket, "get")
+        yield SleepRequest(extra + latency + self._leg_seconds(
+            bucket, blob.size, upload=False, concurrency=concurrency))
+        self._charge_egress(bucket.region, self.region, blob.size)
+        self.bytes_downloaded += blob.size
+        return blob, version
+
+    def put_object_fused(self, bucket: Bucket, key: str, blob: Blob,
+                         if_match: Optional[str] = None,
+                         concurrency: int = 1):
+        """Small-object PUT with handshake and data legs fused.
+
+        Timing-identical to :meth:`put_object` (the store mutation
+        lands at the same instant, after both legs) with one yield
+        instead of two.  Same eligibility contract (and client-startup
+        folding) as :meth:`get_object_fused`.
+        """
+        extra = 0.0
+        if not self._client_ready:
+            self._client_ready = True
+            extra = self._faas.fabric.sample_startup(self.region.provider)
+        yield SleepRequest(extra + self._request_latency(bucket)
+                           + self._leg_seconds(bucket, blob.size, upload=True,
+                                               concurrency=concurrency))
+        version = bucket.put_object(key, blob, self.now, if_match=if_match)
+        self._charge_request(bucket, "put")
+        self._charge_egress(self.region, bucket.region, blob.size)
+        self.bytes_uploaded += blob.size
+        return version
 
     def put_object(self, bucket: Bucket, key: str, blob: Blob,
                    if_match: Optional[str] = None, concurrency: int = 1):

@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.simcloud.chaos import ChaosConfig
+from repro.simcloud.chaos import ChaosConfig, ChaosDraws
 from repro.simcloud.regions import Provider, Region
 from repro.simcloud.rng import BufferedSampler, Dist, RngFactory, normal
 
@@ -219,6 +219,13 @@ class NetworkFabric:
         self._mbps_memo: dict[tuple, float] = {}
         self._congestion_memo: dict[tuple[str, int], tuple[float, float]] = {}
         self._startup_samplers: dict[str, BufferedSampler] = {}
+        # Vectorized block buffers: standard normals for the congestion
+        # jitter (one per concurrent transfer leg) and child seeds for
+        # per-instance channels (one per cold start).
+        self._std_normal_buf: list[float] = []
+        self._std_normal_idx = 0
+        self._channel_seed_buf: list[int] = []
+        self._channel_seed_idx = 0
         # Fault injection: None keeps transfers on the chaos-free path.
         self._chaos: ChaosConfig | None = None
         self._chaos_rng = None
@@ -244,7 +251,7 @@ class NetworkFabric:
         fabric itself is clockless).
         """
         self._chaos = chaos if chaos is not None and chaos.wan_enabled else None
-        self._chaos_rng = rng
+        self._chaos_rng = ChaosDraws(rng) if rng is not None else None
         self._clock = clock
         self._outage_by_region = {}
         if self._chaos is not None:
@@ -356,8 +363,28 @@ class NetworkFabric:
     def open_channel(self, provider: str) -> InstanceChannel:
         """Create the network view for a newly started instance."""
         self._channel_seq += 1
-        child = np.random.default_rng(self._rng.integers(0, 2**63))
+        idx = self._channel_seed_idx
+        if idx >= len(self._channel_seed_buf):
+            self._channel_seed_buf = self._rng.integers(
+                0, 2**63, size=64).tolist()
+            idx = 0
+        self._channel_seed_idx = idx + 1
+        child = np.random.default_rng(self._channel_seed_buf[idx])
         return InstanceChannel(provider, self.profile, child)
+
+    def congestion_jitter(self, extra_sigma: float) -> float:
+        """Mean-one lognormal jitter factor for a congested leg.
+
+        Equals ``exp(N(-sigma^2/2, sigma))``; the standard normals
+        behind it are drawn in blocks from the fabric stream.
+        """
+        idx = self._std_normal_idx
+        if idx >= len(self._std_normal_buf):
+            self._std_normal_buf = self._rng.standard_normal(128).tolist()
+            idx = 0
+        self._std_normal_idx = idx + 1
+        return math.exp(extra_sigma * self._std_normal_buf[idx]
+                        - extra_sigma**2 / 2)
 
     def sample_startup(self, provider: str) -> float:
         sampler = self._startup_samplers.get(provider)
@@ -396,7 +423,7 @@ class NetworkFabric:
         divisor, extra_sigma = self.congestion_scale(exec_region.provider, concurrency)
         factor = channel.next_factor()
         if extra_sigma > 0:
-            factor *= float(np.exp(self._rng.normal(-extra_sigma**2 / 2, extra_sigma)))
+            factor *= self.congestion_jitter(extra_sigma)
         seconds = base * divisor / factor
         if (self._chaos is not None and self._clock is not None
                 and (exec_region.key != src.key or exec_region.key != dst.key)):

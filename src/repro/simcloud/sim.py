@@ -11,17 +11,30 @@ number breaks ties), and no wall-clock or OS entropy is consulted.
 
 Performance notes (the event loop is the simulator's hottest path):
 
-* Events are plain ``(time, seq, kind, a, b, c)`` records pushed
-  straight onto the heap — no per-event closure, and a :class:`Timer`
-  handle is only allocated for the public ``call_at``/``call_later``
-  API where the caller may want to cancel.
+* Timed events live in a two-level **hierarchical timer wheel** with a
+  binary-heap overflow for the far future: scheduling and cancelling
+  are O(1) appends/marks instead of O(log n) heap operations.  Level 0
+  has 256 slots of 1/64 s (a 4 s horizon); level 1 has 256 slots of
+  4 s (a 1024 s horizon, comfortably covering the FaaS watchdog
+  timers that dominate cancelled-timer churn); anything further out
+  waits in ``_heap`` until the wheel window reaches it.
+* Event payloads are **slab records**: parallel arrays indexed by a
+  recycled free list, so the wheel moves small ``(time, seq, idx)``
+  keys around and a cancelled timer is a single in-place kind mark —
+  no per-event payload tuple, no heap surgery.
 * Zero-delay events (process kick-off, interrupts, callback fan-out,
-  same-instant KV responses) bypass ``heapq`` entirely through a FIFO
+  same-instant KV responses) bypass the wheel entirely through a FIFO
   ring; a shared sequence counter keeps them correctly interleaved with
-  heap events at the same timestamp.
-* Cancelled timers are tombstones: they stay in the queue, are skipped
-  lazily (never advancing the clock), and the heap is compacted once
-  tombstones outnumber live entries.
+  wheel events at the same timestamp.
+* Cancelled timers are tombstones: their slab record is marked dead in
+  place and reaped when its slot loads (never advancing the clock);
+  once dead records outnumber live buffered events the wheel is
+  compacted.  The tombstone counter is self-checking — it must end
+  every compaction non-negative.
+
+The pre-wheel binary-heap kernel is retained as :class:`HeapSimulator`
+(``Simulator(kernel="heap")``), kept byte-for-byte order-compatible so
+the golden differential suite can assert the wheel changes nothing.
 
 Example
 -------
@@ -45,6 +58,7 @@ from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
     "Simulator",
+    "HeapSimulator",
     "Future",
     "Process",
     "SleepRequest",
@@ -54,11 +68,21 @@ __all__ = [
     "Timer",
 ]
 
-# Event record kinds (index 2 of a heap record, index 1 of a ring record).
+# Event record kinds (slab ``kind`` field / index 1 of a ring record).
 _TIMER = 0      # a: Timer            -> a.fire()
 _CALL = 1       # a: fn, b: value, c: exc -> a(b, c)
 _RESOLVE = 2    # a: Future, b: value -> a.resolve(b)
 _FAIL = 3       # a: Future, b: exc   -> a.fail(b)
+_WAKE = 4       # a: Process, b: epoch -> a._step(None, None) if still fresh
+_DEFER = 5      # a: Process, b: DeferredResult, c: epoch -> deliver outcome
+_DEAD = -1      # cancelled in place; reaped when its slot loads
+
+# Timer-wheel geometry.  Level-0 slots are 1/64 s wide (so the slot of
+# an event is ``int(time * 64)``); level-1 slots span 256 level-0 slots.
+_SLOTS_PER_S = 64.0
+_L0_SLOTS = 256
+_L1_RATIO_SHIFT = 8     # 256 level-0 slots per level-1 slot
+_SLOT_MASK = 255
 
 
 class Timer:
@@ -70,11 +94,14 @@ class Timer:
     clock forward when the queue drains.
     """
 
-    __slots__ = ("_fn", "_sim")
+    __slots__ = ("_fn", "_sim", "_idx")
 
     def __init__(self, fn: Callable[[], None], sim: Optional["Simulator"] = None):
         self._fn: Optional[Callable[[], None]] = fn
         self._sim = sim
+        #: Slab index of the timer's event record (None when the record
+        #: is a ring tuple or the kernel keeps tuple records).
+        self._idx: Optional[int] = None
 
     @property
     def cancelled(self) -> bool:
@@ -85,7 +112,7 @@ class Timer:
             return
         self._fn = None
         if self._sim is not None:
-            self._sim._note_cancelled()
+            self._sim._cancel_timer(self._idx)
 
     def fire(self) -> None:
         if self._fn is not None:
@@ -176,21 +203,26 @@ class Future:
 class SleepRequest:
     """A lightweight "resume me after ``delay``" marker.
 
-    Processes may yield a :class:`SleepRequest` instead of a sleep
-    future; the kernel then schedules the process's own resumption
-    directly, skipping the future allocation and callback chain.  This
-    is the hot path for the data-plane latency sleeps (network legs,
-    request admission), which account for the majority of all events in
-    a trace replay.  Semantics match ``yield sim.sleep(delay)`` exactly:
-    same wake-up time, same event ordering (the event record is pushed
-    at the same global sequence point), and the process receives
-    ``None``.
+    Processes may yield a :class:`SleepRequest`; the kernel then
+    schedules the process's own resumption directly, skipping the
+    future allocation and callback chain.  This is the hot path for
+    the data-plane latency sleeps (network legs, request admission),
+    which account for the majority of all events in a trace replay —
+    and it is what :meth:`Simulator.sleep` returns, so every plain
+    ``yield sim.sleep(d)`` rides it too.  The process receives
+    ``None``, and the wake-up event is pushed at the same global
+    sequence point as an eagerly scheduled future would have been.
     """
 
     __slots__ = ("delay",)
 
     def __init__(self, delay: float):
         self.delay = delay if delay > 0.0 else 0.0
+
+
+#: Shared zero-delay request returned by :meth:`Simulator.sleep` — the
+#: "yield the floor" idiom is frequent enough that the allocation shows.
+_SLEEP_ZERO = SleepRequest(0.0)
 
 
 class DeferredResult:
@@ -225,7 +257,8 @@ class Process(Future):
 
     __slots__ = ("_gen", "_waiting_on", "_epoch", "name")
 
-    def __init__(self, sim: "Simulator", gen: ProcessBody, name: str = ""):
+    def __init__(self, sim: "Simulator", gen: ProcessBody, name: str = "",
+                 eager: bool = False):
         # Inlined Future.__init__ — processes are created in bulk on the
         # hot path (one per request plus one per invocation).
         self.sim = sim
@@ -240,8 +273,19 @@ class Process(Future):
         # check in _on_wait_done) can be recognised as stale.
         self._epoch = 0
         self.name = name or getattr(gen, "__name__", "process")
-        # Kick off on the next kernel step at the current time.
-        sim._push(sim.now, _CALL, self._step, None, None)
+        if eager:
+            # Run the first segment synchronously instead of paying a
+            # zero-delay kick-off event.  Same timestamp; only the
+            # ordering relative to other work at this instant differs,
+            # so callers must not depend on running *after* their
+            # spawner's current step.
+            self._step(None, None)
+        else:
+            # Kick off on the next kernel step at the current time
+            # (inlined zero-delay push — the ring is shared by both
+            # kernels).
+            sim._seq = seq = sim._seq + 1
+            sim._ring.append((seq, _CALL, self._step, None, None))
 
     @property
     def alive(self) -> bool:
@@ -283,16 +327,28 @@ class Process(Future):
         except BaseException as err:  # noqa: BLE001 - propagate into future
             self.fail(err)
             return
-        tt = type(target)
-        if tt is SleepRequest:
+        if type(target) is SleepRequest:
+            # A wake-up is a (process, epoch) slab record — no future, no
+            # bound-method closure.  The kernel dispatch checks the epoch
+            # so wake-ups scheduled before an interrupt stay stale.
             sim = self.sim
-            sim._push(sim.now + target.delay, _CALL, self._resume,
-                      self._epoch, None)
+            delay = target.delay
+            if delay == 0.0:
+                # Inlined zero-delay push: straight onto the FIFO ring.
+                sim._seq = seq = sim._seq + 1
+                sim._ring.append((seq, _WAKE, self, self._epoch, None))
+            else:
+                sim._push(sim.now + delay, _WAKE, self, self._epoch, None)
             return
-        if tt is DeferredResult:
+        self._handle_target(target)
+
+    def _handle_target(self, target: Any) -> None:
+        """Wire up a yielded wait target (all shapes except SleepRequest,
+        which the kernel loops special-case inline)."""
+        if type(target) is DeferredResult:
             sim = self.sim
-            sim._push(sim.now + target.delay, _CALL, self._resume_result,
-                      target, self._epoch)
+            sim._push(sim.now + target.delay, _DEFER, self, target,
+                      self._epoch)
             return
         if not isinstance(target, Future):
             self.fail(
@@ -305,46 +361,109 @@ class Process(Future):
         self._waiting_on = target
         target.add_callback(self._on_wait_done)
 
-    def _resume(self, epoch: int, _exc: Optional[BaseException]) -> None:
-        """Wake up from a SleepRequest; stale after an interrupt."""
-        if epoch != self._epoch or self._done:
-            return
-        self._step(None, None)
-
-    def _resume_result(self, result: "DeferredResult", epoch: int) -> None:
-        """Wake up from a DeferredResult; stale after an interrupt."""
-        if epoch != self._epoch or self._done:
-            return
-        self._step(result.value, result.exc)
 
 
 class Simulator:
-    """The event loop: a priority queue of timestamped event records,
-    plus a FIFO ring for zero-delay events at the current time."""
+    """The event loop: a hierarchical timer wheel of slab event records,
+    plus a FIFO ring for zero-delay events at the current time.
 
-    #: Compact the heap when at least this many tombstones accumulate
-    #: and they outnumber the live entries.
+    ``Simulator(kernel="heap")`` returns the legacy single-heap kernel
+    (:class:`HeapSimulator`) instead — same semantics, kept for the
+    golden differential tests and as a paranoia escape hatch.
+    """
+
+    #: Compact the wheel when at least this many dead records are parked
+    #: in it and they outnumber the live buffered events.
     _COMPACT_MIN = 64
 
-    def __init__(self) -> None:
+    def __new__(cls, kernel: str = "wheel"):
+        if cls is Simulator and kernel == "heap":
+            return object.__new__(HeapSimulator)
+        return object.__new__(cls)
+
+    def __init__(self, kernel: str = "wheel") -> None:
+        if kernel not in ("wheel", "heap"):
+            raise ValueError(f"unknown kernel {kernel!r}")
         self.now: float = 0.0
-        # Heap records: (time, seq, kind, a, b, c); seq is unique, so
-        # tuple comparison never reaches the payload fields.
-        self._heap: list[tuple] = []
         # Ring records: (seq, kind, a, b, c), all due at ``now``.
         self._ring: deque[tuple] = deque()
         self._seq = 0
+        #: Cancelled-but-unreaped timers (all locations).
         self._tombstones = 0
+        # -- slab event records (parallel arrays + free list) ----------
+        self._slab_kind: list[int] = []
+        self._slab_a: list[Any] = []
+        self._slab_b: list[Any] = []
+        self._slab_c: list[Any] = []
+        self._free: list[int] = []
+        #: Dead slab records still parked in a wheel structure (the
+        #: sweepable subset of ``_tombstones``).
+        self._dead_buffered = 0
+        # -- timer wheel -----------------------------------------------
+        #: Events of the already-open level-0 slot, sorted descending by
+        #: (time, seq); the next event to fire is ``_active[-1]``.
+        self._active: list[tuple] = []
+        self._l0: list[list] = [[] for _ in range(_L0_SLOTS)]
+        self._l1: list[list] = [[] for _ in range(_L0_SLOTS)]
+        self._n0 = 0            # events parked in _l0
+        self._n1 = 0            # events parked in _l1
+        self._cur0 = 0          # absolute index of the open level-0 slot
+        self._next1 = 1         # next absolute level-1 slot to scatter
+        #: Far-future overflow (beyond the level-1 horizon), a plain
+        #: heap of (time, seq, idx).
+        self._heap: list[tuple] = []
 
     # -- scheduling ----------------------------------------------------
 
-    def _push(self, time: float, kind: int, a: Any, b: Any, c: Any) -> None:
-        """Schedule one event record; zero-delay goes to the ring."""
-        self._seq += 1
+    def _push(self, time: float, kind: int, a: Any, b: Any, c: Any) -> Optional[int]:
+        """Schedule one event record; zero-delay goes to the ring.
+
+        Returns the slab index for wheel-resident records (used by
+        :meth:`call_at` to make cancellation an O(1) in-place mark), or
+        None for ring records.
+        """
+        self._seq = seq = self._seq + 1
         if time <= self.now:
-            self._ring.append((self._seq, kind, a, b, c))
+            self._ring.append((seq, kind, a, b, c))
+            return None
+        free = self._free
+        if free:
+            i = free.pop()
+            self._slab_kind[i] = kind
+            self._slab_a[i] = a
+            self._slab_b[i] = b
+            self._slab_c[i] = c
         else:
-            heapq.heappush(self._heap, (time, self._seq, kind, a, b, c))
+            i = len(self._slab_kind)
+            self._slab_kind.append(kind)
+            self._slab_a.append(a)
+            self._slab_b.append(b)
+            self._slab_c.append(c)
+        s = int(time * _SLOTS_PER_S)
+        entry = (time, seq, i)
+        if s <= self._cur0:
+            # Due within the already-open slot: ordered insert into the
+            # descending active list (common for sub-16 ms latencies).
+            active = self._active
+            lo, hi = 0, len(active)
+            while lo < hi:
+                mid = (lo + hi) >> 1
+                if entry < active[mid]:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            active.insert(lo, entry)
+        elif (s >> _L1_RATIO_SHIFT) < self._next1:
+            self._l0[s & _SLOT_MASK].append(entry)
+            self._n0 += 1
+        else:
+            s1 = s >> _L1_RATIO_SHIFT
+            if s1 < self._next1 + _L0_SLOTS:
+                self._l1[s1 & _SLOT_MASK].append(entry)
+                self._n1 += 1
+            else:
+                heapq.heappush(self._heap, entry)
+        return i
 
     def _schedule_call(
         self,
@@ -391,18 +510,25 @@ class Simulator:
         if time < self.now:
             raise SimulationError(f"cannot schedule at {time} < now {self.now}")
         timer = Timer(fn, self)
-        self._push(time, _TIMER, timer, None, None)
+        timer._idx = self._push(time, _TIMER, timer, None, None)
         return timer
 
     def call_later(self, delay: float, fn: Callable[[], None]) -> Timer:
         """Run ``fn()`` after ``delay`` simulated seconds; returns a handle."""
         return self.call_at(self.now + delay, fn)
 
-    def sleep(self, delay: float) -> Future:
-        """Return a future that resolves after ``delay`` seconds."""
-        fut = Future(self)
-        self._push(self.now + max(0.0, delay), _RESOLVE, fut, None, None)
-        return fut
+    def sleep(self, delay: float) -> SleepRequest:
+        """Return a yieldable that resumes the caller after ``delay``.
+
+        Rides the :class:`SleepRequest` direct-resume fast path — no
+        future, no callback chain.  The wake-up is scheduled when the
+        request is yielded, which for the universal ``yield
+        sim.sleep(d)`` idiom is the same sequence point as the eager
+        future this method used to allocate.
+        """
+        if delay <= 0.0:
+            return _SLEEP_ZERO
+        return SleepRequest(delay)
 
     def timeout_at(self, time: float) -> Future:
         """Return a future that resolves at absolute ``time``."""
@@ -410,34 +536,182 @@ class Simulator:
         self._push(max(self.now, time), _RESOLVE, fut, None, None)
         return fut
 
-    def spawn(self, gen: ProcessBody, name: str = "") -> Process:
-        """Start a new process from a generator."""
-        return Process(self, gen, name=name)
+    def spawn(self, gen: ProcessBody, name: str = "",
+              eager: bool = False) -> Process:
+        """Start a new process from a generator.
+
+        ``eager=True`` runs the first segment synchronously (saving the
+        zero-delay kick-off event) — only for spawners that don't rely
+        on the child starting after the current step completes.
+        """
+        return Process(self, gen, name=name, eager=eager)
 
     # -- tombstone management ------------------------------------------
 
-    def _note_cancelled(self) -> None:
+    def _cancel_timer(self, idx: Optional[int]) -> None:
+        """A timer was cancelled; mark its slab record dead in place."""
         self._tombstones += 1
-        heap = self._heap
-        if (self._tombstones >= self._COMPACT_MIN
-                and self._tombstones * 2 > len(heap)):
-            live = [e for e in heap
-                    if e[2] != _TIMER or e[3]._fn is not None]
-            self._tombstones -= len(heap) - len(live)
-            heapq.heapify(live)
-            # In place: the drain loop holds a reference to the list.
-            heap[:] = live
+        if idx is None:
+            return          # ring-resident: reaped lazily at pop
+        self._slab_kind[idx] = _DEAD
+        self._slab_a[idx] = None    # drop the Timer ref immediately
+        dead = self._dead_buffered = self._dead_buffered + 1
+        if (dead >= self._COMPACT_MIN
+                and dead * 2 > (len(self._active) + self._n0 + self._n1
+                                + len(self._heap))):
+            self._compact()
 
-    def _skip_dead_head(self) -> None:
-        """Pop cancelled-timer tombstones sitting at the heap head."""
+    def _reap(self, idx: int) -> None:
+        """Recycle one dead slab record pulled out of a queue."""
+        self._free.append(idx)
+        self._dead_buffered -= 1
+        self._tombstones -= 1
+
+    def _compact(self) -> None:
+        """Sweep dead records out of every wheel structure.
+
+        Keeps memory bounded under cancelled-timer churn (the FaaS
+        watchdog pattern parks hundreds of thousands of dead records in
+        level 1 otherwise).  The tombstone bookkeeping is self-checking:
+        both counters must end the sweep non-negative.
+        """
+        kinds = self._slab_kind
+
+        def sweep(bucket: list) -> list:
+            live = [e for e in bucket if kinds[e[2]] != _DEAD]
+            if len(live) != len(bucket):
+                for e in bucket:
+                    if kinds[e[2]] == _DEAD:
+                        self._reap(e[2])
+            return live
+
+        active = sweep(self._active)
+        self._active[:] = active
+        for slots, count_attr in ((self._l0, "_n0"), (self._l1, "_n1")):
+            removed = 0
+            for j, bucket in enumerate(slots):
+                if not bucket:
+                    continue
+                live = sweep(bucket)
+                if len(live) != len(bucket):
+                    removed += len(bucket) - len(live)
+                    slots[j] = live
+            if removed:
+                setattr(self, count_attr, getattr(self, count_attr) - removed)
         heap = self._heap
+        live = sweep(heap)
+        if len(live) != len(heap):
+            heapq.heapify(live)
+            heap[:] = live
+        if self._tombstones < 0 or self._dead_buffered < 0 \
+                or self._n0 < 0 or self._n1 < 0:
+            raise SimulationError(
+                "tombstone accounting drifted negative after compaction: "
+                f"tombstones={self._tombstones} dead={self._dead_buffered} "
+                f"n0={self._n0} n1={self._n1}")
+
+    # -- wheel advance --------------------------------------------------
+
+    def _advance_l1(self) -> None:
+        """Scatter the next level-1 slot into level 0 and pull any
+        overflow events that now fit the level-1 window.  Only called
+        with the level-0 window fully drained (``_cur0`` one slot short
+        of the boundary), so every scattered event lands in a distinct
+        level-0 bucket."""
+        k = self._next1
+        self._next1 = k + 1
+        bucket = self._l1[k & _SLOT_MASK]
+        if bucket:
+            self._l1[k & _SLOT_MASK] = []
+            self._n1 -= len(bucket)
+            kinds = self._slab_kind
+            l0 = self._l0
+            moved = 0
+            for e in bucket:
+                i = e[2]
+                if kinds[i] == _DEAD:
+                    self._reap(i)
+                    continue
+                l0[int(e[0] * _SLOTS_PER_S) & _SLOT_MASK].append(e)
+                moved += 1
+            self._n0 += moved
+        if self._heap:
+            self._pull_overflow()
+
+    def _pull_overflow(self) -> None:
+        """Move overflow events that fit the level-1 window onto the
+        wheel (level 0 if they are inside the level-0 window)."""
+        heap = self._heap
+        kinds = self._slab_kind
+        limit = self._next1 + _L0_SLOTS - 1
+        boundary = self._next1 << _L1_RATIO_SHIFT
         while heap:
-            head = heap[0]
-            if head[2] == _TIMER and head[3]._fn is None:
-                heapq.heappop(heap)
-                self._tombstones -= 1
-            else:
+            s = int(heap[0][0] * _SLOTS_PER_S)
+            if (s >> _L1_RATIO_SHIFT) > limit:
                 break
+            e = heapq.heappop(heap)
+            i = e[2]
+            if kinds[i] == _DEAD:
+                self._reap(i)
+                continue
+            if s < boundary:
+                self._l0[s & _SLOT_MASK].append(e)
+                self._n0 += 1
+            else:
+                self._l1[(s >> _L1_RATIO_SHIFT) & _SLOT_MASK].append(e)
+                self._n1 += 1
+
+    def _refill(self) -> bool:
+        """Advance the wheel until ``_active`` holds the next batch of
+        live events; False when the simulation is out of events.  Never
+        advances ``self.now`` — the clock moves only when an event
+        fires, so cancelled horizons cannot drag it."""
+        l0 = self._l0
+        while True:
+            if self._n0:
+                cur0 = self._cur0
+                s = cur0 + 1
+                while not l0[s & _SLOT_MASK]:
+                    s += 1
+                    if s > cur0 + _L0_SLOTS + 1:
+                        raise SimulationError(
+                            "timer wheel invariant broken: level-0 count "
+                            f"{self._n0} but no populated slot in window")
+                self._cur0 = s
+                bucket = l0[s & _SLOT_MASK]
+                l0[s & _SLOT_MASK] = []
+                self._n0 -= len(bucket)
+                if self._dead_buffered:
+                    kinds = self._slab_kind
+                    live = [e for e in bucket if kinds[e[2]] != _DEAD]
+                    if len(live) != len(bucket):
+                        for e in bucket:
+                            if kinds[e[2]] == _DEAD:
+                                self._reap(e[2])
+                        if not live:
+                            continue
+                    bucket = live
+                if len(bucket) > 1:
+                    bucket.sort(reverse=True)
+                self._active = bucket
+                return True
+            if self._n1:
+                # Level 0 is empty: fast-forward to the next level-1
+                # boundary and open that slot.
+                self._cur0 = (self._next1 << _L1_RATIO_SHIFT) - 1
+                self._advance_l1()
+                continue
+            heap = self._heap
+            kinds = self._slab_kind
+            while heap and kinds[heap[0][2]] == _DEAD:
+                self._reap(heapq.heappop(heap)[2])
+            if not heap:
+                return False
+            # Jump the whole window to the overflow horizon.
+            s = int(heap[0][0] * _SLOTS_PER_S)
+            self._cur0 = s - 1
+            self._next1 = ((s - 1) >> _L1_RATIO_SHIFT) + 1
+            self._pull_overflow()
 
     # -- combinators ---------------------------------------------------
 
@@ -493,22 +767,481 @@ class Simulator:
     # -- running -------------------------------------------------------
 
     def _dispatch(self, kind: int, a: Any, b: Any, c: Any) -> None:
-        if kind == _TIMER:
-            a.fire()
+        if kind == _WAKE:
+            if b == a._epoch:
+                a._step(None, None)
+        elif kind == _DEFER:
+            if c == a._epoch and not a._done:
+                a._step(b.value, b.exc)
         elif kind == _CALL:
             a(b, c)
         elif kind == _RESOLVE:
             a.resolve(b)
+        elif kind == _TIMER:
+            a.fire()
         else:
             a.fail(b)
 
     def step(self) -> bool:
         """Execute the next live event; return False if none remain.
 
-        Ring events (zero-delay, due now) and heap events at the current
-        timestamp are merged by sequence number, preserving global
-        scheduling order among same-timestamp events.
+        Ring events (zero-delay, due now) and wheel events at the
+        current timestamp are merged by sequence number, preserving
+        global scheduling order among same-timestamp events.
         """
+        ring = self._ring
+        kinds = self._slab_kind
+        while True:
+            active = self._active
+            if ring:
+                if active:
+                    entry = active[-1]
+                    i = entry[2]
+                    if kinds[i] == _DEAD:
+                        active.pop()
+                        self._reap(i)
+                        continue
+                    if entry[0] <= self.now and entry[1] < ring[0][0]:
+                        active.pop()
+                        return self._fire_record(entry)
+                seq, kind, a, b, c = ring.popleft()
+                if kind == _TIMER and a._fn is None:
+                    self._tombstones -= 1
+                    continue
+                self._dispatch(kind, a, b, c)
+                return True
+            if active:
+                entry = active[-1]
+                i = entry[2]
+                if kinds[i] == _DEAD:
+                    active.pop()
+                    self._reap(i)
+                    continue
+                active.pop()
+                return self._fire_record(entry)
+            if not self._refill():
+                return False
+
+    def _fire_record(self, entry: tuple) -> bool:
+        """Advance the clock to a live slab event and dispatch it."""
+        time = entry[0]
+        if time < self.now:
+            raise SimulationError("event queue corrupted: time went backwards")
+        self.now = time
+        i = entry[2]
+        kind = self._slab_kind[i]
+        a = self._slab_a[i]
+        b = self._slab_b[i]
+        c = self._slab_c[i]
+        self._slab_a[i] = None
+        self._slab_b[i] = None
+        self._slab_c[i] = None
+        self._free.append(i)
+        self._dispatch(kind, a, b, c)
+        return True
+
+    def _drain(self) -> None:
+        """Run until the event queue is empty.
+
+        Semantically ``while self.step(): pass``, but with the event
+        pop, slab access, dispatch, *and the process-wake fast path*
+        (generator send + re-schedule of the next sleep) inlined — the
+        call frames that :meth:`step` pays per event add up to a large
+        share of a replay's runtime.  Any change to the merge/tombstone
+        rules here must be mirrored in :meth:`step` (the golden
+        ordering and differential tests cover both).
+
+        Loop shape: the outer iteration establishes the next live wheel
+        event, then (a) fires the batch of ring events due now — gated
+        by the wheel event's sequence number so same-timestamp ordering
+        is global — or (b) fires the wheel event.  Dispatches during a
+        ring batch can only append ring events with larger sequence
+        numbers or park wheel events strictly in the future, so the
+        gate computed at batch start stays valid throughout.
+
+        Two scheduling shortcuts, both order-invisible:
+
+        * a woken process that immediately sleeps again reuses its
+          just-fired slab slot verbatim (same kind/process/epoch — zero
+          field writes);
+        * a zero-delay sleep yielded when *nothing else is runnable at
+          the current instant* resumes the process directly instead of
+          round-tripping through the ring — it would have been the very
+          next event regardless.
+        """
+        ring = self._ring
+        kinds = self._slab_kind
+        slab_a = self._slab_a
+        slab_b = self._slab_b
+        slab_c = self._slab_c
+        free = self._free
+        l0 = self._l0
+        l1 = self._l1
+        heappush = heapq.heappush
+        sleep_cls = SleepRequest
+        deferred_cls = DeferredResult
+        active = self._active
+        slot_mul = _SLOTS_PER_S
+        mask = _SLOT_MASK
+        l1_shift = _L1_RATIO_SHIFT
+        l0_slots = _L0_SLOTS
+        # Read-only mirrors: _cur0/_next1 are only mutated by _refill
+        # (and its helpers), whose sole call site below re-syncs them.
+        cur0 = self._cur0
+        next1 = self._next1
+        while True:
+            e = None
+            while active:
+                e = active[-1]
+                i = e[2]
+                if kinds[i] != _DEAD:
+                    break
+                active.pop()
+                free.append(i)
+                self._dead_buffered -= 1
+                self._tombstones -= 1
+                e = None
+            if ring:
+                now = self.now
+                gate = e[1] if (e is not None and e[0] <= now) else None
+                progressed = False
+                while ring:
+                    r = ring[0]
+                    if gate is not None and gate < r[0]:
+                        break
+                    ring.popleft()
+                    progressed = True
+                    kind = r[1]
+                    a = r[2]
+                    if kind == _WAKE:
+                        if r[3] != a._epoch or a._done:
+                            continue
+                        while True:
+                            try:
+                                target = a._gen.send(None)
+                            except StopIteration as stop:
+                                a.resolve(stop.value)
+                                break
+                            except BaseException as err:  # noqa: BLE001
+                                a.fail(err)
+                                break
+                            if target.__class__ is sleep_cls:
+                                delay = target.delay
+                                if delay == 0.0:
+                                    if not ring and gate is None:
+                                        continue  # sole runnable: resume now
+                                    self._seq = seq = self._seq + 1
+                                    ring.append((seq, _WAKE, a, a._epoch,
+                                                 None))
+                                    break
+                                self._seq = seq = self._seq + 1
+                                time = now + delay
+                                if free:
+                                    i = free.pop()
+                                    kinds[i] = _WAKE
+                                    slab_a[i] = a
+                                    slab_b[i] = a._epoch
+                                else:
+                                    i = len(kinds)
+                                    kinds.append(_WAKE)
+                                    slab_a.append(a)
+                                    slab_b.append(a._epoch)
+                                    slab_c.append(None)
+                                s = int(time * slot_mul)
+                                entry = (time, seq, i)
+                                if s <= cur0:
+                                    lo, hi = 0, len(active)
+                                    while lo < hi:
+                                        mid = (lo + hi) >> 1
+                                        if entry < active[mid]:
+                                            lo = mid + 1
+                                        else:
+                                            hi = mid
+                                    active.insert(lo, entry)
+                                elif (s >> l1_shift) < next1:
+                                    l0[s & mask].append(entry)
+                                    self._n0 += 1
+                                else:
+                                    s1 = s >> l1_shift
+                                    if s1 < next1 + l0_slots:
+                                        l1[s1 & mask].append(entry)
+                                        self._n1 += 1
+                                    else:
+                                        heappush(self._heap, entry)
+                                break
+                            a._handle_target(target)
+                            break
+                    elif kind == _DEFER:
+                        if r[4] == a._epoch and not a._done:
+                            d = r[3]
+                            a._step(d.value, d.exc)
+                    elif kind == _CALL:
+                        a(r[3], r[4])
+                    elif kind == _TIMER:
+                        fn = a._fn
+                        if fn is None:
+                            self._tombstones -= 1
+                        else:
+                            a._fn = None
+                            fn()
+                    elif kind == _RESOLVE:
+                        a.resolve(r[3])
+                    else:
+                        a.fail(r[3])
+                if progressed:
+                    continue
+                # The gate blocked the very first ring event: the due
+                # wheel event fires first; fall through.
+            if e is None:
+                if not self._refill():
+                    return
+                active = self._active
+                cur0 = self._cur0
+                next1 = self._next1
+                continue
+            # Fire the next wheel event.  Slab fields are NOT cleared on
+            # fire — they are overwritten at the next allocation of the
+            # slot.
+            active.pop()
+            time = e[0]
+            if time < self.now:
+                raise SimulationError(
+                    "event queue corrupted: time went backwards")
+            self.now = time
+            i = e[2]
+            kind = kinds[i]
+            a = slab_a[i]
+            if kind == _WAKE or kind == _DEFER:
+                # Merged process-resume fast path: a timed wake delivers
+                # None, a deferred result delivers its payload; both
+                # then route the process's next wait inline, reusing
+                # slot i for single-event waits (a field rewrite at
+                # most — no free-list round trip).
+                if kind == _WAKE:
+                    epoch = slab_b[i]
+                    if epoch != a._epoch or a._done:
+                        free.append(i)
+                        continue
+                    val = err = None
+                else:
+                    epoch = slab_c[i]
+                    if epoch != a._epoch or a._done:
+                        free.append(i)
+                        continue
+                    d = slab_b[i]
+                    val = d.value
+                    err = d.exc
+                while True:
+                    try:
+                        if err is not None:
+                            target = a._gen.throw(err)
+                        else:
+                            target = a._gen.send(val)
+                    except StopIteration as stop:
+                        free.append(i)
+                        a.resolve(stop.value)
+                        break
+                    except BaseException as err2:  # noqa: BLE001
+                        free.append(i)
+                        a.fail(err2)
+                        break
+                    val = err = None
+                    cls = target.__class__
+                    if cls is sleep_cls:
+                        delay = target.delay
+                        if delay == 0.0:
+                            if not ring and not (active
+                                                 and active[-1][0] <= time):
+                                continue  # sole runnable: resume now
+                            self._seq = seq = self._seq + 1
+                            free.append(i)
+                            ring.append((seq, _WAKE, a, epoch, None))
+                            break
+                        # Reuse slot i in place (rewrite fields only if
+                        # it fired as a deferred-result record).
+                        self._seq = seq = self._seq + 1
+                        if kind == _DEFER:
+                            kinds[i] = kind = _WAKE
+                            slab_b[i] = epoch
+                        time = time + delay
+                        s = int(time * slot_mul)
+                        entry = (time, seq, i)
+                        if s <= cur0:
+                            lo, hi = 0, len(active)
+                            while lo < hi:
+                                mid = (lo + hi) >> 1
+                                if entry < active[mid]:
+                                    lo = mid + 1
+                                else:
+                                    hi = mid
+                            active.insert(lo, entry)
+                        elif (s >> l1_shift) < next1:
+                            l0[s & mask].append(entry)
+                            self._n0 += 1
+                        else:
+                            s1 = s >> l1_shift
+                            if s1 < next1 + l0_slots:
+                                l1[s1 & mask].append(entry)
+                                self._n1 += 1
+                            else:
+                                heappush(self._heap, entry)
+                        break
+                    if cls is deferred_cls:
+                        delay = target.delay
+                        self._seq = seq = self._seq + 1
+                        if delay == 0.0:
+                            free.append(i)
+                            ring.append((seq, _DEFER, a, target, epoch))
+                            break
+                        if kind == _WAKE:
+                            kinds[i] = kind = _DEFER
+                        slab_b[i] = target
+                        slab_c[i] = epoch
+                        time = time + delay
+                        s = int(time * slot_mul)
+                        entry = (time, seq, i)
+                        if s <= cur0:
+                            lo, hi = 0, len(active)
+                            while lo < hi:
+                                mid = (lo + hi) >> 1
+                                if entry < active[mid]:
+                                    lo = mid + 1
+                                else:
+                                    hi = mid
+                            active.insert(lo, entry)
+                        elif (s >> l1_shift) < next1:
+                            l0[s & mask].append(entry)
+                            self._n0 += 1
+                        else:
+                            s1 = s >> l1_shift
+                            if s1 < next1 + l0_slots:
+                                l1[s1 & mask].append(entry)
+                                self._n1 += 1
+                            else:
+                                heappush(self._heap, entry)
+                        break
+                    free.append(i)
+                    a._handle_target(target)
+                    break
+            elif kind == _TIMER:
+                free.append(i)
+                fn = a._fn
+                if fn is None:
+                    self._tombstones -= 1
+                else:
+                    a._fn = None
+                    fn()
+            elif kind == _CALL:
+                b = slab_b[i]
+                c = slab_c[i]
+                free.append(i)
+                a(b, c)
+            elif kind == _RESOLVE:
+                b = slab_b[i]
+                free.append(i)
+                a.resolve(b)
+            else:
+                b = slab_b[i]
+                free.append(i)
+                a.fail(b)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the event queue drains or ``until`` is reached.
+
+        When ``until`` is given, the clock is advanced to exactly
+        ``until`` even if the last event fires earlier, so repeated
+        bounded runs compose predictably.
+        """
+        if until is None:
+            self._drain()
+            return
+        if until < self.now:
+            raise SimulationError(f"cannot run until {until} < now {self.now}")
+        kinds = self._slab_kind
+        while True:
+            if not self._ring:
+                active = self._active
+                while active and kinds[active[-1][2]] == _DEAD:
+                    self._reap(active.pop()[2])
+                if not active:
+                    if not self._refill():
+                        break
+                    continue
+                if active[-1][0] > until:
+                    break
+            self.step()
+        self.now = until
+
+    def run_process(self, gen: ProcessBody, name: str = "") -> Any:
+        """Spawn ``gen``, drain the queue, and return its result."""
+        proc = self.spawn(gen, name=name)
+        self.run()
+        if not proc.done:
+            raise SimulationError(
+                f"process {proc.name!r} did not finish (deadlocked waiting?)"
+            )
+        return proc.value
+
+
+class HeapSimulator(Simulator):
+    """The legacy single-binary-heap kernel (pre timer wheel).
+
+    Kept behind ``Simulator(kernel="heap")`` so the golden differential
+    suite can assert the wheel kernel reproduces its event order, chaos
+    stats, and cost ledgers byte for byte.  Heap records are the
+    original ``(time, seq, kind, a, b, c)`` tuples; cancelled timers
+    are lazily skipped tombstones with the same self-checking
+    accounting as the wheel."""
+
+    def __init__(self, kernel: str = "heap") -> None:
+        self.now = 0.0
+        self._heap: list[tuple] = []
+        self._ring: deque[tuple] = deque()
+        self._seq = 0
+        self._tombstones = 0
+
+    # -- scheduling ----------------------------------------------------
+
+    def _push(self, time: float, kind: int, a: Any, b: Any, c: Any) -> Optional[int]:
+        self._seq += 1
+        if time <= self.now:
+            self._ring.append((self._seq, kind, a, b, c))
+        else:
+            heapq.heappush(self._heap, (time, self._seq, kind, a, b, c))
+        return None
+
+    # -- tombstone management ------------------------------------------
+
+    def _cancel_timer(self, idx: Optional[int]) -> None:
+        self._tombstones += 1
+        heap = self._heap
+        if (self._tombstones >= self._COMPACT_MIN
+                and self._tombstones * 2 > len(heap)):
+            live = [e for e in heap
+                    if e[2] != _TIMER or e[3]._fn is not None]
+            self._tombstones -= len(heap) - len(live)
+            if self._tombstones < 0:
+                raise SimulationError(
+                    "tombstone accounting drifted negative after compaction: "
+                    f"tombstones={self._tombstones}")
+            heapq.heapify(live)
+            # In place: the drain loop holds a reference to the list.
+            heap[:] = live
+
+    def _skip_dead_head(self) -> None:
+        """Pop cancelled-timer tombstones sitting at the heap head."""
+        heap = self._heap
+        while heap:
+            head = heap[0]
+            if head[2] == _TIMER and head[3]._fn is None:
+                heapq.heappop(heap)
+                self._tombstones -= 1
+            else:
+                break
+
+    # -- running -------------------------------------------------------
+
+    def step(self) -> bool:
         ring = self._ring
         heap = self._heap
         while True:
@@ -546,14 +1279,6 @@ class Simulator:
             return True
 
     def _drain(self) -> None:
-        """Run until the event queue is empty.
-
-        Semantically ``while self.step(): pass``, but with the event
-        pop and dispatch inlined — the two calls per event that
-        :meth:`step` costs add up to a measurable share of a replay's
-        runtime.  Any change to the merge/tombstone rules here must be
-        mirrored in :meth:`step` (the golden ordering tests cover both).
-        """
         ring = self._ring
         heap = self._heap
         pop = heapq.heappop
@@ -592,7 +1317,13 @@ class Simulator:
                 self.now = time
             else:
                 return
-            if kind == _CALL:
+            if kind == _WAKE:
+                if b == a._epoch:
+                    a._step(None, None)
+            elif kind == _DEFER:
+                if c == a._epoch and not a._done:
+                    a._step(b.value, b.exc)
+            elif kind == _CALL:
                 a(b, c)
             elif kind == _RESOLVE:
                 a.resolve(b)
@@ -602,12 +1333,6 @@ class Simulator:
                 a.fail(b)
 
     def run(self, until: Optional[float] = None) -> None:
-        """Run until the event queue drains or ``until`` is reached.
-
-        When ``until`` is given, the clock is advanced to exactly
-        ``until`` even if the last event fires earlier, so repeated
-        bounded runs compose predictably.
-        """
         if until is None:
             self._drain()
             return
@@ -620,13 +1345,3 @@ class Simulator:
                     break
             self.step()
         self.now = until
-
-    def run_process(self, gen: ProcessBody, name: str = "") -> Any:
-        """Spawn ``gen``, drain the queue, and return its result."""
-        proc = self.spawn(gen, name=name)
-        self.run()
-        if not proc.done:
-            raise SimulationError(
-                f"process {proc.name!r} did not finish (deadlocked waiting?)"
-            )
-        return proc.value

@@ -1,0 +1,170 @@
+"""Differential suite: timer-wheel kernel vs. legacy heap kernel.
+
+The wheel/slab kernel (``Simulator(kernel="wheel")``, the default) and
+the legacy tombstoned-heap kernel (``kernel="heap"``, kept exactly for
+this suite) must be observationally identical: byte-identical event
+order, chaos statistics, and cost ledgers for the same seed.  Any
+divergence means the wheel broke the (time, seq) tie-break contract or
+the slab recycled a record that was still live.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core.config import ReplicaConfig
+from repro.core.service import AReplicaService
+from repro.simcloud import objectstore
+from repro.simcloud.chaos import ChaosConfig
+from repro.simcloud.cloud import build_default_cloud
+from repro.simcloud.objectstore import Blob
+from repro.simcloud.sim import HeapSimulator, Simulator
+
+KB = 1024
+MB = 1024 * 1024
+
+SEEDS = (0, 1, 2)
+
+
+def _kernel_trace(kernel: str):
+    """A raw-kernel scenario touching every scheduling path: timers
+    (fired and cancelled), ring entries, sleeps short and far-future,
+    interrupts, and futures."""
+    sim = Simulator(kernel=kernel)
+    order = []
+
+    def worker(tag, delay):
+        yield sim.sleep(delay)
+        order.append((sim.now, f"wake:{tag}"))
+        yield sim.sleep(0.0)
+        order.append((sim.now, f"ring:{tag}"))
+        yield sim.sleep(delay * 3.0)
+        order.append((sim.now, f"done:{tag}"))
+
+    for i in range(40):
+        sim.spawn(worker(i, 0.05 + i * 0.037))
+    timers = []
+    for i in range(200):
+        timers.append(sim.call_later(
+            0.01 + (i % 17) * 0.31, lambda i=i: order.append(
+                (sim.now, f"timer:{i}"))))
+    for i, t in enumerate(timers):
+        if i % 3 == 0:
+            t.cancel()
+    # A far-future event that lands in the overflow heap, and one that
+    # is cancelled so it must not drag the clock.
+    sim.call_later(2000.0, lambda: order.append((sim.now, "far")))
+    sim.call_later(5000.0, lambda: None).cancel()
+
+    def sleeper():
+        try:
+            yield sim.sleep(300.0)
+            order.append((sim.now, "overslept"))
+        except Exception:  # noqa: BLE001  (Interrupt)
+            order.append((sim.now, "interrupted"))
+            yield sim.sleep(0.5)
+            order.append((sim.now, "resumed"))
+
+    proc = sim.spawn(sleeper())
+    sim.call_later(1.5, lambda: proc.interrupt("cut"))
+    sim.run()
+    return order, sim.now
+
+
+def _replication_run(seed: int, kernel: str):
+    """A Fig-12-shaped replication: one multipart object plus a spread
+    of small ones through the full lock/pool/finalize protocol."""
+    objectstore._fresh_counter = itertools.count()
+    cloud = build_default_cloud(seed=seed, kernel=kernel)
+    config = ReplicaConfig(slo_seconds=0.0, profile_samples=5,
+                           mc_samples=300)
+    svc = AReplicaService(cloud, config)
+    src = cloud.bucket("aws:us-east-1", "src")
+    dst = cloud.bucket("azure:eastus", "dst")
+    svc.add_rule(src, dst)
+    src.put_object("big", Blob.fresh(256 * MB), cloud.now)
+    for i in range(4):
+        src.put_object(f"small-{i}", Blob.fresh((i + 1) * 64 * KB),
+                       cloud.now + 0.2 * i)
+    cloud.run()
+    return (
+        [(r.key, r.seq, r.kind, r.event_time, r.visible_time, r.plan_n)
+         for r in svc.records],
+        sorted(cloud.ledger.breakdown().items()),
+        cloud.now,
+    )
+
+
+def _chaos_run(seed: int, kernel: str):
+    """A fault storm over a seeded workload; compares injected-fault
+    counters (chaos stats), delays, and the cost ledger."""
+    objectstore._fresh_counter = itertools.count()
+    cloud = build_default_cloud(seed=seed, kernel=kernel)
+    svc = AReplicaService(cloud, ReplicaConfig(profile_samples=4,
+                                               mc_samples=300))
+    src = cloud.bucket("aws:us-east-1", "src")
+    dst = cloud.bucket("azure:eastus", "dst")
+    svc.add_rule(src, dst)
+    cloud.apply_chaos(ChaosConfig(
+        crash_prob=0.05, notif_drop_prob=0.05, notif_dup_prob=0.05,
+        notif_redelivery_s=10.0, kv_reject_prob=0.05, kv_delay_prob=0.05,
+        wan_stall_prob=0.02))
+    rng = cloud.rngs.stream("diff-workload")
+    t = 1.0
+    for i in range(12):
+        t += float(rng.exponential(1.5))
+        size = int(rng.integers(1, 48)) * KB
+        cloud.sim.call_later(t, lambda i=i, s=size: src.put_object(
+            f"obj{i % 4}", Blob.fresh(s), cloud.sim.now))
+    cloud.run()
+    cloud.apply_chaos(None)
+    svc.run_to_convergence()
+    return (
+        cloud.chaos_stats(),
+        svc.delays(),
+        sorted(cloud.ledger.breakdown().items()),
+        cloud.now,
+    )
+
+
+class TestKernelSelection:
+    def test_default_is_wheel(self):
+        assert not isinstance(Simulator(), HeapSimulator)
+
+    def test_heap_flag_selects_legacy_kernel(self):
+        assert isinstance(Simulator(kernel="heap"), HeapSimulator)
+        assert isinstance(build_default_cloud(seed=0, kernel="heap").sim,
+                          HeapSimulator)
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator(kernel="quantum")
+
+
+class TestRawKernelDifferential:
+    def test_event_order_identical(self):
+        wheel = _kernel_trace("wheel")
+        heap = _kernel_trace("heap")
+        assert wheel == heap
+        order, now = wheel
+        assert ("interrupted" in {tag for _, tag in order})
+        assert now == 2000.0  # the uncancelled far-future timer fired
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestEndToEndDifferential:
+    def test_replication_identical(self, seed):
+        wheel = _replication_run(seed, "wheel")
+        heap = _replication_run(seed, "heap")
+        assert wheel == heap
+        records, ledger, _now = wheel
+        assert records, "scenario produced no replications"
+        assert ledger, "scenario produced no costs"
+
+    def test_chaos_stats_identical(self, seed):
+        wheel = _chaos_run(seed, "wheel")
+        heap = _chaos_run(seed, "heap")
+        assert wheel == heap
+        stats, delays, ledger, _now = wheel
+        assert sum(stats.values()) > 0, "storm injected nothing"
+        assert delays, "workload replicated nothing"

@@ -212,6 +212,64 @@ class TestDeferredResultFastPath:
         assert events == ["interrupted"]
 
 
+class TestTombstoneChurnStress:
+    """Heavy schedule/cancel churn across every wheel level.
+
+    The pre-wheel kernel could drift ``_tombstones`` across the
+    compaction/merge paths, silently defeating compaction; the counter
+    is now self-checking (compaction raises if it goes negative) and
+    this stress keeps the dead-record population bounded."""
+
+    @pytest.mark.parametrize("kernel", ["wheel", "heap"])
+    def test_churn_keeps_accounting_consistent(self, kernel):
+        sim = Simulator(kernel=kernel)
+        fired = []
+        pending = []
+        horizons = (0.1, 0.9, 3.7, 60.0, 700.0, 5000.0)
+
+        def churn(round_no):
+            # Cancel 3 of 4 timers from the previous round, then lay
+            # down a fresh spread across all wheel levels.
+            for i, timer in enumerate(pending):
+                if (i + round_no) % 4 != 0:
+                    timer.cancel()
+                    timer.cancel()  # double-cancel must stay a no-op
+            pending.clear()
+            if round_no >= 40:
+                return
+            for i, h in enumerate(horizons):
+                pending.append(sim.call_later(
+                    h + round_no * 1e-3,
+                    lambda r=round_no, i=i: fired.append((r, i))))
+            sim.call_later(0.05, lambda: churn(round_no + 1))
+
+        churn(0)
+        sim.run()
+        assert fired, "churn never fired a surviving timer"
+        assert sim._tombstones == 0, \
+            f"tombstone count drifted: {sim._tombstones}"
+        if kernel == "wheel":
+            assert sim._dead_buffered == 0
+            # All slab slots are recycled once the run drains.
+            assert len(sim._free) == len(sim._slab_kind)
+
+    def test_wheel_compaction_bounds_dead_records(self):
+        sim = Simulator()
+        sim.call_later(10_000.0, lambda: None)  # keep the run alive
+        for _ in range(20):
+            timers = [sim.call_later(3600.0 + i * 0.01, lambda: None)
+                      for i in range(500)]
+            for t in timers:
+                t.cancel()
+            # Dead records may buffer, but compaction must keep them
+            # a bounded fraction of the parked population.
+            live = (len(sim._slab_kind) - len(sim._free)
+                    - sim._dead_buffered)
+            assert sim._dead_buffered <= max(64, live + 64)
+        sim.run()
+        assert sim._tombstones == 0
+
+
 class TestCancelledTimerCompaction:
     def test_cancelled_timers_never_fire_and_heap_compacts(self):
         sim = Simulator()

@@ -1,0 +1,60 @@
+"""Units for the bench-perf regression gate (repro.bench.perf).
+
+These cover the comparison machinery only — the wall-clock benchmarks
+themselves are tier-2 (``-m perf``).
+"""
+
+import json
+
+import pytest
+
+from repro.bench import perf
+from repro.cli import main
+
+
+def _reference(scale=1.0, **metrics):
+    current = {"kernel_events_per_s": 1_000_000.0}
+    current.update(metrics)
+    return {"schema": 1, "meta": {"scale": scale}, "current": current}
+
+
+class TestCheckRegressionScale:
+    def test_mismatched_scale_refused(self):
+        with pytest.raises(ValueError, match="scale mismatch"):
+            perf.check_regression({}, _reference(scale=1.0), scale=0.05)
+
+    def test_matching_scale_compares(self):
+        warnings = perf.check_regression(
+            {"kernel_events_per_s": 990_000.0}, _reference(scale=0.25),
+            scale=0.25)
+        assert warnings == []
+
+    def test_regression_still_detected_at_matching_scale(self):
+        warnings = perf.check_regression(
+            {"kernel_events_per_s": 100_000.0}, _reference(scale=1.0),
+            tolerance=0.30, scale=1.0)
+        assert any("kernel_events_per_s" in w for w in warnings)
+
+    def test_unstated_scales_skip_the_guard(self):
+        # Old reference files predate meta.scale; callers that never
+        # pass ``scale`` keep the historical behaviour.
+        no_meta = {"current": {"kernel_events_per_s": 1.0}}
+        assert perf.check_regression({"kernel_events_per_s": 2.0},
+                                     no_meta, scale=1.0) == []
+        assert perf.check_regression({"kernel_events_per_s": 2_000_000.0},
+                                     _reference(scale=1.0)) == []
+
+
+class TestCliScaleGuard:
+    def test_check_refuses_scale_mismatch_before_benchmarking(
+            self, tmp_path, capsys):
+        ref = tmp_path / "BENCH_REF.json"
+        ref.write_text(json.dumps(_reference(scale=1.0)))
+        # A mismatched --scale must exit nonzero *without* running the
+        # (minutes-long) benchmarks — hence no work-size floor tweaks.
+        rc = main(["bench-perf", "--check", "--baseline", str(ref),
+                   "--scale", "0.01"])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "scale mismatch" in err
+        assert "--scale 1" in err
