@@ -4,7 +4,7 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test trace-tests chaos-tests scrub-tests corruption-drill perf bench-smoke coverage
+.PHONY: test trace-tests chaos-tests scrub-tests hedge-tests corruption-drill hedge-drill perf bench-smoke coverage
 
 ## tier-1: the full default suite (perf benchmarks excluded via addopts)
 test:
@@ -22,10 +22,19 @@ chaos-tests:
 scrub-tests:
 	$(PY) -m pytest -q -m scrub
 
+## just the speculative straggler-cloning (hedging) suites
+hedge-tests:
+	$(PY) -m pytest -q -m hedge
+
 ## end-to-end data-integrity drill: corruption storm -> detect/quarantine
 ## -> deep scrub -> converge checker-clean (machine-readable)
 corruption-drill:
 	$(PY) -m repro.cli corruption-drill --seed 0 --json
+
+## hedged straggler-cloning drill: chaotic busy hour with cloning on ->
+## every hedge resolved, trace oracle + audit clean (machine-readable)
+hedge-drill:
+	$(PY) -m repro.cli hedge-drill --seed 0 --json
 
 ## wall-clock benchmarks (compare against BENCH_PR1.json with bench-perf)
 perf:

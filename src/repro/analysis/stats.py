@@ -10,6 +10,8 @@ import numpy as np
 
 __all__ = [
     "percentile",
+    "percentile_or",
+    "latest_window_percentile",
     "Summary",
     "summarize",
     "windowed_percentile",
@@ -20,13 +22,60 @@ __all__ = [
 
 
 def percentile(values: Sequence[float], p: float) -> float:
-    """The p-quantile (p in [0, 1]) of ``values``; NaN when empty."""
+    """The p-quantile (p in [0, 1]) of ``values``; NaN when empty.
+
+    The NaN return is a documented sentinel for *rendering* paths
+    (charts and tables print it as a gap).  Decision paths — anything
+    that compares the result — must use :func:`percentile_or` instead:
+    every comparison against NaN is False, so a leaked NaN silently
+    takes whichever branch the author happened to write as the
+    ``else`` (the hedge-deadline bug class).
+    """
     if not 0.0 <= p <= 1.0:
         raise ValueError("p must be in [0, 1]")
     arr = np.asarray(list(values), dtype=float)
     if arr.size == 0:
         return float("nan")
     return float(np.quantile(arr, p))
+
+
+def percentile_or(values: Sequence[float], p: float,
+                  default: float | None = None) -> float | None:
+    """Like :func:`percentile` but with an explicit empty-sample
+    sentinel instead of NaN.
+
+    Returns ``default`` (None unless overridden) when ``values`` is
+    empty or the quantile is non-finite, so callers can test
+    ``is None`` — a branch NaN cannot silently fall through.
+    """
+    result = percentile(values, p)
+    if not math.isfinite(result):
+        return default
+    return result
+
+
+def latest_window_percentile(
+    times: Sequence[float],
+    values: Sequence[float],
+    p: float,
+    window_s: float,
+    now: float,
+) -> float | None:
+    """The p-quantile of the samples in ``[now - window_s, now]``.
+
+    The decision-path companion of :func:`windowed_percentile`: one
+    trailing window, evaluated at ``now``, with an explicit ``None``
+    sentinel when the window holds no samples (instead of the NaN the
+    plotting variant stores per empty window).  The hedge-deadline
+    path treats None as "never hedge".
+    """
+    if window_s <= 0:
+        raise ValueError("window_s must be positive")
+    starts, out = windowed_percentile(times, values, p, window_s=window_s,
+                                      start=now - window_s, end=now)
+    if out.size == 0 or not math.isfinite(out[-1]):
+        return None
+    return float(out[-1])
 
 
 @dataclass(frozen=True)

@@ -21,6 +21,15 @@ harness runs against any revision of the codebase:
   hashing — and ``check_regression`` enforces the ratio absolutely
   (no reference file needed).
 
+* **hedging** — the delay/cost frontier of speculative straggler
+  cloning: the same seeded busy-hour segment replayed under an
+  identical WAN-stall schedule with hedging off (plain platform
+  retries only) vs on.  Reports the replication-delay P99 of both
+  arms, the relative improvement, and the cost ratio;
+  ``check_regression`` enforces both absolutely (improvement ≥ 25%,
+  cost overhead ≤ 10%) — the PR's acceptance frontier, not a
+  machine-relative throughput.
+
 ``run_all`` returns a flat ``{metric: value}`` dict; ``emit`` writes
 the ``BENCH_*.json`` trajectory file; ``check_regression`` compares a
 fresh run against the latest committed file.
@@ -43,6 +52,7 @@ __all__ = [
     "bench_tracegen",
     "bench_e2e",
     "bench_integrity",
+    "bench_hedging",
     "run_all",
     "emit",
     "latest_bench_file",
@@ -287,6 +297,72 @@ def bench_integrity(requests: int = 1_200, repeat: int = 2) -> float:
     return best_seconds(True) / max(best_seconds(False), 1e-12)
 
 
+# -- hedging ------------------------------------------------------------------
+
+#: Acceptance frontier for hedged straggler cloning, enforced
+#: absolutely by ``check_regression``: the hedged arm must cut the
+#: replication-delay P99 by at least this fraction ...
+HEDGING_MIN_P99_IMPROVEMENT = 0.25
+#: ... while spending at most this multiple of the plain-retry arm.
+HEDGING_MAX_COST_RATIO = 1.10
+
+
+def bench_hedging(requests: int = 800,
+                  wan_stall_prob: float = 0.15) -> dict[str, float]:
+    """Hedging delay/cost frontier on the busy-hour segment.
+
+    Both arms replay the identical seeded trace under the identical
+    seeded WAN-stall schedule (exponential stalls, the paper's §6
+    straggler model), then drain to convergence; the only difference
+    is the hedging knob.  Everything simulated is deterministic, so a
+    single run per arm is exact — there is no wall-clock noise in
+    these metrics, and no ``repeat`` parameter.
+
+    The hedged arm runs with the aggressive drill profile (deadline
+    quantile 0.9, two clones, no size floor): parts are cheap to clone
+    relative to WAN stalls, so cloning everything that overruns is the
+    frontier-optimal policy on this workload.
+    """
+    from repro.core.config import ReplicaConfig
+    from repro.core.service import AReplicaService
+    from repro.simcloud.chaos import ChaosConfig
+    from repro.simcloud.cloud import build_default_cloud
+    from repro.traces.ibm_cos import IbmCosTraceGenerator
+    from repro.traces.replay import TraceReplayer
+
+    trace = IbmCosTraceGenerator(seed=0).busy_hour(total_requests=requests)
+
+    def arm(hedging: bool):
+        cloud = build_default_cloud(seed=0)
+        kwargs: dict = dict(profile_samples=8)
+        if hedging:
+            kwargs.update(hedging_enabled=True, hedge_deadline_quantile=0.9,
+                          max_clones_per_part=2, hedge_min_part_bytes=1)
+        service = AReplicaService(cloud, ReplicaConfig(**kwargs))
+        src = cloud.bucket("aws:us-east-1", "src")
+        dst = cloud.bucket("azure:eastus", "dst")
+        rule = service.add_rule(src, dst)
+        cloud.apply_chaos(ChaosConfig(wan_stall_prob=wan_stall_prob))
+        TraceReplayer(cloud, src).replay_all(trace)
+        cloud.apply_chaos(None)
+        service.run_to_convergence()
+        summary = service.summary()
+        return (summary["delay_p99_s"], summary["total_cost_usd"],
+                rule.engine.stats)
+
+    p99_off, cost_off, _ = arm(False)
+    p99_on, cost_on, stats = arm(True)
+    return {
+        "hedging_p99_off_s": p99_off,
+        "hedging_p99_on_s": p99_on,
+        "hedging_p99_improvement":
+            (p99_off - p99_on) / max(p99_off, 1e-12),
+        "hedging_cost_overhead_ratio": cost_on / max(cost_off, 1e-12),
+        "hedging_hedges": float(stats.get("hedges", 0)),
+        "hedging_wins": float(stats.get("hedge_wins", 0)),
+    }
+
+
 # -- orchestration ------------------------------------------------------------
 
 
@@ -313,6 +389,8 @@ def run_all(scale: float = 1.0, repeat: int = 3,
     note("integrity: verification-on vs -off replay ...")
     integrity = bench_integrity(requests=scaled(1_200, 100),
                                 repeat=max(1, repeat - 1))
+    note("hedging: stalled replay, cloning off vs on ...")
+    hedging = bench_hedging(requests=scaled(800, 200))
     return {
         "kernel_events_per_s": kernel,
         "planner_cold_plans_per_s": cold,
@@ -321,6 +399,7 @@ def run_all(scale: float = 1.0, repeat: int = 3,
         "e2e_seconds": seconds,
         "e2e_reqs_per_s": rate,
         "integrity_overhead_ratio": integrity,
+        **hedging,
     }
 
 
@@ -373,6 +452,18 @@ def check_regression(current: dict[str, float], reference: dict,
             f"--scale {ref_scale:g} (or record a new reference) to compare")
     bar = reference.get("current", reference)
     warnings = []
+    improvement = current.get("hedging_p99_improvement")
+    if improvement is not None and improvement < HEDGING_MIN_P99_IMPROVEMENT:
+        warnings.append(
+            f"hedging_p99_improvement: hedged replay cut P99 delay by only "
+            f"{improvement:.0%} (acceptance floor "
+            f"{HEDGING_MIN_P99_IMPROVEMENT:.0%})")
+    hedge_cost = current.get("hedging_cost_overhead_ratio")
+    if hedge_cost is not None and hedge_cost > HEDGING_MAX_COST_RATIO:
+        warnings.append(
+            f"hedging_cost_overhead_ratio: hedged replay spent "
+            f"{hedge_cost - 1:.0%} more than plain retries (acceptance "
+            f"ceiling {HEDGING_MAX_COST_RATIO - 1:.0%})")
     ratio = current.get("integrity_overhead_ratio")
     if ratio is not None and ratio > 1.0 + tolerance:
         warnings.append(

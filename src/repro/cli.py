@@ -9,6 +9,7 @@ Mirrors the published LambdaReplica CLI against the simulated clouds:
     areplica compare   --src aws:us-east-1 --dst aws:us-east-2 --size 1MB
     areplica outage-drill --outage-start 600 --outage-duration 600
     areplica corruption-drill --seed 0 --json
+    areplica hedge-drill --seed 0 --json
 
 All commands accept ``--seed`` for reproducibility.
 """
@@ -48,9 +49,21 @@ def _build_service(args, slo: float = 0.0, tracing: bool = False):
     from repro.simcloud.cloud import build_default_cloud
 
     cloud = build_default_cloud(seed=args.seed)
+    # Hedging rides along on any command that grew the --hedging flag;
+    # the knob getattrs fall back to the drills that predate it.
+    hedging = {}
+    if getattr(args, "hedging", False):
+        hedging = dict(
+            hedging_enabled=True,
+            hedge_deadline_quantile=getattr(args, "hedge_quantile", 0.95),
+            hedge_min_samples=getattr(args, "hedge_min_samples", 8),
+            hedge_min_part_bytes=getattr(args, "hedge_min_part_bytes",
+                                         1024 ** 2),
+            max_clones_per_part=getattr(args, "max_clones", 1),
+        )
     config = ReplicaConfig(slo_seconds=slo, percentile=args.percentile,
                            profile_samples=args.profile_samples,
-                           tracing_enabled=tracing)
+                           tracing_enabled=tracing, **hedging)
     service = AReplicaService(cloud, config)
     src = cloud.bucket(args.src, "src")
     dst = cloud.bucket(args.dst, "dst")
@@ -510,6 +523,99 @@ def cmd_corruption_drill(args) -> int:
     return 0 if clean else 1
 
 
+def cmd_hedge_drill(args) -> int:
+    """Speculative-hedging drill: tail-latency cloning under chaos.
+
+    Replays a busy-hour segment with hedging enabled and a
+    straggler-friendly fault mix (crashes plus WAN stalls), lets the
+    storm pass and the service converge, then proves the hedge
+    discipline held end to end: at least one hedge actually fired (the
+    drill must exercise the machinery, not vacuously pass), every
+    fired hedge resolved exactly once as won/lost/cancelled, no part
+    was double-finalized, the cloning ledger line reconciles, and the
+    quiescent audit plus trace oracle are clean.
+    """
+    from repro.core.audit import ReplicationAuditor
+    from repro.core.invariants import TraceChecker
+    from repro.simcloud.chaos import ChaosConfig
+    from repro.traces.ibm_cos import IbmCosTraceGenerator
+    from repro.traces.replay import TraceReplayer
+
+    args.hedging = True
+    chaos = ChaosConfig(crash_prob=args.crash_prob,
+                        wan_stall_prob=args.wan_stall)
+    cloud, service, src, dst, rule = _build_service(args, slo=args.slo,
+                                                    tracing=True)
+    cloud.apply_chaos(chaos)
+    trace = IbmCosTraceGenerator(seed=args.seed).busy_hour(
+        total_requests=args.requests)
+    if not args.json:
+        print(f"hedge-drilling {len(trace)} requests "
+              f"(q={args.hedge_quantile}, min-samples={args.hedge_min_samples}, "
+              f"min-part={args.hedge_min_part_bytes}B, "
+              f"clones<={args.max_clones}, crash={chaos.crash_prob}, "
+              f"wan-stall={chaos.wan_stall_prob}) ...")
+    stats = TraceReplayer(cloud, src).replay_all(trace)
+    cloud.apply_chaos(None)
+    convergence = service.run_to_convergence()
+    audit = ReplicationAuditor(service).audit(quiescent=True)
+    trace_report = TraceChecker(service).check()
+    pending = service.pending_count()
+    engine = rule.engine.stats
+    resolved = (engine["hedge_wins"] + engine["hedge_losses"]
+                + engine["hedge_cancelled"])
+    hedge_cost = sum(c.amount for c in service.tracer.costs
+                     if c.category == "hedge_clones")
+    clean = (engine["hedges"] > 0 and resolved == engine["hedges"]
+             and audit.clean and trace_report.clean
+             and convergence.converged and pending == 0)
+
+    if args.json:
+        _print_json(_machine_report(cloud, service, rule, {
+            "requests": stats.requests,
+            "hedging": {
+                "hedges": engine["hedges"],
+                "hedge_wins": engine["hedge_wins"],
+                "hedge_losses": engine["hedge_losses"],
+                "hedge_cancelled": engine["hedge_cancelled"],
+                "resolved": resolved,
+                "clone_cost_usd": hedge_cost,
+                "deadline_quantile": args.hedge_quantile,
+                "max_clones_per_part": args.max_clones,
+            },
+            "convergence": {
+                "converged": convergence.converged,
+                "rounds": convergence.rounds,
+                "redriven": convergence.redriven,
+                "residual_dead_letters": convergence.residual_dead_letters,
+                "parked_backlog": convergence.parked_backlog,
+            },
+            "audit_clean": audit.clean,
+            "trace_clean": trace_report.clean,
+            "trace_checked": trace_report.checked,
+            "trace_findings": [str(f) for f in trace_report.findings],
+            "pending_measurements": pending,
+            "result": "PASS" if clean else "FAIL",
+        }))
+        return 0 if clean else 1
+
+    print(f"replayed {stats.requests} requests "
+          f"({stats.bytes_written / 1e9:.2f} GB)")
+    print("hedging:")
+    for name in ("hedges", "hedge_wins", "hedge_losses", "hedge_cancelled"):
+        print(f"  {name:<26} {engine[name]}")
+    print(f"  {'clone_cost_usd':<26} {hedge_cost:.6f}")
+    print("dead-letter drain: " + convergence.render())
+    print(f"quiescent audit ({pending} pending measurement(s)):")
+    print(audit.render())
+    print(trace_report.render())
+    print("RESULT: " + ("PASS" if clean else "FAIL"))
+    if engine["hedges"] == 0:
+        print("  (no hedge ever fired — lower --hedge-quantile / "
+              "--hedge-min-samples or raise --requests)", file=sys.stderr)
+    return 0 if clean else 1
+
+
 def cmd_regions(args) -> int:
     """List the region catalog and the egress price matrix."""
     from repro.simcloud.pricing import PriceBook
@@ -714,6 +820,23 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--profile-samples", type=int, default=8)
 
+    def hedging_knobs(p, default_on=False):
+        """Hedging flags: the drills accept --hedging to ride along;
+        hedge-drill forces it on and exposes the tuning knobs."""
+        if not default_on:
+            p.add_argument("--hedging", action="store_true",
+                           help="enable speculative straggler cloning")
+        p.add_argument("--hedge-quantile", type=float, default=0.95,
+                       help="windowed completion quantile deriving the "
+                            "per-part hedge deadline")
+        p.add_argument("--hedge-min-samples", type=int, default=8,
+                       help="completion samples required before hedging")
+        p.add_argument("--hedge-min-part-bytes", type=parse_size,
+                       default=parse_size("1MB"),
+                       help="smallest part worth cloning")
+        p.add_argument("--max-clones", type=int, default=1,
+                       help="clone budget per part")
+
     common(sub.add_parser("replicate", help="replicate one object and report"))
     common(sub.add_parser("plan", help="show the SLO-compliant plan"))
     common(sub.add_parser("profile", help="show fitted model parameters"),
@@ -759,6 +882,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="per-transfer WAN stall probability")
     soak.add_argument("--json", action="store_true",
                       help="emit the machine-readable report instead of text")
+    hedging_knobs(soak)
     drill = sub.add_parser("outage-drill",
                            help="replay a workload through a sustained "
                                 "regional outage and verify degradation, "
@@ -773,6 +897,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="outage length in seconds")
     drill.add_argument("--json", action="store_true",
                        help="emit the machine-readable report instead of text")
+    hedging_knobs(drill)
     corrupt = sub.add_parser("corruption-drill",
                              help="replay a workload under silent-corruption "
                                   "faults and verify detection, quarantine, "
@@ -795,6 +920,21 @@ def build_parser() -> argparse.ArgumentParser:
     corrupt.add_argument("--json", action="store_true",
                          help="emit the machine-readable report instead of "
                               "text")
+    hedging_knobs(corrupt)
+    hedge = sub.add_parser("hedge-drill",
+                           help="replay a workload with speculative hedging "
+                                "on under chaos and verify the hedge "
+                                "discipline end to end")
+    common(hedge, with_size=False)
+    hedge.add_argument("--requests", type=int, default=600)
+    hedge.add_argument("--crash-prob", type=float, default=0.02,
+                       help="per-invocation function crash probability")
+    hedge.add_argument("--wan-stall", type=float, default=0.05,
+                       help="per-transfer WAN stall probability")
+    hedge.add_argument("--json", action="store_true",
+                       help="emit the machine-readable report instead of "
+                            "text")
+    hedging_knobs(hedge, default_on=True)
     bench = sub.add_parser("bench-perf",
                            help="run the hot-path microbenchmarks")
     bench.add_argument("--scale", type=float, default=1.0,
@@ -831,6 +971,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         "chaos-soak": cmd_chaos_soak,
         "outage-drill": cmd_outage_drill,
         "corruption-drill": cmd_corruption_drill,
+        "hedge-drill": cmd_hedge_drill,
         "bench-perf": cmd_bench_perf,
     }
     return handlers[args.command](args)

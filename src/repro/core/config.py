@@ -119,6 +119,27 @@ class ReplicaConfig:
     #: engine re-checks eligibility per task).  Off by default so
     #: drills and differential tests exercise the un-fused path.
     fuse_small_transfers: bool = False
+    #: Speculative hedging (tail-latency cloning): when a distributed
+    #: part overruns a deadline derived from recent completions, clone
+    #: the same range onto a fresh FaaS instance and let first-writer-
+    #: wins into the part pool settle the race.  Off by default: the
+    #: disabled path adds no events, draws, or KV operations, so
+    #: hedging-off runs stay byte-identical to pre-hedging behaviour.
+    hedging_enabled: bool = False
+    #: Quantile of the windowed part-completion durations the hedge
+    #: deadline is derived from (the "P95-derived deadline").
+    hedge_deadline_quantile: float = 0.95
+    #: Parts smaller than this are never hedged: a clone's cold start
+    #: and invocation latency dwarf any straggler saving on tiny parts.
+    hedge_min_part_bytes: int = 1 * MB
+    #: How many clones one part may spawn before the engine stops
+    #: hedging it (0 disables cloning while keeping the monitor on).
+    max_clones_per_part: int = 1
+    #: Trailing window over part-completion samples feeding the
+    #: deadline percentile, and the minimum sample count before any
+    #: deadline is derived at all (fewer samples -> "never hedge").
+    hedge_window_s: float = 300.0
+    hedge_min_samples: int = 8
 
     def __post_init__(self) -> None:
         if self.slo_seconds < 0:
@@ -135,6 +156,16 @@ class ReplicaConfig:
             raise ValueError("outage_catchup_concurrency must be >= 1")
         if self.retransfer_budget < 0:
             raise ValueError("retransfer_budget must be >= 0")
+        if not 0.5 <= self.hedge_deadline_quantile < 1.0:
+            raise ValueError("hedge_deadline_quantile must be in [0.5, 1.0)")
+        if self.hedge_min_part_bytes < 0:
+            raise ValueError("hedge_min_part_bytes must be >= 0")
+        if self.max_clones_per_part < 0:
+            raise ValueError("max_clones_per_part must be >= 0")
+        if self.hedge_window_s <= 0:
+            raise ValueError("hedge_window_s must be positive")
+        if self.hedge_min_samples < 1:
+            raise ValueError("hedge_min_samples must be >= 1")
 
     @property
     def slo_enabled(self) -> bool:

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from types import GeneratorType
 from typing import Optional, Protocol
 
+from repro.analysis.stats import latest_window_percentile
 from repro.core.changelog import ChangelogOp, ChangelogStore
 from repro.core.config import ReplicaConfig
 from repro.core.health import BreakerState, HealthTracker, NoRouteAvailable
@@ -35,7 +36,10 @@ from repro.core.locks import ReplicationLockManager
 from repro.core.partpool import FairAssignment, PartPool
 from repro.core.planner import Plan, StrategyPlanner
 from repro.simcloud.cloud import Cloud
+from repro.simcloud.cost import CostCategory
 from repro.simcloud.kvstore import Throttled
+from repro.simcloud.monitoring import TimeSeries
+from repro.simcloud.sim import Interrupt
 from repro.simcloud.objectstore import (
     Bucket,
     NoSuchKey,
@@ -141,7 +145,20 @@ class ReplicationEngine:
             "backlog_kv_failed": 0,
             "corrupt_detected": 0, "retransfers": 0, "quarantined": 0,
             "finalize_verify_failed": 0,
+            "hedges": 0, "hedge_wins": 0, "hedge_losses": 0,
+            "hedge_cancelled": 0,
         }
+        # -- speculative hedging state (tail-latency straggler cloning) ----
+        #: Trailing per-part completion durations in seconds — the
+        #: sample feed for the windowed-percentile hedge deadline.
+        #: Recorded only while hedging is enabled, so the disabled path
+        #: stays byte-identical to a build without hedging.
+        self._hedge_samples = TimeSeries(f"hedge-samples:{rule_id}")
+        self._hedge_seq = itertools.count(1)
+        #: Live clone transfer bodies keyed by (task_id, part, seq); the
+        #: hedge coordinator cancels the losing side in flight through
+        #: this registry (an O(1) interrupt on the timer-wheel kernel).
+        self._hedge_live: dict[tuple, object] = {}
         self.retry_policy = config.retry_policy
         # Backoff jitter draws on a dedicated stream: retry timing for a
         # given seed must not shift with unrelated sampling.
@@ -281,9 +298,20 @@ class ReplicationEngine:
         An unconditional put would let a zombie writer (or any delayed
         straggler) clobber a newer marker with an older version's; the
         conditional advance makes the marker a high-water mark.
+
+        Returns the *superseding* marker when the advance did not land
+        (an equal-or-newer seq was already recorded), else ``None``.
+        A superseding marker is how a straggler that just mutated the
+        destination learns its write may have clobbered a newer
+        finalized version — the fencing token cannot order two live
+        incarnations of one platform-retried task (they share owner
+        and fence), so the marker race is the only witness.
         """
+        superseded: dict[str, object] = {}
+
         def advance(item):
             if item is not None and item.get("seq", -1) >= seq:
+                superseded.update(item)
                 return item
             if self.tracer is not None:
                 # Emitted inside the closure: only an advance that
@@ -296,6 +324,64 @@ class ReplicationEngine:
 
         yield from self._kv(
             ctx, lambda: self._lock_table.update_item(f"done:{key}", advance))
+        return dict(superseded) if superseded else None
+
+    def _reconverge_after_superseded(self, ctx, task_id: str, key: str,
+                                     wrote_etag: Optional[str]):
+        """Process: heal a destination a superseded straggler just wrote.
+
+        Two live incarnations of one platform-retried task share a
+        task id and fencing token (re-entrant lock acquisition keeps
+        the fence, by design — persisted distributed-task descriptors
+        must survive the retry), so when the retried incarnation
+        adopts a newer source version, the fence check cannot stop the
+        original incarnation's older write from landing *after* the
+        newer finalize.  The marker high-water mark witnesses the
+        inversion; this path compares the destination against the
+        marker and, on genuine divergence, redrives the key as a
+        *repair* event (fresh task, fresh lock, fresh fence — and the
+        repair flag bypasses the very marker that masks the damage).
+        Benign losers — the newer finalize also won the destination
+        race — exit after one HEAD.  Terminates: the repair task's own
+        superseded mark-done finds destination and marker in agreement
+        and stops.
+        """
+        done = yield from self._kv(
+            ctx, lambda: self._lock_table.get_item(f"done:{key}"))
+        if done is None:
+            return
+        try:
+            dst = yield from ctx.head_object(self.dst_bucket, key)
+            dst_etag = dst.etag
+        except NoSuchKey:
+            dst_etag = None
+        if done.get("op") == "delete":
+            # The marker's newest state is absence; undo only *our
+            # own* re-creation (different bytes belong to a newer
+            # in-flight put, which owns its own convergence).
+            if wrote_etag is not None and dst_etag == wrote_etag:
+                self.stats["retriggered"] += 1
+                if self.tracer is not None:
+                    self.tracer.event("retrigger", "engine", task_id,
+                                      key=key, seq=done.get("seq"),
+                                      kind="superseded")
+                yield from ctx.delete_object(self.dst_bucket, key)
+            return
+        if dst_etag == done.get("etag"):
+            return  # benign: the newer finalize won the destination race
+        self.stats["retriggered"] += 1
+        if self.tracer is not None:
+            self.tracer.event("retrigger", "engine", task_id, key=key,
+                              seq=done.get("seq"), kind="superseded")
+        try:
+            current = yield from ctx.head_object(self.src_bucket, key)
+        except NoSuchKey:
+            return  # the source delete's own event owns convergence
+        self.redrive_event({
+            "kind": "created", "key": key, "etag": current.etag,
+            "seq": current.sequencer, "size": current.size,
+            "event_time": ctx.now, "repair": True,
+        })
 
     def _record_visible(self, task_id: Optional[str],
                         result: TaskResult) -> None:
@@ -357,15 +443,25 @@ class ReplicationEngine:
                               key=task["key"], stage=stage, kind=kind,
                               part=part)
 
-    def _quarantine(self, task, stage: str, part: Optional[int] = None):
+    def _quarantine(self, task, stage: str, part: Optional[int] = None,
+                    count: bool = True):
         """Escalate a poison transfer: count, trace, and raise the
         no-platform-retry error that dead-letters this invocation with
         the ``corrupted`` disposition.  A later DLQ redrive — after the
-        fault clears — re-runs the task and completes the part."""
-        self.stats["quarantined"] += 1
-        if self.tracer is not None:
-            self.tracer.event("quarantine", "engine", task["task_id"],
-                              key=task["key"], stage=stage, part=part)
+        fault clears — re-runs the task and completes the part.
+
+        ``count=False`` replays an already-counted quarantine — a
+        hedged rival burned the retransfer budget on the same part
+        first (``PartPool.mark_quarantined`` returned the first-marker
+        signal to the other side).  The escalation still raises, but
+        the stat and trace event stay idempotent per (task, part) so
+        drill accounting remains exact under hedging.
+        """
+        if count:
+            self.stats["quarantined"] += 1
+            if self.tracer is not None:
+                self.tracer.event("quarantine", "engine", task["task_id"],
+                                  key=task["key"], stage=stage, part=part)
         raise PartQuarantined(
             f"{task['task_id']}: {stage} checksum mismatch persisted "
             f"past retransfer budget (part={part})")
@@ -721,14 +817,41 @@ class ReplicationEngine:
         task["started"] = ctx.now
         if plan.inline:
             self.stats["inline"] += 1
-            yield from self._run_single(ctx, task, plan)
+            if (self.config.hedging_enabled
+                    and self.config.max_clones_per_part > 0
+                    and task["size"] >= self.config.hedge_min_part_bytes):
+                # Inline transfers are the biggest straggler trap of
+                # all: one in-process loop, one set of WAN legs, zero
+                # observability.  Under hedging, route eligible inline
+                # tasks through the pool with the orchestrator as the
+                # (only) worker — same zero-invocation clean path, but
+                # each range gets a deadline and a clone budget.
+                yield from self._launch_distributed(ctx, task, plan,
+                                                    inline_worker=True)
+            else:
+                yield from self._run_single(ctx, task, plan)
         elif plan.n == 1:
-            self.stats["single"] += 1
-            task["mode"] = "single"
-            invocation = yield from ctx.invoke(
-                self._faas_at(plan.loc_key), self._rep_name, dict(task)
-            )
-            del invocation  # fire-and-forget: the replicator finishes the task
+            if (self.config.hedging_enabled
+                    and self.config.max_clones_per_part > 0
+                    and task["size"] >= self.config.hedge_min_part_bytes):
+                # With hedging on, a large single-function transfer is a
+                # straggler trap: its parts live inside one instance's
+                # speed draw and one set of WAN legs, invisible to the
+                # per-part deadline monitor.  Route it through the
+                # distributed machinery at n=1 instead — same single
+                # worker, but every part flows through the pool where
+                # progress is tracked and an overrunning range can be
+                # cloned onto a fresh instance.  Hedging-off keeps the
+                # plain single path byte-for-byte.
+                self.stats["distributed"] += 1
+                yield from self._launch_distributed(ctx, task, plan)
+            else:
+                self.stats["single"] += 1
+                task["mode"] = "single"
+                invocation = yield from ctx.invoke(
+                    self._faas_at(plan.loc_key), self._rep_name, dict(task)
+                )
+                del invocation  # fire-and-forget: the replicator finishes the task
         else:
             self.stats["distributed"] += 1
             yield from self._launch_distributed(ctx, task, plan)
@@ -807,8 +930,16 @@ class ReplicationEngine:
             self.tracer.event("finalize", "engine", task_id, key=key,
                               seq=payload["seq"], etag=payload["etag"],
                               fence=fence, op="delete")
-        yield from self._mark_done(ctx, key, payload["etag"], payload["seq"],
-                                   ctx.now, op="delete")
+        superseded = yield from self._mark_done(ctx, key, payload["etag"],
+                                                payload["seq"], ctx.now,
+                                                op="delete")
+        if superseded is not None:
+            # Our destination delete landed under a marker a newer
+            # finalize had already advanced: the bytes we removed may
+            # have been the newer version's.  Heal via the marker
+            # comparison (wrote_etag None — a delete writes absence).
+            yield from self._reconverge_after_superseded(ctx, task_id, key,
+                                                         None)
         self._record_visible(task_id, TaskResult(
             key=key, etag=payload["etag"], seq=payload["seq"],
             event_time=payload["event_time"], visible_time=ctx.now,
@@ -920,10 +1051,13 @@ class ReplicationEngine:
         Fusing the handshake and data legs into one kernel event is
         only allowed when nothing can observe the intermediate
         instants: no chaos/corruption hooks armed, no tracer recording
-        spans, and neither endpoint inside an outage window.
+        spans, neither endpoint inside an outage window, and hedging
+        off — the hedge monitor's deadline gates sample transfer
+        progress at instants fusion would collapse away.
         """
         cloud = self.cloud
         return (self.config.fuse_small_transfers
+                and not self.config.hedging_enabled
                 and cloud.chaos is None
                 and cloud.tracer is None
                 and not self.src_bucket.in_outage
@@ -1050,9 +1184,19 @@ class ReplicationEngine:
 
     # -- distributed replication ----------------------------------------------------------
 
-    def _launch_distributed(self, ctx, task, plan: Plan):
+    def _launch_distributed(self, ctx, task, plan: Plan,
+                            inline_worker: bool = False):
+        """Set up the part pool and run the task's workers.
+
+        ``inline_worker`` runs a single worker loop inside the calling
+        function instead of invoking remote replicators — the hedged
+        flavour of the inline path, where the orchestrator itself
+        drains the (often one-part) pool so each range still gets a
+        progress deadline and a clone budget without paying an extra
+        invocation on the clean path.
+        """
         num_parts = max(1, math.ceil(task["size"] / self.config.part_size))
-        n = min(plan.n, num_parts)
+        n = 1 if inline_worker else min(plan.n, num_parts)
         # §6 resource limitations: account concurrency quotas are static.
         # Invoking beyond the remaining quota would only queue the
         # excess behind other tasks; clamp instead (the pool lets fewer
@@ -1088,7 +1232,34 @@ class ReplicationEngine:
                     ctx, lambda: state_table.get_item(f"pool:{task['task_id']}"))
                 yield ctx.sleep(0.0)
                 self._abort_upload(upload_id)
-                task = dict(existing["task"])
+                adopted = dict(existing["task"])
+                if adopted.get("seq", task["seq"]) < task["seq"]:
+                    # The pool record replicates an *older* source
+                    # version than the one we were built from — the
+                    # source advanced since the record was written.  If
+                    # that predecessor already finished (its done marker
+                    # landed), its pool is a fossil: adopting it would
+                    # claim zero parts, skip finalization, and leak the
+                    # task's lock — the newer version would then never
+                    # replicate.  A duplicate event delivery reaching a
+                    # finished task id after an overwrite hits exactly
+                    # this.  Replicate the current version through the
+                    # single-function path instead: its snapshot GET
+                    # needs no pool, so the fossil record cannot
+                    # collide, and it finishes (and unlocks) normally.
+                    done = yield from self._kv(
+                        ctx, lambda: self._lock_table.get_item(
+                            f"done:{task['key']}"))
+                    if done is not None and done["seq"] >= adopted.get(
+                            "seq", -1):
+                        fallback = {k: v for k, v in task.items()
+                                    if k not in ("mode", "num_parts",
+                                                 "part_size", "upload_id",
+                                                 "assignments")}
+                        fallback["mode"] = "single"
+                        yield from self._run_single(ctx, fallback, plan)
+                        return
+                task = adopted
         except BaseException:
             # Crashing before the pool record points at our upload means
             # no retry will ever learn this id existed; abort it so the
@@ -1097,6 +1268,13 @@ class ReplicationEngine:
             if task.get("upload_id") == upload_id:
                 self._abort_upload(upload_id)
             raise
+        if inline_worker:
+            # The orchestrator drains the pool itself — no extra
+            # invocation, but parts (and their hedge clones) still flow
+            # through the first-writer-wins pool machinery.
+            yield from self._run_distributed_worker(
+                ctx, dict(task, worker_index=0))
+            return
         faas = self._faas_at(plan.loc_key)
         for i in range(n):
             worker_task = dict(task, worker_index=i)
@@ -1105,9 +1283,12 @@ class ReplicationEngine:
             yield from ctx.invoke(faas, self._rep_name, worker_task)
 
     def _replicator(self, ctx, payload):
-        if payload.get("mode") == "single":
+        mode = payload.get("mode")
+        if mode == "single":
             yield from self._run_single(ctx, payload)
             return
+        if mode == "hedge-clone":
+            return (yield from self._run_hedge_clone(ctx, payload))
         yield from self._run_distributed_worker(ctx, payload)
 
     #: How long a worker that drained the pool waits before treating
@@ -1159,9 +1340,36 @@ class ReplicationEngine:
         place under ``retransfer_budget``; a poison part — one that
         keeps failing — is quarantined to the DLQ instead of burning
         platform retries.
+
+        With hedging enabled, a part large enough to be worth cloning
+        runs through the hedged race (:meth:`_hedged_part`) instead of
+        a bare attempt; small parts stay on the plain path but still
+        feed the deadline sample window.
         """
         offset = idx * task["part_size"]
         length = min(task["part_size"], task["size"] - offset)
+        cfg = self.config
+        if (cfg.hedging_enabled and cfg.max_clones_per_part > 0
+                and length >= cfg.hedge_min_part_bytes):
+            return (yield from self._hedged_part(ctx, task, pool, worker_key,
+                                                 start, idx, offset, length))
+        t0 = ctx.now
+        status = yield from self._part_attempt(ctx, task, pool, idx,
+                                               offset, length)
+        if cfg.hedging_enabled and status == "ok":
+            self._hedge_samples.record(ctx.now, ctx.now - t0)
+        return (yield from self._settle_part(ctx, task, pool, worker_key,
+                                             start, idx, status))
+
+    def _part_attempt(self, ctx, task, pool, idx, offset, length):
+        """Process: download, verify, and upload one part range.
+
+        Returns ``"ok"`` | ``"stale"`` | ``"aborted"`` |
+        ``("quarantined", stage, first)`` — never raising
+        :class:`PartQuarantined` itself — so a hedged coordinator can
+        race two attempts and settle the combined outcome exactly once
+        (platform faults still propagate and fail the attempt).
+        """
         retransfers = 0
         while True:
             try:
@@ -1170,20 +1378,19 @@ class ReplicationEngine:
                     concurrency=task["plan_n"],
                 )
             except (NoSuchKey, ValueError):
-                yield from self._abort_task(ctx, task)
-                return None
+                return "stale"
             verdict = self._verify_download(task, version, blob, offset,
                                             length, "part-get", part=idx)
             if verdict == "stale":
                 # Optimistic validation (§5.2): the source changed under
                 # us; parts from different versions must never mix.
-                yield from self._abort_task(ctx, task)
-                return None
+                return "stale"
             if verdict == "ok":
                 break
             if retransfers >= self.config.retransfer_budget:
-                yield from self._kv(ctx, lambda: pool.mark_quarantined(idx))
-                self._quarantine(task, "part-get", part=idx)
+                first = yield from self._kv(
+                    ctx, lambda: pool.mark_quarantined(idx))
+                return ("quarantined", "part-get", first)
             retransfers += 1
             self.stats["retransfers"] += 1
         while True:
@@ -1198,7 +1405,7 @@ class ReplicationEngine:
                 # whole attempt into the platform retry path.
                 aborted = yield from self._kv(ctx, pool.is_aborted)
                 if aborted:
-                    return None
+                    return "aborted"
                 raise
             if part_etag == blob.etag:
                 break
@@ -1206,10 +1413,27 @@ class ReplicationEngine:
             # we sent (a miswritten part); re-upload it in place.
             self._record_corruption(task, "part-put", "payload", part=idx)
             if retransfers >= self.config.retransfer_budget:
-                yield from self._kv(ctx, lambda: pool.mark_quarantined(idx))
-                self._quarantine(task, "part-put", part=idx)
+                first = yield from self._kv(
+                    ctx, lambda: pool.mark_quarantined(idx))
+                return ("quarantined", "part-put", first)
             retransfers += 1
             self.stats["retransfers"] += 1
+        return "ok"
+
+    def _settle_part(self, ctx, task, pool, worker_key, start, idx, status):
+        """Process: translate one part attempt's outcome into the worker
+        protocol — completion and finalization on success, task abort on
+        staleness, quarantine escalation on poison.  Split from the
+        attempt itself so the hedged race settles whichever contender's
+        outcome won, exactly once."""
+        if status == "stale":
+            yield from self._abort_task(ctx, task)
+            return None
+        if status == "aborted":
+            return None
+        if status != "ok":
+            _, stage, first = status
+            self._quarantine(task, stage, part=idx, count=first)
         self.worker_parts[worker_key] += 1
         self.worker_spans[worker_key] = (start, ctx.now)
         finished = yield from self._kv(ctx, lambda: pool.complete(idx))
@@ -1218,6 +1442,260 @@ class ReplicationEngine:
             self.worker_spans[worker_key] = (start, ctx.now)
             return True
         return False
+
+    # -- speculative hedging: straggler cloning for tail latency -------------------
+
+    def _hedge_deadline(self, now: float) -> Optional[float]:
+        """Hedge deadline in seconds for a part starting ``now``, or None.
+
+        The deadline is the windowed ``hedge_deadline_quantile`` of
+        recent part completion durations.  Too few samples — cold
+        start, or a window the trailing completions have aged out of —
+        yields the explicit ``None`` sentinel meaning *never hedge*.
+        Never NaN: every comparison against NaN is False, so a NaN
+        deadline would silently decide the overrun check in whichever
+        direction the comparison happens to be written; the sentinel
+        keeps the fail-safe direction explicit.
+        """
+        cfg = self.config
+        cutoff = now - cfg.hedge_window_s
+        times, values = self._hedge_samples.window(cutoff)
+        if len(values) < cfg.hedge_min_samples:
+            return None
+        # Bound the sample buffer: anything older than a full window
+        # behind the cutoff can never be read again.
+        self._hedge_samples.discard_before(cutoff - cfg.hedge_window_s)
+        return latest_window_percentile(times, values,
+                                        cfg.hedge_deadline_quantile,
+                                        cfg.hedge_window_s, now)
+
+    def _fire_hedge(self, ctx, task, idx, seq, deadline_s, elapsed):
+        """Process: launch one speculative clone of part ``idx``.
+
+        The invocation forces a cold start — the point of cloning is
+        drawing a fresh per-instance channel factor, not re-landing on
+        a warm (and possibly just-as-slow) instance — and its request
+        fee is charged to the cloning-aware HEDGE_CLONES ledger line so
+        hedging's spend is readable separately from ordinary
+        replication traffic.
+        """
+        self.stats["hedges"] += 1
+        task_id = task["task_id"]
+        if self.tracer is not None:
+            self.tracer.event("hedge-start", "engine", task_id,
+                              key=task["key"], part=idx, seq=seq,
+                              deadline_s=deadline_s, elapsed_s=elapsed)
+        faas = self._faas_at(ctx.region.key)
+        faas.ledger.charge(ctx.now, CostCategory.HEDGE_CLONES,
+                           faas.prices.faas[faas.provider].per_request,
+                           f"{faas.region.key}:{self._rep_name}:part{idx}",
+                           task=task_id)
+        payload = dict(task, mode="hedge-clone", hedge_part=idx,
+                       hedge_seq=seq, worker_index=f"hedge{seq}")
+        invocation = yield from ctx.invoke(faas, self._rep_name, payload,
+                                           fresh_instance=True)
+        return invocation
+
+    @staticmethod
+    def _clone_guard(invocation):
+        """Process: join a clone invocation, mapping platform-level
+        failure (a clone that dead-lettered) onto a result value — a
+        losing contender must never fail the race's combined future."""
+        try:
+            result = yield invocation
+        except Interrupt:
+            raise
+        except Exception:
+            return {"part_done": False, "status": "error",
+                    "finished": False}
+        if not isinstance(result, dict):
+            return {"part_done": False, "status": "error",
+                    "finished": False}
+        return result
+
+    def _hedged_part(self, ctx, task, pool, worker_key, start, idx,
+                     offset, length):
+        """Process: one part under speculative hedging.
+
+        The primary attempt runs as a child process raced against a
+        deadline gate derived from the windowed percentile of recent
+        completions (:meth:`_hedge_deadline`).  When the part overruns
+        its deadline, the range is cloned onto a fresh FaaS instance;
+        whichever contender's completion enters the pool's done-set
+        first wins, and the loser is cancelled in flight (an O(1)
+        interrupt on the timer-wheel kernel).  Every fired hedge
+        resolves exactly once — ``won`` (a clone delivered the part),
+        ``lost`` (the primary did, or the clone failed while the part
+        still completed), or ``cancelled`` (the race was abandoned:
+        task abort, quarantine, or this worker itself dying) — and
+        double-finalize is excluded structurally: only the done-set's
+        first writer can observe the finished transition.
+        """
+        sim = self.cloud.sim
+        cfg = self.config
+        t0 = ctx.now
+        task_id = task["task_id"]
+        deadline_s = self._hedge_deadline(t0)
+        primary = ctx.spawn(
+            self._part_attempt(ctx, task, pool, idx, offset, length),
+            name=f"hedge-primary:{task_id}:{idx}")
+        pending: dict[int, object] = {}    # seq -> clone guard process
+        fired_at: dict[int, float] = {}    # seq -> fire time
+        outcomes: dict[int, str] = {}      # seq -> resolved outcome
+        gate_at = None if deadline_s is None else t0 + deadline_s
+        status = None
+        clone_won = None
+        clone_q_first = False
+        settled = False
+        try:
+            while True:
+                contenders = []
+                if primary is not None:
+                    contenders.append(("primary", primary))
+                contenders.extend(pending.items())
+                if (primary is not None and gate_at is not None
+                        and len(fired_at) < cfg.max_clones_per_part):
+                    contenders.append(("gate", sim.timeout_at(gate_at)))
+                if not contenders:
+                    break
+                which, value = yield sim.any_of(
+                    [fut for _tag, fut in contenders])
+                tag = contenders[which][0]
+                if tag == "gate":
+                    if primary is None or primary.done:
+                        continue
+                    seq = next(self._hedge_seq)
+                    inv = yield from self._fire_hedge(ctx, task, idx, seq,
+                                                      deadline_s,
+                                                      ctx.now - t0)
+                    pending[seq] = ctx.spawn(
+                        self._clone_guard(inv),
+                        name=f"hedge-guard:{task_id}:{idx}:{seq}")
+                    fired_at[seq] = ctx.now
+                    gate_at = ctx.now + deadline_s
+                    continue
+                if tag == "primary":
+                    status = value
+                    primary = None
+                    if status == "ok":
+                        for s in fired_at:
+                            outcomes.setdefault(s, "lost")
+                        settled = True
+                        break
+                    if not pending:
+                        break
+                    # The primary failed but a clone is still in flight:
+                    # an independent transfer can still deliver the part
+                    # (it dodges the primary's per-transfer fault draws).
+                    continue
+                seq, res = tag, value
+                del pending[seq]
+                if res.get("part_done"):
+                    outcomes[seq] = "won"
+                    for s in fired_at:
+                        outcomes.setdefault(s, "lost")
+                    clone_won = res
+                    settled = True
+                    break
+                if res.get("status") == "quarantined":
+                    clone_q_first = clone_q_first or bool(
+                        res.get("first_quarantine"))
+                if primary is None and not pending:
+                    break
+        finally:
+            if primary is not None and not primary.done:
+                # O(1) in-flight cancellation of the losing side.
+                primary.interrupt("hedge-lost" if settled else
+                                  "hedge-unwound")
+            if settled:
+                for s in pending:
+                    body = self._hedge_live.get((task_id, idx, s))
+                    if body is not None and not body.done:
+                        body.interrupt("hedge-lost")
+            if fired_at:
+                for s, at in fired_at.items():
+                    outcome = outcomes.get(s, "cancelled")
+                    if outcome == "won":
+                        self.stats["hedge_wins"] += 1
+                    elif outcome == "lost":
+                        self.stats["hedge_losses"] += 1
+                    else:
+                        self.stats["hedge_cancelled"] += 1
+                    if self.tracer is not None:
+                        self.tracer.event("hedge-resolved", "engine",
+                                          task_id, key=task["key"],
+                                          part=idx, seq=s, outcome=outcome)
+                        self.tracer.span("hedge", "engine", task_id, at,
+                                         sim.now, part=idx, seq=s,
+                                         outcome=outcome)
+        if clone_won is not None:
+            self._hedge_samples.record(ctx.now, ctx.now - t0)
+            self.worker_spans[worker_key] = (start, ctx.now)
+            return bool(clone_won.get("finished"))
+        if status == "ok":
+            self._hedge_samples.record(ctx.now, ctx.now - t0)
+        elif isinstance(status, tuple) and clone_q_first:
+            # Merge the rival's first-marker signal so the quarantine
+            # count stays exactly-once per (task, part).
+            status = (status[0], status[1], True)
+        return (yield from self._settle_part(ctx, task, pool, worker_key,
+                                             start, idx, status))
+
+    def _run_hedge_clone(self, ctx, payload):
+        """Process: one speculative clone invocation (mode "hedge-clone").
+
+        Runs on a cold-started instance whose channel drew an
+        independent speed factor, re-transfers exactly one part range,
+        and races the original through the done-set's first-writer-wins
+        — the integrity layer verifies the winner's bytes exactly once
+        and the loser's are discarded by the dedupe.  A clone arriving
+        after the part (or task) concluded — including a DLQ redrive
+        long after completion — stands down on a one-read snapshot.
+        """
+        idx = payload["hedge_part"]
+        seq = payload["hedge_seq"]
+        task_id = payload["task_id"]
+        pool = PartPool(self._state_table(ctx.region.key), task_id,
+                        payload["num_parts"])
+        state = yield from self._kv(ctx, lambda: pool.part_state(idx))
+        if not state.exists or state.aborted or state.done:
+            return {"part_done": False, "status": "stood-down",
+                    "finished": False}
+        offset = idx * payload["part_size"]
+        length = min(payload["part_size"], payload["size"] - offset)
+        live_key = (task_id, idx, seq)
+        body = ctx.spawn(
+            self._part_attempt(ctx, payload, pool, idx, offset, length),
+            name=f"hedge-clone:{task_id}:{idx}:{seq}")
+        self._hedge_live[live_key] = body
+        try:
+            try:
+                status = yield body
+            except Interrupt as intr:
+                if intr.cause not in ("hedge-lost", "hedge-unwound"):
+                    # A chaos crash or watchdog kill of this clone — not
+                    # a race cancellation — must still fail the function
+                    # so the platform's own retry machinery sees it.
+                    raise
+                return {"part_done": False, "status": "cancelled",
+                        "finished": False}
+        finally:
+            self._hedge_live.pop(live_key, None)
+            if not body.done:
+                body.interrupt("clone-died")
+        if status != "ok":
+            if isinstance(status, tuple):
+                return {"part_done": False, "status": "quarantined",
+                        "first_quarantine": status[2], "finished": False}
+            return {"part_done": False, "status": status,
+                    "finished": False}
+        outcome = yield from self._kv(ctx, lambda: pool.complete_part(idx))
+        if outcome.first and outcome.finished:
+            # The clone is the exactly-one finisher: the done-set's
+            # first writer observed the finished transition.
+            yield from self._try_finalize(ctx, payload)
+        return {"part_done": outcome.first, "status": "ok",
+                "finished": outcome.finished}
 
     #: A finalizer that crashed mid-finalization loses its claim after
     #: this long; a recovering worker then takes over.
@@ -1332,15 +1810,37 @@ class ReplicationEngine:
             if not missing:
                 yield from self._recover_finalization(ctx, task)
                 return
-        for idx in missing:
-            won = yield from self._kv(ctx, lambda i=idx: pool.try_reclaim(
-                i, self._worker_identity(task), ctx.now))
-            if not won:
-                continue
-            self.stats["recovered_parts"] = self.stats.get("recovered_parts", 0) + 1
-            done = yield from self._replicate_part(ctx, task, pool,
-                                                   worker_key, start, idx)
-            if done or done is None:
+        reclaim_lease_s = 60.0
+        while True:
+            stalled = False
+            for idx in missing:
+                won = yield from self._kv(ctx, lambda i=idx: pool.try_reclaim(
+                    i, self._worker_identity(task), ctx.now,
+                    lease_s=reclaim_lease_s))
+                if not won:
+                    # Another recoverer holds a live reclaim lease on
+                    # this part — possibly this janitor's own crashed
+                    # predecessor, now that same-owner rewins require
+                    # lease expiry too.  Note the stall and retry once
+                    # the incumbent's lease can have expired, instead
+                    # of abandoning the task to a dead owner.
+                    stalled = True
+                    continue
+                self.stats["recovered_parts"] = (
+                    self.stats.get("recovered_parts", 0) + 1)
+                done = yield from self._replicate_part(ctx, task, pool,
+                                                       worker_key, start, idx)
+                if done or done is None:
+                    return
+            if not stalled:
+                return
+            yield ctx.sleep(reclaim_lease_s + 1.0)
+            aborted = yield from self._kv(ctx, pool.is_aborted)
+            if aborted:
+                return
+            missing = yield from self._kv(ctx, pool.missing_parts)
+            if not missing:
+                yield from self._recover_finalization(ctx, task)
                 return
 
     def _recover_finalization(self, ctx, task):
@@ -1354,8 +1854,16 @@ class ReplicationEngine:
         fin = yield from self._kv(
             ctx, lambda: self._state_table(ctx.region.key).get_item(
                 f"finalize:{task['task_id']}"))
-        if fin is not None and ctx.now - fin["at"] <= self.finalize_lease_s:
-            return  # a live finalizer owns it
+        if (fin is not None
+                and fin.get("owner") != self._worker_identity(task)
+                and ctx.now - fin["at"] <= self.finalize_lease_s):
+            # A live finalizer owns it — but only a *different* one.
+            # ``_claim_lease`` is reentrant per owner precisely so a
+            # platform-retried finalizer resumes its own crashed
+            # finalize; standing down on our own lease would strand the
+            # task (the crashed incarnation never comes back, and this
+            # retry is the only survivor that will ever look).
+            return
         if fin is not None:
             self.stats["recovered_finalize"] = (
                 self.stats.get("recovered_finalize", 0) + 1)
@@ -1432,8 +1940,13 @@ class ReplicationEngine:
                               etag=task["etag"], fence=task.get("fence"),
                               op="put",
                               verified=self.config.verify_after_finalize)
-        yield from self._mark_done(ctx, task["key"], task["etag"],
-                                   task["seq"], ctx.now)
+        superseded = yield from self._mark_done(ctx, task["key"],
+                                                task["etag"], task["seq"],
+                                                ctx.now)
+        if superseded is not None:
+            yield from self._reconverge_after_superseded(
+                ctx, task["task_id"], task["key"],
+                task["etag"] if own_write else None)
         plan = None
         if "plan_n" in task:
             plan = Plan(

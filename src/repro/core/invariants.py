@@ -35,7 +35,12 @@ the spans and events a :class:`~repro.core.tracing.Tracer` recorded:
   marked done;
 * **cost-gap / cost-orphan** — the charges mirrored through the
   tracer's cost sink must sum to the ledger's growth since install,
-  and task-attributed charges must reference tasks the trace knows.
+  and task-attributed charges must reference tasks the trace knows;
+* **hedge discipline** — every speculative hedge fired
+  (``hedge-start``) must resolve exactly once with a legal outcome
+  (``won`` / ``lost`` / ``cancelled``), and no part may admit two
+  first writers to its done-set (the double-finalize hazard a hedged
+  race must exclude).
 
 A clean report turns every chaos/outage scenario into a *checked
 execution*: the oracle is the property, not a per-scenario assert.
@@ -66,6 +71,8 @@ class TraceFinding:
     kind: str   # clock | lifecycle | unfenced-visible | superseded-fence
                 # | lock-order | park-leak | done-mismatch | cost-gap
                 # | cost-orphan | unverified-finalize | silent-corruption
+                # | hedge-unresolved | hedge-double-resolve
+                # | hedge-outcome | double-finalize
     subject: str   # task id, object key, or backlog id
     detail: str
 
@@ -121,6 +128,7 @@ class TraceChecker:
         self._check_done_markers(tr, report)
         self._check_integrity(tr, report)
         self._check_costs(tr, report)
+        self._check_hedges(tr, report)
         return report
 
     # -- 1. clock sanity ---------------------------------------------------
@@ -393,6 +401,66 @@ class TraceChecker:
                 "silent-corruption", task,
                 f"corruption detected at t={t_corrupt:.3f} was neither "
                 f"re-verified by a later finalize nor surfaced"))
+
+    # -- speculative-hedging discipline ------------------------------------
+
+    def _check_hedges(self, tr: Tracer, report: TraceReport) -> None:
+        """Every hedge resolves exactly once; no part double-finalizes.
+
+        A ``hedge-start`` (task, part, seq) with no matching
+        ``hedge-resolved`` is a leaked race (a clone nobody ever
+        settled); more than one resolution means two coordination paths
+        both claimed the hedge; an outcome outside
+        {won, lost, cancelled} is a protocol bug.  Independently, the
+        part pool's done-set must admit at most one ``first=True``
+        completion per (task, part) — two first writers would mean two
+        contenders both believed their bytes won, the exact
+        double-finalize hazard first-writer-wins exists to exclude.
+        """
+        started: dict[tuple, float] = {}
+        resolved: dict[tuple, int] = {}
+        first_writers: dict[tuple, int] = {}
+        for e in tr.events:
+            if e.cat == "engine" and e.name == "hedge-start":
+                started[(e.task, e.attrs["part"], e.attrs["seq"])] = e.time
+            elif e.cat == "engine" and e.name == "hedge-resolved":
+                ref = (e.task, e.attrs["part"], e.attrs["seq"])
+                resolved[ref] = resolved.get(ref, 0) + 1
+                outcome = e.attrs.get("outcome")
+                if outcome not in ("won", "lost", "cancelled"):
+                    report.findings.append(TraceFinding(
+                        "hedge-outcome", str(e.task),
+                        f"hedge of part {ref[1]} seq {ref[2]} resolved "
+                        f"with invalid outcome {outcome!r}"))
+                if ref not in started:
+                    report.findings.append(TraceFinding(
+                        "hedge-unresolved", str(e.task),
+                        f"hedge of part {ref[1]} seq {ref[2]} resolved "
+                        f"but never started"))
+            elif (e.cat == "pool" and e.name == "part-complete"
+                    and e.attrs.get("first") and e.task is not None):
+                ref = (e.task, e.attrs["idx"])
+                first_writers[ref] = first_writers.get(ref, 0) + 1
+        report.checked["hedges"] = len(started)
+        for ref, t in sorted(started.items(), key=lambda kv: str(kv[0])):
+            n = resolved.get(ref, 0)
+            if n == 0:
+                report.findings.append(TraceFinding(
+                    "hedge-unresolved", str(ref[0]),
+                    f"hedge of part {ref[1]} seq {ref[2]} fired at "
+                    f"t={t:.3f} but never resolved"))
+            elif n > 1:
+                report.findings.append(TraceFinding(
+                    "hedge-double-resolve", str(ref[0]),
+                    f"hedge of part {ref[1]} seq {ref[2]} resolved "
+                    f"{n} times"))
+        for (task, idx), n in sorted(first_writers.items(),
+                                     key=lambda kv: str(kv[0])):
+            if n > 1:
+                report.findings.append(TraceFinding(
+                    "double-finalize", str(task),
+                    f"part {idx} admitted {n} first writers to the "
+                    f"done-set"))
 
     # -- attributed cost completeness --------------------------------------
 

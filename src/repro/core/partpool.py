@@ -16,9 +16,30 @@ invocation time with no shared state.
 
 from __future__ import annotations
 
+from typing import NamedTuple
+
 from repro.simcloud.kvstore import KvTable
 
-__all__ = ["PartPool", "FairAssignment"]
+__all__ = ["PartPool", "PartCompletion", "PartState", "FairAssignment"]
+
+
+class PartCompletion(NamedTuple):
+    """Outcome of one :meth:`PartPool.complete_part` call."""
+
+    #: True for the writer whose completion entered the done-set —
+    #: the first-writer-wins signal a hedged race settles on.
+    first: bool
+    #: True for the exactly-one caller that observed the transition to
+    #: fully-complete (that caller finalizes the task).
+    finished: bool
+
+
+class PartState(NamedTuple):
+    """Snapshot of one part for a clone's stand-down check."""
+
+    exists: bool
+    aborted: bool
+    done: bool
 
 
 class PartPool:
@@ -65,7 +86,16 @@ class PartPool:
         or a platform-retried function redoing its parts — counts once.
         Exactly one call observes the transition to fully-complete.
         """
-        state = {"finished": False}
+        outcome = yield from self.complete_part(part_index)
+        return outcome.finished
+
+    def complete_part(self, part_index: int):
+        """Process: like :meth:`complete`, but returns the full
+        :class:`PartCompletion` — ``first`` tells a hedged contender
+        whether *its* bytes entered the done-set (first-writer-wins)
+        or a rival already completed the part.  Same single KV update.
+        """
+        state = {"finished": False, "first": False}
 
         def mark(item):
             done = item.setdefault("done_parts", [])
@@ -74,6 +104,7 @@ class PartPool:
                 return item
             done.append(part_index)
             item["completed"] += 1
+            state["first"] = True
             state["finished"] = item["completed"] == self.num_parts
             return item
 
@@ -81,28 +112,38 @@ class PartPool:
         if self.table.tracer is not None:
             self.table.tracer.event("part-complete", "pool", self.task_id,
                                     idx=part_index,
+                                    first=state["first"],
                                     finished=state["finished"])
-        return state["finished"]
+        return PartCompletion(state["first"], state["finished"])
 
     def mark_quarantined(self, part_index: int):
-        """Process: record that ``part_index`` was poison-quarantined.
+        """Process: record that ``part_index`` was poison-quarantined;
+        True only for the first marker of this part.
 
         The part stays *missing* — a later redrive (after the fault
         clears) re-claims and completes it — but the durable record
         lets operators and the corruption drill see which parts burned
         their retransfer budget, and janitor workers deprioritize them.
+        The first-marker return makes quarantine accounting idempotent
+        per (task, part): when a hedged clone and its original both
+        burn the budget on the same poisoned range, exactly one caller
+        counts it (and emits the trace event).
         """
+        state = {"first": False}
+
         def mark(item):
             item = item or {}
             quarantined = item.setdefault("quarantined_parts", [])
             if part_index not in quarantined:
                 quarantined.append(part_index)
+                state["first"] = True
             return item
 
         yield self.table.update_item(self._key, mark)
-        if self.table.tracer is not None:
+        if state["first"] and self.table.tracer is not None:
             self.table.tracer.event("part-quarantine", "pool", self.task_id,
                                     idx=part_index)
+        return state["first"]
 
     def quarantined_parts(self):
         """Process: part indices recorded as poison-quarantined."""
@@ -121,15 +162,26 @@ class PartPool:
 
         A crashed replicator's claimed-but-never-completed part is
         recovered by whichever surviving replicator wins this leased
-        conditional write.  Re-entrant per ``owner`` (a retried
-        recoverer resumes its own reclaim) and expirable (a recoverer
-        that crashed mid-part is itself superseded).
+        conditional write; a recoverer that crashed mid-part is itself
+        superseded once its lease expires.
+
+        A same-owner rewin is only granted under the same expiry rule.
+        The earlier unconditional ``owner == incumbent`` re-entrancy
+        clause let a *superseded* former owner — one whose lease had
+        expired and whose part another recoverer already took over —
+        silently "win" the reclaim back, refreshing ``at`` and racing
+        two live writers on one part.  Re-entrancy was only ever needed
+        for a retried recoverer resuming work it still holds, and that
+        caller's own lease record has expired by the time the platform
+        retries it (retry backoff starts at 1 s only for transient
+        faults; a crashed recoverer's record ages past ``lease_s``
+        before the pool drains again), so expiry alone covers it
+        without the rewin hole.
         """
         state = {"won": False}
 
         def attempt(item):
-            if (item is None or item.get("owner") == owner
-                    or now - item["at"] > lease_s):
+            if item is None or now - item["at"] > lease_s:
                 state["won"] = True
                 return {"owner": owner, "at": now}
             return item
@@ -137,6 +189,21 @@ class PartPool:
         yield self.table.update_item(f"reclaim:{self.task_id}:{part_index}",
                                      attempt)
         return state["won"]
+
+    def part_state(self, part_index: int):
+        """Process: one-read (exists, aborted, done) snapshot of a part.
+
+        The hedge clone's stand-down check: a clone invoked for a part
+        that has since completed (or a task that aborted, or a pool
+        record already cleaned up) must do nothing — one GET instead of
+        the two reads ``is_aborted`` + ``missing_parts`` would cost.
+        """
+        item = yield self.table.get_item(self._key)
+        if item is None:
+            return PartState(exists=False, aborted=False, done=False)
+        return PartState(exists=True,
+                         aborted=bool(item.get("aborted")),
+                         done=part_index in item.get("done_parts", []))
 
     def abort(self):
         """Process: mark the task aborted (optimistic-validation failure).

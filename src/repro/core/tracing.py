@@ -30,6 +30,10 @@ Beyond the phase letters, the engine emits a ``verify`` span (cat
 machinery emits ``chaos-corrupt`` (an injected fault),
 ``corrupt-detected``, and ``quarantine`` events — the records the
 TraceChecker's integrity invariants and the corruption drill audit.
+The hedging layer adds ``hedge-start`` / ``hedge-resolved`` events and
+a ``hedge`` span per fired clone (outcome ``won`` / ``lost`` /
+``cancelled``), which the TraceChecker's hedge-discipline invariants
+require to pair exactly one-to-one.
 
 Offline consumers:
 

@@ -26,6 +26,11 @@ class CostCategory:
     STORAGE_CAPACITY = "storage_capacity"
     RTC_FEE = "rtc_fee"
     WORKFLOW = "workflow"
+    #: Speculative-hedging clone invocations (the engine's tail-latency
+    #: cloning).  Tracked as its own line — separate from the clone's
+    #: ordinary FAAS_* / EGRESS metering — so the delay/cost frontier
+    #: of hedging versus plain retries is readable off the ledger.
+    HEDGE_CLONES = "hedge_clones"
 
     ALL = (
         FAAS_COMPUTE,
@@ -37,6 +42,7 @@ class CostCategory:
         STORAGE_CAPACITY,
         RTC_FEE,
         WORKFLOW,
+        HEDGE_CLONES,
     )
 
 

@@ -161,15 +161,24 @@ class _Instance:
 class Invocation(Future):
     """Handle for one logical invocation (spanning auto-retries)."""
 
-    __slots__ = ("name", "payload", "attempts", "enqueued_at", "started_at")
+    __slots__ = ("name", "payload", "attempts", "enqueued_at", "started_at",
+                 "fresh_instance")
 
-    def __init__(self, sim: Simulator, name: str, payload: Any):
+    def __init__(self, sim: Simulator, name: str, payload: Any,
+                 fresh_instance: bool = False):
         super().__init__(sim)
         self.name = name
         self.payload = payload
         self.attempts = 0
         self.enqueued_at = sim.now
         self.started_at: Optional[float] = None
+        #: Bypass the warm pool: every attempt cold-starts a brand-new
+        #: instance (and therefore draws a fresh per-instance network
+        #: speed factor).  The hedging engine sets this on clone
+        #: invocations — re-landing a straggler's clone on a warm
+        #: instance whose persistent factor is also slow would defeat
+        #: the independent redraw the hedge exists to buy.
+        self.fresh_instance = fresh_instance
 
 
 @dataclass
@@ -329,7 +338,8 @@ class FaasRegion:
     # -- invocation ----------------------------------------------------------
 
     def invoke(self, name: str, payload: Any,
-               caller_region: Region | None = None) -> tuple[Future, Invocation]:
+               caller_region: Region | None = None,
+               fresh_instance: bool = False) -> tuple[Future, Invocation]:
         """Asynchronously invoke ``name``.
 
         Returns ``(accepted, invocation)``: ``accepted`` resolves after
@@ -337,13 +347,16 @@ class FaasRegion:
         when the caller runs on a different cloud); ``invocation``
         resolves with the handler's return value once the function —
         including platform auto-retries — finishes.
+        ``fresh_instance`` forces every attempt onto a cold-started
+        instance (see :class:`Invocation`).
         """
         if name not in self._deployments:
             raise KeyError(f"function {name!r} not deployed in {self.region.key}")
         latency = self._sample(self.profile.invoke_latency_s[self.provider])
         if caller_region is not None and caller_region.provider != self.provider:
             latency += float(self.profile.cross_provider_invoke_s.sample(self._rng))
-        invocation = Invocation(self.sim, name, payload)
+        invocation = Invocation(self.sim, name, payload,
+                                fresh_instance=fresh_instance)
         accepted = Future(self.sim)
         requested_at = self.sim.now
 
@@ -402,10 +415,17 @@ class FaasRegion:
             return 0.0
         return period - math.fmod(self.sim.now, period)
 
-    def _acquire_instance(self, dep: _Deployment, task: Optional[str] = None):
-        """Process: obtain a warm or cold instance; returns (_Instance, cold)."""
+    def _acquire_instance(self, dep: _Deployment, task: Optional[str] = None,
+                          fresh: bool = False):
+        """Process: obtain a warm or cold instance; returns (_Instance, cold).
+
+        ``fresh`` skips the warm pool entirely: the caller wants a
+        brand-new instance (and the fresh per-instance channel factor a
+        cold start draws), not whatever persistent factor a warm
+        instance happens to carry.
+        """
         now = self.sim.now
-        while dep.warm_pool:
+        while not fresh and dep.warm_pool:
             inst: _Instance = dep.warm_pool.popleft()
             if now - inst.last_used <= self.profile.keepalive_s:
                 yield SleepRequest(
@@ -478,7 +498,8 @@ class FaasRegion:
             # Inlined (yield from) rather than spawned: acquisition is
             # strictly sequential within the attempt, so a child process
             # only added a spawn event plus a join per invocation.
-            inst, cold = yield from self._acquire_instance(dep, task)
+            inst, cold = yield from self._acquire_instance(
+                dep, task, fresh=invocation.fresh_instance)
             dep.stats["cold_starts" if cold else "warm_starts"] += 1
             if invocation.started_at is None:
                 invocation.started_at = self.sim.now
@@ -896,12 +917,16 @@ class FunctionContext:
 
     # -- invoking other functions ---------------------------------------------------
 
-    def invoke(self, target: FaasRegion, name: str, payload: Any):
+    def invoke(self, target: FaasRegion, name: str, payload: Any,
+               fresh_instance: bool = False):
         """Asynchronously invoke a function (possibly on another cloud).
 
         Generator; returns the :class:`Invocation` handle after the
-        caller-side API latency elapses.
+        caller-side API latency elapses.  ``fresh_instance`` forces the
+        callee onto a cold-started instance (hedged clones must draw a
+        new per-instance speed factor, not re-land on a warm slow one).
         """
-        accepted, _ = target.invoke(name, payload, caller_region=self.region)
+        accepted, _ = target.invoke(name, payload, caller_region=self.region,
+                                    fresh_instance=fresh_instance)
         invocation = yield accepted
         return invocation

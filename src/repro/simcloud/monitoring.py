@@ -63,6 +63,25 @@ class TimeSeries:
         window = self.values[lo:hi]
         return max(window) if window else math.nan
 
+    def window(self, start: float,
+               end: float | None = None) -> tuple[list[float], list[float]]:
+        """The (times, values) samples in ``[start, end]`` (``end``
+        defaults to the newest sample).  O(log n) slicing — the hedge
+        monitor reads its trailing completion window through this on
+        every deadline computation."""
+        lo = bisect.bisect_left(self.times, start)
+        hi = len(self.times) if end is None else bisect.bisect_right(
+            self.times, end)
+        return self.times[lo:hi], self.values[lo:hi]
+
+    def discard_before(self, cutoff: float) -> None:
+        """Drop samples older than ``cutoff`` (bounded-memory trailing
+        windows: a busy-hour replay records one sample per part)."""
+        lo = bisect.bisect_left(self.times, cutoff)
+        if lo:
+            del self.times[:lo]
+            del self.values[:lo]
+
     def strip(self, width: int = 60) -> str:
         """Render as a one-line sparkline."""
         return series_strip(self.values, width=width, title=self.name)

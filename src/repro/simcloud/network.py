@@ -172,7 +172,10 @@ class InstanceChannel:
     Holds the instance's persistent speed factor and an AR(1) drift
     state so that consecutive transfers by the same instance are
     correlated (an instance that is slow now tends to stay slow), which
-    is what makes straggler mitigation worthwhile.
+    is what makes straggler mitigation worthwhile: the engine's hedged
+    clones force a cold start (``fresh_instance``) precisely to draw an
+    independent :attr:`base_factor` instead of inheriting a warm
+    instance's persistent one.
     """
 
     def __init__(self, provider: str, profile: NetworkProfile, rng: np.random.Generator):

@@ -32,6 +32,7 @@ EXPECTED_KEYS = frozenset({
     "recovered_parts", "recovered_finalize",
     "corrupt_detected", "retransfers", "quarantined",
     "finalize_verify_failed",
+    "hedges", "hedge_wins", "hedge_losses", "hedge_cancelled",
 })
 
 _KEY_RE = re.compile(r"""stats(?:\.get\(|\[)\s*["']([a-z_]+)["']""")
