@@ -4,7 +4,7 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test trace-tests chaos-tests scrub-tests hedge-tests corruption-drill hedge-drill perf bench-smoke coverage
+.PHONY: test trace-tests chaos-tests scrub-tests hedge-tests lifecycle-tests corruption-drill hedge-drill lifecycle-drill drill-all perf bench-smoke coverage
 
 ## tier-1: the full default suite (perf benchmarks excluded via addopts)
 test:
@@ -35,6 +35,24 @@ corruption-drill:
 ## every hedge resolved, trace oracle + audit clean (machine-readable)
 hedge-drill:
 	$(PY) -m repro.cli hedge-drill --seed 0 --json
+
+## just the planned-operations (evacuation / rolling restart / switchover)
+## suites
+lifecycle-tests:
+	$(PY) -m pytest -q -m lifecycle
+
+## planned-disruption drills: region evacuation, rolling engine restart,
+## and orchestration switchover under live load, proved safe by the
+## trace oracle, audit, and deep scrub (machine-readable)
+lifecycle-drill:
+	$(PY) -m repro.cli lifecycle-drill --scenario evacuate --seed 0 --json
+	$(PY) -m repro.cli lifecycle-drill --scenario rolling --seed 0 --json
+	$(PY) -m repro.cli lifecycle-drill --scenario switchover --seed 0 --json
+
+## every drill the CLI ships, one seed, one shared report schema;
+## exits non-zero if any drill reports pass=false
+drill-all:
+	$(PY) -m repro.cli drill-all --seed 0
 
 ## wall-clock benchmarks (compare against BENCH_PR1.json with bench-perf)
 perf:

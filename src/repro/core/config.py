@@ -140,6 +140,11 @@ class ReplicaConfig:
     #: deadline is derived at all (fewer samples -> "never hedge").
     hedge_window_s: float = 300.0
     hedge_min_samples: int = 8
+    #: Planned-operations graceful-drain bound (core/lifecycle.py): how
+    #: long an evacuation or switchover waits for in-flight functions
+    #: at the cordoned region to finish before moving on (the remainder
+    #: is parked and migrated through the backlog, never dropped).
+    drain_deadline_s: float = 180.0
 
     def __post_init__(self) -> None:
         if self.slo_seconds < 0:
@@ -166,6 +171,8 @@ class ReplicaConfig:
             raise ValueError("hedge_window_s must be positive")
         if self.hedge_min_samples < 1:
             raise ValueError("hedge_min_samples must be >= 1")
+        if self.drain_deadline_s <= 0:
+            raise ValueError("drain_deadline_s must be positive")
 
     @property
     def slo_enabled(self) -> bool:

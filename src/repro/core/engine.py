@@ -147,6 +147,12 @@ class ReplicationEngine:
             "finalize_verify_failed": 0,
             "hedges": 0, "hedge_wins": 0, "hedge_losses": 0,
             "hedge_cancelled": 0,
+            # Planned-operations lifecycle counters (core/lifecycle.py):
+            # cordons applied, in-flight parts gracefully drained during
+            # an evacuation, tasks migrated to the surviving platform,
+            # control-plane checkpoints written, switchovers performed.
+            "cordons": 0, "drained_parts": 0, "migrated_tasks": 0,
+            "checkpoints": 0, "switchovers": 0,
         }
         # -- speculative hedging state (tail-latency straggler cloning) ----
         #: Trailing per-part completion durations in seconds — the
@@ -191,7 +197,17 @@ class ReplicationEngine:
         #: ``backlog:`` so an operator can reconstruct it after a
         #: process loss — the anti-entropy scanner backstops the rest.
         self._backlog: deque[tuple[int, dict]] = deque()
-        self._backlog_seq = itertools.count(1)
+        #: Next backlog id — a plain integer (not itertools.count) so a
+        #: control-plane checkpoint can record it and a rebuilt engine
+        #: can resume the id space without collisions.
+        self._backlog_next = 1
+        #: Backlog ids already re-dispatched; a post-restart restore
+        #: must not resurrect an entry whose drain raced the teardown
+        #: (the trace oracle counts a double drain as a leak).
+        self._drained_ids: set[int] = set()
+        #: High-water mark of the parked backlog (evacuation/outage
+        #: progress observability — surfaced by service.summary()).
+        self.backlog_peak = 0
         #: Simulated time the backlog last fully drained (None until the
         #: first drain) — the outage drill's recovery-time statistic.
         self.backlog_drained_at: Optional[float] = None
@@ -510,6 +526,14 @@ class ReplicationEngine:
             return
         if route != self.src_bucket.region.key:
             self.stats["failover"] += 1
+        if self.tracer is not None:
+            # Admission witness for the cordon invariant: the oracle
+            # checks no dispatch lands in an administratively cordoned
+            # FaaS region (I-spans cannot serve — invoke_and_forget
+            # emits none, and in-flight orchestrators legitimately
+            # invoke workers at cordoned regions).
+            self.tracer.event("dispatch", "engine", payload.get("task"),
+                              rule=self.rule_id, region=route)
         self._faas_at(route).invoke_and_forget(self._orch_name, payload)
 
     def redrive_event(self, payload: dict) -> None:
@@ -523,12 +547,14 @@ class ReplicationEngine:
     def _park(self, payload: dict) -> None:
         """Queue a task no route can serve; drained on recovery."""
         self.stats["parked"] += 1
-        backlog_id = next(self._backlog_seq)
+        backlog_id = self._backlog_next
+        self._backlog_next += 1
         if self.tracer is not None:
             self.tracer.event("park", "engine", payload.get("task"),
                               rule=self.rule_id, backlog_id=backlog_id,
                               key=payload.get("key"))
         self._backlog.append((backlog_id, payload))
+        self.backlog_peak = max(self.backlog_peak, len(self._backlog))
         self._persist_parked(backlog_id, payload)
 
     def _persist_parked(self, backlog_id: int, payload: dict) -> None:
@@ -570,6 +596,10 @@ class ReplicationEngine:
             self._probe_backlog()
         elif state == BreakerState.CLOSED:
             self._maybe_drain()
+        elif state == BreakerState.UNCORDONED:
+            # A lifted cordon re-opens admission: work parked while the
+            # region was administratively dark drains immediately.
+            self._maybe_drain()
 
     def _probe_backlog(self) -> None:
         """Half-open probe: re-dispatch a *copy* of the oldest parked
@@ -588,7 +618,8 @@ class ReplicationEngine:
         _bid, payload = self._backlog[0]
         if self.tracer is not None:
             self.tracer.event("probe", "engine", payload.get("task"),
-                              rule=self.rule_id, backlog_id=_bid)
+                              rule=self.rule_id, backlog_id=_bid,
+                              region=route)
         self._faas_at(route).invoke_and_forget(self._orch_name, dict(payload))
 
     def _maybe_drain(self) -> None:
@@ -621,11 +652,13 @@ class ReplicationEngine:
                                for _bid, payload in batch]
                 for backlog_id, _payload in batch:
                     self.stats["drained"] += 1
+                    self._drained_ids.add(backlog_id)
                     if self.tracer is not None:
                         self.tracer.event("drain", "engine",
                                           _payload.get("task"),
                                           rule=self.rule_id,
-                                          backlog_id=backlog_id)
+                                          backlog_id=backlog_id,
+                                          region=route)
                     self._unpersist_parked(backlog_id)
                 # Await sequentially with individual guards: a single
                 # dead-lettered invocation (fails its Future) must not
@@ -644,6 +677,159 @@ class ReplicationEngine:
         # in case the flap already resolved.
         if self._backlog:
             self._maybe_drain()
+
+    # -- planned-operations control plane (core/lifecycle.py) ---------------------
+
+    #: KV key the control-plane checkpoint lives under (in the rule's
+    #: lock table, beside the locks/done markers it describes).
+    _CHECKPOINT_KEY = "lifecycle:checkpoint"
+
+    def detach(self) -> None:
+        """Disconnect this engine from shared infrastructure before a
+        replacement engine takes over (rolling restart).
+
+        Health transitions must stop reaching the old instance — two
+        engines draining one logical backlog would double-dispatch —
+        and the old in-memory backlog is surrendered: the durable
+        ``backlog:`` mirror plus the checkpoint are the hand-off.
+        In-flight functions keep running (serverless semantics: the
+        platform owns them, not the engine object).
+        """
+        if self.health is not None:
+            self.health.unsubscribe(self._on_health_transition)
+        self._backlog.clear()
+
+    def adopt_counters(self, old: "ReplicationEngine") -> None:
+        """Carry monotonic operational state from a torn-down engine.
+
+        The stats dict is shared *by reference* so counters stay
+        monotonic across a restart (the drills assert deltas over the
+        whole run), the backlog id space continues where the old engine
+        left it (a restored entry must never collide with a fresh
+        park), and already-drained ids stay excluded from restore.
+        """
+        self.stats = old.stats
+        self.worker_parts = old.worker_parts
+        self.worker_spans = old.worker_spans
+        self._hedge_samples = old._hedge_samples
+        self._hedge_seq = old._hedge_seq
+        self._hedge_live = old._hedge_live
+        self._backlog_next = old._backlog_next
+        self._drained_ids = set(old._drained_ids)
+        self.backlog_peak = old.backlog_peak
+        self.backlog_drained_at = old.backlog_drained_at
+        self.forced_plan = old.forced_plan
+
+    def checkpoint_control_plane(self):
+        """Process: persist restartable control-plane state to KV.
+
+        The record carries the backlog id high-water mark, the parked
+        entries themselves (the KV API has no scan, so the checkpoint
+        must be self-contained), the drained-id set, and a stats
+        snapshot for operator forensics.  Locks, done markers, part
+        pools, and the ``backlog:`` mirror are *already* durable in the
+        same table — the checkpoint only captures what lived purely in
+        process memory.
+        """
+        record = {
+            "at": self.cloud.sim.now,
+            "rule": self.rule_id,
+            "backlog_next": self._backlog_next,
+            "backlog": [[bid, dict(payload)]
+                        for bid, payload in self._backlog],
+            "drained_ids": sorted(self._drained_ids),
+        }
+        yield self._lock_table.put_item(self._CHECKPOINT_KEY, record)
+        self.stats["checkpoints"] += 1
+        if self.tracer is not None:
+            self.tracer.event("checkpoint", "lifecycle", None,
+                              rule=self.rule_id,
+                              backlog=len(record["backlog"]))
+        return record
+
+    def restore_control_plane(self):
+        """Process: rebuild in-memory control-plane state from KV.
+
+        Reads the checkpoint, drops entries the old engine managed to
+        drain between checkpoint and teardown, re-verifies each entry's
+        durable ``backlog:`` mirror (re-writing any the original
+        best-effort mirror lost — the cold-object re-mirror), and
+        merges the survivors into the live backlog.  The deque is
+        mutated only at the end so a mid-restore fault retried by the
+        caller stays idempotent.
+        """
+        record = yield self._lock_table.get_item(self._CHECKPOINT_KEY)
+        if record is None:
+            return {"restored": 0, "remirrored": 0}
+        self._backlog_next = max(self._backlog_next,
+                                 record.get("backlog_next", 1))
+        drained = set(record.get("drained_ids", [])) | self._drained_ids
+        restored: list[tuple[int, dict]] = []
+        remirrored = 0
+        present = {bid for bid, _payload in self._backlog}
+        for bid, payload in record.get("backlog", []):
+            if bid in drained or bid in present:
+                continue
+            mirror_key = f"backlog:{bid:08d}"
+            mirror = yield self._lock_table.get_item(mirror_key)
+            if mirror is None:
+                # The original best-effort mirror write failed (it
+                # raced the outage that parked the task); restore is
+                # the second chance to make the entry durable.
+                yield self._lock_table.put_item(
+                    mirror_key, {"payload": dict(payload),
+                                 "at": self.cloud.sim.now})
+                remirrored += 1
+            restored.append((bid, dict(payload)))
+        if restored:
+            merged = sorted(list(self._backlog) + restored)
+            self._backlog.clear()
+            self._backlog.extend(merged)
+            self.backlog_peak = max(self.backlog_peak, len(self._backlog))
+        self._drained_ids |= drained
+        if self.tracer is not None:
+            self.tracer.event("restore", "lifecycle", None,
+                              rule=self.rule_id, restored=len(restored),
+                              remirrored=remirrored)
+        self._maybe_drain()
+        return {"restored": len(restored), "remirrored": remirrored}
+
+    def reclaim_stranded_locks(self) -> int:
+        """Schedule takeover of lock records that survived quiescence.
+
+        A holder that crashes *after* its destination finalize but
+        *before* UNLOCK leaves the lock record — and any pending
+        version registered on it — stranded: no further event for the
+        key will ever arrive, so the lease-takeover path never runs and
+        the newest version never replicates.  At quiescence every
+        surviving lock record is such a casualty (a live holder would
+        still have simulation events in flight), so re-dispatch one
+        recovery task per record, delayed past lease expiry so the
+        takeover (rather than a deferral) wins.  Returns the number of
+        reclaims scheduled; the caller re-runs the simulation.
+        """
+        sim = self._lock_table.sim
+        now = sim.now
+        n = 0
+        for kv_key, item in self._lock_table.peek_prefix("lock:"):
+            obj_key = kv_key[len("lock:"):]
+            seq = int(item.get("held_seq") or 0)
+            etag = item.get("held_etag") or ""
+            pending_seq = item.get("pending_seq")
+            if pending_seq is not None and int(pending_seq) > seq:
+                seq = int(pending_seq)
+                etag = item.get("pending_etag") or ""
+            payload = {"kind": "created", "key": obj_key, "etag": etag,
+                       "seq": seq, "size": 0, "event_time": now}
+            delay = max(0.0, float(item.get("acquired_at", now))
+                        + self.locks.lease_s - now) + 1.0
+            if self.tracer is not None:
+                self.tracer.event("lock-reclaim", "engine", None,
+                                  rule=self.rule_id, key=obj_key,
+                                  owner=item.get("owner"), seq=seq)
+            sim.call_later(delay, lambda p=payload: self._dispatch_event(p))
+            n += 1
+        return n
 
     # -- entry point (the cloud notification) ------------------------------------
 
@@ -815,6 +1001,19 @@ class ReplicationEngine:
         task["predicted_s"] = plan.predicted_s
         task["predicted_median_s"] = plan.predicted_median_s
         task["started"] = ctx.now
+        if outcome.reentrant:
+            hedged_pool = (self.config.hedging_enabled
+                           and self.config.max_clones_per_part > 0
+                           and task["size"] >= self.config.hedge_min_part_bytes)
+            if (plan.inline or plan.n == 1) and not hedged_pool:
+                # This retry bypasses the part pool — the source shrank
+                # below the part/hedging thresholds since the crashed
+                # attempt planned (or hedging is off).  A pool record
+                # the predecessor persisted, and the multipart upload
+                # it points at, would otherwise leak forever: nothing
+                # downstream ever looks the record up again once the
+                # done marker lands.  Reap it before replicating.
+                yield from self._reap_orphan_pool(ctx, task_id)
         if plan.inline:
             self.stats["inline"] += 1
             if (self.config.hedging_enabled
@@ -929,7 +1128,8 @@ class ReplicationEngine:
         if self.tracer is not None:
             self.tracer.event("finalize", "engine", task_id, key=key,
                               seq=payload["seq"], etag=payload["etag"],
-                              fence=fence, op="delete")
+                              fence=fence, op="delete",
+                              loc=ctx.region.key)
         superseded = yield from self._mark_done(ctx, key, payload["etag"],
                                                 payload["seq"], ctx.now,
                                                 op="delete")
@@ -1181,6 +1381,31 @@ class ReplicationEngine:
             self._abort_upload(upload_id)
             raise
         yield from self._finish_replicated(ctx, task, dst_version)
+
+    def _reap_orphan_pool(self, ctx, task_id: str):
+        """Process: abort a crashed predecessor's pool and its upload.
+
+        A platform-retried orchestrator re-enters its own lock and
+        normally *resumes* the part pool its predecessor persisted
+        (same task id, same upload).  When the retry's fresh plan does
+        not route through the pool, that record is unreachable garbage
+        and its multipart upload bills parts forever.  Mark the pool
+        aborted — straggling workers from the crashed attempt observe
+        the flag and stand down — then abort the upload.
+        """
+        state_table = self._state_table(ctx.region.key)
+        record = yield from self._kv(
+            ctx, lambda: state_table.get_item(f"pool:{task_id}"))
+        if record is None or record.get("aborted"):
+            return
+        pool = PartPool(state_table, task_id, record["num_parts"])
+        yield from self._kv(ctx, pool.abort)
+        upload_id = record.get("task", {}).get("upload_id")
+        if upload_id is not None:
+            # The yield sits outside _abort_upload's guard: an Interrupt
+            # delivered here must kill the function (see _abort_distributed).
+            yield ctx.sleep(0.0)
+            self._abort_upload(upload_id)
 
     # -- distributed replication ----------------------------------------------------------
 
@@ -1938,7 +2163,7 @@ class ReplicationEngine:
             self.tracer.event("finalize", "engine", task["task_id"],
                               key=task["key"], seq=task["seq"],
                               etag=task["etag"], fence=task.get("fence"),
-                              op="put",
+                              op="put", loc=ctx.region.key,
                               verified=self.config.verify_after_finalize)
         superseded = yield from self._mark_done(ctx, task["key"],
                                                 task["etag"], task["seq"],

@@ -21,6 +21,16 @@ Everything is driven off recorded successes/failures — there is no
 background prober; the half-open probe is the engine re-dispatching one
 parked task.  All timestamps come from the injected ``clock`` (the
 simulator), never the wall clock, so a seeded run replays exactly.
+
+Besides the fault-driven breaker states there is one *administrative*
+state: a target may be **cordoned** (``cordon`` / ``uncordon``) by a
+planned operation — a region evacuation or an orchestration
+switchover.  A cordoned target is healthy but closed to new traffic:
+``available()`` is False, the planner treats it as no-route-with-
+intent, and — crucially — the breaker's half-open machinery must not
+re-admit traffic while the cordon holds (cordon wins over cooldown
+expiry).  In-flight work is unaffected; cordoning stops *admission*,
+not execution.
 """
 
 from __future__ import annotations
@@ -46,11 +56,21 @@ class NoRouteAvailable(RuntimeError):
 
 
 class BreakerState:
-    """The three circuit states, as stable string constants."""
+    """The circuit states, as stable string constants.
+
+    ``CORDONED`` is not a breaker transition — it is the administrative
+    overlay :meth:`HealthTracker.cordon` applies on top of whatever the
+    underlying breaker is doing; :meth:`HealthTracker.state` reports it
+    with priority over the breaker's own state.  ``UNCORDONED`` is the
+    notification subscribers receive when the overlay lifts (the
+    effective state reverts to the breaker's).
+    """
 
     CLOSED = "closed"          # healthy: traffic flows, failures counted
     OPEN = "open"              # dark: no traffic routed until cooldown
     HALF_OPEN = "half-open"    # probing: limited traffic decides the verdict
+    CORDONED = "cordoned"      # administratively closed to new admission
+    UNCORDONED = "uncordoned"  # notification only: the cordon lifted
 
 
 @dataclass(frozen=True)
@@ -142,6 +162,10 @@ class HealthTracker:
         self.config = config or BreakerConfig()
         self._breakers: dict[Target, CircuitBreaker] = {}
         self._open_count = 0
+        #: Administrative cordons: target -> sim time the cordon was
+        #: applied.  Orthogonal to the breakers — a target can be
+        #: cordoned while its breaker is in any state.
+        self._cordoned: dict[Target, float] = {}
         self._subscribers: list[Callable[[Target, str], None]] = []
         #: Every state transition as ``(sim_time, target, new_state)`` —
         #: the drill's recovery-time stats and the determinism tests
@@ -193,18 +217,30 @@ class HealthTracker:
 
     @property
     def any_open(self) -> bool:
-        """Cheap hot-path gate: is any circuit currently open?
+        """Cheap hot-path gate: is any circuit open — or cordoned?
 
         The count is maintained on transitions, so the healthy case is
-        one integer compare.  It stays conservatively True between the
-        cooldown expiring and the (scheduled or lazy) half-open
-        transition — callers then take the filtering path, whose
-        per-target :meth:`available` checks apply lazy transitions.
+        one integer compare plus one empty-dict check.  It stays
+        conservatively True between the cooldown expiring and the
+        (scheduled or lazy) half-open transition — callers then take
+        the filtering path, whose per-target :meth:`available` checks
+        apply lazy transitions.  Administrative cordons engage the same
+        filtering path: a cordon is NoRoute-with-intent, so the planner
+        and router must consult :meth:`available` while one exists.
         """
-        return self._open_count > 0
+        return self._open_count > 0 or bool(self._cordoned)
 
     def state(self, target: Target) -> str:
-        """Current state; absent targets are healthy (closed)."""
+        """Current effective state; absent targets are healthy (closed).
+
+        A cordon overrides everything — including the lazy cooldown
+        expiry below, so an OPEN breaker whose cooldown lapses under a
+        cordon does *not* slip into half-open (no probe re-admission
+        while cordoned).  The lazy transition resumes on the first
+        query after :meth:`uncordon`.
+        """
+        if self._cordoned and target in self._cordoned:
+            return BreakerState.CORDONED
         b = self._breakers.get(target)
         if b is None:
             return BreakerState.CLOSED
@@ -216,26 +252,70 @@ class HealthTracker:
         return b.state
 
     def available(self, target: Target) -> bool:
-        """Routable?  Closed and half-open both admit traffic."""
-        return self.state(target) != BreakerState.OPEN
+        """Routable?  Closed and half-open admit traffic; an open
+        circuit or an administrative cordon does not."""
+        return self.state(target) not in (BreakerState.OPEN,
+                                          BreakerState.CORDONED)
 
     def snapshot(self) -> dict[str, dict]:
         """JSON-friendly per-target state (CLI/machine-checkable drills)."""
         out: dict[str, dict] = {}
-        for target in sorted(self._breakers, key=str):
-            b = self._breakers[target]
-            out[":".join(str(part) for part in target)] = {
-                "state": b.state,
-                "ewma_error_rate": round(b.ewma, 4),
-                "consecutive_failures": b.consecutive_failures,
-                "samples": b.samples,
-                "opens": b.opens_total,
+        for target in sorted(set(self._breakers) | set(self._cordoned),
+                             key=str):
+            b = self._breakers.get(target)
+            entry = {
+                "state": b.state if b is not None else BreakerState.CLOSED,
+                "ewma_error_rate": round(b.ewma, 4) if b is not None else 0.0,
+                "consecutive_failures":
+                    b.consecutive_failures if b is not None else 0,
+                "samples": b.samples if b is not None else 0,
+                "opens": b.opens_total if b is not None else 0,
             }
+            if target in self._cordoned:
+                entry["state"] = BreakerState.CORDONED
+                entry["cordoned_at"] = self._cordoned[target]
+            out[":".join(str(part) for part in target)] = entry
         return out
 
     def open_targets(self) -> list[Target]:
         return [t for t, b in self._breakers.items()
                 if b.state == BreakerState.OPEN]
+
+    # -- administrative cordons ------------------------------------------------
+
+    def cordon(self, target: Target) -> bool:
+        """Administratively close ``target`` to new admission.
+
+        Distinct from a chaos-opened breaker: the substrate is healthy
+        and in-flight work keeps running, but the router and planner
+        treat the target as unavailable until :meth:`uncordon`.  Returns
+        False (and does nothing) if already cordoned.  Subscribers are
+        notified with :data:`BreakerState.CORDONED`.
+        """
+        if target in self._cordoned:
+            return False
+        self._cordoned[target] = self._clock()
+        self._notify(target, BreakerState.CORDONED)
+        return True
+
+    def uncordon(self, target: Target) -> bool:
+        """Lift an administrative cordon; False if none was in place.
+
+        Subscribers are notified with :data:`BreakerState.UNCORDONED`
+        (the engine re-admits its backlog off this signal); the
+        effective state reverts to the underlying breaker's.
+        """
+        if target not in self._cordoned:
+            return False
+        del self._cordoned[target]
+        self._notify(target, BreakerState.UNCORDONED)
+        return True
+
+    def is_cordoned(self, target: Target) -> bool:
+        return target in self._cordoned
+
+    def cordoned_targets(self) -> list[Target]:
+        return sorted(self._cordoned, key=str)
 
     # -- subscriptions ---------------------------------------------------------
 
@@ -244,6 +324,15 @@ class HealthTracker:
         in subscription order (determinism matters: the engine drains
         backlogs from these callbacks)."""
         self._subscribers.append(fn)
+
+    def unsubscribe(self, fn: Callable[[Target, str], None]) -> None:
+        """Withdraw a subscriber (idempotent).  A rolling engine restart
+        detaches the torn-down engine here so the replacement — not the
+        husk — reacts to subsequent transitions."""
+        try:
+            self._subscribers.remove(fn)
+        except ValueError:
+            pass
 
     # -- transitions -----------------------------------------------------------
 
@@ -270,7 +359,13 @@ class HealthTracker:
             seq = b.opened_seq
 
             def try_half_open() -> None:
+                # Cordon wins: a cooldown expiring under an
+                # administrative cordon must not re-admit traffic.  The
+                # lazy path in state() resumes recovery after uncordon
+                # (any_open stays True while the breaker is open, so
+                # routing keeps consulting state()).
                 if (b.state == BreakerState.OPEN and b.opened_seq == seq
+                        and target not in self._cordoned
                         and self._clock() >= b.open_until):
                     self._half_open(target, b)
 

@@ -40,7 +40,16 @@ the spans and events a :class:`~repro.core.tracing.Tracer` recorded:
   (``hedge-start``) must resolve exactly once with a legal outcome
   (``won`` / ``lost`` / ``cancelled``), and no part may admit two
   first writers to its done-set (the double-finalize hazard a hedged
-  race must exclude).
+  race must exclude);
+* **switchover discipline** — per task epoch (one lock generation and
+  fence), every finalize must come from a single orchestrator
+  location: a planned switchover hands orchestration over through the
+  fencing tokens, and two locations finalizing the same epoch would be
+  the split-brain the handoff exists to exclude;
+* **cordon discipline** — no new admission (dispatch, probe, or drain
+  re-dispatch) may route into a FaaS region while an administrative
+  cordon window is open on it (in-flight work finishing there is
+  legitimate; *admitting* more is the violation).
 
 A clean report turns every chaos/outage scenario into a *checked
 execution*: the oracle is the property, not a per-scenario assert.
@@ -73,6 +82,7 @@ class TraceFinding:
                 # | cost-orphan | unverified-finalize | silent-corruption
                 # | hedge-unresolved | hedge-double-resolve
                 # | hedge-outcome | double-finalize
+                # | switchover-discipline | cordon-violation
     subject: str   # task id, object key, or backlog id
     detail: str
 
@@ -129,6 +139,8 @@ class TraceChecker:
         self._check_integrity(tr, report)
         self._check_costs(tr, report)
         self._check_hedges(tr, report)
+        self._check_switchover(tr, report)
+        self._check_cordons(tr, report)
         return report
 
     # -- 1. clock sanity ---------------------------------------------------
@@ -461,6 +473,89 @@ class TraceChecker:
                     "double-finalize", str(task),
                     f"part {idx} admitted {n} first writers to the "
                     f"done-set"))
+
+    # -- planned-operations discipline --------------------------------------
+
+    def _check_switchover(self, tr: Tracer, report: TraceReport) -> None:
+        """Exactly one orchestrator *location* finalizes per task epoch.
+
+        Finalize events carry ``loc`` (the region whose FaaS platform
+        ran the finalizing orchestrator).  A task's finalizes are
+        grouped into epochs keyed by (last own lock-acquire at or
+        before the finalize, fence): fences restart at 1 whenever a
+        release deletes the lock record, so the acquire time — not the
+        bare fence — identifies the lock generation, and a repair task
+        re-acquiring fresh months later is a *new* epoch, not a
+        split-brain.  Within one epoch, two distinct locations both
+        finalizing means the switchover handoff failed to fence off the
+        old orchestrator — the exact hazard the fencing tokens exist to
+        exclude.  Same-location duplicates (a platform-retried
+        finalizer redoing its own idempotent finalize) are benign.
+        """
+        own_acquires: dict[str, list[float]] = {}
+        for e in tr.events:
+            if e.cat == "lock" and e.name == "lock-acquire":
+                own_acquires.setdefault(e.attrs["owner"], []).append(e.time)
+        epochs: dict[tuple, set] = {}
+        for e in tr.events:
+            if e.cat != "engine" or e.name != "finalize":
+                continue
+            loc = e.attrs.get("loc")
+            if loc is None or e.task is None:
+                continue
+            gen = max((t for t in own_acquires.get(e.task, ())
+                       if t <= e.time + _EPS), default=-math.inf)
+            epochs.setdefault(
+                (e.task, gen, e.attrs.get("fence")), set()).add(loc)
+        report.checked["finalize_epochs"] = len(epochs)
+        for (task, gen, fence), locs in sorted(
+                epochs.items(), key=lambda kv: str(kv[0])):
+            if len(locs) > 1:
+                report.findings.append(TraceFinding(
+                    "switchover-discipline", str(task),
+                    f"epoch (acquire t={gen:.3f}, fence {fence}) was "
+                    f"finalized from {len(locs)} locations: "
+                    f"{sorted(locs)}"))
+
+    def _check_cordons(self, tr: Tracer, report: TraceReport) -> None:
+        """No admission into a FaaS region while its cordon is open.
+
+        Builds cordon windows per region from the lifecycle
+        cordon/uncordon events and flags any engine admission —
+        ``dispatch`` (new orchestration), ``probe`` (half-open
+        re-dispatch), or ``drain`` (backlog re-dispatch) — whose
+        ``region`` lands strictly inside a window.  Events *at* the
+        window edges are legal: the uncordon notification triggers the
+        re-admission drain at the uncordon instant itself.
+        """
+        windows: dict[str, list[list[float]]] = {}
+        for e in tr.events:
+            if e.cat != "lifecycle" or e.attrs.get("substrate") != "faas":
+                continue
+            region = e.attrs["region"]
+            if e.name == "cordon":
+                windows.setdefault(region, []).append([e.time, math.inf])
+            elif e.name == "uncordon":
+                open_windows = windows.get(region, ())
+                if open_windows and open_windows[-1][1] == math.inf:
+                    open_windows[-1][1] = e.time
+        report.checked["cordon_windows"] = sum(
+            len(w) for w in windows.values())
+        if not windows:
+            return
+        for e in tr.events:
+            if e.cat != "engine" or e.name not in ("dispatch", "probe",
+                                                   "drain"):
+                continue
+            region = e.attrs.get("region")
+            for start, end in windows.get(region, ()):
+                if start + _EPS < e.time < end - _EPS:
+                    report.findings.append(TraceFinding(
+                        "cordon-violation", e.task or "?",
+                        f"{e.name} admitted into cordoned faas region "
+                        f"{region!r} at t={e.time:.3f} (window "
+                        f"[{start:.3f}, {end:.3f}))"))
+                    break
 
     # -- attributed cost completeness --------------------------------------
 

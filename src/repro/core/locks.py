@@ -45,6 +45,10 @@ class LockOutcome:
     #: Stable across a holder's re-entrant re-acquisitions — a
     #: platform-retried function resumes with its original token.
     fence: int = 0
+    #: True when the acquisition re-entered a record this owner already
+    #: held — the platform-retry signal: a crashed predecessor may have
+    #: left state (a part pool, a multipart upload) behind.
+    reentrant: bool = False
 
 
 @dataclass(frozen=True)
@@ -95,7 +99,8 @@ class ReplicationLockManager:
         pair is recorded as pending iff it is newer than any pending
         version already registered.
         """
-        state = {"registered": False, "acquired": False, "fence": 0}
+        state = {"registered": False, "acquired": False, "fence": 0,
+                 "reentrant": False}
 
         def attempt(item):
             # The clock must be read *inside* the closure: the KV store
@@ -124,6 +129,7 @@ class ReplicationLockManager:
                          else 1)
                 state["acquired"] = True
                 state["fence"] = fence
+                state["reentrant"] = reentrant
                 if self.tracer is not None:
                     self.tracer.event(
                         "lock-acquire", "lock", owner, key=obj_key,
@@ -143,7 +149,7 @@ class ReplicationLockManager:
 
         yield self.table.update_item(self._key(obj_key), attempt)
         return LockOutcome(state["acquired"], state["registered"],
-                           state["fence"])
+                           state["fence"], state["reentrant"])
 
     def verify(self, obj_key: str, owner: str, fence: int):
         """Process: does ``owner`` still hold the lock with ``fence``?

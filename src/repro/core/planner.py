@@ -231,20 +231,30 @@ class StrategyPlanner:
             # recovery needs no invalidation.
             filtered = [c for c in candidates
                         if health.available(("faas", c[1]))]
+            # Distinguish NoRoute-with-intent (an operator cordoned the
+            # location) from NoRoute-by-failure (a breaker opened) in
+            # the trace: the cordon invariant and operators both need
+            # to see *why* a plan degraded.
+            cordoned_drops = sum(
+                1 for c in candidates
+                if not health.available(("faas", c[1]))
+                and health.is_cordoned(("faas", c[1])))
             if not filtered:
                 if self.tracer is not None:
                     self.tracer.event("plan-no-route", "engine", None,
-                                      src=src_key, dst=dst_key)
+                                      src=src_key, dst=dst_key,
+                                      cordoned=cordoned_drops)
                 raise NoRouteAvailable(
                     f"every execution location for {src_key}->{dst_key} "
-                    f"is behind an open circuit")
+                    f"is behind an open circuit or cordon")
             if len(filtered) != len(candidates):
                 self.degraded_plans += 1
                 if self.tracer is not None:
                     self.tracer.event(
                         "plan-degraded", "engine", None, src=src_key,
                         dst=dst_key,
-                        dropped=len(candidates) - len(filtered))
+                        dropped=len(candidates) - len(filtered),
+                        cordoned=cordoned_drops)
             candidates = filtered
         # Replay Algorithm 3 against this call's SLO budget: walk the
         # ladder, keep the global best, stop at the first level whose

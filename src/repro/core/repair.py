@@ -79,6 +79,9 @@ class RepairReport:
     #: Scrub anomalies that vanished on re-read (transient medium
     #: faults, not durable rot) — observed, but not repair findings.
     transient_anomalies: int = 0
+    #: Abandoned destination multipart uploads aborted by the scan
+    #: (the lifecycle-rule cleanup; 0 unless ``reap_uploads=True``).
+    aborted_uploads: int = 0
 
     @property
     def clean(self) -> bool:
@@ -97,6 +100,7 @@ class RepairReport:
             "corrupt": len(self.by_kind("corrupt")),
             "scrubbed": self.scrubbed,
             "transient_anomalies": self.transient_anomalies,
+            "aborted_uploads": self.aborted_uploads,
             "redriven": self.redriven,
             "clean": self.clean,
         }
@@ -104,8 +108,10 @@ class RepairReport:
     def render(self) -> str:
         if self.clean:
             scrub = (f", {self.scrubbed} scrubbed" if self.scrubbed else "")
+            reaped = (f", {self.aborted_uploads} upload(s) reaped"
+                      if self.aborted_uploads else "")
             return (f"repair scan {self.rule_id}: clean "
-                    f"({self.scanned} key(s) examined{scrub})")
+                    f"({self.scanned} key(s) examined{scrub}{reaped})")
         lines = [f"repair scan {self.rule_id}: {len(self.findings)} "
                  f"divergence(s), {self.redriven} re-driven"]
         lines += [f"  {f}" for f in self.findings]
@@ -119,7 +125,8 @@ class AntiEntropyScanner:
         self.service = service
 
     def scan(self, rule: Optional[ReplicationRule] = None,
-             redrive: bool = True, scrub: bool = False) -> RepairReport:
+             redrive: bool = True, scrub: bool = False,
+             reap_uploads: bool = False) -> RepairReport:
         """Scan ``rule`` (or every rule) and return a :class:`RepairReport`.
 
         With ``redrive=True`` each finding is handed back to the
@@ -134,12 +141,31 @@ class AntiEntropyScanner:
         ETag matches the source is additionally re-read byte-for-byte:
         the deep pass that catches silent bit rot hiding behind a
         truthful-looking HEAD (finding kind ``corrupt``).
+
+        With ``reap_uploads=True`` every destination multipart upload
+        still pending at scan time is aborted — the lifecycle-rule
+        cleanup for uploads abandoned by crashed tasks.  Only safe when
+        the system is quiescent (an in-flight task's live upload is
+        indistinguishable from an abandoned one), so it is opt-in.
         """
         rules = [rule] if rule is not None else list(self.service.rules.values())
         report = RepairReport("+".join(r.rule_id for r in rules))
         for r in rules:
             self._scan_rule(r, report, redrive, scrub)
+            if reap_uploads:
+                self._reap_uploads(r, report)
         return report
+
+    def _reap_uploads(self, rule: ReplicationRule, report: RepairReport) -> None:
+        """Abort abandoned destination uploads (metered, like LIST)."""
+        cloud = self.service.cloud
+        dst = rule.dst_bucket
+        price = cloud.prices.store[dst.region.provider]
+        for upload_id in dst.pending_uploads():
+            dst.abort_multipart(upload_id)
+            cloud.ledger.charge(cloud.now, CostCategory.STORAGE_REQUESTS,
+                                price.put, "repair:abort-upload")
+            report.aborted_uploads += 1
 
     # -- metered-operation charging ----------------------------------------
 

@@ -84,11 +84,22 @@ class ConvergenceReport:
     residual_dead_letters: int
     #: Tasks still parked in engine backlogs (0 unless a route is dark).
     parked_backlog: int
+    #: High-water mark of the parked backlog across every rule — how
+    #: deep the outage (or evacuation) got at its worst.
+    backlog_peak: int = 0
+    #: Parked tasks re-dispatched over the run (drain progress).
+    drained: int = 0
+    #: Lock records stranded by a holder that died between finalize and
+    #: UNLOCK, reclaimed (lease takeover) by the convergence loop.
+    reclaimed_locks: int = 0
 
     def render(self) -> str:
         if self.converged:
+            extra = (f", {self.reclaimed_locks} lock(s) reclaimed"
+                     if self.reclaimed_locks else "")
             return (f"converged after {self.rounds} redrive round(s), "
-                    f"{self.redriven} event(s) redriven")
+                    f"{self.redriven} event(s) redriven, backlog peak "
+                    f"{self.backlog_peak}, {self.drained} drained{extra}")
         return (f"NOT converged: {self.residual_dead_letters} dead "
                 f"letter(s), {self.parked_backlog} parked task(s) after "
                 f"{self.rounds} round(s)")
@@ -209,6 +220,39 @@ class AReplicaService:
         )
         return rule
 
+    def rebuild_engine(self, rule_id: str) -> ReplicationEngine:
+        """Tear down a rule's engine and rebuild it in place (rolling
+        restart / upgrade, core/lifecycle.py).
+
+        The old engine is detached (health subscription dropped, its
+        in-memory backlog surrendered to the durable mirror) and a new
+        engine is constructed with identical wiring: ``kv_table`` is
+        cached per (region, name) so the replacement re-attaches to the
+        same lock table, done markers, and ``backlog:`` mirror, and
+        FaaS ``deploy`` overwrites by name so in-flight platform
+        retries and DLQ redrives hit the *new* deployment.  Monotonic
+        counters carry over via :meth:`ReplicationEngine.adopt_counters`.
+        The caller restores control-plane state afterwards by driving
+        ``new_engine.restore_control_plane()``.
+        """
+        rule = self.rules[rule_id]
+        old = rule.engine
+        old.detach()
+        engine = ReplicationEngine(
+            self.cloud, self.config, rule.src_bucket, rule.dst_bucket,
+            self.planner,
+            changelog=rule.changelog if self.config.enable_changelog else None,
+            recorder=_Recorder(self, rule_id), rule_id=rule_id,
+            scheduling=old.scheduling, health=self.health,
+        )
+        engine.adopt_counters(old)
+        if self.tracer is not None:
+            engine.set_tracer(self.tracer)
+        rule.engine = engine
+        if rule.batcher is not None:
+            rule.batcher.flush = engine.handle_event
+        return engine
+
     def _estimate_replication_time(self, rule: ReplicationRule):
         src = rule.src_bucket.region.key
         dst = rule.dst_bucket.region.key
@@ -301,6 +345,15 @@ class AReplicaService:
         """Tasks parked across every rule's outage backlog."""
         return sum(rule.engine.backlog_size() for rule in self.rules.values())
 
+    def backlog_peak(self) -> int:
+        """High-water mark of the parked backlog across every rule."""
+        return sum(rule.engine.backlog_peak for rule in self.rules.values())
+
+    def drained_count(self) -> int:
+        """Parked tasks re-dispatched (drained) across every rule."""
+        return sum(rule.engine.stats.get("drained", 0)
+                   for rule in self.rules.values())
+
     def health_snapshot(self) -> dict:
         """Per-target breaker state, empty when health is disabled."""
         return self.health.snapshot() if self.health is not None else {}
@@ -353,6 +406,8 @@ class AReplicaService:
             "plans_generated": self.planner.plans_generated,
             "degraded_plans": self.planner.degraded_plans,
             "parked_backlog": self.backlog_count(),
+            "parked_backlog_peak": self.backlog_peak(),
+            "drained_tasks": self.drained_count(),
             "plan_cache_hits": self.planner.cache.hits,
             "plan_cache_misses": self.planner.cache.misses,
             "model_corrections": sum(
@@ -393,11 +448,21 @@ class AReplicaService:
         self.cloud.run()
         rounds = 0
         redriven = 0
+        reclaimed = 0
         while rounds < max_redrives:
             n = self.redrive_dead_letters()
+            if n > 0:
+                redriven += n
+            else:
+                # DLQs are empty but a lock record may have survived
+                # quiescence: its holder died between finalize and
+                # UNLOCK, stranding any pending version registered on
+                # it.  Reclaim (lease takeover) and keep draining.
+                n = sum(rule.engine.reclaim_stranded_locks()
+                        for rule in self.rules.values())
+                reclaimed += n
             if n == 0:
                 break
-            redriven += n
             rounds += 1
             self.cloud.run()
         residual = self._dead_letter_count()
@@ -406,4 +471,6 @@ class AReplicaService:
             converged=residual == 0 and parked == 0,
             rounds=rounds, redriven=redriven,
             residual_dead_letters=residual, parked_backlog=parked,
+            backlog_peak=self.backlog_peak(), drained=self.drained_count(),
+            reclaimed_locks=reclaimed,
         )

@@ -41,7 +41,25 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["ChaosConfig", "ChaosDraws"]
+__all__ = ["ChaosConfig", "ChaosDraws", "validate_outage_windows"]
+
+
+def validate_outage_windows(name: str,
+                            windows: tuple[tuple[str, float, float], ...],
+                            ) -> None:
+    """Validate ``(region_key, start_s, duration_s)`` window schedules.
+
+    Shared between :class:`ChaosConfig` (regional outage schedules) and
+    the planned-operations lifecycle layer (maintenance windows use the
+    same shape) so the two kinds of scheduled disruption stay mutually
+    composable: a lifecycle drill can layer its maintenance window over
+    a chaos storm and both validate identically.
+    """
+    for window in windows:
+        region_key, start, duration = window
+        if (not isinstance(region_key, str) or not region_key
+                or start < 0 or duration <= 0):
+            raise ValueError(f"bad {name} window {window!r}")
 
 
 class ChaosDraws:
@@ -190,11 +208,7 @@ class ChaosConfig:
             if start < 0 or duration <= 0:
                 raise ValueError(f"bad blackout window {window!r}")
         for name in ("faas_outages", "kv_outages", "wan_outages"):
-            for window in getattr(self, name):
-                region_key, start, duration = window
-                if (not isinstance(region_key, str) or not region_key
-                        or start < 0 or duration <= 0):
-                    raise ValueError(f"bad {name} window {window!r}")
+            validate_outage_windows(name, getattr(self, name))
 
     # -- which hooks does this config need? -----------------------------
 

@@ -351,5 +351,15 @@ class KvTable:
         item = self._items.get(key)
         return dict(item) if item is not None else None
 
+    def peek_prefix(self, prefix: str) -> list[tuple[str, dict[str, Any]]]:
+        """Zero-cost snapshot of every item whose key starts with ``prefix``.
+
+        Like :meth:`peek`, this models an out-of-band inspection (an
+        operator console, a sweeper reading a table scan) rather than a
+        simulated request: no latency, no chaos, no billing.
+        """
+        return [(key, dict(item)) for key, item in sorted(self._items.items())
+                if key.startswith(prefix)]
+
     def __len__(self) -> int:
         return len(self._items)

@@ -45,7 +45,7 @@ def _fig12_scenario(seed: int):
     )
 
 
-def _fig23_slice(seed: int):
+def _fig23_slice(seed: int, idle_lifecycle_runner: bool = False):
     """A one-minute slice of the Fig 23 busy-hour replay."""
     gen = IbmCosTraceGenerator(seed=seed)
     batches = [b for b in gen.generate_batches(60.0)]
@@ -54,7 +54,10 @@ def _fig23_slice(seed: int):
                                                mc_samples=300))
     src = cloud.bucket("aws:us-east-1", "src")
     dst = cloud.bucket("azure:eastus", "dst")
-    svc.add_rule(src, dst)
+    rule = svc.add_rule(src, dst)
+    if idle_lifecycle_runner:
+        from repro.core.lifecycle import OperationsRunner
+        OperationsRunner(svc, rule.rule_id)  # constructed, never scheduled
     TraceReplayer(cloud, src).replay_all_batches(batches)
     return (
         svc.delays(),
@@ -84,6 +87,17 @@ class TestSeededReproducibility:
     def test_different_seeds_differ(self):
         # Sanity check that the comparisons above can actually fail.
         assert _fig23_slice(seed=7)[0] != _fig23_slice(seed=8)[0]
+
+    def test_idle_lifecycle_runner_is_byte_invisible(self):
+        """Lifecycle off == lifecycle absent.  An OperationsRunner that
+        is constructed but never scheduled must not shift a single RNG
+        draw, event, or ledger entry: runs with and without it are
+        byte-identical across seeds (the planned-operations layer's
+        zero-perturbation guarantee)."""
+        for seed in (0, 1, 2):
+            plain = _fig23_slice(seed=seed)
+            with_runner = _fig23_slice(seed=seed, idle_lifecycle_runner=True)
+            assert plain == with_runner, f"seed {seed} perturbed"
 
 
 def _traced_export(seed: int, path):

@@ -213,6 +213,74 @@ class TestRecovery:
         assert tracker._breakers[FAAS].state == BreakerState.OPEN
 
 
+class TestCordon:
+    """The administrative ``cordoned`` state: intent, not failure."""
+
+    def test_cordon_excludes_and_uncordon_restores(self):
+        _, tracker = make(failure_threshold=2)
+        assert tracker.cordon(FAAS)
+        assert tracker.state(FAAS) == BreakerState.CORDONED
+        assert not tracker.available(FAAS)
+        assert tracker.is_cordoned(FAAS)
+        assert tracker.any_open
+        assert tracker.cordoned_targets() == [FAAS]
+        assert tracker.uncordon(FAAS)
+        assert tracker.state(FAAS) == BreakerState.CLOSED
+        assert tracker.available(FAAS)
+        assert not tracker.any_open
+
+    def test_cordon_is_idempotent(self):
+        _, tracker = make(failure_threshold=2)
+        assert tracker.cordon(FAAS)
+        assert not tracker.cordon(FAAS), "second cordon must report no-op"
+        assert not tracker.uncordon(KV), "uncordon of uncordoned is a no-op"
+
+    def test_cordon_notifies_subscribers(self):
+        _, tracker = make(failure_threshold=2)
+        seen = []
+        tracker.subscribe(lambda t, s: seen.append((t, s)))
+        tracker.cordon(FAAS)
+        tracker.uncordon(FAAS)
+        assert seen == [(FAAS, BreakerState.CORDONED),
+                        (FAAS, BreakerState.UNCORDONED)]
+
+    def test_cordon_wins_over_half_open_probe(self):
+        """Regression: an administrative cordon on a target whose
+        breaker is mid-cooldown must suppress the scheduled half-open
+        probe — maintenance intent outranks the breaker's own recovery
+        — and re-admission must resume once the cordon lifts."""
+        clock = ManualClock()
+        sched = ManualScheduler(clock)
+        _, tracker = make(clock=clock, schedule=sched,
+                          failure_threshold=2, cooldown_s=10.0)
+        tracker.record(FAAS, False)
+        tracker.record(FAAS, False)
+        assert tracker.state(FAAS) == BreakerState.OPEN
+        tracker.cordon(FAAS)
+        clock.advance(10.5)
+        sched.run_due()  # the cooldown timer fires into the cordon
+        assert tracker.state(FAAS) == BreakerState.CORDONED
+        assert not tracker.available(FAAS), \
+            "half-open probe re-admitted traffic through a cordon"
+        # Lifting the cordon resumes the breaker's own recovery: the
+        # cooldown has long elapsed, so the next query walks half-open.
+        tracker.uncordon(FAAS)
+        assert tracker.state(FAAS) == BreakerState.HALF_OPEN
+        assert tracker.available(FAAS)
+        tracker.record(FAAS, True)
+        assert tracker.state(FAAS) == BreakerState.CLOSED
+
+    def test_lazy_half_open_query_respects_cordon(self):
+        clock, tracker = make(failure_threshold=2, cooldown_s=10.0)
+        tracker.record(FAAS, False)
+        tracker.record(FAAS, False)
+        tracker.cordon(FAAS)
+        clock.advance(11.0)
+        # No scheduler here: the lazy query path must also hold the line.
+        assert tracker.state(FAAS) == BreakerState.CORDONED
+        assert not tracker.available(FAAS)
+
+
 class TestObservability:
     def test_transitions_log_records_every_edge(self):
         clock, tracker = make(failure_threshold=2, cooldown_s=10.0)

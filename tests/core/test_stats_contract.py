@@ -15,8 +15,11 @@ import re
 from pathlib import Path
 
 import repro.core.engine as engine_mod
+import repro.core.lifecycle as lifecycle_mod
 
-ENGINE_SRC = Path(engine_mod.__file__)
+#: Both modules that mutate ``ReplicationEngine.stats``: the engine
+#: itself and the planned-operations lifecycle layer.
+STATS_SOURCES = (Path(engine_mod.__file__), Path(lifecycle_mod.__file__))
 TESTS_DIR = Path(__file__).resolve().parents[1]
 
 #: Every counter the engine maintains, whether eagerly initialised or
@@ -33,13 +36,16 @@ EXPECTED_KEYS = frozenset({
     "corrupt_detected", "retransfers", "quarantined",
     "finalize_verify_failed",
     "hedges", "hedge_wins", "hedge_losses", "hedge_cancelled",
+    "cordons", "drained_parts", "migrated_tasks", "checkpoints",
+    "switchovers",
 })
 
 _KEY_RE = re.compile(r"""stats(?:\.get\(|\[)\s*["']([a-z_]+)["']""")
 
 
 def _keys_in_engine_source():
-    return frozenset(_KEY_RE.findall(ENGINE_SRC.read_text()))
+    return frozenset(key for src in STATS_SOURCES
+                     for key in _KEY_RE.findall(src.read_text()))
 
 
 def test_engine_stats_keys_are_the_documented_set():
