@@ -4,7 +4,7 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test trace-tests chaos-tests scrub-tests hedge-tests lifecycle-tests corruption-drill hedge-drill lifecycle-drill drill-all perf bench-smoke coverage
+.PHONY: test trace-tests chaos-tests scrub-tests hedge-tests lifecycle-tests tenant-tests corruption-drill hedge-drill lifecycle-drill tenant-drill drill-all perf bench-smoke coverage
 
 ## tier-1: the full default suite (perf benchmarks excluded via addopts)
 test:
@@ -48,6 +48,16 @@ lifecycle-drill:
 	$(PY) -m repro.cli lifecycle-drill --scenario evacuate --seed 0 --json
 	$(PY) -m repro.cli lifecycle-drill --scenario rolling --seed 0 --json
 	$(PY) -m repro.cli lifecycle-drill --scenario switchover --seed 0 --json
+
+## just the multi-tenant isolation / fair-share / sharding suites
+tenant-tests:
+	$(PY) -m pytest -q -m tenant
+
+## multi-tenant control-plane drill: 1000 tenants across sharded engine
+## workers, Zipf workload -> per-tenant convergence, budget admission,
+## fair share, and cross-tenant isolation all verified (machine-readable)
+tenant-drill:
+	$(PY) -m repro.cli tenant-drill --seed 0 --json
 
 ## every drill the CLI ships, one seed, one shared report schema;
 ## exits non-zero if any drill reports pass=false

@@ -11,6 +11,7 @@ Mirrors the published LambdaReplica CLI against the simulated clouds:
     areplica corruption-drill --seed 0 --json
     areplica hedge-drill --seed 0 --json
     areplica lifecycle-drill --scenario evacuate --chaos --hedging --json
+    areplica tenant-drill --tenants 1000 --shards 4 --json
     areplica drill-all --seed 0
 
 All commands accept ``--seed`` for reproducibility.
@@ -146,20 +147,29 @@ def _machine_report(cloud, service, rule, extra=None, scenario=None,
 
     Drills pass ``scenario``/``seed``/``passed`` so every report shares
     one aggregatable schema — the top-level ``scenario``, ``seed``,
-    ``pass``, and ``stats`` keys ``drill-all`` consumes.
+    ``pass``, and ``stats`` keys ``drill-all`` consumes.  Multi-rule
+    drills (tenant-drill) pass ``rule=None`` and get engine stats
+    summed across every rule in the service.
     """
+    if rule is not None:
+        engine_stats = dict(rule.engine.stats)
+    else:
+        engine_stats = {}
+        for r in service.rules.values():
+            for k, v in r.engine.stats.items():
+                engine_stats[k] = engine_stats.get(k, 0) + v
     report = {
         "summary": service.summary(),
         "chaos_stats": cloud.chaos_stats(),
         "health": service.health_snapshot(),
-        "engine_stats": dict(rule.engine.stats),
+        "engine_stats": engine_stats,
         "parked_backlog": service.backlog_count(),
     }
     if scenario is not None:
         report["scenario"] = scenario
         report["seed"] = seed
         report["pass"] = bool(passed)
-        report["stats"] = dict(rule.engine.stats)
+        report["stats"] = dict(engine_stats)
     if extra:
         report.update(extra)
     return report
@@ -750,6 +760,183 @@ def cmd_lifecycle_drill(args) -> int:
     return 0 if clean else 1
 
 
+def cmd_tenant_drill(args) -> int:
+    """Multi-tenant control-plane drill: thousands of tenants, sharded.
+
+    Registers ``--tenants`` tenants (each with its own src/dst bucket
+    pair, fair-share weight, and — for the hot head of the skew — a
+    hard per-window spend budget), shards the key-space across
+    ``--shards`` engine workers, replays a seeded Zipf-skewed workload,
+    and verifies the isolation story end to end: every tenant
+    converges, the quiescent audit and byte-level deep scrub are clean,
+    the trace oracle (including the tenant-isolation invariant) reports
+    zero findings, no over-budget tenant shows post-exhaustion spend,
+    and both the budget machinery (deferrals) and the fair-share
+    scheduler (waits) actually engaged rather than vacuously passing.
+    """
+    from repro.core.audit import ReplicationAuditor
+    from repro.core.config import ReplicaConfig, TenantConfig
+    from repro.core.invariants import TraceChecker
+    from repro.core.repair import AntiEntropyScanner
+    from repro.core.service import AReplicaService
+    from repro.simcloud.cloud import build_default_cloud
+    from repro.simcloud.cost import estimate_task_cost
+    from repro.simcloud.objectstore import Blob
+
+    cloud = build_default_cloud(seed=args.seed)
+    config = ReplicaConfig(profile_samples=args.profile_samples,
+                           tracing_enabled=True)
+    service = AReplicaService(cloud, config)
+    service.enable_multitenancy(shards=args.shards,
+                                max_concurrent=args.max_concurrent)
+
+    # One offline profiling pass covers every tenant: the performance
+    # model is keyed by region path, and all tenants ride one pair.
+    probe_src = cloud.bucket(args.src, "profile-probe-src")
+    probe_dst = cloud.bucket(args.dst, "profile-probe-dst")
+    service.profiler.ensure_path(args.src, probe_src, probe_dst)
+    if args.dst != args.src:
+        service.profiler.ensure_path(args.dst, probe_src, probe_dst)
+
+    size = args.object_size
+    # The Zipf head's per-window arrival rate exceeds the budget, so the
+    # hot tenants exhaust and defer; the budget still clears the
+    # steady-state drain, so the lane empties within a few windows after
+    # the horizon.  Budgeted tenants trade latency for spend — their SLO
+    # covers that drain; everyone else keeps the tight default.
+    task_cost = estimate_task_cost(cloud.prices, probe_src.region,
+                                   probe_dst.region, size)
+    budget = args.budget_tasks * task_cost
+    budgeted_slo = args.horizon + 12 * args.budget_window
+    states = []
+    for i in range(args.tenants):
+        tid = f"t{i:05d}"
+        src = cloud.bucket(args.src, f"{tid}-src")
+        dst = cloud.bucket(args.dst, f"{tid}-dst")
+        budgeted = i < args.budgeted_tenants
+        tc = TenantConfig(
+            tenant_id=tid,
+            buckets=(src.name, dst.name),
+            slo_target_s=budgeted_slo if budgeted else args.tenant_slo,
+            budget_usd=budget if budgeted else None,
+            budget_window_s=args.budget_window,
+            weight=1.0 + (i % 4),
+        )
+        states.append(service.add_tenant(tc, src, dst))
+
+    # Seeded skewed workload: a warm-up burst of one PUT per tenant (so
+    # every tenant has work to converge, and the burst outruns the
+    # dispatch gate — that is what makes the fair-share ring queue),
+    # then Zipf-ranked traffic pointed at the head — the hot tenants
+    # that hold the tight budgets.
+    rng = cloud.rngs.stream("tenant-drill")
+    horizon = args.horizon
+    keyspace = 8
+    puts = []
+    for i, state in enumerate(states):
+        t = (i / max(1, len(states))) * min(10.0, horizon / 16)
+        puts.append((t, state, f"obj-{i % keyspace}"))
+    ranks = rng.zipf(1.3, size=max(0, args.requests - len(states)))
+    for j, rank in enumerate(ranks):
+        state = states[int(rank - 1) % len(states)]
+        t = float(rng.random()) * horizon
+        puts.append((t, state, f"obj-{int(rng.integers(keyspace))}"))
+    base = cloud.sim.now   # offline profiling consumed simulated time
+    for t, state, key in puts:
+        cloud.sim.call_at(
+            base + t, lambda b=state.src_bucket, k=key: b.put_object(
+                k, Blob.fresh(size), cloud.sim.now))
+
+    if not args.json:
+        print(f"tenant drill: {args.tenants} tenants on {args.shards} "
+              f"shard(s), {len(puts)} PUTs over {horizon:.0f}s, "
+              f"{args.budgeted_tenants} budgeted at "
+              f"${budget:.6f}/{args.budget_window:.0f}s ...")
+
+    convergence = service.run_to_convergence()
+    audit = ReplicationAuditor(service).audit(quiescent=True)
+    repair = AntiEntropyScanner(service).scan(redrive=True, scrub=True,
+                                              reap_uploads=True)
+    if repair.redriven:
+        convergence = service.run_to_convergence()
+        audit = ReplicationAuditor(service).audit(quiescent=True)
+        repair = AntiEntropyScanner(service).scan(redrive=False, scrub=True)
+    trace_report = TraceChecker(service).check()
+    isolation_findings = trace_report.by_kind("tenant-isolation")
+
+    tenants = service.tenant_summary()
+    unconverged = sorted(t for t, row in tenants.items()
+                         if not row["converged"])
+    slo_misses = sorted(t for t, row in tenants.items() if not row["slo_ok"])
+    over_admitted = sorted(t for t, row in tenants.items()
+                           if row["over_admissions"] > 0)
+    total_deferred = sum(row["deferred"] for row in tenants.values())
+    total_waits = sum(row["fairshare_waits"] for row in tenants.values())
+    engaged = total_deferred > 0 and total_waits > 0
+    clean = (convergence.converged and audit.clean and repair.clean
+             and trace_report.clean and not isolation_findings
+             and not unconverged and not slo_misses and not over_admitted
+             and len(tenants) == args.tenants and engaged
+             and service.pending_count() == 0)
+
+    if args.json:
+        _print_json(_machine_report(cloud, service, None, {
+            "tenants": len(tenants),
+            "shards": args.shards,
+            "requests": len(puts),
+            "convergence": {
+                "converged": convergence.converged,
+                "rounds": convergence.rounds,
+                "redriven": convergence.redriven,
+                "residual_dead_letters": convergence.residual_dead_letters,
+                "parked_backlog": convergence.parked_backlog,
+                "deferred_tenant_tasks": convergence.deferred_tenant_tasks,
+            },
+            "audit_clean": audit.clean,
+            "repair": repair.to_dict(),
+            "trace_clean": trace_report.clean,
+            "trace_checked": trace_report.checked,
+            "trace_findings": [str(f) for f in trace_report.findings],
+            "isolation_findings": len(isolation_findings),
+            "unconverged_tenants": unconverged,
+            "slo_miss_tenants": slo_misses,
+            "over_admitted_tenants": over_admitted,
+            "total_deferred": total_deferred,
+            "total_fairshare_waits": total_waits,
+            "engaged": engaged,
+            "tenant_verdicts": tenants,
+            "result": "PASS" if clean else "FAIL",
+        }, scenario="tenant-drill", seed=args.seed, passed=clean))
+        return 0 if clean else 1
+
+    busiest = sorted(tenants.items(), key=lambda kv: -kv[1]["events"])[:10]
+    print(f"{'tenant':<8} {'events':>7} {'admit':>6} {'defer':>6} "
+          f"{'reject':>7} {'waits':>6} {'spent_usd':>12} {'p99_s':>8} "
+          f"{'ok':>3}")
+    for tid, row in busiest:
+        ok = row["converged"] and row["slo_ok"] and not row["over_admissions"]
+        print(f"{tid:<8} {row['events']:>7} {row['admitted']:>6} "
+              f"{row['deferred']:>6} {row['rejected']:>7} "
+              f"{row['fairshare_waits']:>6} "
+              f"{row['lifetime_spent_usd']:>12.6f} "
+              f"{row['delay_p99_s']:>8.1f} {'ok' if ok else 'NO':>3}")
+    print(f"converged {len(tenants) - len(unconverged)}/{len(tenants)} "
+          f"tenant(s); {total_deferred} deferral(s), {total_waits} "
+          f"fair-share wait(s)")
+    print("recovery: " + convergence.render())
+    print(audit.render())
+    print(repair.render())
+    print(trace_report.render())
+    if unconverged:
+        print(f"  unconverged: {', '.join(unconverged[:10])} ...")
+    if slo_misses:
+        print(f"  SLO misses: {', '.join(slo_misses[:10])} ...")
+    if over_admitted:
+        print(f"  over-admitted: {', '.join(over_admitted[:10])} ...")
+    print("RESULT: " + ("PASS" if clean else "FAIL"))
+    return 0 if clean else 1
+
+
 def cmd_drill_all(args) -> int:
     """Run every drill at one seed and fail on any non-PASS.
 
@@ -775,6 +962,7 @@ def cmd_drill_all(args) -> int:
          ["lifecycle-drill", "--scenario", "rolling"]),
         ("lifecycle-switchover", cmd_lifecycle_drill,
          ["lifecycle-drill", "--scenario", "switchover"]),
+        ("tenant-drill", cmd_tenant_drill, ["tenant-drill"]),
     ]
     parser = build_parser()
     rows = []
@@ -787,13 +975,24 @@ def cmd_drill_all(args) -> int:
         sub_args = parser.parse_args(
             argv + ["--seed", str(args.seed), "--json"])
         buf = io.StringIO()
-        with contextlib.redirect_stdout(buf):
-            code = handler(sub_args)
-        report = json.loads(buf.getvalue())
+        # A drill that crashes, or that emits an unparseable report, is
+        # a FAIL for that scenario — never a pass by omission, and never
+        # a traceback that aborts the remaining drills (the aggregate
+        # exit code must reflect *every* scenario's verdict).
+        try:
+            with contextlib.redirect_stdout(buf):
+                code = handler(sub_args)
+            report = json.loads(buf.getvalue())
+        except Exception as exc:  # noqa: BLE001 - drill isolation barrier
+            print(f"drill-all: {name} raised "
+                  f"{type(exc).__name__}: {exc}", file=sys.stderr)
+            report = {"scenario": name, "seed": args.seed, "pass": False,
+                      "error": f"{type(exc).__name__}: {exc}"}
+            code = 1
         passed = code == 0 and report.get("pass", False)
         all_pass = all_pass and passed
-        rows.append((report.get("scenario", name), report.get("seed"),
-                     passed))
+        rows.append((report.get("scenario", name),
+                     report.get("seed", args.seed), passed))
         reports.append(report)
     if args.json:
         _print_json({
@@ -1153,11 +1352,46 @@ def build_parser() -> argparse.ArgumentParser:
                            help="emit the machine-readable report instead "
                                 "of text")
     hedging_knobs(lifecycle)
+    tenant = sub.add_parser(
+        "tenant-drill",
+        help="replay a skewed multi-tenant workload across sharded engine "
+             "workers and verify per-tenant convergence, SLO, budget, and "
+             "cross-tenant isolation")
+    common(tenant, with_size=False)
+    tenant.add_argument("--tenants", type=int, default=1000,
+                        help="tenants to register (own buckets, weight, "
+                             "and budget each)")
+    tenant.add_argument("--shards", type=int, default=4,
+                        help="engine workers the key-space is "
+                             "consistent-hashed across")
+    tenant.add_argument("--requests", type=int, default=3000,
+                        help="total PUTs (>= --tenants; the excess is "
+                             "Zipf-skewed onto the hot head)")
+    tenant.add_argument("--object-size", type=parse_size,
+                        default=parse_size("64KB"),
+                        help="PUT size (small keeps the inline path hot)")
+    tenant.add_argument("--horizon", type=float, default=3600.0,
+                        help="workload duration in seconds")
+    tenant.add_argument("--max-concurrent", type=int, default=32,
+                        help="fair-share scheduler concurrency gate")
+    tenant.add_argument("--budgeted-tenants", type=int, default=10,
+                        help="hot tenants given a hard per-window budget")
+    tenant.add_argument("--budget-tasks", type=float, default=25.0,
+                        help="budget expressed in admitted tasks per window")
+    tenant.add_argument("--budget-window", type=float, default=300.0,
+                        help="budget window length in seconds")
+    tenant.add_argument("--tenant-slo", type=float, default=120.0,
+                        help="p99 delay SLO for unbudgeted tenants in "
+                             "seconds (budgeted tenants get a drain-"
+                             "covering SLO derived from the window)")
+    tenant.add_argument("--json", action="store_true",
+                        help="emit the machine-readable report instead "
+                             "of text")
     drill_all = sub.add_parser(
         "drill-all",
-        help="run chaos-soak, outage-drill, corruption-drill, hedge-drill "
-             "and the three lifecycle drills at one seed; fail on any "
-             "non-PASS")
+        help="run chaos-soak, outage-drill, corruption-drill, hedge-drill, "
+             "the three lifecycle drills, and tenant-drill at one seed; "
+             "fail on any non-PASS")
     drill_all.add_argument("--seed", type=int, default=0)
     drill_all.add_argument("--json", action="store_true",
                            help="emit the aggregated machine-readable "
@@ -1200,6 +1434,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         "corruption-drill": cmd_corruption_drill,
         "hedge-drill": cmd_hedge_drill,
         "lifecycle-drill": cmd_lifecycle_drill,
+        "tenant-drill": cmd_tenant_drill,
         "drill-all": cmd_drill_all,
         "bench-perf": cmd_bench_perf,
     }

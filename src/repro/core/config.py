@@ -9,11 +9,12 @@ replicates inline (``T_func = 0``), and the cost-optimization switches.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.core.health import BreakerConfig
 from repro.core.retry import RetryPolicy
 
-__all__ = ["ReplicaConfig", "MB", "DEFAULT_PART_SIZE"]
+__all__ = ["ReplicaConfig", "TenantConfig", "MB", "DEFAULT_PART_SIZE"]
 
 MB = 1024 * 1024
 #: §5.1: "a part size of 8 MB strikes an effective balance".
@@ -187,3 +188,88 @@ class ReplicaConfig:
             ladder.append(n)
             n *= 2
         return ladder
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """One tenant of a multi-tenant AReplica deployment.
+
+    A tenant owns a set of buckets, may override the service-wide
+    :class:`ReplicaConfig`, carries its own SLO verdict target, and —
+    following TCDRM's budget-aware replication economics — a **hard
+    spend budget** per accounting window.  Once the tenant's admission
+    ledger exhausts the window budget, new replication tasks are
+    deferred to a per-tenant backlog lane (re-admitted when the window
+    rolls) or rejected outright, per ``exhausted_policy``.  The budget
+    gates *admission* (estimated task cost reserved up front), never
+    in-flight work: work admitted before exhaustion always completes.
+
+    Attributes
+    ----------
+    tenant_id:
+        Stable identifier; embedded in rule ids (``{tenant}-s{shard}``),
+        lock-table names, and trace attributes, so it must be non-empty
+        and contain no ``:`` (task ids are colon-delimited).
+    buckets:
+        The tenant's bucket names (informational registry; the service
+        binds concrete Bucket objects at :meth:`~repro.core.service.AReplicaService.add_tenant`).
+    config_overrides:
+        Field overrides applied on top of the service ReplicaConfig for
+        this tenant's engines (e.g. a private ``retransfer_budget``).
+    slo_target_s:
+        Per-tenant replication-delay verdict target (p99, evaluated by
+        drills/tests) — distinct from ``ReplicaConfig.slo_seconds``,
+        which drives planning; 0 disables the verdict.
+    budget_usd:
+        Hard admission spend budget per window; ``None`` is unlimited.
+        Admission is granted while the window's reserved spend is
+        strictly below the budget, so each fresh window admits at least
+        one task and a deferred backlog always drains eventually.
+    budget_window_s:
+        Length of the rolling accounting window.
+    exhausted_policy:
+        ``"defer"`` parks post-exhaustion tasks in the tenant's backlog
+        lane until the window rolls; ``"reject"`` drops them (counted,
+        traced, never replicated).
+    weight:
+        Fair-share weight for the deficit-round-robin dispatch
+        scheduler; tenants with twice the weight receive twice the
+        dispatch share under contention.
+    """
+
+    tenant_id: str
+    buckets: tuple[str, ...] = ()
+    config_overrides: dict = field(default_factory=dict)
+    slo_target_s: float = 0.0
+    budget_usd: Optional[float] = None
+    budget_window_s: float = 3600.0
+    exhausted_policy: str = "defer"
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.tenant_id or ":" in self.tenant_id:
+            raise ValueError(
+                f"tenant_id must be non-empty without ':', got {self.tenant_id!r}")
+        if self.slo_target_s < 0:
+            raise ValueError("slo_target_s must be >= 0")
+        if self.budget_usd is not None and self.budget_usd <= 0:
+            raise ValueError("budget_usd must be positive (or None)")
+        if self.budget_window_s <= 0:
+            raise ValueError("budget_window_s must be positive")
+        if self.exhausted_policy not in ("defer", "reject"):
+            raise ValueError("exhausted_policy must be 'defer' or 'reject'")
+        if self.weight <= 0:
+            raise ValueError("weight must be positive")
+        unknown = set(self.config_overrides) - {
+            f.name for f in ReplicaConfig.__dataclass_fields__.values()}
+        if unknown:
+            raise ValueError(
+                f"unknown ReplicaConfig overrides: {sorted(unknown)}")
+
+    def effective_config(self, base: ReplicaConfig) -> ReplicaConfig:
+        """The tenant's ReplicaConfig: ``base`` plus the overrides."""
+        if not self.config_overrides:
+            return base
+        from dataclasses import replace
+
+        return replace(base, **self.config_overrides)

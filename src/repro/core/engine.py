@@ -118,6 +118,8 @@ class ReplicationEngine:
         rule_id: str = "r0",
         scheduling: str = "pool",
         health: Optional[HealthTracker] = None,
+        scheduler=None,
+        tenant: Optional[str] = None,
     ):
         if scheduling not in ("pool", "fair"):
             raise ValueError("scheduling must be 'pool' or 'fair'")
@@ -130,6 +132,13 @@ class ReplicationEngine:
         self.recorder: TaskRecorder = recorder or _NullRecorder()
         self.rule_id = rule_id
         self.scheduling = scheduling
+        #: Optional multi-tenant wiring: a fair-share dispatch scheduler
+        #: (core/scheduler.py) gating orchestrator concurrency, and the
+        #: owning tenant's id.  Both default to None — the single-tenant
+        #: dispatch path stays one ``is None`` check, byte-identical to
+        #: a build without tenancy.
+        self.scheduler = scheduler
+        self.tenant = tenant
         self._task_seq = itertools.count(1)
         #: Per-(task, worker) instrumentation for the scheduling ablation
         #: (Fig 17): parts replicated and busy span of each instance.
@@ -534,6 +543,16 @@ class ReplicationEngine:
             # invoke workers at cordoned regions).
             self.tracer.event("dispatch", "engine", payload.get("task"),
                               rule=self.rule_id, region=route)
+        if self.scheduler is not None:
+            # Fair-share gate: the scheduler decides *when* the
+            # invocation starts (DRR over per-tenant lanes, bounded
+            # in-flight concurrency); the route decision stays here so
+            # degraded-mode failover semantics are identical either way.
+            faas = self._faas_at(route)
+            self.scheduler.submit(
+                self.tenant or self.rule_id,
+                lambda: faas.invoke_and_forget(self._orch_name, payload))
+            return
         self._faas_at(route).invoke_and_forget(self._orch_name, payload)
 
     def redrive_event(self, payload: dict) -> None:

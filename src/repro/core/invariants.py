@@ -49,7 +49,13 @@ the spans and events a :class:`~repro.core.tracing.Tracer` recorded:
 * **cordon discipline** — no new admission (dispatch, probe, or drain
   re-dispatch) may route into a FaaS region while an administrative
   cordon window is open on it (in-flight work finishing there is
-  legitimate; *admitting* more is the violation).
+  legitimate; *admitting* more is the violation);
+* **tenant isolation** — in a multi-tenant service every tenant-tagged
+  record must agree with the rule registry about which tenant owns the
+  task (one task id maps to exactly one tenant), and lock-domain
+  traffic must stay inside the owning tenant's rules — a record
+  claiming tenant A on tenant B's rule is control-plane bleed between
+  tenants, the failure mode sharding exists to exclude.
 
 A clean report turns every chaos/outage scenario into a *checked
 execution*: the oracle is the property, not a per-scenario assert.
@@ -83,6 +89,7 @@ class TraceFinding:
                 # | hedge-unresolved | hedge-double-resolve
                 # | hedge-outcome | double-finalize
                 # | switchover-discipline | cordon-violation
+                # | tenant-isolation
     subject: str   # task id, object key, or backlog id
     detail: str
 
@@ -141,6 +148,7 @@ class TraceChecker:
         self._check_hedges(tr, report)
         self._check_switchover(tr, report)
         self._check_cordons(tr, report)
+        self._check_tenants(tr, report)
         return report
 
     # -- 1. clock sanity ---------------------------------------------------
@@ -171,13 +179,23 @@ class TraceChecker:
     # -- 2/3. fencing and lock state machine -------------------------------
 
     def _check_locks(self, tr: Tracer, report: TraceReport) -> None:
-        # holder per (rule-scoped) key: (owner, fence) while locked.
-        holders: dict[str, tuple[str, int]] = {}
+        # holder per lock *domain*: lock tables are per-rule
+        # (areplica-state-{rule_id}), so two rules — e.g. two tenants —
+        # may legally hold "the same" object key at once.  The owner is
+        # the task id, whose prefix is the rule id, which names the
+        # domain.
+        holders: dict[tuple[str, str], tuple[str, int]] = {}
         acquires = 0
         for e in tr.events:
             if e.cat != "lock":
                 continue
-            key = e.attrs["key"]
+            owner_id = e.attrs["owner"]
+            # Task-id owners ({rule}:{key}:{seq}:{kind}) carry their
+            # domain as the rule prefix; opaque owners (synthetic
+            # traces, tooling) share one anonymous domain.
+            domain = owner_id.split(":", 1)[0] if ":" in owner_id else ""
+            key = (domain, e.attrs["key"])
+            subj = f"{domain}/{e.attrs['key']}" if domain else e.attrs["key"]
             if e.name == "lock-acquire":
                 acquires += 1
                 owner, fence = e.attrs["owner"], e.attrs["fence"]
@@ -186,27 +204,27 @@ class TraceChecker:
                 if mode == "fresh":
                     if held is not None:
                         report.findings.append(TraceFinding(
-                            "lock-order", key,
+                            "lock-order", subj,
                             f"fresh acquire by {owner!r} while "
                             f"{held[0]!r} holds fence {held[1]}"))
                     elif fence != 1:
                         report.findings.append(TraceFinding(
-                            "lock-order", key,
+                            "lock-order", subj,
                             f"fresh acquire with fence {fence} != 1"))
                 elif mode == "reentrant":
                     if held != (owner, fence):
                         report.findings.append(TraceFinding(
-                            "lock-order", key,
+                            "lock-order", subj,
                             f"re-entrant acquire by {owner!r} fence {fence} "
                             f"but holder is {held!r}"))
                 elif mode == "takeover":
                     if held is None:
                         report.findings.append(TraceFinding(
-                            "lock-order", key,
+                            "lock-order", subj,
                             f"takeover by {owner!r} of an unheld lock"))
                     elif fence != held[1] + 1:
                         report.findings.append(TraceFinding(
-                            "lock-order", key,
+                            "lock-order", subj,
                             f"takeover fence {fence} does not supersede "
                             f"{held[1]}"))
                 holders[key] = (owner, fence)
@@ -216,13 +234,13 @@ class TraceChecker:
                 if released:
                     if held is None or held[0] != owner:
                         report.findings.append(TraceFinding(
-                            "lock-order", key,
+                            "lock-order", subj,
                             f"{owner!r} released a lock held by "
                             f"{held and held[0]!r}"))
                     holders.pop(key, None)
                 elif held is not None and held[0] == owner:
                     report.findings.append(TraceFinding(
-                        "lock-order", key,
+                        "lock-order", subj,
                         f"holder {owner!r} failed to release its own lock"))
         report.checked["lock_acquires"] = acquires
 
@@ -556,6 +574,66 @@ class TraceChecker:
                         f"{region!r} at t={e.time:.3f} (window "
                         f"[{start:.3f}, {end:.3f}))"))
                     break
+
+    # -- tenant isolation ---------------------------------------------------
+
+    def _check_tenants(self, tr: Tracer, report: TraceReport) -> None:
+        """Tenant-tagged records agree with the rule registry's ownership.
+
+        Engines in a multi-tenant service trace through a scoped
+        :class:`~repro.core.tracing.TenantTracer` that stamps
+        ``tenant=`` on every record; task ids carry the rule id as their
+        prefix; and the registry knows which tenant owns each rule.
+        Cross-checking the three catches control-plane bleed: a
+        scheduler lane dispatching another tenant's work, a shard engine
+        adopted by the wrong tenant, or one task id claimed by two
+        tenants.  Untagged records (classic single-tenant rules, infra
+        spans) are out of scope by construction.
+        """
+        svc = self.service
+        rule_owner = {rid: getattr(rule, "tenant", None)
+                      for rid, rule in svc.rules.items()}
+        tenant_ids = set(getattr(svc, "tenants", ()) or ())
+        claimed: dict[str, str] = {}   # task id -> tenant attr seen
+        tagged = 0
+
+        def owner_of(prefix: str):
+            # A task prefix is either a rule id (engine records) or a
+            # bare tenant id (the admission router's records).
+            if prefix in rule_owner:
+                return rule_owner[prefix]
+            if prefix in tenant_ids:
+                return prefix
+            return None
+
+        for rec in list(tr.spans) + list(tr.events):
+            tenant = rec.attrs.get("tenant")
+            if tenant is None:
+                continue
+            tagged += 1
+            subjects = []
+            if rec.task is not None:
+                subjects.append(rec.task)
+            owner = rec.attrs.get("owner")
+            if isinstance(owner, str) and ":" in owner:
+                subjects.append(owner)
+            for task in subjects:
+                expected = owner_of(task.split(":", 1)[0])
+                if expected is not None and expected != tenant:
+                    report.findings.append(TraceFinding(
+                        "tenant-isolation", task,
+                        f"record {rec.name!r} tagged tenant {tenant!r} "
+                        f"but the registry owns the task's rule under "
+                        f"{expected!r}"))
+                prev = claimed.get(task)
+                if prev is None:
+                    claimed[task] = tenant
+                elif prev != tenant:
+                    report.findings.append(TraceFinding(
+                        "tenant-isolation", task,
+                        f"task claimed by two tenants: {prev!r} and "
+                        f"{tenant!r}"))
+        report.checked["tenant_records"] = tagged
 
     # -- attributed cost completeness --------------------------------------
 

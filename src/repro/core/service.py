@@ -14,6 +14,7 @@ destination bucket — the paper's §8 metric.
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -21,21 +22,30 @@ import numpy as np
 
 from repro.core.batching import BatchingBuffer
 from repro.core.changelog import ChangelogStore
-from repro.core.config import ReplicaConfig
+from repro.core.config import ReplicaConfig, TenantConfig
 from repro.core.engine import ReplicationEngine, TaskResult
 from repro.core.health import HealthTracker
 from repro.core.logger import RuntimeLogger
 from repro.core.model import PerformanceModel
 from repro.core.planner import StrategyPlanner
 from repro.core.profiler import PerformanceProfiler
+from repro.core.scheduler import FairShareScheduler
+from repro.core.sharding import ShardRouter
 from repro.core.tracing import Tracer
 from repro.simcloud.cloud import Cloud
+from repro.simcloud.cost import TenantLedger, estimate_task_cost
 from repro.simcloud.objectstore import Bucket, ObjectEvent
 
 __all__ = ["AReplicaService", "ConvergenceReport", "ReplicationRecord",
-           "ReplicationRule"]
+           "ReplicationRule", "TenantState"]
 
 _CHANGELOG_TABLE = "areplica-changelog"
+
+#: The per-tenant operational counters (the tenant analogue of the
+#: engine stats dict); ``tests/core/test_stats_contract.py`` pins this
+#: exact key set, so additions must extend the contract there too.
+TENANT_STAT_KEYS = ("admitted", "deferred", "rejected", "fairshare_waits",
+                    "shard_migrations")
 
 
 @dataclass(frozen=True)
@@ -92,6 +102,9 @@ class ConvergenceReport:
     #: Lock records stranded by a holder that died between finalize and
     #: UNLOCK, reclaimed (lease takeover) by the convergence loop.
     reclaimed_locks: int = 0
+    #: Tasks still sitting in tenant budget-deferral lanes when the loop
+    #: gave up (0 on success, and always 0 for single-tenant services).
+    deferred_tenant_tasks: int = 0
 
     def render(self) -> str:
         if self.converged:
@@ -101,8 +114,9 @@ class ConvergenceReport:
                     f"{self.redriven} event(s) redriven, backlog peak "
                     f"{self.backlog_peak}, {self.drained} drained{extra}")
         return (f"NOT converged: {self.residual_dead_letters} dead "
-                f"letter(s), {self.parked_backlog} parked task(s) after "
-                f"{self.rounds} round(s)")
+                f"letter(s), {self.parked_backlog} parked task(s), "
+                f"{self.deferred_tenant_tasks} budget-deferred task(s) "
+                f"after {self.rounds} round(s)")
 
 
 @dataclass
@@ -122,6 +136,29 @@ class ReplicationRule:
     #: (or reordered straggler) arriving *after* the closing report must
     #: not re-open an entry nobody will ever close again.
     closed: dict[str, tuple[int, float]] = field(default_factory=dict)
+    #: Owning tenant for multi-tenant shard rules (None for classic rules).
+    tenant: Optional[str] = None
+    #: Effective config the rule's engine was built with, when it differs
+    #: from the service default (tenant overrides); rebuild_engine honors it.
+    config: Optional[ReplicaConfig] = None
+
+
+@dataclass
+class TenantState:
+    """Runtime state for one registered tenant."""
+
+    config: TenantConfig
+    src_bucket: Bucket
+    dst_bucket: Bucket
+    ledger: TenantLedger
+    #: Operational counters (TENANT_STAT_KEYS).
+    stats: dict = field(default_factory=lambda: {k: 0 for k in TENANT_STAT_KEYS})
+    #: Budget-deferred notifications parked until the spend window rolls.
+    deferred: deque = field(default_factory=deque)
+    #: shard index -> rule_id of the lazily created engine worker.
+    shard_rules: dict[int, str] = field(default_factory=dict)
+    #: True while a window-roll timer is armed for this tenant.
+    roll_armed: bool = False
 
 
 class _Recorder:
@@ -174,51 +211,103 @@ class AReplicaService:
         self.records: list[ReplicationRecord] = []
         self.aborts: list[tuple[str, str, str]] = []
         self._rule_seq = itertools.count(1)
+        # -- multi-tenancy (all None/empty until enable_multitenancy();
+        # the single-tenant paths never consult them beyond `is None` /
+        # truthiness checks, keeping the default build byte-identical).
+        self.tenants: dict[str, TenantState] = {}
+        self.scheduler: Optional[FairShareScheduler] = None
+        self.shard_router: Optional[ShardRouter] = None
+        #: Planner clones keyed by tenant override signature (tenants
+        #: without overrides share self.planner and its PlanCache).
+        self._tenant_planners: dict[tuple, StrategyPlanner] = {}
 
     # -- rule management ---------------------------------------------------------
 
     def add_rule(self, src_bucket: Bucket, dst_bucket: Bucket,
                  scheduling: str = "pool",
-                 profile: bool = True) -> ReplicationRule:
+                 profile: bool = True,
+                 rule_id: Optional[str] = None,
+                 connect: bool = True,
+                 config: Optional[ReplicaConfig] = None,
+                 tenant: Optional[str] = None) -> ReplicationRule:
         """Configure replication from ``src_bucket`` to ``dst_bucket``.
 
         ``profile=True`` (the default) runs the offline profiler for
         both candidate execution locations before the rule goes live —
         the paper's onboarding step.  Pass False when the model has
         already been fitted (e.g. shared across rules on one path).
+
+        The remaining keywords exist for the multi-tenant shard layer
+        (``_tenant_rule``): an explicit ``rule_id`` names the per-shard
+        lock domain, ``connect=False`` skips the notification hookup
+        (the tenant router delivers admitted events directly),
+        ``config`` applies a tenant's effective ReplicaConfig, and
+        ``tenant`` tags the engine (scoped tracer + fair-share lane).
         """
-        rule_id = f"rule{next(self._rule_seq)}"
+        if rule_id is None:
+            rule_id = f"rule{next(self._rule_seq)}"
+        cfg = config or self.config
         if profile:
             self.profiler.ensure_path(src_bucket.region.key, src_bucket, dst_bucket)
             if dst_bucket.region.key != src_bucket.region.key:
                 self.profiler.ensure_path(dst_bucket.region.key, src_bucket,
                                           dst_bucket)
+        # Tenant rules get a tenant-suffixed changelog table: the shared
+        # table is keyed by object key, and two tenants may legitimately
+        # reuse key names without sharing deltas.
+        changelog_table = (_CHANGELOG_TABLE if tenant is None
+                           else f"{_CHANGELOG_TABLE}-{tenant}")
         changelog = ChangelogStore(
-            self.cloud.kv_table(src_bucket.region.key, _CHANGELOG_TABLE)
+            self.cloud.kv_table(src_bucket.region.key, changelog_table)
         )
         engine = ReplicationEngine(
-            self.cloud, self.config, src_bucket, dst_bucket, self.planner,
-            changelog=changelog if self.config.enable_changelog else None,
+            self.cloud, cfg, src_bucket, dst_bucket,
+            self._planner_for(cfg),
+            changelog=changelog if cfg.enable_changelog else None,
             recorder=_Recorder(self, rule_id), rule_id=rule_id,
             scheduling=scheduling, health=self.health,
+            scheduler=self.scheduler if tenant is not None else None,
+            tenant=tenant,
         )
         if self.tracer is not None:
-            engine.set_tracer(self.tracer)
-        rule = ReplicationRule(rule_id, src_bucket, dst_bucket, engine, changelog)
-        if self.config.slo_enabled and self.config.enable_batching:
+            engine.set_tracer(self.tracer if tenant is None
+                              else self.tracer.scoped(tenant))
+        rule = ReplicationRule(rule_id, src_bucket, dst_bucket, engine,
+                               changelog, tenant=tenant, config=config)
+        if cfg.slo_enabled and cfg.enable_batching:
             rule.batcher = BatchingBuffer(
                 self.cloud.sim,
                 self.cloud.timers(src_bucket.region.key),
-                self.config,
+                cfg,
                 src_bucket,
                 estimate_s=self._estimate_replication_time(rule),
                 flush=engine.handle_event,
             )
         self.rules[rule_id] = rule
-        self.cloud.notifications.connect(
-            src_bucket, lambda event, r=rule: self._on_event(r, event)
-        )
+        if connect:
+            self.cloud.notifications.connect(
+                src_bucket, lambda event, r=rule: self._on_event(r, event)
+            )
         return rule
+
+    def _planner_for(self, cfg: ReplicaConfig) -> StrategyPlanner:
+        """The shared planner, or a clone for a divergent tenant config.
+
+        Planning knobs (cost cap, strategy toggles, degraded-routing
+        policy) live on the config, so tenants with overrides need their
+        own StrategyPlanner; clones are cached by override signature so
+        a thousand tenants sharing three profiles build three planners.
+        """
+        if cfg is self.config:
+            return self.planner
+        key = tuple(sorted(
+            (f, repr(getattr(cfg, f))) for f in cfg.__dataclass_fields__))
+        planner = self._tenant_planners.get(key)
+        if planner is None:
+            planner = StrategyPlanner(self.model, cfg, health=self.health)
+            planner.tracer = self.tracer
+            self._tenant_planners[key] = planner
+        return planner
 
     def rebuild_engine(self, rule_id: str) -> ReplicationEngine:
         """Tear down a rule's engine and rebuild it in place (rolling
@@ -238,16 +327,20 @@ class AReplicaService:
         rule = self.rules[rule_id]
         old = rule.engine
         old.detach()
+        cfg = rule.config or self.config
         engine = ReplicationEngine(
-            self.cloud, self.config, rule.src_bucket, rule.dst_bucket,
-            self.planner,
-            changelog=rule.changelog if self.config.enable_changelog else None,
+            self.cloud, cfg, rule.src_bucket, rule.dst_bucket,
+            self._planner_for(cfg),
+            changelog=rule.changelog if cfg.enable_changelog else None,
             recorder=_Recorder(self, rule_id), rule_id=rule_id,
             scheduling=old.scheduling, health=self.health,
+            scheduler=self.scheduler if rule.tenant is not None else None,
+            tenant=rule.tenant,
         )
         engine.adopt_counters(old)
         if self.tracer is not None:
-            engine.set_tracer(self.tracer)
+            engine.set_tracer(self.tracer if rule.tenant is None
+                              else self.tracer.scoped(rule.tenant))
         rule.engine = engine
         if rule.batcher is not None:
             rule.batcher.flush = engine.handle_event
@@ -256,15 +349,210 @@ class AReplicaService:
     def _estimate_replication_time(self, rule: ReplicationRule):
         src = rule.src_bucket.region.key
         dst = rule.dst_bucket.region.key
+        planner = self._planner_for(rule.config or self.config)
 
         def estimate(size: int) -> float:
             # Power-of-two size bucketing keeps the batcher's estimate
             # queries coarse; the planner's PlanCache (which also sees
             # drift invalidations, unlike a local dict) does the rest.
             bucket = max(1, 1 << (max(0, size - 1)).bit_length())
-            return self.planner.fastest(bucket, src, dst).predicted_s
+            return planner.fastest(bucket, src, dst).predicted_s
 
         return estimate
+
+    # -- multi-tenancy -----------------------------------------------------------
+
+    def enable_multitenancy(self, shards: int = 1, max_concurrent: int = 64,
+                            quantum: float = 1.0, vnodes: int = 64) -> None:
+        """Switch the service into multi-tenant mode.
+
+        Builds the fair-share dispatch scheduler and the consistent-hash
+        shard router; must run before the first :meth:`add_tenant`.
+        Classic :meth:`add_rule` rules are unaffected (they never pass
+        through the scheduler or the router).
+        """
+        if self.tenants:
+            raise RuntimeError("enable_multitenancy must precede add_tenant")
+        self.scheduler = FairShareScheduler(
+            self.cloud.sim, max_concurrent=max_concurrent, quantum=quantum)
+        self.shard_router = ShardRouter(shards, vnodes=vnodes)
+
+    def add_tenant(self, config: TenantConfig, src_bucket: Bucket,
+                   dst_bucket: Bucket) -> TenantState:
+        """Register a tenant: budget ledger, fair-share lane, buckets.
+
+        Engine workers are created lazily, one per (tenant, shard) on
+        the first admitted event routed there — a thousand mostly idle
+        tenants cost a dict entry each, not a thousand engines.
+        """
+        if self.shard_router is None:
+            self.enable_multitenancy()
+        tid = config.tenant_id
+        if tid in self.tenants:
+            raise ValueError(f"duplicate tenant {tid!r}")
+        state = TenantState(
+            config=config, src_bucket=src_bucket, dst_bucket=dst_bucket,
+            ledger=TenantLedger(tid, budget_usd=config.budget_usd,
+                                window_s=config.budget_window_s),
+        )
+        self.tenants[tid] = state
+        self.scheduler.add_tenant(tid, weight=config.weight,
+                                  stats=state.stats)
+        self.cloud.notifications.connect(
+            src_bucket, lambda event, s=state: self._on_tenant_event(s, event)
+        )
+        return state
+
+    def _tenant_config(self, state: TenantState) -> Optional[ReplicaConfig]:
+        """The tenant's effective ReplicaConfig, or None when it matches
+        the service default (so shard rules share self.config/planner)."""
+        if not state.config.config_overrides:
+            return None
+        return state.config.effective_config(self.config)
+
+    def _tenant_rule(self, state: TenantState, shard: int) -> ReplicationRule:
+        rule_id = state.shard_rules.get(shard)
+        if rule_id is not None:
+            return self.rules[rule_id]
+        tid = state.config.tenant_id
+        rule = self.add_rule(
+            state.src_bucket, state.dst_bucket,
+            profile=False, rule_id=f"{tid}-s{shard}", connect=False,
+            config=self._tenant_config(state), tenant=tid,
+        )
+        state.shard_rules[shard] = rule.rule_id
+        return rule
+
+    def _on_tenant_event(self, state: TenantState, event: ObjectEvent) -> None:
+        """Admission control at the front door (first delivery of a
+        notification — retriggers and redrives inside the engine re-use
+        the already-charged task, so the charge happens exactly here)."""
+        tid = state.config.tenant_id
+        now = self.cloud.sim.now
+        ledger = state.ledger
+        ledger.sync(now)
+        if ledger.exhausted:
+            task = f"{tid}:{event.key}:{event.sequencer}:{event.kind}"
+            if state.config.exhausted_policy == "reject":
+                state.stats["rejected"] += 1
+                if self.tracer is not None:
+                    self.tracer.event("admission-reject", "tenant", task,
+                                      tenant=tid, key=event.key,
+                                      window=ledger.window_index)
+                return
+            state.stats["deferred"] += 1
+            state.deferred.append(event)
+            if self.tracer is not None:
+                self.tracer.event("admission-defer", "tenant", task,
+                                  tenant=tid, key=event.key,
+                                  window=ledger.window_index,
+                                  lane_depth=len(state.deferred))
+            self._arm_window_roll(state)
+            return
+        # Admission charges the planner-independent cost floor for the
+        # task (egress + request fees + one orchestrator invocation);
+        # the metered CostLedger remains the billing ground truth.
+        estimate = estimate_task_cost(
+            self.cloud.prices, state.src_bucket.region,
+            state.dst_bucket.region, event.size)
+        ledger.charge(now, estimate,
+                      detail=f"{event.key}:{event.sequencer}:{event.kind}")
+        state.stats["admitted"] += 1
+        shard = self.shard_router.route(tid, event.key)
+        self._on_event(self._tenant_rule(state, shard), event)
+
+    def _arm_window_roll(self, state: TenantState) -> None:
+        """Arm a timer at the next budget-window boundary (only while
+        deferred work exists — idle tenants leave no timer chains)."""
+        if state.roll_armed:
+            return
+        state.roll_armed = True
+        ledger = state.ledger
+        target = ledger.window_of(self.cloud.sim.now) + 1
+        self.cloud.sim.call_at(
+            target * ledger.window_s,
+            lambda: self._roll_tenant_window(state, target))
+
+    def _roll_tenant_window(self, state: TenantState, target: int) -> None:
+        state.roll_armed = False
+        ledger = state.ledger
+        ledger.sync(self.cloud.sim.now)
+        if ledger.window_index < target:
+            # Float boundary rounding left us a hair before the window;
+            # the timer fired for `target`, so roll to it explicitly.
+            ledger.roll(target)
+        if self.tracer is not None:
+            self.tracer.event("budget-window-roll", "tenant",
+                              f"{state.config.tenant_id}:window:{target}",
+                              tenant=state.config.tenant_id,
+                              window=ledger.window_index,
+                              lane_depth=len(state.deferred))
+        pending = list(state.deferred)
+        state.deferred.clear()
+        # Re-run admission in arrival order: a fresh window always admits
+        # at least one task (spend 0 < budget), so the lane drains even
+        # when the budget is below a single task's estimate; whatever
+        # re-defers re-arms the next boundary.
+        for event in pending:
+            self._on_tenant_event(state, event)
+
+    def set_shard_count(self, shards: int) -> int:
+        """Rebalance the key-space onto ``shards`` engine workers.
+
+        Live assignments that move shards are counted into each tenant's
+        ``shard_migrations``; replication idempotency (locks + done
+        markers per object) makes a mid-run move safe — at worst the new
+        shard's engine re-checks a done marker.  Returns total moves.
+        """
+        if self.shard_router is None:
+            raise RuntimeError("multitenancy is not enabled")
+        moved = self.shard_router.rebalance(shards)
+        total = 0
+        for tid, count in moved.items():
+            total += count
+            if tid in self.tenants:
+                self.tenants[tid].stats["shard_migrations"] += count
+        return total
+
+    def deferred_count(self) -> int:
+        """Tasks parked in tenant budget-deferral lanes."""
+        return sum(len(s.deferred) for s in self.tenants.values())
+
+    def tenant_rules(self, tenant_id: str) -> list[ReplicationRule]:
+        state = self.tenants[tenant_id]
+        return [self.rules[rid] for rid in sorted(state.shard_rules.values())]
+
+    def tenant_summary(self) -> dict:
+        """Per-tenant verdict block: counters, spend, SLO, convergence."""
+        out = {}
+        for tid in sorted(self.tenants):
+            state = self.tenants[tid]
+            rules = self.tenant_rules(tid)
+            rule_ids = {r.rule_id for r in rules}
+            delays = [r.delay for r in self.records if r.rule_id in rule_ids]
+            pending = sum(len(v) for r in rules for v in r.outstanding.values())
+            parked = sum(r.engine.backlog_size() for r in rules)
+            slo = state.config.slo_target_s
+            p99 = float(np.quantile(np.asarray(delays), 0.99)) if delays \
+                else 0.0
+            out[tid] = {
+                **state.stats,
+                "shards": len(rules),
+                "events": len(delays),
+                "pending": pending,
+                "parked": parked,
+                "deferred_lane": len(state.deferred),
+                "window_spent_usd": state.ledger.window_spent,
+                "lifetime_spent_usd": state.ledger.lifetime_spent,
+                "budget_usd": state.config.budget_usd,
+                "over_admissions": state.ledger.over_admissions(),
+                "converged": (pending == 0 and parked == 0
+                              and not state.deferred),
+                "delay_p99_s": p99,
+                "slo_target_s": slo,
+                "slo_ok": slo <= 0 or p99 <= slo,
+            }
+        return out
 
     # -- event & measurement flow ----------------------------------------------------
 
@@ -392,6 +680,26 @@ class AReplicaService:
         delays = np.asarray(self.delays()) if self.records else np.array([])
         quantile = (lambda q: float(np.quantile(delays, q))) if delays.size \
             else (lambda q: float("nan"))
+        if self.tenants:
+            # Tenant keys appear only in multi-tenant mode, keeping the
+            # single-tenant summary (and its golden hashes) untouched.
+            agg = {k: 0 for k in TENANT_STAT_KEYS}
+            for state in self.tenants.values():
+                for k in TENANT_STAT_KEYS:
+                    agg[k] += state.stats[k]
+            return {
+                "tenants": len(self.tenants),
+                "shards": self.shard_router.shards,
+                "deferred_lane": self.deferred_count(),
+                "scheduler_in_flight": self.scheduler.in_flight,
+                "scheduler_pending": self.scheduler.pending(),
+                "scheduler_dispatched": self.scheduler.total_dispatched,
+                **agg,
+                **self._base_summary(delays, quantile),
+            }
+        return self._base_summary(delays, quantile)
+
+    def _base_summary(self, delays, quantile) -> dict:
         return {
             "rules": len(self.rules),
             "replicated_events": len(self.records),
@@ -467,10 +775,11 @@ class AReplicaService:
             self.cloud.run()
         residual = self._dead_letter_count()
         parked = self.backlog_count()
+        deferred = self.deferred_count()
         return ConvergenceReport(
-            converged=residual == 0 and parked == 0,
+            converged=residual == 0 and parked == 0 and deferred == 0,
             rounds=rounds, redriven=redriven,
             residual_dead_letters=residual, parked_backlog=parked,
             backlog_peak=self.backlog_peak(), drained=self.drained_count(),
-            reclaimed_locks=reclaimed,
+            reclaimed_locks=reclaimed, deferred_tenant_tasks=deferred,
         )

@@ -51,8 +51,8 @@ import json
 from dataclasses import dataclass, field
 from typing import Optional
 
-__all__ = ["Span", "Event", "CostRecord", "Tracer", "task_ref",
-           "PHASES", "PHASE_NAMES"]
+__all__ = ["Span", "Event", "CostRecord", "Tracer", "TenantTracer",
+           "task_ref", "PHASES", "PHASE_NAMES"]
 
 #: Delay-decomposition phases, in presentation order.
 PHASES = ("N", "I", "D", "P", "S", "C")
@@ -145,6 +145,17 @@ class Tracer:
     def event(self, name: str, cat: str, task: Optional[str],
               **attrs) -> None:
         self.events.append(Event(name, cat, task, self.sim.now, attrs))
+
+    def scoped(self, tenant: str) -> "TenantTracer":
+        """A view of this tracer stamping ``tenant=`` on every record.
+
+        Installed on a tenant's engines (and, through them, their lock
+        managers) so the cross-tenant isolation invariant can key lock
+        domains, backlog lanes, and task ownership by tenant without
+        the engine ever learning about tracing internals.  Records land
+        in *this* tracer's lists — the scoped view holds no state.
+        """
+        return TenantTracer(self, tenant)
 
     # -- cost sink ---------------------------------------------------------
 
@@ -310,6 +321,37 @@ class Tracer:
             json.dump(self.chrome_trace(), fh, sort_keys=True,
                       separators=(",", ":"))
             fh.write("\n")
+
+
+class TenantTracer:
+    """Zero-state proxy adding a ``tenant`` attribute to each record.
+
+    Only the recording surface (:meth:`span` / :meth:`event`) is
+    proxied — engines emit through those two methods alone.  Everything
+    else (queries, exports, the cost sink) lives on the underlying
+    :class:`Tracer`, exposed via :attr:`base`.
+    """
+
+    __slots__ = ("base", "tenant")
+
+    def __init__(self, base: Tracer, tenant: str):
+        self.base = base
+        self.tenant = tenant
+
+    @property
+    def sim(self):
+        return self.base.sim
+
+    def span(self, name: str, cat: str, task: Optional[str],
+             start: float, end: float, **attrs) -> None:
+        attrs.setdefault("tenant", self.tenant)
+        self.base.spans.append(Span(name, cat, task, start, end, attrs))
+
+    def event(self, name: str, cat: str, task: Optional[str],
+              **attrs) -> None:
+        attrs.setdefault("tenant", self.tenant)
+        self.base.events.append(
+            Event(name, cat, task, self.base.sim.now, attrs))
 
 
 def _us(t: float) -> int:

@@ -40,6 +40,7 @@ check).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 __all__ = ["ChaosConfig", "ChaosDraws", "validate_outage_windows"]
 
@@ -132,6 +133,13 @@ class ChaosConfig:
     # -- FaaS: attempt crashes (the platform failure path) --------------
     crash_prob: float = 0.0
     crash_mean_delay_s: float = 2.0
+    #: Restrict crash injection to functions whose deployed name
+    #: contains this substring (e.g. one tenant's rule-id prefix so a
+    #: storm hits only that tenant's orchestrators).  ``None`` scopes
+    #: nothing — and, crucially, non-matching attempts still consume a
+    #: chaos draw under a scope, so scoping tenant A's storm does not
+    #: perturb the fault schedule other substrates see.
+    crash_scope: Optional[str] = None
 
     # -- notifications: at-least-once delivery faults -------------------
     notif_drop_prob: float = 0.0
@@ -209,6 +217,9 @@ class ChaosConfig:
                 raise ValueError(f"bad blackout window {window!r}")
         for name in ("faas_outages", "kv_outages", "wan_outages"):
             validate_outage_windows(name, getattr(self, name))
+        if self.crash_scope is not None and not self.crash_scope:
+            raise ValueError("crash_scope must be None or a non-empty "
+                             "substring of a function name")
 
     # -- which hooks does this config need? -----------------------------
 

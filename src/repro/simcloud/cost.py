@@ -11,7 +11,8 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass, field
 
-__all__ = ["CostCategory", "CostEntry", "CostLedger", "CostSnapshot"]
+__all__ = ["CostCategory", "CostEntry", "CostLedger", "CostSnapshot",
+           "TenantLedger", "estimate_task_cost"]
 
 
 class CostCategory:
@@ -109,3 +110,114 @@ class CostLedger:
     def breakdown(self) -> dict[str, float]:
         """Non-zero totals per category, for reporting."""
         return {k: v for k, v in self._totals.items() if v > 0}
+
+
+def estimate_task_cost(prices, src_region, dst_region, size: int) -> float:
+    """Deterministic admission-time estimate of one replication task.
+
+    The budget admission controller reserves this amount against the
+    tenant's window budget *before* dispatch.  The estimate is a pure
+    function of the object size and the region pair — egress at the
+    published per-GB rate plus a nominal request/compute surcharge — so
+    it is identical across seeds, shard counts, and execution orders:
+    the property the shard-equivalence and no-post-exhaustion-spend
+    guarantees rest on.  Actual metered spend (cold starts, retries,
+    congestion) still lands on the global :class:`CostLedger`; the
+    tenant ledger tracks reservations, which is what the hard budget
+    caps.
+    """
+    egress = prices.egress_cost(src_region, dst_region, size)
+    src_store = prices.store[src_region.provider]
+    dst_store = prices.store[dst_region.provider]
+    faas = prices.faas[src_region.provider]
+    # One GET at the source, one PUT at the destination, one
+    # orchestrator invocation at roughly one billed second of the
+    # platform's cheapest configuration — a floor, not a forecast.
+    requests = src_store.get + dst_store.put + faas.per_request
+    compute = prices.faas_compute_cost(src_region.provider, 1024, 1.0, 1.0)
+    return egress + requests + compute
+
+
+@dataclass(frozen=True)
+class TenantChargeEntry:
+    """One admission reservation against a tenant's window budget."""
+
+    time: float
+    window: int
+    amount: float
+    detail: str = ""
+
+
+class TenantLedger:
+    """Per-tenant admission spend over rolling budget windows.
+
+    Records the estimated cost of every *admitted* task (a reservation,
+    charged before dispatch) and the index of the accounting window it
+    landed in.  ``window_spent`` resets when :meth:`roll` advances the
+    window; lifetime totals are monotonic.  The admission rule the
+    service applies — admit while ``window_spent < budget`` — keeps the
+    entry stream self-certifying: within any window, the cumulative
+    spend *before* each entry is strictly below the budget, which is
+    exactly the "no post-exhaustion spend" check drills replay from
+    :attr:`entries`.
+    """
+
+    __slots__ = ("tenant_id", "budget_usd", "window_s", "window_index",
+                 "window_spent", "lifetime_spent", "entries")
+
+    def __init__(self, tenant_id: str, budget_usd: float | None,
+                 window_s: float):
+        self.tenant_id = tenant_id
+        self.budget_usd = budget_usd
+        self.window_s = window_s
+        self.window_index = 0
+        self.window_spent = 0.0
+        self.lifetime_spent = 0.0
+        self.entries: list[TenantChargeEntry] = []
+
+    def window_of(self, time: float) -> int:
+        """The accounting window a timestamp falls in."""
+        return int(time // self.window_s)
+
+    def sync(self, time: float) -> None:
+        """Advance to the window containing ``time`` (idempotent)."""
+        index = self.window_of(time)
+        if index > self.window_index:
+            self.roll(index)
+
+    def roll(self, index: int) -> None:
+        """Open window ``index``, resetting the window spend."""
+        if index <= self.window_index:
+            return
+        self.window_index = index
+        self.window_spent = 0.0
+
+    @property
+    def exhausted(self) -> bool:
+        """No further admission in the current window."""
+        return (self.budget_usd is not None
+                and self.window_spent >= self.budget_usd)
+
+    def charge(self, time: float, amount: float, detail: str = "") -> None:
+        """Reserve ``amount`` in the window containing ``time``."""
+        if amount < 0:
+            raise ValueError(f"negative tenant charge {amount}")
+        self.sync(time)
+        self.window_spent += amount
+        self.lifetime_spent += amount
+        self.entries.append(
+            TenantChargeEntry(time, self.window_index, amount, detail))
+
+    def over_admissions(self) -> int:
+        """Entries whose window had already exhausted the budget when
+        they were charged — must be zero for a correct controller."""
+        if self.budget_usd is None:
+            return 0
+        violations = 0
+        running: dict[int, float] = {}
+        for entry in self.entries:
+            before = running.get(entry.window, 0.0)
+            if before >= self.budget_usd:
+                violations += 1
+            running[entry.window] = before + entry.amount
+        return violations

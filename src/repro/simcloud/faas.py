@@ -255,6 +255,10 @@ class FaasRegion:
         #: retry, then dead-letter queue).  Off by default.
         self.chaos_crash_prob = 0.0
         self.chaos_mean_delay_s = 2.0
+        #: When set, crashes only strike deployments whose name contains
+        #: this substring; non-matching attempts still consume their
+        #: draw, keeping the seed's fault schedule scope-independent.
+        self.chaos_crash_scope = None
         self.chaos_crashes = 0
         #: Sustained-outage schedule: ``(start, end)`` windows during
         #: which the regional control plane refuses every new attempt.
@@ -279,6 +283,8 @@ class FaasRegion:
         """Adopt the FaaS knobs of a :class:`~repro.simcloud.chaos.ChaosConfig`
         (or clear them when ``chaos`` is None)."""
         self.chaos_crash_prob = chaos.crash_prob if chaos is not None else 0.0
+        self.chaos_crash_scope = (chaos.crash_scope if chaos is not None
+                                  else None)
         if chaos is not None:
             self.chaos_mean_delay_s = chaos.crash_mean_delay_s
             self.chaos_outage_windows = tuple(
@@ -516,7 +522,14 @@ class FaasRegion:
 
             watchdog_timer = self.sim.call_later(dep.timeout_s, watchdog)
             chaos_timer = None
-            if self.chaos_crash_prob and self._chaos_rng.random() < self.chaos_crash_prob:
+            # The draw precedes the scope check so a scoped storm (one
+            # tenant's functions) consumes the identical stream a
+            # global storm would — isolation tests rely on the schedule
+            # other substrates see being scope-independent.
+            if (self.chaos_crash_prob
+                    and self._chaos_rng.random() < self.chaos_crash_prob
+                    and (self.chaos_crash_scope is None
+                         or self.chaos_crash_scope in dep.name)):
                 def chaos() -> None:
                     if body.alive:
                         self.chaos_crashes += 1

@@ -45,13 +45,18 @@ def _fig12_scenario(seed: int):
     )
 
 
-def _fig23_slice(seed: int, idle_lifecycle_runner: bool = False):
+def _fig23_slice(seed: int, idle_lifecycle_runner: bool = False,
+                 idle_multitenancy: bool = False):
     """A one-minute slice of the Fig 23 busy-hour replay."""
     gen = IbmCosTraceGenerator(seed=seed)
     batches = [b for b in gen.generate_batches(60.0)]
     cloud = build_default_cloud(seed=seed)
     svc = AReplicaService(cloud, ReplicaConfig(profile_samples=5,
                                                mc_samples=300))
+    if idle_multitenancy:
+        # Scheduler + shard router built, zero tenants registered:
+        # classic rules must not route through either.
+        svc.enable_multitenancy(shards=4, max_concurrent=8)
     src = cloud.bucket("aws:us-east-1", "src")
     dst = cloud.bucket("azure:eastus", "dst")
     rule = svc.add_rule(src, dst)
@@ -98,6 +103,17 @@ class TestSeededReproducibility:
             plain = _fig23_slice(seed=seed)
             with_runner = _fig23_slice(seed=seed, idle_lifecycle_runner=True)
             assert plain == with_runner, f"seed {seed} perturbed"
+
+    def test_idle_multitenancy_is_byte_invisible(self):
+        """Multi-tenancy off == multi-tenancy absent.  A service with
+        the fair-share scheduler and shard router constructed but no
+        tenants registered must run a classic single-rule workload
+        byte-identically: no extra RNG draw, event, or ledger entry —
+        the single-tenant fast path stays one ``is None`` check."""
+        for seed in (0, 1, 2):
+            plain = _fig23_slice(seed=seed)
+            with_mt = _fig23_slice(seed=seed, idle_multitenancy=True)
+            assert plain == with_mt, f"seed {seed} perturbed"
 
 
 def _traced_export(seed: int, path):

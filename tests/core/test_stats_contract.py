@@ -9,6 +9,11 @@ honest in both directions:
 * a documented counter that no test ever references fails
   ``test_every_stats_counter_is_exercised_by_some_test`` — every key
   must be asserted somewhere in the suite.
+
+The multi-tenant control plane has its own counter surface — the
+per-tenant operational stats (``TENANT_STAT_KEYS`` in
+``core/service.py``, mutated by the service's admission router and the
+fair-share scheduler) — held to the same two-directional contract.
 """
 
 import re
@@ -16,6 +21,8 @@ from pathlib import Path
 
 import repro.core.engine as engine_mod
 import repro.core.lifecycle as lifecycle_mod
+import repro.core.scheduler as scheduler_mod
+import repro.core.service as service_mod
 
 #: Both modules that mutate ``ReplicationEngine.stats``: the engine
 #: itself and the planned-operations lifecycle layer.
@@ -60,3 +67,46 @@ def test_every_stats_counter_is_exercised_by_some_test():
     missing = [k for k in sorted(EXPECTED_KEYS)
                if f'"{k}"' not in corpus and f"'{k}'" not in corpus]
     assert not missing, f"stats counters no test references: {missing}"
+
+
+# -- per-tenant counters (TENANT_STAT_KEYS) -----------------------------------
+
+#: The modules that mutate per-tenant stats dicts: the service's
+#: admission/routing layer and the fair-share scheduler.
+TENANT_STATS_SOURCES = (Path(service_mod.__file__),
+                        Path(scheduler_mod.__file__))
+
+EXPECTED_TENANT_KEYS = frozenset({
+    "admitted", "deferred", "rejected", "fairshare_waits",
+    "shard_migrations",
+})
+
+
+def test_tenant_stat_keys_match_the_documented_set():
+    """The module constant is the single source of truth the service
+    initialises tenant counters from; keep this contract's copy and the
+    code agreeing."""
+    assert frozenset(service_mod.TENANT_STAT_KEYS) == EXPECTED_TENANT_KEYS
+
+
+def test_tenant_sources_touch_only_documented_keys():
+    """Every ``stats[...]``/``stats.get(...)`` access in the tenant
+    layers names either a documented tenant counter or a documented
+    engine counter (the service also reads engine stats when it
+    aggregates summaries) — no untracked counter surface."""
+    scraped = frozenset(key for src in TENANT_STATS_SOURCES
+                        for key in _KEY_RE.findall(src.read_text()))
+    undocumented = scraped - EXPECTED_TENANT_KEYS - EXPECTED_KEYS
+    assert not undocumented, f"untracked stats keys: {sorted(undocumented)}"
+    # And every tenant counter is genuinely mutated in the sources.
+    assert EXPECTED_TENANT_KEYS <= scraped
+
+
+def test_every_tenant_counter_is_exercised_by_some_test():
+    me = Path(__file__).resolve()
+    corpus = "\n".join(
+        p.read_text() for p in sorted(TESTS_DIR.rglob("test_*.py"))
+        if p.resolve() != me)
+    missing = [k for k in sorted(EXPECTED_TENANT_KEYS)
+               if f'"{k}"' not in corpus and f"'{k}'" not in corpus]
+    assert not missing, f"tenant counters no test references: {missing}"

@@ -119,3 +119,101 @@ class TestCommands:
         assert report["repair"]["clean"] is True
         assert report["parked_backlog"] == 0
         assert "health" in report and "engine_stats" in report
+
+
+class TestDrillAll:
+    """``drill-all`` aggregation semantics, with the real drills stubbed
+    out: one drill reporting ``pass: false`` — or crashing outright —
+    must surface as a FAIL row and a nonzero exit, never as a pass by
+    omission or an aborted roster.  (The roster's handlers resolve as
+    ``repro.cli`` module globals at call time, so monkeypatching them
+    swaps in fast fakes.)"""
+
+    HANDLERS = ("cmd_chaos_soak", "cmd_outage_drill",
+                "cmd_corruption_drill", "cmd_hedge_drill",
+                "cmd_lifecycle_drill", "cmd_tenant_drill")
+    ROSTER = ("chaos-soak", "outage-drill", "corruption-drill",
+              "hedge-drill", "lifecycle-evacuate", "lifecycle-rolling",
+              "lifecycle-switchover", "tenant-drill")
+
+    @staticmethod
+    def _passing(args):
+        import json
+
+        # No "scenario" key: the aggregator falls back to its own roster
+        # name for the row, which the tests below assert against.
+        print(json.dumps({"seed": args.seed, "pass": True}))
+        return 0
+
+    def _stub_all(self, monkeypatch, handler=None):
+        import repro.cli as cli
+
+        for name in self.HANDLERS:
+            monkeypatch.setattr(cli, name, handler or self._passing)
+
+    def test_all_pass_exits_zero_and_covers_the_roster(self, monkeypatch,
+                                                       capsys):
+        import json
+
+        self._stub_all(monkeypatch)
+        rc = main(["drill-all", "--seed", "3", "--json"])
+        report = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert report["pass"] is True
+        assert [d["scenario"] for d in report["drills"]] == list(self.ROSTER)
+        assert all(d["pass"] for d in report["drills"])
+        assert all(d["seed"] == 3 for d in report["drills"])
+
+    def test_pass_false_report_fails_the_aggregate(self, monkeypatch,
+                                                   capsys):
+        import json
+
+        def failing(args):
+            print(json.dumps({"scenario": "tenant-drill", "seed": args.seed,
+                              "pass": False}))
+            return 1
+
+        self._stub_all(monkeypatch)
+        monkeypatch.setattr("repro.cli.cmd_tenant_drill", failing)
+        rc = main(["drill-all", "--seed", "0", "--json"])
+        report = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        assert report["pass"] is False
+        verdicts = {d["scenario"]: d["pass"] for d in report["drills"]}
+        assert verdicts.pop("tenant-drill") is False
+        assert all(verdicts.values()), "an unrelated drill got blamed"
+
+    def test_raising_drill_is_a_fail_row_not_a_crash(self, monkeypatch,
+                                                     capsys):
+        import json
+
+        def exploding(args):
+            raise RuntimeError("boom")
+
+        self._stub_all(monkeypatch)
+        monkeypatch.setattr("repro.cli.cmd_outage_drill", exploding)
+        rc = main(["drill-all", "--seed", "0", "--json"])
+        report = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        assert report["pass"] is False
+        # The crash neither aborted the roster nor lost its own row.
+        assert len(report["drills"]) == len(self.ROSTER)
+        verdicts = {d["scenario"]: d["pass"] for d in report["drills"]}
+        assert verdicts["outage-drill"] is False
+        assert sum(1 for v in verdicts.values() if not v) == 1
+        failed = [r for r in report["reports"]
+                  if r.get("scenario") == "outage-drill"]
+        assert failed and "RuntimeError: boom" in failed[0]["error"]
+
+    def test_text_mode_prints_fail_verdict(self, monkeypatch, capsys):
+        def failing(args):
+            print('{"pass": false}')
+            return 1
+
+        self._stub_all(monkeypatch)
+        monkeypatch.setattr("repro.cli.cmd_hedge_drill", failing)
+        rc = main(["drill-all", "--seed", "0"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "RESULT: FAIL" in out
+        assert out.count("PASS") == len(self.ROSTER) - 1
