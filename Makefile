@@ -4,7 +4,7 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test trace-tests chaos-tests scrub-tests hedge-tests lifecycle-tests tenant-tests corruption-drill hedge-drill lifecycle-drill tenant-drill drill-all perf bench-smoke coverage
+.PHONY: test trace-tests chaos-tests scrub-tests hedge-tests lifecycle-tests tenant-tests autopilot-tests corruption-drill hedge-drill lifecycle-drill tenant-drill autopilot-drill drill-all perf bench-smoke coverage
 
 ## tier-1: the full default suite (perf benchmarks excluded via addopts)
 test:
@@ -58,6 +58,17 @@ tenant-tests:
 ## fair share, and cross-tenant isolation all verified (machine-readable)
 tenant-drill:
 	$(PY) -m repro.cli tenant-drill --seed 0 --json
+
+## just the closed-loop SLO controller (autopilot) suites
+autopilot-tests:
+	$(PY) -m pytest -q -m autopilot
+
+## SLO autopilot drill: busy hour with a mid-run load surge and a
+## regional WAN brownout -> the controller engages on both, p99
+## recovers within the settle bound, budgets hold, and audit + deep
+## scrub + trace oracle (incl. autopilot discipline) stay clean
+autopilot-drill:
+	$(PY) -m repro.cli autopilot-drill --seed 0 --json
 
 ## every drill the CLI ships, one seed, one shared report schema;
 ## exits non-zero if any drill reports pass=false

@@ -30,6 +30,18 @@ harness runs against any revision of the codebase:
   cost overhead ≤ 10%) — the PR's acceptance frontier, not a
   machine-relative throughput.
 
+* **autopilot** — the cost of the closed-loop SLO controller on the
+  busy-hour replay.  The off arm re-proves the byte-invisibility
+  claim on the bench segment (a replay with the controller
+  constructed-but-disabled must produce identical replication delays
+  to a plain replay — reported as ``autopilot_off_byte_identical``,
+  enforced exactly); the on arm arms the controller on a 30 s tick
+  and reports the wall-time ratio, enforced absolutely at
+  ``1 + max(AUTOPILOT_MAX_OVERHEAD, tolerance)``.  The controller's
+  per-tick cost is fixed while the replay's work scales, so the
+  recorded full-scale ratio is the honest overhead figure; tiny
+  ``--scale`` runs amplify it, hence the tolerance escape hatch.
+
 ``run_all`` returns a flat ``{metric: value}`` dict; ``emit`` writes
 the ``BENCH_*.json`` trajectory file; ``check_regression`` compares a
 fresh run against the latest committed file.
@@ -53,6 +65,7 @@ __all__ = [
     "bench_e2e",
     "bench_integrity",
     "bench_hedging",
+    "bench_autopilot",
     "run_all",
     "emit",
     "latest_bench_file",
@@ -363,6 +376,96 @@ def bench_hedging(requests: int = 800,
     }
 
 
+# -- autopilot ----------------------------------------------------------------
+
+#: Wall-time overhead the armed SLO controller may add to the e2e
+#: busy-hour replay at full scale, enforced absolutely by
+#: ``check_regression`` (widened to the requested tolerance when that
+#: is larger — tiny-scale runs shrink the replay's work but not the
+#: controller's fixed per-tick cost, so the ratio is not
+#: scale-invariant).
+AUTOPILOT_MAX_OVERHEAD = 0.02
+
+
+def bench_autopilot(requests: int = 1_200, repeat: int = 2) -> dict[str, float]:
+    """Autopilot cost on the busy-hour replay: off is free, on is cheap.
+
+    Three arms per round, identical seeded trace: a plain replay, a
+    replay with an ``Autopilot`` constructed but never started (the
+    determinism-golden byte-invisibility claim, re-proved here via
+    exact delay equality), and a replay with the controller armed on a
+    30 s tick for the whole simulated hour.  The overhead ratio is
+    measured *inside* the armed run — every tick is individually
+    timed, and the ratio is armed wall time over armed wall time minus
+    tick time — because everything the controller adds to the replay
+    happens in its tick (the 120 extra kernel timer events are noise-
+    level).  Comparing two separate ~half-second processes' wall
+    clocks would drown a percent-level effect in scheduler noise;
+    the in-run measurement is noise-cancelling since numerator and
+    denominator come from the same run.  Wall times are best-of-
+    ``repeat``; the simulated outputs are deterministic.
+    """
+    from repro.core.config import ReplicaConfig
+    from repro.core.service import AReplicaService
+    from repro.simcloud.cloud import build_default_cloud
+    from repro.traces.ibm_cos import IbmCosTraceGenerator
+    from repro.traces.replay import TraceReplayer
+
+    trace = IbmCosTraceGenerator(seed=7).busy_hour(total_requests=requests)
+
+    def arm(armed: bool, idle_controller: bool = False):
+        cloud = build_default_cloud(seed=7)
+        kwargs: dict = dict(profile_samples=8)
+        if armed:
+            kwargs.update(enable_autopilot=True, autopilot_interval_s=30.0,
+                          autopilot_window_s=120.0)
+        service = AReplicaService(cloud, ReplicaConfig(**kwargs))
+        src = cloud.bucket("aws:us-east-1", "src")
+        dst = cloud.bucket("azure:eastus", "dst")
+        service.add_rule(src, dst)
+        if idle_controller:
+            from repro.core.autopilot import Autopilot
+
+            Autopilot(service)          # constructed, never started
+        tick_cost = 0.0
+        if armed:
+            autopilot = service.autopilot
+            inner = autopilot._tick
+
+            def timed_tick() -> None:
+                nonlocal tick_cost
+                t = time.perf_counter()
+                inner()
+                tick_cost += time.perf_counter() - t
+
+            autopilot._tick = timed_tick
+            autopilot.start(duration_s=3600.0)
+        replayer = TraceReplayer(cloud, src)
+        t0 = time.perf_counter()
+        replayer.replay_all(trace)
+        seconds = time.perf_counter() - t0
+        if armed:
+            service.autopilot.stop()
+        return seconds, tick_cost, tuple(service.delays())
+
+    best_off = best_on = best_ratio = math.inf
+    identical = True
+    for _ in range(max(1, repeat)):
+        plain_s, _, plain_delays = arm(False)
+        idle_s, _, idle_delays = arm(False, idle_controller=True)
+        identical = identical and idle_delays == plain_delays
+        on_s, ticks_s, _ = arm(True)
+        best_off = min(best_off, plain_s, idle_s)
+        best_on = min(best_on, on_s)
+        best_ratio = min(best_ratio, on_s / max(on_s - ticks_s, 1e-12))
+    return {
+        "autopilot_off_byte_identical": 1.0 if identical else 0.0,
+        "autopilot_off_seconds": best_off,
+        "autopilot_on_seconds": best_on,
+        "autopilot_on_overhead_ratio": best_ratio,
+    }
+
+
 # -- orchestration ------------------------------------------------------------
 
 
@@ -391,6 +494,9 @@ def run_all(scale: float = 1.0, repeat: int = 3,
                                 repeat=max(1, repeat - 1))
     note("hedging: stalled replay, cloning off vs on ...")
     hedging = bench_hedging(requests=scaled(800, 200))
+    note("autopilot: controller disabled / idle / armed replay ...")
+    autopilot = bench_autopilot(requests=scaled(1_200, 100),
+                                repeat=max(1, repeat - 1))
     return {
         "kernel_events_per_s": kernel,
         "planner_cold_plans_per_s": cold,
@@ -400,6 +506,7 @@ def run_all(scale: float = 1.0, repeat: int = 3,
         "e2e_reqs_per_s": rate,
         "integrity_overhead_ratio": integrity,
         **hedging,
+        **autopilot,
     }
 
 
@@ -470,6 +577,19 @@ def check_regression(current: dict[str, float], reference: dict,
             f"integrity_overhead_ratio: verification-on replay is "
             f"{ratio - 1:.0%} slower than verification-off "
             f"(tolerance {tolerance:.0%})")
+    identical = current.get("autopilot_off_byte_identical")
+    if identical is not None and identical != 1.0:
+        warnings.append(
+            "autopilot_off_byte_identical: replay with the controller "
+            "constructed-but-disabled diverged from the plain replay "
+            "(enable_autopilot=False must be byte-invisible)")
+    ap_ratio = current.get("autopilot_on_overhead_ratio")
+    ap_ceiling = 1.0 + max(AUTOPILOT_MAX_OVERHEAD, tolerance)
+    if ap_ratio is not None and ap_ratio > ap_ceiling:
+        warnings.append(
+            f"autopilot_on_overhead_ratio: armed controller made the "
+            f"busy-hour replay {ap_ratio - 1:.0%} slower (ceiling "
+            f"{ap_ceiling - 1:.0%})")
     for metric in THROUGHPUT_METRICS:
         ref = bar.get(metric)
         cur = current.get(metric)

@@ -12,6 +12,7 @@ Mirrors the published LambdaReplica CLI against the simulated clouds:
     areplica hedge-drill --seed 0 --json
     areplica lifecycle-drill --scenario evacuate --chaos --hedging --json
     areplica tenant-drill --tenants 1000 --shards 4 --json
+    areplica autopilot-drill --seed 0 --json
     areplica drill-all --seed 0
 
 All commands accept ``--seed`` for reproducibility.
@@ -937,6 +938,230 @@ def cmd_tenant_drill(args) -> int:
     return 0 if clean else 1
 
 
+def cmd_autopilot_drill(args) -> int:
+    """Closed-loop autopilot drill: surge + brownout, bounded recovery.
+
+    Runs a small multi-tenant service with the SLO autopilot armed,
+    replays a steady baseline workload, then injects two disturbances —
+    a mid-run load surge (a burst far above the dispatch gate's drain
+    rate) and, later, a WAN brownout of the destination region — and
+    verifies the controller end to end: it *engages* on each
+    disturbance (≥1 actuation inside each accounting window), every
+    disturbance episode *settles* (windowed per-tenant p99 back under
+    ``slo_target_s``) within the bound, spend stays inside every
+    tenant's budget, and convergence + quiescent audit + deep scrub +
+    the trace oracle (including the autopilot-discipline invariants:
+    bounds, cooldowns, cordon holds) are all clean.
+    """
+    from repro.core.audit import ReplicationAuditor
+    from repro.core.config import ReplicaConfig, TenantConfig
+    from repro.core.invariants import TraceChecker
+    from repro.core.repair import AntiEntropyScanner
+    from repro.core.service import AReplicaService
+    from repro.simcloud.chaos import ChaosConfig
+    from repro.simcloud.cloud import build_default_cloud
+    from repro.simcloud.cost import estimate_task_cost
+    from repro.simcloud.objectstore import Blob
+
+    cloud = build_default_cloud(seed=args.seed)
+    hedging = {}
+    if getattr(args, "hedging", False):
+        hedging = dict(
+            hedging_enabled=True,
+            hedge_deadline_quantile=args.hedge_quantile,
+            hedge_min_samples=args.hedge_min_samples,
+            hedge_min_part_bytes=args.hedge_min_part_bytes,
+            max_clones_per_part=args.max_clones,
+        )
+    config = ReplicaConfig(
+        profile_samples=args.profile_samples,
+        tracing_enabled=True,
+        enable_autopilot=True,
+        autopilot_interval_s=args.autopilot_interval,
+        autopilot_window_s=args.autopilot_window,
+        autopilot_cooldown_s=args.cooldown,
+        autopilot_settle_s=args.settle_bound,
+        **hedging)
+    service = AReplicaService(cloud, config)
+    service.enable_multitenancy(shards=args.shards,
+                                max_concurrent=args.max_concurrent)
+
+    probe_src = cloud.bucket(args.src, "profile-probe-src")
+    probe_dst = cloud.bucket(args.dst, "profile-probe-dst")
+    service.profiler.ensure_path(args.src, probe_src, probe_dst)
+    if args.dst != args.src:
+        service.profiler.ensure_path(args.dst, probe_src, probe_dst)
+
+    size = args.object_size
+    # Budgets are generous — this drill tests latency control, not
+    # admission control — but real: the burn-rate signal stays live and
+    # gate (c) still demands zero over-admissions and in-window spend.
+    task_cost = estimate_task_cost(cloud.prices, probe_src.region,
+                                   probe_dst.region, size)
+    budget = args.budget_tasks * task_cost
+    states = []
+    for i in range(args.tenants):
+        tid = f"ap{i:03d}"
+        src = cloud.bucket(args.src, f"{tid}-src")
+        dst = cloud.bucket(args.dst, f"{tid}-dst")
+        tc = TenantConfig(
+            tenant_id=tid,
+            buckets=(src.name, dst.name),
+            slo_target_s=args.tenant_slo,
+            budget_usd=budget,
+            budget_window_s=args.budget_window,
+        )
+        states.append(service.add_tenant(tc, src, dst))
+
+    # Disturbance two: a WAN brownout of the destination region.  WAN
+    # legs touching the region stall until the window closes — unlike a
+    # FaaS outage there is no degraded route around it, so the tail
+    # inflates and the controller must react.  Scheduled up front
+    # (absolute windows), like outage-drill.
+    horizon = args.horizon
+    base = cloud.sim.now   # offline profiling consumed simulated time
+    brownout = (args.dst, base + args.brownout_at, args.brownout_duration)
+    storm = {}
+    if args.chaos:
+        storm = dict(crash_prob=0.02, notif_drop_prob=0.02,
+                     notif_dup_prob=0.02, kv_reject_prob=0.02,
+                     kv_delay_prob=0.02, wan_stall_prob=0.01)
+    cloud.apply_chaos(ChaosConfig(wan_outages=(brownout,), **storm))
+
+    # Steady baseline keeps every tenant's p99 window warm for the whole
+    # run; disturbance one is a surge burst far above the dispatch
+    # gate's drain rate, queueing work and blowing the windowed p99
+    # through the target.
+    rng = cloud.rngs.stream("autopilot-drill")
+    puts = []
+    for j in range(args.requests):
+        state = states[j % len(states)]
+        t = float(rng.random()) * horizon
+        puts.append((t, state, f"obj-{j % 8}"))
+    for j in range(args.surge_requests):
+        state = states[int(rng.integers(len(states)))]
+        t = args.surge_at + float(rng.random()) * args.surge_duration
+        puts.append((t, state, f"surge-{j % 8}"))
+    for t, state, key in puts:
+        cloud.sim.call_at(
+            base + t, lambda b=state.src_bucket, k=key: b.put_object(
+                k, Blob.fresh(size), cloud.sim.now))
+
+    # Arm the controller past the horizon so the post-brownout episode
+    # can close (the p99 window must age the inflated samples out).
+    service.autopilot.start(horizon + 2 * args.settle_bound)
+
+    if not args.json:
+        print(f"autopilot drill: {args.tenants} tenants on {args.shards} "
+              f"shard(s), {len(puts)} PUTs over {horizon:.0f}s; surge at "
+              f"t={args.surge_at:.0f}s (+{args.surge_requests}), brownout "
+              f"of {args.dst} at t={args.brownout_at:.0f}s "
+              f"({args.brownout_duration:.0f}s, "
+              f"chaos={'on' if args.chaos else 'off'}) ...")
+
+    convergence = service.run_to_convergence()
+    cloud.apply_chaos(None)
+    autopilot = service.autopilot
+    autopilot.stop()
+    audit = ReplicationAuditor(service).audit(quiescent=True)
+    repair = AntiEntropyScanner(service).scan(redrive=True, scrub=True,
+                                              reap_uploads=True)
+    if repair.redriven:
+        convergence = service.run_to_convergence()
+        audit = ReplicationAuditor(service).audit(quiescent=True)
+        repair = AntiEntropyScanner(service).scan(redrive=False, scrub=True)
+    trace_report = TraceChecker(service).check()
+
+    # Gate (a): the controller engaged on each disturbance — at least
+    # one actuation inside each disturbance's accounting window
+    # [start, start + settle bound].
+    def engaged_in(start: float) -> int:
+        lo, hi = base + start, base + start + args.settle_bound
+        return sum(1 for a in autopilot.controller.changelog
+                   if lo <= a.time <= hi)
+    surge_actuations = engaged_in(args.surge_at)
+    brownout_actuations = engaged_in(args.brownout_at)
+
+    # Gate (b): every disturbance episode closed (windowed p99 back
+    # under target) within the settle bound.
+    settles = list(autopilot.stats["settle_time_s"])
+    open_episodes = sum(1 for s, e in autopilot.episodes if e is None)
+    settled = (not open_episodes
+               and all(s <= args.settle_bound for s in settles))
+
+    # Gate (c): spend stayed inside every tenant budget.
+    tenants = service.tenant_summary()
+    over_admitted = sorted(t for t, row in tenants.items()
+                           if row["over_admissions"] > 0)
+    over_budget = sorted(
+        t for t, row in tenants.items()
+        if row["budget_usd"] is not None
+        and row["window_spent_usd"] > row["budget_usd"])
+    unconverged = sorted(t for t, row in tenants.items()
+                         if not row["converged"])
+
+    clean = (convergence.converged and audit.clean and repair.clean
+             and trace_report.clean and not unconverged
+             and surge_actuations > 0 and brownout_actuations > 0
+             and settled and len(autopilot.episodes) >= 2
+             and not over_admitted and not over_budget
+             and service.pending_count() == 0)
+
+    extra = {
+        "tenants": len(tenants),
+        "requests": len(puts),
+        "chaos": bool(args.chaos),
+        "autopilot": autopilot.snapshot(),
+        "surge_actuations": surge_actuations,
+        "brownout_actuations": brownout_actuations,
+        "episodes": len(autopilot.episodes),
+        "open_episodes": open_episodes,
+        "settle_times_s": settles,
+        "settle_bound_s": args.settle_bound,
+        "convergence": {
+            "converged": convergence.converged,
+            "rounds": convergence.rounds,
+            "redriven": convergence.redriven,
+            "residual_dead_letters": convergence.residual_dead_letters,
+            "parked_backlog": convergence.parked_backlog,
+            "deferred_tenant_tasks": convergence.deferred_tenant_tasks,
+        },
+        "audit_clean": audit.clean,
+        "repair": repair.to_dict(),
+        "trace_clean": trace_report.clean,
+        "trace_checked": trace_report.checked,
+        "trace_findings": [str(f) for f in trace_report.findings],
+        "unconverged_tenants": unconverged,
+        "over_admitted_tenants": over_admitted,
+        "over_budget_tenants": over_budget,
+        "tenant_verdicts": tenants,
+        "result": "PASS" if clean else "FAIL",
+    }
+    if args.json:
+        _print_json(_machine_report(cloud, service, None, extra,
+                                    scenario="autopilot-drill",
+                                    seed=args.seed, passed=clean))
+        return 0 if clean else 1
+
+    ap_stats = autopilot.stats
+    print(f"actuations={ap_stats['actuations']} clamps={ap_stats['clamps']} "
+          f"cooldown_skips={ap_stats['cooldown_skips']} "
+          f"cordon_holds={ap_stats['cordon_holds']}")
+    print(f"engagement: surge={surge_actuations} "
+          f"brownout={brownout_actuations}; episodes="
+          f"{len(autopilot.episodes)} ({open_episodes} open), settles="
+          f"{['%.0fs' % s for s in settles]} (bound "
+          f"{args.settle_bound:.0f}s)")
+    for a in autopilot.controller.changelog:
+        print(f"  {a}")
+    print("recovery: " + convergence.render())
+    print(audit.render())
+    print(repair.render())
+    print(trace_report.render())
+    print("RESULT: " + ("PASS" if clean else "FAIL"))
+    return 0 if clean else 1
+
+
 def cmd_drill_all(args) -> int:
     """Run every drill at one seed and fail on any non-PASS.
 
@@ -963,6 +1188,7 @@ def cmd_drill_all(args) -> int:
         ("lifecycle-switchover", cmd_lifecycle_drill,
          ["lifecycle-drill", "--scenario", "switchover"]),
         ("tenant-drill", cmd_tenant_drill, ["tenant-drill"]),
+        ("autopilot-drill", cmd_autopilot_drill, ["autopilot-drill"]),
     ]
     parser = build_parser()
     rows = []
@@ -1387,11 +1613,67 @@ def build_parser() -> argparse.ArgumentParser:
     tenant.add_argument("--json", action="store_true",
                         help="emit the machine-readable report instead "
                              "of text")
+    autop = sub.add_parser(
+        "autopilot-drill",
+        help="replay a busy-hour workload with a mid-run load surge and a "
+             "regional WAN brownout under the SLO autopilot and verify it "
+             "engages, recovers p99 within the settle bound, and stays "
+             "inside budgets")
+    common(autop, with_size=False)
+    autop.add_argument("--tenants", type=int, default=4,
+                       help="tenants to register (own buckets and budget "
+                            "each)")
+    autop.add_argument("--shards", type=int, default=2,
+                       help="engine workers the key-space is "
+                            "consistent-hashed across")
+    autop.add_argument("--requests", type=int, default=240,
+                       help="baseline PUTs spread uniformly over the "
+                            "horizon (keeps the p99 window warm)")
+    autop.add_argument("--object-size", type=parse_size,
+                       default=parse_size("64KB"),
+                       help="PUT size (small keeps the inline path hot)")
+    autop.add_argument("--horizon", type=float, default=1500.0,
+                       help="workload duration in seconds")
+    autop.add_argument("--max-concurrent", type=int, default=4,
+                       help="fair-share dispatch gate the surge must "
+                            "overwhelm (the autopilot's main actuator)")
+    autop.add_argument("--tenant-slo", type=float, default=60.0,
+                       help="per-tenant p99 delay target in seconds")
+    autop.add_argument("--budget-tasks", type=float, default=400.0,
+                       help="per-tenant budget in admitted tasks per window")
+    autop.add_argument("--budget-window", type=float, default=600.0,
+                       help="budget window length in seconds")
+    autop.add_argument("--surge-at", type=float, default=180.0,
+                       help="surge burst start, seconds into the trace")
+    autop.add_argument("--surge-duration", type=float, default=120.0,
+                       help="surge burst length in seconds")
+    autop.add_argument("--surge-requests", type=int, default=2400,
+                       help="extra PUTs packed into the surge burst")
+    autop.add_argument("--brownout-at", type=float, default=900.0,
+                       help="WAN brownout start, seconds into the trace")
+    autop.add_argument("--brownout-duration", type=float, default=120.0,
+                       help="WAN brownout length in seconds")
+    autop.add_argument("--autopilot-interval", type=float, default=30.0,
+                       help="controller tick cadence in seconds")
+    autop.add_argument("--autopilot-window", type=float, default=300.0,
+                       help="trailing window for the per-tenant p99")
+    autop.add_argument("--cooldown", type=float, default=90.0,
+                       help="post-actuation cooldown per knob in seconds")
+    autop.add_argument("--settle-bound", type=float, default=600.0,
+                       help="max seconds a disturbance episode may take to "
+                            "settle (and the engagement accounting window)")
+    autop.add_argument("--chaos", action="store_true",
+                       help="layer a probabilistic chaos storm over the "
+                            "disturbances")
+    autop.add_argument("--json", action="store_true",
+                       help="emit the machine-readable report instead of "
+                            "text")
+    hedging_knobs(autop)
     drill_all = sub.add_parser(
         "drill-all",
         help="run chaos-soak, outage-drill, corruption-drill, hedge-drill, "
-             "the three lifecycle drills, and tenant-drill at one seed; "
-             "fail on any non-PASS")
+             "the three lifecycle drills, tenant-drill, and autopilot-drill "
+             "at one seed; fail on any non-PASS")
     drill_all.add_argument("--seed", type=int, default=0)
     drill_all.add_argument("--json", action="store_true",
                            help="emit the aggregated machine-readable "
@@ -1435,6 +1717,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         "hedge-drill": cmd_hedge_drill,
         "lifecycle-drill": cmd_lifecycle_drill,
         "tenant-drill": cmd_tenant_drill,
+        "autopilot-drill": cmd_autopilot_drill,
         "drill-all": cmd_drill_all,
         "bench-perf": cmd_bench_perf,
     }

@@ -146,6 +146,29 @@ class ReplicaConfig:
     #: at the cordoned region to finish before moving on (the remainder
     #: is parked and migrated through the backlog, never dropped).
     drain_deadline_s: float = 180.0
+    #: SLO autopilot (core/autopilot.py): a closed-loop controller that
+    #: retunes engine knobs online from windowed per-tenant SLO error
+    #: and budget burn-rate.  Off by default, and the disabled path is
+    #: byte-invisible: no controller is constructed, no timer armed, no
+    #: probe sampled — runs with and without the flag are identical.
+    enable_autopilot: bool = False
+    #: Controller cadence: one observe → decide → actuate tick per
+    #: interval while the autopilot is started.
+    autopilot_interval_s: float = 60.0
+    #: Trailing window over per-tenant delay samples feeding the
+    #: windowed p99 the SLO error is computed from.
+    autopilot_window_s: float = 300.0
+    #: Hysteresis dead-band on every controller error signal: no knob
+    #: moves while the signal sits within ±deadband of its target, so
+    #: the controller cannot oscillate around a satisfied SLO.
+    autopilot_deadband: float = 0.15
+    #: Post-actuation cooldown per knob: once a knob moves, it holds
+    #: for at least this long before the controller may move it again.
+    autopilot_cooldown_s: float = 120.0
+    #: Settle bound: a disturbance episode (SLO error leaving the dead-
+    #: band) must recover (windowed p99 back under target) within this
+    #: many seconds for the autopilot drill to pass.
+    autopilot_settle_s: float = 900.0
 
     def __post_init__(self) -> None:
         if self.slo_seconds < 0:
@@ -174,6 +197,16 @@ class ReplicaConfig:
             raise ValueError("hedge_min_samples must be >= 1")
         if self.drain_deadline_s <= 0:
             raise ValueError("drain_deadline_s must be positive")
+        if self.autopilot_interval_s <= 0:
+            raise ValueError("autopilot_interval_s must be positive")
+        if self.autopilot_window_s <= 0:
+            raise ValueError("autopilot_window_s must be positive")
+        if not 0.0 < self.autopilot_deadband < 1.0:
+            raise ValueError("autopilot_deadband must be in (0, 1)")
+        if self.autopilot_cooldown_s < 0:
+            raise ValueError("autopilot_cooldown_s must be >= 0")
+        if self.autopilot_settle_s <= 0:
+            raise ValueError("autopilot_settle_s must be positive")
 
     @property
     def slo_enabled(self) -> bool:

@@ -28,7 +28,6 @@ from dataclasses import dataclass
 from types import GeneratorType
 from typing import Optional, Protocol
 
-from repro.analysis.stats import latest_window_percentile
 from repro.core.changelog import ChangelogOp, ChangelogStore
 from repro.core.config import ReplicaConfig
 from repro.core.health import BreakerState, HealthTracker, NoRouteAvailable
@@ -1703,15 +1702,14 @@ class ReplicationEngine:
         """
         cfg = self.config
         cutoff = now - cfg.hedge_window_s
-        times, values = self._hedge_samples.window(cutoff)
+        _times, values = self._hedge_samples.window(cutoff)
         if len(values) < cfg.hedge_min_samples:
             return None
         # Bound the sample buffer: anything older than a full window
         # behind the cutoff can never be read again.
         self._hedge_samples.discard_before(cutoff - cfg.hedge_window_s)
-        return latest_window_percentile(times, values,
-                                        cfg.hedge_deadline_quantile,
-                                        cfg.hedge_window_s, now)
+        return self._hedge_samples.window_percentile(
+            cfg.hedge_deadline_quantile, cfg.hedge_window_s, now)
 
     def _fire_hedge(self, ctx, task, idx, seq, deadline_s, elapsed):
         """Process: launch one speculative clone of part ``idx``.

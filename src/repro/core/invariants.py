@@ -55,7 +55,13 @@ the spans and events a :class:`~repro.core.tracing.Tracer` recorded:
   task (one task id maps to exactly one tenant), and lock-domain
   traffic must stay inside the owning tenant's rules — a record
   claiming tenant A on tenant B's rule is control-plane bleed between
-  tenants, the failure mode sharding exists to exclude.
+  tenants, the failure mode sharding exists to exclude;
+* **autopilot discipline** — every ``autopilot`` actuation span must
+  keep its knob inside the declared ``[lo, hi]`` guardrails, respect
+  the declared post-actuation cooldown against the previous actuation
+  of the same knob, and never land strictly inside an administrative
+  cordon window (planned operations own the system; a controller
+  retuning knobs mid-evacuation is the guarded-rollout violation).
 
 A clean report turns every chaos/outage scenario into a *checked
 execution*: the oracle is the property, not a per-scenario assert.
@@ -89,7 +95,8 @@ class TraceFinding:
                 # | hedge-unresolved | hedge-double-resolve
                 # | hedge-outcome | double-finalize
                 # | switchover-discipline | cordon-violation
-                # | tenant-isolation
+                # | tenant-isolation | autopilot-bounds
+                # | autopilot-cooldown | autopilot-cordon
     subject: str   # task id, object key, or backlog id
     detail: str
 
@@ -149,6 +156,7 @@ class TraceChecker:
         self._check_switchover(tr, report)
         self._check_cordons(tr, report)
         self._check_tenants(tr, report)
+        self._check_autopilot(tr, report)
         return report
 
     # -- 1. clock sanity ---------------------------------------------------
@@ -573,6 +581,73 @@ class TraceChecker:
                         f"{e.name} admitted into cordoned faas region "
                         f"{region!r} at t={e.time:.3f} (window "
                         f"[{start:.3f}, {end:.3f}))"))
+                    break
+
+    # -- autopilot discipline -----------------------------------------------
+
+    def _check_autopilot(self, tr: Tracer, report: TraceReport) -> None:
+        """Actuations stay in-bounds, cooled-down, and outside cordons.
+
+        Every actuation is a zero-width ``autopilot`` span carrying the
+        knob's declared guardrails (``lo``/``hi``), the value moved from
+        and to, and the controller's ``cooldown_s`` — which makes the
+        guarded-rollout contract checkable offline: a value outside the
+        declared bounds means a clamp was bypassed; two actuations of
+        one knob closer than the cooldown means the rate limit failed;
+        an actuation strictly inside *any* administrative cordon window
+        (any substrate — the autopilot must hold while planned
+        operations own the system) is a controller fighting an
+        operator.  Actuations at a window's edges are legal, mirroring
+        the admission-cordon rule.
+        """
+        acts = [s for s in tr.spans if s.cat == "autopilot"]
+        report.checked["autopilot_actuations"] = len(acts)
+        if not acts:
+            return
+        last_by_knob: dict[str, float] = {}
+        for s in acts:
+            knob = s.attrs.get("knob", "?")
+            lo, hi = s.attrs.get("lo"), s.attrs.get("hi")
+            for label, value in (("old", s.attrs.get("old")),
+                                 ("new", s.attrs.get("new"))):
+                if value is None or lo is None or hi is None or \
+                        lo - _EPS <= value <= hi + _EPS:
+                    continue
+                report.findings.append(TraceFinding(
+                    "autopilot-bounds", knob,
+                    f"actuation at t={s.start:.3f} has {label} value "
+                    f"{value!r} outside declared [{lo}, {hi}]"))
+            cooldown = s.attrs.get("cooldown_s", 0.0)
+            prev = last_by_knob.get(knob)
+            if prev is not None and s.start - prev < cooldown - _EPS:
+                report.findings.append(TraceFinding(
+                    "autopilot-cooldown", knob,
+                    f"actuations at t={prev:.3f} and t={s.start:.3f} "
+                    f"violate the {cooldown:g}s cooldown"))
+            last_by_knob[knob] = s.start
+        # Cordon windows across every substrate: the autopilot holds
+        # globally while any planned operation is in flight.
+        windows: dict[tuple, list[list[float]]] = {}
+        for e in tr.events:
+            if e.cat != "lifecycle" or e.name not in ("cordon", "uncordon"):
+                continue
+            ref = (e.attrs.get("substrate"), e.attrs.get("region"))
+            if e.name == "cordon":
+                windows.setdefault(ref, []).append([e.time, math.inf])
+            else:
+                open_windows = windows.get(ref, ())
+                if open_windows and open_windows[-1][1] == math.inf:
+                    open_windows[-1][1] = e.time
+        for s in acts:
+            for ref, spans in windows.items():
+                hit = next((w for w in spans
+                            if w[0] + _EPS < s.start < w[1] - _EPS), None)
+                if hit is not None:
+                    report.findings.append(TraceFinding(
+                        "autopilot-cordon", s.attrs.get("knob", "?"),
+                        f"actuation at t={s.start:.3f} inside cordon "
+                        f"window [{hit[0]:.3f}, {hit[1]:.3f}) on "
+                        f"{ref[1]!r}"))
                     break
 
     # -- tenant isolation ---------------------------------------------------

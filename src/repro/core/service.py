@@ -220,6 +220,14 @@ class AReplicaService:
         #: Planner clones keyed by tenant override signature (tenants
         #: without overrides share self.planner and its PlanCache).
         self._tenant_planners: dict[tuple, StrategyPlanner] = {}
+        #: Closed-loop SLO controller (ReplicaConfig.enable_autopilot).
+        #: Construction is side-effect free; nothing runs until
+        #: ``service.autopilot.start(duration_s)`` arms the tick loop,
+        #: so the disabled default stays byte-invisible.
+        self.autopilot = None
+        if self.config.enable_autopilot:
+            from repro.core.autopilot import Autopilot
+            self.autopilot = Autopilot(self)
 
     # -- rule management ---------------------------------------------------------
 
@@ -600,7 +608,14 @@ class AReplicaService:
             rule.closed[result.key] = (result.seq, result.visible_time)
         waiting = rule.outstanding.get(result.key, [])
         satisfied = [w for w in waiting if w[0] <= result.seq]
-        rule.outstanding[result.key] = [w for w in waiting if w[0] > result.seq]
+        remaining = [w for w in waiting if w[0] > result.seq]
+        if remaining:
+            rule.outstanding[result.key] = remaining
+        else:
+            # Drop drained keys: pending_count() and the monitor's
+            # backlog probe iterate this dict, and empty lists would
+            # accumulate one per key ever written.
+            rule.outstanding.pop(result.key, None)
         for seq, event_time, kind in satisfied:
             self.records.append(ReplicationRecord(
                 rule_id=rule_id, key=result.key, seq=seq, kind=kind,

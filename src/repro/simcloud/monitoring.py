@@ -16,6 +16,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro.analysis.stats import latest_window_percentile
 from repro.analysis.textchart import series_strip
 from repro.simcloud.sim import Simulator
 
@@ -74,6 +75,21 @@ class TimeSeries:
             self.times, end)
         return self.times[lo:hi], self.values[lo:hi]
 
+    def window_percentile(self, p: float, window_s: float,
+                          now: float) -> Optional[float]:
+        """The p-quantile of the samples in ``[now - window_s, now]``.
+
+        Thin accessor over :func:`repro.analysis.stats.
+        latest_window_percentile`, preserving its explicit ``None``
+        sentinel for a cold signal (no samples in the window).  Every
+        decision path that derives a threshold from a trailing window —
+        the hedge deadline, the autopilot's SLO error — goes through
+        this one fail-closed quantile, so a cold window can never leak
+        a NaN into a comparison.
+        """
+        return latest_window_percentile(self.times, self.values, p,
+                                        window_s, now)
+
     def discard_before(self, cutoff: float) -> None:
         """Drop samples older than ``cutoff`` (bounded-memory trailing
         windows: a busy-hour replay records one sample per part)."""
@@ -90,11 +106,20 @@ class TimeSeries:
 class CloudMonitor:
     """Periodic sampler of standard cloud/service health metrics."""
 
-    def __init__(self, sim: Simulator, interval_s: float = 10.0):
+    def __init__(self, sim: Simulator, interval_s: float = 10.0,
+                 retention_s: Optional[float] = None):
         if interval_s <= 0:
             raise ValueError("interval_s must be positive")
+        if retention_s is not None and retention_s <= 0:
+            raise ValueError("retention_s must be positive (or None)")
         self.sim = sim
         self.interval_s = interval_s
+        #: Trailing retention window: samples older than ``retention_s``
+        #: are discarded on every sampling tick, bounding the monitor's
+        #: memory on long runs (a scale-100 busy hour would otherwise
+        #: grow every probe series without limit).  ``None`` keeps the
+        #: historical keep-everything behaviour for plotting runs.
+        self.retention_s = retention_s
         self.series: dict[str, TimeSeries] = {}
         self._probes: list[tuple[str, Callable[[], float]]] = []
         self._running = False
@@ -157,9 +182,15 @@ class CloudMonitor:
             timer.cancel()
 
     def sample(self) -> None:
-        """Take one sample of every probe, now."""
+        """Take one sample of every probe, now (pruning expired samples
+        when a retention window is configured)."""
+        now = self.sim.now
+        cutoff = None if self.retention_s is None else now - self.retention_s
         for name, fn in self._probes:
-            self.series[name].record(self.sim.now, fn())
+            ts = self.series[name]
+            ts.record(now, fn())
+            if cutoff is not None:
+                ts.discard_before(cutoff)
 
     # -- reporting ----------------------------------------------------------------
 

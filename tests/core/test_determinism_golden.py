@@ -46,7 +46,8 @@ def _fig12_scenario(seed: int):
 
 
 def _fig23_slice(seed: int, idle_lifecycle_runner: bool = False,
-                 idle_multitenancy: bool = False):
+                 idle_multitenancy: bool = False,
+                 idle_autopilot: bool = False):
     """A one-minute slice of the Fig 23 busy-hour replay."""
     gen = IbmCosTraceGenerator(seed=seed)
     batches = [b for b in gen.generate_batches(60.0)]
@@ -63,6 +64,9 @@ def _fig23_slice(seed: int, idle_lifecycle_runner: bool = False,
     if idle_lifecycle_runner:
         from repro.core.lifecycle import OperationsRunner
         OperationsRunner(svc, rule.rule_id)  # constructed, never scheduled
+    if idle_autopilot:
+        from repro.core.autopilot import Autopilot
+        Autopilot(svc)  # constructed, never started
     TraceReplayer(cloud, src).replay_all_batches(batches)
     return (
         svc.delays(),
@@ -114,6 +118,18 @@ class TestSeededReproducibility:
             plain = _fig23_slice(seed=seed)
             with_mt = _fig23_slice(seed=seed, idle_multitenancy=True)
             assert plain == with_mt, f"seed {seed} perturbed"
+
+    def test_idle_autopilot_is_byte_invisible(self):
+        """Autopilot off == autopilot absent.  An ``Autopilot`` that is
+        constructed but never started must not shift a single RNG draw,
+        event, timer, or ledger entry: construction is side-effect free
+        (the monitor, probes, and knob registry are built lazily in
+        ``start()``), so ``enable_autopilot=False`` — where nothing is
+        even constructed — is byte-invisible a fortiori."""
+        for seed in (0, 1, 2):
+            plain = _fig23_slice(seed=seed)
+            with_ap = _fig23_slice(seed=seed, idle_autopilot=True)
+            assert plain == with_ap, f"seed {seed} perturbed"
 
 
 def _traced_export(seed: int, path):

@@ -19,6 +19,7 @@ fair-share scheduler) — held to the same two-directional contract.
 import re
 from pathlib import Path
 
+import repro.core.autopilot as autopilot_mod
 import repro.core.engine as engine_mod
 import repro.core.lifecycle as lifecycle_mod
 import repro.core.scheduler as scheduler_mod
@@ -110,3 +111,44 @@ def test_every_tenant_counter_is_exercised_by_some_test():
     missing = [k for k in sorted(EXPECTED_TENANT_KEYS)
                if f'"{k}"' not in corpus and f"'{k}'" not in corpus]
     assert not missing, f"tenant counters no test references: {missing}"
+
+
+# -- autopilot counters (AUTOPILOT_STAT_KEYS) ---------------------------------
+
+#: The only module that mutates the autopilot's operational counters:
+#: the controller itself (the service just holds a reference).
+AUTOPILOT_STATS_SOURCES = (Path(autopilot_mod.__file__),)
+
+EXPECTED_AUTOPILOT_KEYS = frozenset({
+    "actuations", "clamps", "cooldown_skips", "cordon_holds",
+    "settle_time_s",
+})
+
+
+def test_autopilot_stat_keys_match_the_documented_set():
+    """``AUTOPILOT_STAT_KEYS`` is the single source of truth both the
+    controller and the autopilot initialise their stats dicts from;
+    keep this contract's copy and the code agreeing."""
+    assert frozenset(autopilot_mod.AUTOPILOT_STAT_KEYS) == \
+        EXPECTED_AUTOPILOT_KEYS
+
+
+def test_autopilot_source_touches_only_documented_keys():
+    """Every ``stats[...]``/``stats.get(...)`` access in the autopilot
+    names a documented counter — no untracked counter surface — and
+    every documented counter is genuinely mutated there."""
+    scraped = frozenset(key for src in AUTOPILOT_STATS_SOURCES
+                        for key in _KEY_RE.findall(src.read_text()))
+    undocumented = scraped - EXPECTED_AUTOPILOT_KEYS
+    assert not undocumented, f"untracked stats keys: {sorted(undocumented)}"
+    assert EXPECTED_AUTOPILOT_KEYS <= scraped
+
+
+def test_every_autopilot_counter_is_exercised_by_some_test():
+    me = Path(__file__).resolve()
+    corpus = "\n".join(
+        p.read_text() for p in sorted(TESTS_DIR.rglob("test_*.py"))
+        if p.resolve() != me)
+    missing = [k for k in sorted(EXPECTED_AUTOPILOT_KEYS)
+               if f'"{k}"' not in corpus and f"'{k}'" not in corpus]
+    assert not missing, f"autopilot counters no test references: {missing}"

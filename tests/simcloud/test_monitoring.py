@@ -57,6 +57,31 @@ class TestTimeSeries:
             ts.record(float(t), float(t))
         assert "load" in ts.strip(width=10)
 
+    def test_discard_before_prunes_the_prefix(self):
+        ts = TimeSeries("x")
+        for t in range(10):
+            ts.record(float(t), float(t))
+        ts.discard_before(4.0)
+        assert ts.times == [float(t) for t in range(4, 10)]
+        assert ts.values == [float(t) for t in range(4, 10)]
+        ts.discard_before(3.0)     # before the head: no-op
+        assert len(ts) == 6
+
+    def test_window_percentile_shares_the_fail_closed_path(self):
+        """The accessor mirrors analysis.stats.latest_window_percentile
+        exactly — including the None sentinel on a cold window, never a
+        NaN — because both the hedge deadline and the autopilot's SLO
+        error branch on its result."""
+        from repro.analysis.stats import latest_window_percentile
+        ts = TimeSeries("x")
+        for t in range(10):
+            ts.record(float(t), float(t))
+        assert ts.window_percentile(0.5, 4.0, 9.0) == \
+            latest_window_percentile(ts.times, ts.values, 0.5, 4.0, 9.0)
+        assert ts.window_percentile(0.99, 1.0, 100.0) is None   # cold
+        assert TimeSeries("empty").window_percentile(
+            0.99, 10.0, 0.0) is None
+
 
 class TestCloudMonitor:
     def test_samples_at_interval(self):
@@ -96,6 +121,29 @@ class TestCloudMonitor:
         mon.start(duration_s=10.0)
         with pytest.raises(RuntimeError):
             mon.start(duration_s=10.0)
+
+    def test_retention_window_bounds_series_memory(self):
+        """With ``retention_s`` set, every sampling tick prunes samples
+        older than the trailing window, so a long run holds a bounded
+        slice instead of growing every probe series without limit."""
+        sim = Simulator()
+        mon = CloudMonitor(sim, interval_s=1.0, retention_s=5.0)
+        clock = mon.add_probe("clock", lambda: sim.now)
+        mon.start(duration_s=100.0)
+        sim.run()
+        assert clock.times[0] == 95.0 and clock.times[-1] == 100.0
+        assert len(clock) == 6          # the window, not the whole run
+        assert mon.retention_s == 5.0
+
+    def test_retention_defaults_off_and_validates(self):
+        sim = Simulator()
+        mon = CloudMonitor(sim, interval_s=1.0)     # keep everything
+        series = mon.add_probe("x", lambda: 0.0)
+        mon.start(duration_s=50.0)
+        sim.run()
+        assert len(series) == 51
+        with pytest.raises(ValueError):
+            CloudMonitor(sim, retention_s=0.0)
 
     def test_watch_replication_workload(self):
         """End to end: concurrency, backlog, and cost series during a

@@ -131,10 +131,11 @@ class TestDrillAll:
 
     HANDLERS = ("cmd_chaos_soak", "cmd_outage_drill",
                 "cmd_corruption_drill", "cmd_hedge_drill",
-                "cmd_lifecycle_drill", "cmd_tenant_drill")
+                "cmd_lifecycle_drill", "cmd_tenant_drill",
+                "cmd_autopilot_drill")
     ROSTER = ("chaos-soak", "outage-drill", "corruption-drill",
               "hedge-drill", "lifecycle-evacuate", "lifecycle-rolling",
-              "lifecycle-switchover", "tenant-drill")
+              "lifecycle-switchover", "tenant-drill", "autopilot-drill")
 
     @staticmethod
     def _passing(args):
